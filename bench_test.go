@@ -1,0 +1,465 @@
+package coral
+
+// One testing.B benchmark per experiment table (E01–E16, DESIGN.md §3).
+// The benchmarks exercise the same code paths as cmd/coralbench but at
+// fixed, benchmark-friendly sizes; run the command for the full sweep
+// tables recorded in EXPERIMENTS.md.
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"coral/internal/ast"
+	"coral/internal/engine"
+	"coral/internal/parser"
+	"coral/internal/relation"
+	"coral/internal/storage"
+	"coral/internal/term"
+	"coral/internal/workload"
+)
+
+// benchSystem consults source into an engine system, failing the benchmark
+// on error.
+func benchSystem(b *testing.B, src string) *engine.System {
+	b.Helper()
+	u, err := parser.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := engine.NewSystem()
+	for _, f := range u.Facts {
+		sys.BaseRelation(f.Pred, len(f.Args)).Insert(relation.NewFact(f.Args, nil))
+	}
+	for _, m := range u.Modules {
+		if err := sys.AddModule(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return sys
+}
+
+func benchCall(b *testing.B, sys *engine.System, pred string, args ...term.Term) {
+	b.Helper()
+	stats, err := sys.MeasureCall(ast.PredKey{Name: pred, Arity: len(args)}, args)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if stats.Answers == 0 {
+		b.Fatal("no answers")
+	}
+}
+
+func BenchmarkE01NaiveVsSeminaive(b *testing.B) {
+	facts := workload.Chain(64)
+	for _, mode := range []struct{ name, ann string }{
+		{"naive", "@naive.\n@rewrite none."},
+		{"seminaive", "@rewrite none."},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+workload.TCModule(mode.ann))
+				benchCall(b, sys, "tc", term.NewVar("X"), term.NewVar("Y"))
+			}
+		})
+	}
+}
+
+func BenchmarkE02BSNvsPSN(b *testing.B) {
+	facts := workload.Chain(32)
+	for _, mode := range []struct{ name, ann string }{
+		{"bsn", "@bsn.\n@rewrite none."},
+		{"psn", "@psn.\n@rewrite none."},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+workload.MutualRecursion(6, mode.ann))
+				benchCall(b, sys, "p0", term.NewVar("X"), term.NewVar("Y"))
+			}
+		})
+	}
+}
+
+func BenchmarkE03MagicVariants(b *testing.B) {
+	const depth = 7
+	facts := workload.Tree(2, depth)
+	deepNode := (1<<(depth+1)-1)/2 - 1 // last internal node: cone of 2 leaves
+	for _, mode := range []struct{ name, ann string }{
+		{"none", "@rewrite none."},
+		{"magic", "@rewrite magic."},
+		{"supmagic", ""},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+workload.TCModule(mode.ann))
+				benchCall(b, sys, "tc", term.Int(int64(deepNode)), term.NewVar("Y"))
+			}
+		})
+	}
+}
+
+func BenchmarkE04PipelineVsMaterialize(b *testing.B) {
+	var src string
+	k := 9
+	for i := 0; i < k; i++ {
+		base := 3 * i
+		src += fmt.Sprintf("edge(%d, %d). edge(%d, %d). edge(%d, %d). edge(%d, %d).\n",
+			base, base+1, base, base+2, base+1, base+3, base+2, base+3)
+	}
+	for _, mode := range []struct{ name, ann string }{
+		{"pipelined", "@pipelining."},
+		{"materialized", ""},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, src+workload.TCModule(mode.ann))
+				benchCall(b, sys, "tc", term.Int(0), term.Int(3*k))
+			}
+		})
+	}
+}
+
+func BenchmarkE05ShortestPath(b *testing.B) {
+	for _, V := range []int{24, 48} {
+		facts := workload.WeightedGraph(V, 4*V, 10, int64(V))
+		b.Run(fmt.Sprintf("V=%d", V), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+workload.ShortestPathModule("@ordered_search."))
+				benchCall(b, sys, "s_p", term.Int(0), term.NewVar("Y"), term.NewVar("P"), term.NewVar("C"))
+			}
+		})
+	}
+}
+
+func BenchmarkE06IndexVsScan(b *testing.B) {
+	facts := workload.RandomGraph(150, 450, 11)
+	for _, mode := range []struct{ name, ann string }{
+		{"indexed", "@rewrite none."},
+		{"scan", "@rewrite none.\n@no_indexing."},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+workload.TCModule(mode.ann))
+				benchCall(b, sys, "tc", term.Int(0), term.NewVar("Y"))
+			}
+		})
+	}
+}
+
+func BenchmarkE07PatternIndex(b *testing.B) {
+	src := workload.Employees(4000, 50)
+	query := func(i int) []term.Term {
+		return []term.Term{
+			term.Atom(fmt.Sprintf("name%d", i)),
+			term.NewFunctor("addr", term.NewVar("S"), term.Atom(fmt.Sprintf("city%d", i%50))),
+		}
+	}
+	run := func(b *testing.B, rel *relation.HashRelation) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			it := rel.Lookup(query(i%4000), nil)
+			for {
+				if _, ok := it.Next(); !ok {
+					break
+				}
+			}
+		}
+	}
+	b.Run("patternindex", func(b *testing.B) {
+		sys := benchSystem(b, src)
+		rel := sys.BaseRelation("emp", 2)
+		rel.MakePatternIndex([]term.Term{term.NewVar("Name"),
+			term.NewFunctor("addr", term.NewVar("Street"), term.NewVar("City"))},
+			[]string{"Name", "City"})
+		run(b, rel)
+	})
+	b.Run("scan", func(b *testing.B) {
+		sys := benchSystem(b, src)
+		run(b, sys.BaseRelation("emp", 2))
+	})
+}
+
+func BenchmarkE08HashConsing(b *testing.B) {
+	deep := workload.DeepTerm(14, 1)
+	deep2 := workload.DeepTerm(14, 1)
+	term.GroundID(deep.(*term.Functor))
+	term.GroundID(deep2.(*term.Functor))
+	var tr term.Trail
+	b.Run("hashconsed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !term.Unify(deep, nil, deep2, nil, &tr) {
+				b.Fatal("unify failed")
+			}
+		}
+	})
+	b.Run("structural", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !term.UnifyStructural(deep, nil, deep2, nil, &tr) {
+				b.Fatal("unify failed")
+			}
+		}
+	})
+}
+
+func BenchmarkE09SaveModule(b *testing.B) {
+	facts := workload.Chain(80)
+	for _, mode := range []struct{ name, ann string }{
+		{"discard", ""},
+		{"save", "@save_module."},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sys := benchSystem(b, facts+workload.TCModule(mode.ann))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				benchCall(b, sys, "tc", term.Int(0), term.NewVar("Y"))
+			}
+		})
+	}
+}
+
+func BenchmarkE10OrderedSearch(b *testing.B) {
+	moves := workload.WinGameMoves(60, 3, 4, 60)
+	b.Run("orderedsearch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys := benchSystem(b, moves+workload.WinModule("@ordered_search."))
+			stats, err := sys.MeasureCall(ast.PredKey{Name: "win", Arity: 1}, []term.Term{term.Atom("p0")})
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = stats
+		}
+	})
+	b.Run("pipelined", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys := benchSystem(b, moves+workload.WinModule("@pipelining."))
+			if _, err := sys.MeasureCall(ast.PredKey{Name: "win", Arity: 1}, []term.Term{term.Atom("p0")}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkE11Existential(b *testing.B) {
+	facts := workload.RandomGraph(80, 400, 3)
+	b.Run("observed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys := benchSystem(b, facts+workload.TCModule(""))
+			benchCall(b, sys, "tc", term.Int(0), term.NewVar("Y"))
+		}
+	})
+	b.Run("existential", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sys := benchSystem(b, facts+workload.TCModule(""))
+			benchCall(b, sys, "tc", term.Int(0), term.NewVar(""))
+		}
+	})
+}
+
+func BenchmarkE12LazyEval(b *testing.B) {
+	facts := workload.Chain(200)
+	for _, mode := range []struct{ name, ann string }{
+		{"lazy", ""},
+		{"eager", "@eager."},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+workload.TCModule(mode.ann))
+				if _, err := sys.MeasureFirstAnswer(ast.PredKey{Name: "tc", Arity: 2},
+					[]term.Term{term.Int(0), term.NewVar("Y")}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkE13Factoring(b *testing.B) {
+	facts := workload.Grid(14, 14)
+	for _, mode := range []struct{ name, ann string }{
+		{"supmagic", ""},
+		{"factoring", "@rewrite factoring."},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+workload.RightLinearTC(mode.ann))
+				benchCall(b, sys, "tc", term.Int(0), term.NewVar("Y"))
+			}
+		})
+	}
+}
+
+func BenchmarkE14Multiset(b *testing.B) {
+	facts := workload.RandomGraph(50, 400, 5)
+	mod := func(ann string) string {
+		return "module j.\nexport hop2(ff).\n" + ann +
+			"hop2(X, Z) :- edge(X, Y), edge(Y, Z).\nend_module.\n"
+	}
+	for _, mode := range []struct{ name, ann string }{
+		{"set", ""},
+		{"multiset", "@multiset hop2."},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+mod(mode.ann))
+				benchCall(b, sys, "hop2", term.NewVar("X"), term.NewVar("Z"))
+			}
+		})
+	}
+}
+
+func BenchmarkE15Persistent(b *testing.B) {
+	for _, frames := range []int{8, 256} {
+		b.Run(fmt.Sprintf("frames=%d", frames), func(b *testing.B) {
+			db, err := storage.Open(filepath.Join(b.TempDir(), "bench.cdb"), frames)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer db.Close()
+			rel, err := db.Relation("edge", 2)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 8000; i++ {
+				rel.Insert(relation.GroundFact(term.Int(int64(i)), term.Int(int64(i+1))))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				it := rel.Scan()
+				for {
+					if _, ok := it.Next(); !ok {
+						break
+					}
+				}
+			}
+			b.ReportMetric(float64(db.Stats().PageReads)/float64(b.N), "pagereads/op")
+		})
+	}
+}
+
+func BenchmarkE16ConsultAndRun(b *testing.B) {
+	src := workload.Chain(60) + workload.TCModule("")
+	b.Run("consult", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			u, err := parser.Parse(src)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sys := engine.NewSystem()
+			for _, f := range u.Facts {
+				sys.BaseRelation(f.Pred, len(f.Args)).Insert(relation.NewFact(f.Args, nil))
+			}
+			for _, m := range u.Modules {
+				if err := sys.AddModule(m); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("evaluate", func(b *testing.B) {
+		sys := benchSystem(b, src)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			benchCall(b, sys, "tc", term.Int(0), term.NewVar("Y"))
+		}
+	})
+}
+
+// --- Ablation benchmarks: the design choices DESIGN.md calls out ---
+
+// Intelligent backtracking (paper §4.2): backjumping over positions that
+// cannot fix a zero-solution failure.
+func BenchmarkAblationBacktracking(b *testing.B) {
+	facts := workload.RandomGraph(120, 240, 21) + "needle(119).\n"
+	mod := func(ann string) string {
+		return `
+module m.
+export q(ff).
+` + ann + `
+q(X, N) :- edge(X, Y), needle(N), edge(N, Z), edge(Z, W).
+end_module.
+`
+	}
+	for _, mode := range []struct{ name, ann string }{
+		{"intelligent", ""},
+		{"chronological", "@chronological_backtracking."},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+mod(mode.ann))
+				if _, err := sys.MeasureCall(ast.PredKey{Name: "q", Arity: 2},
+					[]term.Term{term.NewVar("X"), term.NewVar("N")}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Join order selection (paper §4.2): @reorder vs source order on a rule
+// whose selective literals come last.
+func BenchmarkAblationJoinOrder(b *testing.B) {
+	facts := workload.RandomGraph(200, 1000, 31) + "pick(7).\n"
+	mod := func(ann string) string {
+		return `
+module m.
+export q(b).
+` + ann + `
+q(P) :- edge(X, Y), edge(Y, Z), pick(P), edge(P, X).
+end_module.
+`
+	}
+	for _, mode := range []struct{ name, ann string }{
+		{"sourceorder", ""},
+		{"reorder", "@reorder."},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+mod(mode.ann))
+				if _, err := sys.MeasureCall(ast.PredKey{Name: "q", Arity: 1},
+					[]term.Term{term.Int(7)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// Supplementary predicates (paper §4.1): plain magic recomputes rule-body
+// prefixes per magic rule; supplementary magic shares them.
+func BenchmarkAblationSupplementary(b *testing.B) {
+	facts := workload.Grid(16, 16)
+	for _, mode := range []struct{ name, ann string }{
+		{"magic", "@rewrite magic."},
+		{"supmagic", ""},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+workload.TCModule(mode.ann))
+				benchCall(b, sys, "tc", term.Int(0), term.NewVar("Y"))
+			}
+		})
+	}
+}
+
+// Subsumption checking (paper §4.2): insert-time duplicate detection cost
+// on a duplicate-free workload (pure overhead measurement).
+func BenchmarkAblationDuplicateCheck(b *testing.B) {
+	n := 20000
+	b.Run("set", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel := relation.NewHashRelation("p", 2)
+			for j := 0; j < n; j++ {
+				rel.Insert(relation.GroundFact(term.Int(int64(j)), term.Int(int64(j+1))))
+			}
+		}
+	})
+	b.Run("multiset", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel := relation.NewHashRelation("p", 2)
+			rel.Multiset = true
+			for j := 0; j < n; j++ {
+				rel.Insert(relation.GroundFact(term.Int(int64(j)), term.Int(int64(j+1))))
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+// Command coral is the interactive interface (paper §2): consult program
+// files, assert facts, and pose queries at the prompt. Inputs end with a
+// period; multi-line clauses continue until one arrives.
+//
+//	$ go run ./cmd/coral
+//	coral> consult("examples/quickstart/paths.crl").
+//	coral> path(a, X).
+//	X = b
+//	X = c
+//	coral> help.
+//
+// Files named on the command line are consulted before the prompt appears;
+// with -q the process exits after consulting (batch mode).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	coral "coral"
+	"coral/internal/repl"
+)
+
+func main() {
+	batch := flag.Bool("q", false, "consult the named files and exit")
+	dbPath := flag.String("db", "", "attach a persistent database file")
+	frames := flag.Int("frames", 256, "buffer pool size in 8KiB pages (with -db)")
+	flag.Parse()
+
+	sys := coral.New()
+	if *dbPath != "" {
+		if err := sys.AttachStorage(*dbPath, *frames); err != nil {
+			fmt.Fprintln(os.Stderr, "coral:", err)
+			os.Exit(1)
+		}
+		defer sys.Close()
+	}
+	session := repl.NewSession(sys)
+	for _, path := range flag.Args() {
+		out, _ := session.Execute(fmt.Sprintf("consult(%q).", path))
+		fmt.Print(out)
+		fmt.Printf("%% consulted %s\n", path)
+	}
+	if *batch {
+		return
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	fmt.Print("coral> ")
+	for in.Scan() {
+		out, done, needMore := session.Feed(in.Text())
+		fmt.Print(out)
+		if done {
+			return
+		}
+		if needMore {
+			fmt.Print("   ... ")
+		} else {
+			fmt.Print("coral> ")
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command coralbench regenerates the reproduction's evaluation tables
+// (experiments E01–E16, one per paper claim — see DESIGN.md §3 and
+// EXPERIMENTS.md). Run with -quick for reduced sizes, or name experiment
+// ids to run a subset:
+//
+//	go run ./cmd/coralbench            # all experiments, full sizes
+//	go run ./cmd/coralbench -quick E01 E05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"coral/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "run reduced problem sizes")
+	list := flag.Bool("list", false, "list experiments and exit")
+	flag.Parse()
+
+	scale := experiments.Scale{Quick: *quick}
+	all := map[string]func(experiments.Scale) experiments.Table{
+		"E01": experiments.E01, "E02": experiments.E02, "E03": experiments.E03,
+		"E04": experiments.E04, "E05": experiments.E05, "E06": experiments.E06,
+		"E07": experiments.E07, "E08": experiments.E08, "E09": experiments.E09,
+		"E10": experiments.E10, "E11": experiments.E11, "E12": experiments.E12,
+		"E13": experiments.E13, "E14": experiments.E14, "E15": experiments.E15,
+		"E16": experiments.E16,
+	}
+	order := []string{"E01", "E02", "E03", "E04", "E05", "E06", "E07", "E08",
+		"E09", "E10", "E11", "E12", "E13", "E14", "E15", "E16"}
+
+	if *list {
+		for _, id := range order {
+			t := all[id](experiments.Scale{Quick: true})
+			fmt.Printf("%s  %s\n", id, t.Title)
+		}
+		return
+	}
+
+	ids := flag.Args()
+	if len(ids) == 0 {
+		ids = order
+	}
+	for _, id := range ids {
+		id = strings.ToUpper(id)
+		run, ok := all[id]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "coralbench: unknown experiment %q (use -list)\n", id)
+			os.Exit(1)
+		}
+		fmt.Println(run(scale).Print())
+	}
+}

@@ -1,0 +1,81 @@
+// Command coralc runs the CORAL optimizer over a program file and prints
+// the rewritten programs — the text form the paper's system stores "as a
+// text file, which is useful as a debugging aid for the user" (§2).
+//
+//	go run ./cmd/coralc program.crl
+//
+// For every module and declared query form, the adorned, magic-rewritten
+// (or factored) program is printed along with the generated predicate
+// classes (magic, supplementary, done).
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+
+	"coral/internal/ast"
+	"coral/internal/engine"
+	"coral/internal/parser"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: coralc <program.crl>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fatal(err)
+	}
+	u, err := parser.Parse(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	if len(u.Modules) == 0 {
+		fmt.Fprintln(os.Stderr, "coralc: no modules in input")
+		os.Exit(1)
+	}
+	for _, m := range u.Modules {
+		for _, e := range m.Exports {
+			for _, form := range e.Forms {
+				prog, err := engine.BuildProgram(m, ast.PredKey{Name: e.Pred, Arity: e.Arity}, form)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "coralc: module %s, %s(%s): %v\n", m.Name, e.Pred, form, err)
+					continue
+				}
+				fmt.Printf("%% ===== module %s, query form %s(%s) =====\n", m.Name, e.Pred, form)
+				fmt.Print(prog.RewrittenText)
+				printPredClasses(prog)
+				fmt.Println()
+			}
+		}
+	}
+}
+
+func printPredClasses(p *engine.Program) {
+	var magic []string
+	for k := range p.MagicPreds {
+		magic = append(magic, k.String())
+	}
+	sort.Strings(magic)
+	if len(magic) > 0 {
+		fmt.Printf("%% magic predicates: %v\n", magic)
+	}
+	if len(p.DonePreds) > 0 {
+		var done []string
+		for _, d := range p.DonePreds {
+			done = append(done, d.String())
+		}
+		sort.Strings(done)
+		fmt.Printf("%% done predicates (ordered search): %v\n", done)
+	}
+	if p.MagicPred.Name != "" {
+		fmt.Printf("%% seed: %s from query positions %v\n", p.MagicPred, p.SeedPositions)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "coralc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// Bill of materials: a classic deductive-database workload combining
+// recursion (transitive subparts), stratified aggregation (count and cost
+// roll-ups), set-grouping, and negation (parts that are never subparts are
+// top-level assemblies).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	coral "coral"
+)
+
+func main() {
+	sys := coral.New()
+	_, err := sys.Consult(`
+		% assembly(Parent, Child, Quantity)
+		assembly(bike, frame, 1).
+		assembly(bike, wheel, 2).
+		assembly(wheel, rim, 1).
+		assembly(wheel, spoke, 36).
+		assembly(wheel, hub, 1).
+		assembly(frame, tube, 8).
+		assembly(hub, axle, 1).
+		assembly(hub, bearing, 2).
+
+		% basecost(Part, UnitCost) for purchased parts
+		basecost(rim, 40). basecost(spoke, 1). basecost(axle, 8).
+		basecost(bearing, 5). basecost(tube, 12).
+
+		module bom.
+		export subpart(bf, ff).
+		export leafcost(bff).
+		export partstats(fff).
+		export toplevel(f).
+		export components(bf).
+
+		% Transitive subparts.
+		subpart(P, C) :- assembly(P, C, Q).
+		subpart(P, C) :- assembly(P, M, Q), subpart(M, C).
+
+		% Purchased descendants of a part, with their unit costs.
+		leafcost(P, C, U) :- subpart(P, C), basecost(C, U).
+
+		% Aggregates per part: how many distinct purchased components and
+		% the sum of their unit costs (stratified aggregation: the rule's
+		% body is complete before the aggregate is taken).
+		partstats(P, count(C), sum(U)) :- leafcost(P, C, U).
+
+		% Set-grouping: the distinct direct components of a part.
+		components(P, <C>) :- assembly(P, C, Q).
+
+		% A part is top-level if nothing uses it (stratified negation).
+		ispart(P) :- assembly(P, C, Q).
+		ispart(C) :- assembly(P, C, Q).
+		used(C) :- assembly(P, C, Q).
+		toplevel(P) :- ispart(P), not used(P).
+		end_module.
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	show := func(q string) {
+		ans, err := sys.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("?- %s\n", q)
+		for _, t := range ans.Tuples {
+			fmt.Println("  ", t)
+		}
+	}
+	show("toplevel(P)")
+	show("components(bike, Cs)")
+	show("subpart(wheel, C)")
+	show("partstats(bike, NumKinds, UnitCostSum)")
+	show("partstats(wheel, NumKinds, UnitCostSum)")
+}

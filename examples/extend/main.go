@@ -1,0 +1,115 @@
+// Extensibility (paper §7): a user-defined abstract data type (Money), a
+// Go-defined predicate (§6.2), and a custom read-only relation
+// implementation (§7.2) — all plugged in without touching system code,
+// then queried declaratively alongside ordinary facts.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	coral "coral"
+)
+
+// Money is an abstract data type: cents-precise currency. It implements
+// coral.External — the equals/hash/print interface the paper requires of
+// every ADT — and flows through unification and aggregation unchanged.
+type Money struct{ Cents int64 }
+
+func (Money) Kind() coral.Kind       { return coral.KindExternal }
+func (m Money) String() string       { return fmt.Sprintf("$%d.%02d", m.Cents/100, m.Cents%100) }
+func (Money) TypeName() string       { return "money" }
+func (m Money) HashExternal() uint64 { return uint64(m.Cents) }
+func (m Money) EqualExternal(o coral.External) bool {
+	q, ok := o.(Money)
+	return ok && m == q
+}
+
+// rangeRelation is a custom relation implementation: the integers
+// [0, n) materialized nowhere, generated on demand — a tiny example of the
+// paper's "new relation implementations" (§7.2).
+type rangeRelation struct{ n int64 }
+
+func (r rangeRelation) Name() string { return "upto" }
+func (r rangeRelation) Arity() int   { return 1 }
+func (r rangeRelation) Len() int     { return int(r.n) }
+func (r rangeRelation) Insert(coral.Fact) bool {
+	panic("upto is read-only")
+}
+func (r rangeRelation) Scan() coral.Iterator {
+	facts := make([]coral.Fact, r.n)
+	for i := range facts {
+		facts[i] = coral.NewFact([]coral.Term{coral.Int(int64(i))})
+	}
+	return coral.SliceIterator(facts)
+}
+func (r rangeRelation) Lookup(pattern []coral.Term, env *coral.Env) coral.Iterator {
+	return r.Scan()
+}
+func (r rangeRelation) Snapshot() coral.Mark { return 0 }
+func (r rangeRelation) ScanRange(from, to coral.Mark) coral.Iterator {
+	if from == 0 {
+		return r.Scan()
+	}
+	return coral.EmptyIterator()
+}
+func (r rangeRelation) LookupRange(pattern []coral.Term, env *coral.Env, from, to coral.Mark) coral.Iterator {
+	return r.ScanRange(from, to)
+}
+
+var _ coral.RelationImpl = rangeRelation{}
+
+func main() {
+	sys := coral.New()
+
+	// Install the custom relation implementation.
+	if err := sys.Register(rangeRelation{n: 5}); err != nil {
+		log.Fatal(err)
+	}
+
+	// Facts carrying the ADT, inserted through the relation API.
+	prices := sys.BaseRelation("price", 2)
+	prices.Insert(coral.Atom("coffee"), Money{450})
+	prices.Insert(coral.Atom("bagel"), Money{325})
+	prices.Insert(coral.Atom("espresso"), Money{450})
+
+	// A Go-defined predicate converting the ADT to cents for arithmetic.
+	if err := sys.RegisterPredicate("cents", 2, func(pattern coral.Tuple) ([]coral.Tuple, error) {
+		m, ok := pattern[0].(Money)
+		if !ok {
+			return nil, fmt.Errorf("cents: first argument must be money, got %s", pattern[0])
+		}
+		return []coral.Tuple{{m, coral.Int(m.Cents)}}, nil
+	}); err != nil {
+		log.Fatal(err)
+	}
+
+	if _, err := sys.Consult(`
+		module menu.
+		export same_price(ff).
+		export affordable(bf).
+		same_price(A, B) :- price(A, P), price(B, P), A != B.
+		affordable(Limit, Item) :- price(Item, P), cents(P, C), C =< Limit.
+		end_module.
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	ans, _ := sys.Query("same_price(A, B)")
+	fmt.Println("items priced identically (ADT equality through unification):")
+	for _, t := range ans.Tuples {
+		fmt.Println("  ", t)
+	}
+	ans, _ = sys.Query("affordable(400, I)")
+	fmt.Println("items at or under $4.00:")
+	for _, t := range ans.Tuples {
+		fmt.Println("  ", t)
+	}
+
+	// The custom relation implementation answers queries like any other.
+	ans, _ = sys.Query("upto(X), X > 2")
+	fmt.Println("custom relation upto/1, values above 2:")
+	for _, t := range ans.Tuples {
+		fmt.Println("  ", t)
+	}
+}

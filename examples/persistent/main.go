@@ -1,0 +1,84 @@
+// Persistent relations: disk-resident data behind the same get-next-tuple
+// interface as in-memory relations (paper §2, §3.2). Declarative rules
+// read pages through the buffer pool; B+tree indexes serve selective
+// lookups; transactions provide undo.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	coral "coral"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "coral-example-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "flights.cdb")
+
+	sys := coral.New()
+	if err := sys.AttachStorage(path, 64); err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	flights, err := sys.PersistentRelation("flight", 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	routes := [][3]any{
+		{"msn", "ord", 130}, {"ord", "lga", 790}, {"ord", "sfo", 1850},
+		{"lga", "bos", 190}, {"sfo", "sea", 680}, {"msn", "msp", 230},
+		{"msp", "sea", 1400}, {"sea", "sfo", 680},
+	}
+	for _, r := range routes {
+		flights.Insert(coral.Atom(r[0].(string)), coral.Atom(r[1].(string)), coral.Int(int64(r[2].(int))))
+	}
+	if err := sys.CreatePersistentIndex("flight", 3, 0); err != nil {
+		log.Fatal(err)
+	}
+
+	// Rules over the persistent relation: every get-next-tuple request is
+	// a page-level request against the buffer pool.
+	if _, err := sys.Consult(`
+		module trips.
+		export reach(bf).
+		reach(X, Y) :- flight(X, Y, D).
+		reach(X, Y) :- flight(X, Z, D), reach(Z, Y).
+		end_module.
+	`); err != nil {
+		log.Fatal(err)
+	}
+	ans, err := sys.Query("reach(msn, Y)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("airports reachable from msn (disk-resident base data):")
+	for _, t := range ans.Tuples {
+		fmt.Println("  ", t[0])
+	}
+	if db, ok := sys.Storage(); ok {
+		st := db.Stats()
+		fmt.Printf("buffer pool: %d hits, %d misses, %d page reads (hit ratio %.2f)\n",
+			st.Hits, st.Misses, st.PageReads, st.HitRatio())
+	}
+
+	// Transactions: abort rolls pages and catalog back.
+	db, _ := sys.Storage()
+	txn, err := db.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	flights.Insert(coral.Atom("bos"), coral.Atom("msn"), coral.Int(999))
+	fmt.Println("inside txn, flight count:", flights.Len())
+	if err := txn.Abort(); err != nil {
+		log.Fatal(err)
+	}
+	fresh, _ := sys.PersistentRelation("flight", 3)
+	fmt.Println("after abort, flight count:", fresh.Len())
+}

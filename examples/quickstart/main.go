@@ -1,0 +1,68 @@
+// Quickstart: consult a declarative module, pose queries, and use the
+// host-language relation API — the smallest end-to-end tour of the system.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	coral "coral"
+)
+
+func main() {
+	sys := coral.New()
+
+	// Declarative part: facts plus a module computing reachability. The
+	// export declares the query forms the optimizer specializes for:
+	// path(bf) propagates a bound first argument via Supplementary Magic
+	// Templates (the default rewriting); path(ff) computes the full
+	// closure.
+	_, err := sys.Consult(`
+		edge(a, b). edge(b, c). edge(c, d). edge(b, e).
+
+		module paths.
+		export path(bf, ff).
+		path(X, Y) :- edge(X, Y).
+		path(X, Y) :- edge(X, Z), path(Z, Y).
+		end_module.
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Query through the string interface.
+	ans, err := sys.Query("path(a, X)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("nodes reachable from a:")
+	for _, t := range ans.Tuples {
+		fmt.Println("  ", t)
+	}
+
+	// Imperative part: insert a fact through the relation API and watch
+	// the declarative view update (the paper's C++-interface usage mode).
+	edges := sys.BaseRelation("edge", 2)
+	edges.Insert(coral.Atom("d"), coral.Atom("z"))
+	ans, _ = sys.Query("path(a, z)")
+	fmt.Printf("a reaches z after inserting edge(d, z): %v\n", len(ans.Tuples) == 1)
+
+	// Stream answers through a get-next-tuple scan (C_ScanDesc, §6.1).
+	scan, err := sys.Call("path", coral.Atom("b"), coral.Var("Y"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("streamed from path(b, Y):")
+	for {
+		t, ok := scan.Next()
+		if !ok {
+			break
+		}
+		fmt.Println("  ", t[1])
+	}
+
+	// The optimizer's rewritten program is inspectable (paper §2).
+	text, _ := sys.RewrittenProgram("paths", "path", "bf")
+	fmt.Println("rewritten program for path(bf):")
+	fmt.Print(text)
+}

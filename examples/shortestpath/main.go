@@ -1,0 +1,53 @@
+// Shortest paths — the paper's Figure 3 program, verbatim semantics: the
+// aggregate selection keeps only minimal-cost path facts (without it the
+// program would generate ever-longer cyclic paths forever), and the
+// any-choice keeps one witness path per (source, target, cost). Evaluated
+// with Ordered Search so the aggregation inside the magic-rewritten
+// program is sequenced by subgoal completion (paper §5.4.1, §5.5.2).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	coral "coral"
+)
+
+func main() {
+	sys := coral.New()
+	_, err := sys.Consult(`
+		% A weighted road network with a cycle.
+		edge(madison, chicago, 3).
+		edge(chicago, detroit, 5).
+		edge(madison, minneapolis, 4).
+		edge(minneapolis, chicago, 6).
+		edge(chicago, stlouis, 5).
+		edge(stlouis, madison, 6).
+		edge(detroit, chicago, 5).
+		edge(madison, stlouis, 11).
+
+		module sp.
+		export s_p(bfff).
+		@ordered_search.
+		@aggregate_selection p(X, Y, P, C) (X, Y) min(C).
+		@aggregate_selection p(X, Y, P, C) (X, Y, C) any(P).
+		s_p(X, Y, P, C)        :- s_p_length(X, Y, C), p(X, Y, P, C).
+		s_p_length(X, Y, min(C)) :- p(X, Y, P, C).
+		p(X, Y, P1, C1) :- p(X, Z, P, C), edge(Z, Y, EC),
+		                   P1 = [e(Z, Y)|P], C1 = C + EC.
+		p(X, Y, [e(X, Y)], C) :- edge(X, Y, C).
+		end_module.
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ans, err := sys.Query("s_p(madison, Y, Path, Cost)")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("single-source shortest paths from madison:")
+	for _, t := range ans.Tuples {
+		fmt.Printf("  to %-12s cost %-3s via %s\n", t[0], t[2], t[1])
+	}
+}

@@ -1,0 +1,55 @@
+// The win-move game: win(X) :- move(X, Y), not win(Y). The program is not
+// stratified (win depends negatively on itself), but it is left-to-right
+// modularly stratified on acyclic move graphs, which is exactly the class
+// Ordered Search evaluates (paper §5.4.1): subgoals are sequenced by a
+// context and a position's wins are decided only when its successors'
+// answers are complete.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	coral "coral"
+)
+
+func main() {
+	sys := coral.New()
+	_, err := sys.Consult(`
+		% A small game board (acyclic moves).
+		move(a, b). move(a, c).
+		move(b, d). move(c, d).
+		move(d, e). move(d, f).
+		move(e, g). move(f, g).
+
+		module game.
+		export win(b).
+		@ordered_search.
+		win(X) :- move(X, Y), not win(Y).
+		end_module.
+	`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("position analysis (g has no moves, so g loses):")
+	for _, pos := range []string{"a", "b", "c", "d", "e", "f", "g"} {
+		ans, err := sys.Query(fmt.Sprintf("win(%s)", pos))
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "loses"
+		if len(ans.Tuples) > 0 {
+			verdict = "wins"
+		}
+		fmt.Printf("  %s %s\n", pos, verdict)
+	}
+
+	// The rewritten program shows the done_* guards Ordered Search uses.
+	text, err := sys.RewrittenProgram("game", "win", "b")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrewritten program with done guards:")
+	fmt.Print(text)
+}

@@ -1,0 +1,74 @@
+package coral
+
+import (
+	"coral/internal/relation"
+	"coral/internal/term"
+)
+
+// Extensibility (paper §7): new abstract data types, new relation
+// implementations and new index methods plug in behind fixed interfaces,
+// without changes to the evaluation system. The interfaces live in
+// internal packages; these aliases are the supported public names.
+
+// External is the interface user-defined abstract data types implement
+// (paper §7.1) — the required "virtual methods" are equality, hashing and
+// printing; construction belongs to the type itself. Values flow through
+// unification, relations, aggregation and printing unchanged:
+//
+//	type Money struct{ Cents int64 }
+//
+//	func (Money) Kind() coral.Kind           { return coral.KindExternal }
+//	func (m Money) String() string           { return fmt.Sprintf("$%d.%02d", m.Cents/100, m.Cents%100) }
+//	func (Money) TypeName() string           { return "money" }
+//	func (m Money) HashExternal() uint64     { return uint64(m.Cents) }
+//	func (m Money) EqualExternal(o coral.External) bool {
+//		q, ok := o.(Money)
+//		return ok && m == q
+//	}
+type External = term.External
+
+// Kind discriminates term representations; user types return KindExternal.
+type Kind = term.Kind
+
+// KindExternal is the Kind of every user-defined abstract data type.
+const KindExternal = term.KindExternal
+
+// RelationImpl is the interface a new relation (or index) implementation
+// satisfies (paper §7.2); install one with System.Register. The
+// get-next-tuple iterator contract is all the evaluation system relies on.
+type RelationImpl = relation.Relation
+
+// Fact is one stored tuple: environment-free canonical arguments plus the
+// count of distinct variables (non-ground facts are universally
+// quantified, paper §3.1).
+type Fact = relation.Fact
+
+// Iterator is the get-next-tuple interface (paper §2).
+type Iterator = relation.Iterator
+
+// Env is a binding environment (paper §3.1, Figure 2); RelationImpl
+// lookups receive the caller's environment so bound pattern arguments can
+// be dereferenced with TermIn.
+type Env = term.Env
+
+// TermIn dereferences t under env, resolving it to an environment-free
+// term (unbound variables stay variables). RelationImpl implementations
+// use it to read bound pattern arguments.
+func TermIn(t Term, env *Env) Term {
+	out, _ := term.ResolveArgs([]term.Term{t}, env)
+	return out[0]
+}
+
+// Mark is a point in a relation's insertion history (paper §3.2); the
+// engine scans [from, to) ranges of marks for semi-naive deltas.
+type Mark = relation.Mark
+
+// NewFact canonicalizes arguments into a Fact (for RelationImpl
+// implementations).
+func NewFact(args []Term) Fact { return relation.NewFact(args, nil) }
+
+// SliceIterator wraps materialized facts as an Iterator.
+func SliceIterator(facts []Fact) Iterator { return relation.SliceIterator(facts) }
+
+// EmptyIterator returns an iterator with no facts.
+func EmptyIterator() Iterator { return relation.EmptyIterator() }

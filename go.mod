@@ -1,0 +1,3 @@
+module coral
+
+go 1.22

@@ -1,0 +1,124 @@
+package ast
+
+import (
+	"strings"
+	"testing"
+
+	"coral/internal/term"
+)
+
+func TestLiteralString(t *testing.T) {
+	l := Literal{Pred: "p", Args: []term.Term{term.Int(1), term.Atom("a")}}
+	if l.String() != "p(1, a)" {
+		t.Errorf("literal: %s", l)
+	}
+	l.Neg = true
+	if l.String() != "not p(1, a)" {
+		t.Errorf("negated: %s", l)
+	}
+	eq := Literal{Pred: "=", Args: []term.Term{term.NewVar("X"), term.Int(3)}}
+	if eq.String() != "X = 3" {
+		t.Errorf("builtin: %s", eq)
+	}
+	zero := Literal{Pred: "done"}
+	if zero.String() != "done" {
+		t.Errorf("zero-arity: %s", zero)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	x, y := term.NewVar("X"), term.NewVar("Y")
+	r := &Rule{
+		Head: Literal{Pred: "p", Args: []term.Term{x, y}},
+		Body: []Literal{
+			{Pred: "e", Args: []term.Term{x, y}},
+			{Pred: ">", Args: []term.Term{y, term.Int(0)}},
+		},
+	}
+	if r.String() != "p(X, Y) :- e(X, Y), Y > 0." {
+		t.Errorf("rule: %s", r)
+	}
+	fact := &Rule{Head: Literal{Pred: "f", Args: []term.Term{term.Int(1)}}}
+	if fact.String() != "f(1)." || !fact.IsFact() {
+		t.Errorf("fact: %s", fact)
+	}
+}
+
+func TestRuleStringReinstatesAggregation(t *testing.T) {
+	x, c, agg := term.NewVar("X"), term.NewVar("C"), term.NewVar("_Agg1")
+	r := &Rule{
+		Head: Literal{Pred: "m", Args: []term.Term{x, agg}},
+		Body: []Literal{{Pred: "cost", Args: []term.Term{x, c}}},
+		Aggs: []HeadAgg{{Pos: 1, Op: "min", Arg: c}},
+	}
+	if got := r.String(); got != "m(X, min(C)) :- cost(X, C)." {
+		t.Errorf("agg rule: %s", got)
+	}
+	r.Aggs[0].Op = "set"
+	if got := r.String(); !strings.Contains(got, "'<>'(C)") {
+		t.Errorf("set rule: %s", got)
+	}
+	if r.IsFact() {
+		t.Error("aggregated rule misreported as fact")
+	}
+}
+
+func TestBuiltinClassification(t *testing.T) {
+	for _, op := range []string{"=", "!=", "==", "<", ">", ">=", "=<", "is"} {
+		l := Literal{Pred: op, Args: []term.Term{term.Int(1), term.Int(2)}}
+		if !l.Builtin() {
+			t.Errorf("%s not builtin", op)
+		}
+	}
+	if (&Literal{Pred: "edge"}).Builtin() {
+		t.Error("edge classified builtin")
+	}
+}
+
+func TestPredKey(t *testing.T) {
+	l := Literal{Pred: "p", Args: []term.Term{term.Int(1), term.Int(2)}}
+	if l.Key().String() != "p/2" {
+		t.Errorf("key: %s", l.Key())
+	}
+	if (PredKey{Name: "q", Arity: 0}).String() != "q/0" {
+		t.Error("zero arity key")
+	}
+	if (PredKey{Name: "r", Arity: 12}).String() != "r/12" {
+		t.Error("two digit arity key")
+	}
+}
+
+func TestModuleString(t *testing.T) {
+	m := &Module{
+		Name:    "m",
+		Exports: []Export{{Pred: "p", Arity: 2, Forms: []string{"bf", "ff"}}},
+		Ann: Annotations{
+			Pipelining: true,
+			Multiset:   []string{"p"},
+			AggSels: []AggSelAnn{{
+				Pred: "p", HeadVars: []string{"X", "C"}, GroupVars: []string{"X"},
+				Op: "min", ValueVar: "C",
+			}},
+		},
+		Rules: []*Rule{{Head: Literal{Pred: "p", Args: []term.Term{term.Int(1), term.Int(2)}}}},
+	}
+	s := m.String()
+	for _, want := range []string{
+		"module m.", "export p(bf, ff).", "@pipelining.", "@multiset p.",
+		"@aggregate_selection p(X, C) (X) min(C).", "p(1, 2).", "end_module.",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("module text missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	q := Query{Body: []Literal{
+		{Pred: "p", Args: []term.Term{term.NewVar("X")}},
+		{Pred: "<", Args: []term.Term{term.NewVar("X"), term.Int(3)}},
+	}}
+	if q.String() != "?- p(X), X < 3." {
+		t.Errorf("query: %s", q)
+	}
+}

@@ -1,0 +1,260 @@
+package engine
+
+import (
+	"math"
+	"math/big"
+	"testing"
+
+	"coral/internal/term"
+)
+
+func evalArithOK(t *testing.T, src term.Term) term.Term {
+	t.Helper()
+	var out term.Term
+	var err error
+	func() {
+		defer recoverEval(&err)
+		out = EvalArith(src, nil)
+	}()
+	if err != nil {
+		t.Fatalf("EvalArith(%v): %v", src, err)
+	}
+	return out
+}
+
+func evalArithErr(t *testing.T, src term.Term) error {
+	t.Helper()
+	var err error
+	func() {
+		defer recoverEval(&err)
+		EvalArith(src, nil)
+	}()
+	return err
+}
+
+func bin(op string, a, b term.Term) term.Term { return term.NewFunctor(op, a, b) }
+
+func TestArithBasics(t *testing.T) {
+	cases := []struct {
+		in   term.Term
+		want term.Term
+	}{
+		{bin("+", term.Int(2), term.Int(3)), term.Int(5)},
+		{bin("-", term.Int(2), term.Int(3)), term.Int(-1)},
+		{bin("*", term.Int(4), term.Int(5)), term.Int(20)},
+		{bin("/", term.Int(7), term.Int(2)), term.Int(3)},
+		{bin("mod", term.Int(7), term.Int(2)), term.Int(1)},
+		{bin("+", term.Float(1.5), term.Int(1)), term.Float(2.5)},
+		{bin("/", term.Float(1), term.Float(4)), term.Float(0.25)},
+		{term.NewFunctor("abs", term.Int(-9)), term.Int(9)},
+		{term.NewFunctor("abs", term.Float(-2.5)), term.Float(2.5)},
+		{bin("+", bin("*", term.Int(2), term.Int(3)), term.Int(1)), term.Int(7)},
+	}
+	for _, c := range cases {
+		got := evalArithOK(t, c.in)
+		if !term.Equal(got, c.want) {
+			t.Errorf("%v = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestArithOverflowPromotesToBig(t *testing.T) {
+	big1 := bin("*", term.Int(math.MaxInt64), term.Int(2))
+	got := evalArithOK(t, big1)
+	b, ok := got.(term.Big)
+	if !ok {
+		t.Fatalf("overflow result %v (%T)", got, got)
+	}
+	want := new(big.Int).Mul(big.NewInt(math.MaxInt64), big.NewInt(2))
+	if b.V.Cmp(want) != 0 {
+		t.Errorf("got %v want %v", b.V, want)
+	}
+	// And big results demote back to Int when they fit.
+	down := bin("-", got, got)
+	if !term.Equal(evalArithOK(t, down), term.Int(0)) {
+		t.Error("big - big did not demote to Int 0")
+	}
+	// Addition overflow too.
+	if _, ok := evalArithOK(t, bin("+", term.Int(math.MaxInt64), term.Int(1))).(term.Big); !ok {
+		t.Error("addition overflow did not promote")
+	}
+	if _, ok := evalArithOK(t, bin("-", term.Int(math.MinInt64), term.Int(1))).(term.Big); !ok {
+		t.Error("subtraction overflow did not promote")
+	}
+}
+
+func TestArithBigOperands(t *testing.T) {
+	huge := term.NewBig(new(big.Int).Lsh(big.NewInt(1), 100))
+	got := evalArithOK(t, bin("+", huge, term.Int(1)))
+	if got.Kind() != term.KindBigInt {
+		t.Fatalf("big + int = %v", got)
+	}
+	// Big with float promotes to float.
+	f := evalArithOK(t, bin("*", huge, term.Float(0))).(term.Float)
+	if float64(f) != 0 {
+		t.Errorf("big * 0.0 = %v", f)
+	}
+}
+
+func TestArithErrors(t *testing.T) {
+	if err := evalArithErr(t, bin("/", term.Int(1), term.Int(0))); err == nil {
+		t.Error("division by zero allowed")
+	}
+	if err := evalArithErr(t, bin("mod", term.Int(1), term.Int(0))); err == nil {
+		t.Error("mod by zero allowed")
+	}
+	if err := evalArithErr(t, bin("mod", term.Float(1), term.Float(2))); err == nil {
+		t.Error("mod on floats allowed")
+	}
+	if err := evalArithErr(t, bin("+", term.Atom("a"), term.Int(1))); err == nil {
+		t.Error("atom operand allowed")
+	}
+	if err := evalArithErr(t, bin("+", term.NewVar("X"), term.Int(1))); err == nil {
+		t.Error("unbound operand allowed")
+	}
+}
+
+func TestIsArithExpr(t *testing.T) {
+	env := term.NewEnv(1)
+	x := &term.Var{Name: "X", Index: 0}
+	if IsArithExpr(bin("+", x, term.Int(1)), env) {
+		t.Error("expression with unbound var reported evaluable")
+	}
+	var tr term.Trail
+	term.Bind(x, env, term.Int(4), nil, &tr)
+	if !IsArithExpr(bin("+", x, term.Int(1)), env) {
+		t.Error("expression with bound var reported not evaluable")
+	}
+	if IsArithExpr(term.NewFunctor("f", term.Int(1)), nil) {
+		t.Error("non-arith functor reported evaluable")
+	}
+	if !IsArithExpr(term.Float(1), nil) {
+		t.Error("constant not evaluable")
+	}
+}
+
+func runBuiltin(t *testing.T, op string, a, b term.Term, env *term.Env) (bool, error) {
+	t.Helper()
+	var ok bool
+	var err error
+	tr := &term.Trail{}
+	func() {
+		defer recoverEval(&err)
+		ok = evalBuiltin(op, []term.Term{a, b}, env, tr)
+	}()
+	return ok, err
+}
+
+func TestBuiltinUnifyAndAssign(t *testing.T) {
+	env := term.NewEnv(2)
+	x := &term.Var{Name: "X", Index: 0}
+	ok, err := runBuiltin(t, "=", x, bin("+", term.Int(2), term.Int(3)), env)
+	if err != nil || !ok {
+		t.Fatalf("X = 2+3: %v %v", ok, err)
+	}
+	if g, _ := term.Deref(x, env); !term.Equal(g, term.Int(5)) {
+		t.Errorf("X bound to %v", g)
+	}
+	// Structural unification when not arithmetic.
+	env2 := term.NewEnv(1)
+	y := &term.Var{Name: "Y", Index: 0}
+	ok, err = runBuiltin(t, "=", y, term.NewFunctor("f", term.Int(1)), env2)
+	if err != nil || !ok {
+		t.Fatalf("Y = f(1): %v %v", ok, err)
+	}
+	// Evaluated left side against constant right side.
+	ok, err = runBuiltin(t, "=", bin("+", term.Int(2), term.Int(2)), term.Int(4), nil)
+	if err != nil || !ok {
+		t.Errorf("2+2 = 4: %v %v", ok, err)
+	}
+	ok, _ = runBuiltin(t, "=", bin("+", term.Int(2), term.Int(2)), term.Int(5), nil)
+	if ok {
+		t.Error("2+2 = 5 succeeded")
+	}
+}
+
+func TestBuiltinComparisons(t *testing.T) {
+	cases := []struct {
+		op   string
+		a, b term.Term
+		want bool
+	}{
+		{"<", term.Int(1), term.Int(2), true},
+		{"<", term.Int(2), term.Int(2), false},
+		{">", term.Float(2.5), term.Int(2), true},
+		{">=", term.Int(2), term.Int(2), true},
+		{"=<", term.Int(2), term.Int(2), true},
+		{"==", term.Int(2), term.Float(2), true}, // numeric comparison
+		{"!=", term.Atom("a"), term.Atom("b"), true},
+		{"==", term.Atom("a"), term.Atom("a"), true},
+		{"<", term.Str("a"), term.Str("b"), true},
+		{"<", bin("+", term.Int(1), term.Int(1)), term.Int(3), true}, // arith operands
+	}
+	for _, c := range cases {
+		got, err := runBuiltin(t, c.op, c.a, c.b, nil)
+		if err != nil {
+			t.Errorf("%v %s %v: %v", c.a, c.op, c.b, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("%v %s %v = %v, want %v", c.a, c.op, c.b, got, c.want)
+		}
+	}
+	// Unbound comparison operand is a run-time error.
+	if _, err := runBuiltin(t, "<", term.NewVar("X"), term.Int(1), term.NewEnv(1)); err == nil {
+		t.Error("comparison on unbound var allowed")
+	}
+}
+
+func TestCompileBacktrackPoints(t *testing.T) {
+	sys := buildSystem(t, `
+a(1,2). b(9). c(2,3).
+module m.
+export q(fff).
+q(X, Y, Z) :- a(X, Y), b(Z), c(Y, W).
+end_module.
+`)
+	def, _ := sys.Module("m")
+	prog := def.Programs()["q/fff"]
+	var rule *Compiled
+	for _, st := range prog.Strata {
+		for _, c := range st.ExitRules {
+			if c.HeadPred.Name == "q_fff" {
+				rule = c
+			}
+		}
+	}
+	if rule == nil {
+		t.Fatal("rule not found")
+	}
+	// Locate the a and c literals (the magic guard occupies position 0).
+	aPos, cPos := -1, -1
+	for i := range rule.Body {
+		switch rule.Body[i].Pred.Name {
+		case "a":
+			aPos = i
+		case "c":
+			cPos = i
+		}
+	}
+	if aPos < 0 || cPos < 0 {
+		t.Fatalf("rewritten rule shape unexpected: %s", rule)
+	}
+	// c(Y, W) shares Y with a(X, Y) but nothing with b(Z): its backjump
+	// target skips b and lands on a.
+	if rule.Body[cPos].BacktrackTo != aPos {
+		t.Errorf("backtrack point of c literal = %d, want %d (a's position)", rule.Body[cPos].BacktrackTo, aPos)
+	}
+}
+
+func TestCompileUnsafeNegation(t *testing.T) {
+	_, err := LoadSystem(`
+module m.
+export p(f).
+p(X) :- d(X), not q(X, Y).
+end_module.
+`)
+	if err == nil {
+		t.Error("unsafe negation accepted (Y occurs only under not)")
+	}
+}

@@ -1,0 +1,342 @@
+package engine
+
+import (
+	"fmt"
+
+	"coral/internal/ast"
+	"coral/internal/relation"
+	"coral/internal/term"
+)
+
+// matEval is one materialized evaluation of a program: the store of derived
+// relations plus resumable fixpoint state. The state machine makes lazy
+// evaluation (paper §5.4.3) natural: the answer scan calls step() until new
+// answers appear, "reactivating the frozen computation" — here, simply
+// resuming the state machine.
+//
+// With save-module (paper §5.4.2) the same matEval persists across calls;
+// per-rule marks guarantee no derivation is repeated across calls.
+type matEval struct {
+	prog *Program
+	st   *store
+	ev   *evaluator
+
+	stratumIdx  int
+	initialized bool
+	finished    bool
+	inStep      bool
+
+	// lastMarks[rule][pred] is the mark up to which this rule has consumed
+	// the predicate's relation (general semi-naive bookkeeping).
+	lastMarks map[*Compiled]map[ast.PredKey]relation.Mark
+
+	ctx      *osContext // Ordered Search context; nil otherwise
+	exitDone map[*Stratum]bool
+
+	// Iterations counts fixpoint iterations (reported by benchmarks).
+	Iterations int
+	err        error
+}
+
+func newMatEval(prog *Program, external func(ast.PredKey) (Source, error)) *matEval {
+	me := &matEval{
+		prog:      prog,
+		lastMarks: make(map[*Compiled]map[ast.PredKey]relation.Mark),
+	}
+	me.st = newStore(external, prog.configureRelation)
+	me.st.isLocal = func(k ast.PredKey) bool { return prog.LocalPreds[k] }
+	me.ev = &evaluator{st: me.st, IntelligentBacktracking: !prog.Ann.ChronologicalBacktracking}
+	if prog.OrderedSearch {
+		me.ctx = newOSContext(me)
+	}
+	return me
+}
+
+// Err returns the evaluation error, if any.
+func (me *matEval) Err() error { return me.err }
+
+// fail records an error and stops the evaluation.
+func (me *matEval) fail(err error) {
+	if me.err == nil {
+		me.err = err
+	}
+	me.finished = true
+}
+
+// addSeed inserts the magic seed for a call with the given original-query
+// arguments (paper §4.1: the query's bindings become a magic fact). It
+// returns false when the program takes no seed (rewriting none).
+func (me *matEval) addSeed(args []term.Term, env *term.Env) bool {
+	if me.prog.MagicPred.Name == "" {
+		return false
+	}
+	seedArgs := make([]term.Term, len(me.prog.SeedPositions))
+	for i, pos := range me.prog.SeedPositions {
+		seedArgs[i] = args[pos]
+	}
+	f := relation.NewFact(seedArgs, env)
+	if me.ctx != nil {
+		me.ctx.offer(me.prog.MagicPred, f, nil)
+	} else if !me.insert(me.prog.MagicPred, f) {
+		return true // duplicate seed: answers already computed (save mode)
+	}
+	// New work may exist even in previously finished evaluations.
+	if me.finished && me.err == nil {
+		me.finished = false
+		me.stratumIdx = 0
+		me.initialized = false
+	}
+	return true
+}
+
+// insert adds a derived fact, routing Ordered Search magic facts through
+// the context together with the calling subgoal (the guard magic fact of
+// the deriving rule instantiation).
+func (me *matEval) insert(pred ast.PredKey, f Fact) bool {
+	if me.ctx != nil && me.prog.MagicPreds[pred] {
+		me.ctx.offer(pred, f, me.currentCaller())
+		return false // availability is deferred to the context
+	}
+	return me.st.rel(pred).Insert(f)
+}
+
+// currentCaller identifies the subgoal whose rule instantiation is emitting
+// right now: under plain magic every rewritten rule's first relation item
+// is its head's guard magic literal.
+func (me *matEval) currentCaller() *subgoal {
+	c, env := me.ev.curRule, me.ev.curEnv
+	if c == nil {
+		return nil
+	}
+	for i := range c.Body {
+		it := &c.Body[i]
+		if it.Kind != ItemRel {
+			continue
+		}
+		if !me.prog.MagicPreds[it.Pred] {
+			return nil
+		}
+		return me.ctx.find(it.Pred, relation.NewFact(it.Args, env))
+	}
+	return nil
+}
+
+// answers returns the relation holding the query predicate's facts.
+func (me *matEval) answers() *relation.HashRelation {
+	return me.st.rel(me.prog.QueryPred)
+}
+
+// run drives the evaluation to completion (eager mode).
+func (me *matEval) run() {
+	for !me.finished {
+		me.step()
+	}
+}
+
+// step advances the evaluation by one unit: initializing a stratum, running
+// one semi-naive iteration, or performing one Ordered Search context
+// action. Answer scans call it until new answers appear.
+func (me *matEval) step() {
+	if me.finished {
+		return
+	}
+	if me.inStep {
+		me.fail(fmt.Errorf("engine: module %s invoked recursively during its own evaluation (the save-module restriction, paper §5.4.2)", me.prog.ModName))
+		return
+	}
+	me.inStep = true
+	defer func() { me.inStep = false }()
+
+	if me.ctx != nil {
+		me.osStep()
+		return
+	}
+	if me.stratumIdx >= len(me.prog.Strata) {
+		me.finished = true
+		return
+	}
+	st := me.prog.Strata[me.stratumIdx]
+	if !me.initialized {
+		me.initStratum(st)
+		if !st.Recursive {
+			// A non-recursive stratum is complete after its single pass.
+			me.advanceStratum()
+			return
+		}
+		me.initialized = true
+		return
+	}
+	var grew bool
+	if me.prog.Naive {
+		grew = me.naiveIteration(st)
+	} else if me.prog.PSN {
+		grew = me.psnIteration(st)
+	} else {
+		grew = me.bsnIteration(st)
+	}
+	me.Iterations++
+	if !grew {
+		me.advanceStratum()
+	}
+}
+
+func (me *matEval) advanceStratum() {
+	me.stratumIdx++
+	me.initialized = false
+	if me.stratumIdx >= len(me.prog.Strata) {
+		me.finished = true
+	}
+}
+
+// initStratum runs the exit rules and aggregate rules once. Their body
+// predicates lie in lower strata (complete by now) or outside the module.
+// Under save-module the exit rules run only on the first call: their bodies
+// read nothing that grows between calls, so re-running could only rederive.
+func (me *matEval) initStratum(st *Stratum) {
+	if me.exitDone == nil {
+		me.exitDone = make(map[*Stratum]bool)
+	}
+	if me.exitDone[st] {
+		return
+	}
+	me.exitDone[st] = true
+	emitFor := func(c *Compiled) emitFunc {
+		return func(f Fact) bool { me.insert(c.HeadPred, f); return true }
+	}
+	for _, c := range st.ExitRules {
+		if err := me.ev.evalRule(c, fullRanges, emitFor(c)); err != nil {
+			me.fail(err)
+			return
+		}
+	}
+	for _, c := range st.AggRules {
+		if err := me.evalAggRule(c); err != nil {
+			me.fail(err)
+			return
+		}
+	}
+}
+
+// marksFor returns (and lazily creates) the per-rule consumption marks.
+func (me *matEval) marksFor(c *Compiled) map[ast.PredKey]relation.Mark {
+	m, ok := me.lastMarks[c]
+	if !ok {
+		m = make(map[ast.PredKey]relation.Mark)
+		me.lastMarks[c] = m
+	}
+	return m
+}
+
+// snapshotNow captures current marks for the recursive predicates of rule c.
+func (me *matEval) snapshotNow(c *Compiled) map[ast.PredKey]relation.Mark {
+	now := make(map[ast.PredKey]relation.Mark)
+	for _, pos := range c.RecPositions {
+		pred := c.Body[pos].Pred
+		if _, ok := now[pred]; !ok {
+			now[pred] = me.st.rel(pred).Snapshot()
+		}
+	}
+	return now
+}
+
+// applyRecursive runs all delta versions of rule c using its stored marks
+// and the supplied now-snapshot, then advances the marks.
+func (me *matEval) applyRecursive(c *Compiled, now map[ast.PredKey]relation.Mark) error {
+	last := me.marksFor(c)
+	// Complete the last map for predicates this rule reads.
+	for _, pos := range c.RecPositions {
+		pred := c.Body[pos].Pred
+		if _, ok := last[pred]; !ok {
+			last[pred] = 0
+		}
+	}
+	emit := func(f Fact) bool {
+		me.insert(c.HeadPred, f)
+		return true
+	}
+	for _, pos := range c.RecPositions {
+		rr := ruleRanges{DeltaPos: pos, Last: last, Now: now}
+		if err := me.ev.evalRule(c, rr, emit); err != nil {
+			return err
+		}
+	}
+	for pred, mk := range now {
+		last[pred] = mk
+	}
+	return nil
+}
+
+// bsnIteration is one Basic Semi-Naive round: all rules see the same
+// snapshot taken at the start of the round (paper §4.2, §5.3).
+func (me *matEval) bsnIteration(st *Stratum) bool {
+	now := make(map[ast.PredKey]relation.Mark)
+	for _, c := range st.RecRules {
+		for _, pos := range c.RecPositions {
+			pred := c.Body[pos].Pred
+			if _, ok := now[pred]; !ok {
+				now[pred] = me.st.rel(pred).Snapshot()
+			}
+		}
+	}
+	before := me.totalFacts(st)
+	for _, c := range st.RecRules {
+		ruleNow := make(map[ast.PredKey]relation.Mark)
+		for _, pos := range c.RecPositions {
+			ruleNow[c.Body[pos].Pred] = now[c.Body[pos].Pred]
+		}
+		if err := me.applyRecursive(c, ruleNow); err != nil {
+			me.fail(err)
+			return false
+		}
+	}
+	return me.totalFacts(st) > before
+}
+
+// psnIteration is one Predicate Semi-Naive round: predicates are processed
+// in order and each rule sees a snapshot taken when its turn comes, so
+// facts produced earlier in the same round feed later rules immediately
+// (paper §4.2; [22]). This typically reaches the fixpoint in fewer rounds
+// for programs with many mutually recursive predicates.
+func (me *matEval) psnIteration(st *Stratum) bool {
+	before := me.totalFacts(st)
+	for _, pred := range st.Preds {
+		for _, c := range st.RecRules {
+			if c.HeadPred != pred {
+				continue
+			}
+			if err := me.applyRecursive(c, me.snapshotNow(c)); err != nil {
+				me.fail(err)
+				return false
+			}
+		}
+	}
+	return me.totalFacts(st) > before
+}
+
+// naiveIteration applies every rule against full extents — the baseline
+// semi-naive is measured against (experiment E01). Duplicate checking in
+// the relations provides termination.
+func (me *matEval) naiveIteration(st *Stratum) bool {
+	before := me.totalFacts(st)
+	emitFor := func(c *Compiled) emitFunc {
+		return func(f Fact) bool { me.insert(c.HeadPred, f); return true }
+	}
+	for _, c := range st.RecRules {
+		if err := me.ev.evalRule(c, fullRanges, emitFor(c)); err != nil {
+			me.fail(err)
+			return false
+		}
+	}
+	return me.totalFacts(st) > before
+}
+
+// totalFacts sums the stratum's relation sizes (including attempts-based
+// growth via tombstoned aggregate selections: Snapshot grows on every
+// accepted insert even if a later one deletes it).
+func (me *matEval) totalFacts(st *Stratum) int {
+	total := 0
+	for _, pred := range st.Preds {
+		total += int(me.st.rel(pred).Snapshot())
+	}
+	return total
+}

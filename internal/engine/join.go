@@ -1,0 +1,237 @@
+package engine
+
+import (
+	"coral/internal/ast"
+	"coral/internal/relation"
+	"coral/internal/term"
+)
+
+// The basic join mechanism in CORAL is nested loops with indexing; a trail
+// of variable bindings is maintained and used to undo bindings when the
+// join considers the next tuple in any loop (paper §5.3).
+
+// ruleRanges configures one semi-naive rule version (paper §5.3): the
+// recursive item at DeltaPos scans [Last, Now) of its relation; recursive
+// items before it scan [0, Last); recursive items after it scan [0, Now).
+// DeltaPos < 0 evaluates the rule against full extents (non-recursive
+// rules, or naive evaluation).
+type ruleRanges struct {
+	DeltaPos int
+	Last     map[ast.PredKey]relation.Mark
+	Now      map[ast.PredKey]relation.Mark
+}
+
+var fullRanges = ruleRanges{DeltaPos: -1}
+
+// evaluator runs compiled rules against a store.
+type evaluator struct {
+	st *store
+	// IntelligentBacktracking enables the precomputed backtrack points
+	// (paper §4.2); when false, failures backtrack chronologically.
+	IntelligentBacktracking bool
+	// trace, when non-nil, records one justification per derived fact for
+	// the Explanation tool.
+	trace *TraceLog
+	// curRule/curEnv identify the live rule instantiation while emit runs;
+	// Ordered Search reads them to attribute derived magic facts to their
+	// calling subgoal.
+	curRule *Compiled
+	curEnv  *term.Env
+	// stats
+	Derivations int // successful head instantiations
+	Attempts    int // tuples considered across all loops
+}
+
+// emitFunc receives each derived head fact; returning false stops the rule
+// evaluation early (used by lazy scans and existence checks).
+type emitFunc func(Fact) bool
+
+// evalRule evaluates one rule version, calling emit for every derivation.
+func (ev *evaluator) evalRule(c *Compiled, rr ruleRanges, emit emitFunc) error {
+	var err error
+	func() {
+		defer recoverEval(&err)
+		env := term.NewEnv(c.NVars)
+		tr := &term.Trail{}
+		ev.run(c, rr, env, tr, emit)
+	}()
+	return err
+}
+
+// run drives the nested-loops join. It uses explicit iterator frames so
+// intelligent backtracking can jump over positions that cannot change a
+// failed literal's bindings.
+func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Trail, emit emitFunc) {
+	ev.curRule, ev.curEnv = c, env
+	defer func() { ev.curRule, ev.curEnv = nil, nil }()
+	n := len(c.Body)
+	if n == 0 {
+		ev.Derivations++
+		head := relation.NewFact(c.HeadArgs, env)
+		if ev.trace != nil {
+			ev.capture(c, head, env)
+		}
+		emit(head)
+		return
+	}
+	type frame struct {
+		iter relation.Iterator // nil for builtins/negation (single-shot)
+		mark int               // trail mark before this item's bindings
+		done bool              // single-shot item already satisfied
+		any  bool              // this activation yielded at least one tuple
+	}
+	frames := make([]frame, n)
+	i := 0
+	frames[0] = frame{mark: tr.Mark()}
+
+	// backtrack moves control left from a failed position. Backjumping to
+	// the precomputed point is only sound when the activation produced no
+	// tuple at all: intermediate positions cannot change this item's scan,
+	// so retrying them cannot make it succeed. After a partial success the
+	// intermediates still owe their remaining combinations, so control
+	// moves chronologically.
+	backtrack := func(from int, hadAny bool) int {
+		if ev.IntelligentBacktracking && !hadAny && c.Body[from].Kind == ItemRel {
+			return c.Body[from].BacktrackTo
+		}
+		return from - 1
+	}
+
+	for i >= 0 {
+		if i == n {
+			ev.Derivations++
+			head := relation.NewFact(c.HeadArgs, env)
+			if ev.trace != nil {
+				ev.capture(c, head, env)
+			}
+			if !emit(head) {
+				return
+			}
+			i = n - 1
+			// A completed derivation resumes chronologically (every
+			// binding may participate in the next answer).
+			continue
+		}
+		it := &c.Body[i]
+		fr := &frames[i]
+		switch it.Kind {
+		case ItemBuiltin:
+			tr.Undo(fr.mark)
+			if fr.done {
+				fr.done = false
+				i = i - 1 // single-shot: no more solutions
+				continue
+			}
+			ev.Attempts++
+			if evalBuiltin(it.Op, it.Args, env, tr) {
+				fr.done = true
+				i++
+				if i < n {
+					frames[i] = frame{mark: tr.Mark()}
+				}
+				continue
+			}
+			tr.Undo(fr.mark)
+			i = backtrack(i, false)
+		case ItemNegRel:
+			tr.Undo(fr.mark)
+			if fr.done {
+				fr.done = false
+				i = i - 1
+				continue
+			}
+			ev.Attempts++
+			if !ev.hasMatch(it, env, tr) {
+				fr.done = true
+				i++
+				if i < n {
+					frames[i] = frame{mark: tr.Mark()}
+				}
+				continue
+			}
+			i = backtrack(i, false)
+		case ItemRel:
+			if fr.iter == nil {
+				fr.iter = ev.lookupFor(it, i, rr, env)
+				fr.any = false
+			}
+			tr.Undo(fr.mark)
+			advanced := false
+			for {
+				f, ok := fr.iter.Next()
+				if !ok {
+					break
+				}
+				ev.Attempts++
+				fenv := term.NewEnv(f.NVars)
+				if term.UnifyArgs(it.Args, env, f.Args, fenv, tr) {
+					advanced = true
+					break
+				}
+				tr.Undo(fr.mark)
+			}
+			if advanced {
+				fr.any = true
+				i++
+				if i < n {
+					frames[i] = frame{mark: tr.Mark()}
+				}
+				continue
+			}
+			hadAny := fr.any
+			fr.iter = nil
+			i = backtrack(i, hadAny)
+		}
+	}
+}
+
+// lookupFor opens the scan for the relation item at body position pos,
+// applying the semi-naive range discipline for recursive items.
+func (ev *evaluator) lookupFor(it *CItem, pos int, rr ruleRanges, env *term.Env) relation.Iterator {
+	src, err := ev.st.source(it.Pred)
+	if err != nil {
+		throwf("%v", err)
+	}
+	if !it.Recursive || rr.DeltaPos < 0 {
+		return src.Lookup(it.Args, env)
+	}
+	last := rr.Last[it.Pred]
+	now := rr.Now[it.Pred]
+	switch {
+	case pos == rr.DeltaPos:
+		return src.LookupRange(it.Args, env, last, now)
+	case pos < rr.DeltaPos:
+		return src.LookupRange(it.Args, env, 0, last)
+	default:
+		return src.LookupRange(it.Args, env, 0, now)
+	}
+}
+
+// hasMatch reports whether any fact of the negated item's relation unifies
+// with its (ground) arguments. Negation requires the arguments to be ground
+// at evaluation time.
+func (ev *evaluator) hasMatch(it *CItem, env *term.Env, tr *term.Trail) bool {
+	for _, a := range it.Args {
+		if !term.GroundUnder(a, env) {
+			throwf("engine: negation on %s with unbound argument %s", it.Pred, a)
+		}
+	}
+	src, err := ev.st.source(it.Pred)
+	if err != nil {
+		throwf("%v", err)
+	}
+	iter := src.Lookup(it.Args, env)
+	m := tr.Mark()
+	for {
+		f, ok := iter.Next()
+		if !ok {
+			return false
+		}
+		fenv := term.NewEnv(f.NVars)
+		matched := term.UnifyArgs(it.Args, env, f.Args, fenv, tr)
+		tr.Undo(m)
+		if matched {
+			return true
+		}
+	}
+}

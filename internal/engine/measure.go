@@ -1,0 +1,101 @@
+package engine
+
+import (
+	"time"
+
+	"coral/internal/ast"
+	"coral/internal/term"
+)
+
+// RunStats reports what one evaluated call did — the quantities the
+// benchmark harness tabulates alongside wall-clock time.
+type RunStats struct {
+	// Answers is the number of facts the scan returned.
+	Answers int
+	// Derivations counts successful rule-head instantiations.
+	Derivations int
+	// Attempts counts tuples considered across all join loops.
+	Attempts int
+	// Iterations counts fixpoint iterations.
+	Iterations int
+	// FactsStored sums the sizes of the evaluation's derived relations
+	// (including magic and supplementary predicates).
+	FactsStored int
+}
+
+// MeasureCall evaluates pred(args) to completion and reports statistics.
+// Materialized modules report full engine counters; pipelined modules
+// report answer counts only (they store nothing, which is the point).
+func (sys *System) MeasureCall(pred ast.PredKey, args []term.Term) (RunStats, error) {
+	def, ok := sys.exports[pred]
+	if !ok {
+		return RunStats{}, errUnknownExport(pred)
+	}
+	it, err := def.Call(pred, args, nil)
+	if err != nil {
+		return RunStats{}, err
+	}
+	var stats RunStats
+	err = drainCounting(it, &stats)
+	if err != nil {
+		return stats, err
+	}
+	if scan, isMat := it.(*answerScan); isMat {
+		stats.Derivations = scan.me.ev.Derivations
+		stats.Attempts = scan.me.ev.Attempts
+		stats.Iterations = scan.me.Iterations
+		for _, rel := range scan.me.st.local {
+			stats.FactsStored += rel.Len()
+		}
+	}
+	return stats, nil
+}
+
+// MeasureFirstAnswer times the latency to the first answer of a call —
+// the lazy-evaluation and pipelining experiments' metric (paper §5.4.3).
+func (sys *System) MeasureFirstAnswer(pred ast.PredKey, args []term.Term) (time.Duration, error) {
+	def, ok := sys.exports[pred]
+	if !ok {
+		return 0, errUnknownExport(pred)
+	}
+	start := time.Now()
+	it, err := def.Call(pred, args, nil)
+	if err != nil {
+		return 0, err
+	}
+	var stats RunStats
+	err = firstCounting(it, &stats)
+	return time.Since(start), err
+}
+
+func firstCounting(it relationIterator, stats *RunStats) (err error) {
+	defer recoverEval(&err)
+	if _, ok := it.Next(); ok {
+		stats.Answers = 1
+	}
+	return nil
+}
+
+func drainCounting(it relationIterator, stats *RunStats) (err error) {
+	defer recoverEval(&err)
+	for {
+		_, ok := it.Next()
+		if !ok {
+			return nil
+		}
+		stats.Answers++
+	}
+}
+
+// relationIterator avoids an import cycle in the signature above.
+type relationIterator interface{ Next() (Fact, bool) }
+
+func errUnknownExport(pred ast.PredKey) error {
+	return &unknownExportError{pred}
+}
+
+type unknownExportError struct{ pred ast.PredKey }
+
+func (e *unknownExportError) Error() string {
+	return "engine: no module exports " + e.pred.String()
+}

@@ -1,0 +1,35 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFigure3ShortestPathOrderedSearch(t *testing.T) {
+	src := `
+edge(a, b, 1). edge(b, c, 1). edge(a, c, 5). edge(c, d, 1). edge(b, d, 10).
+edge(d, a, 1).
+module sp.
+export s_p(bfff).
+@ordered_search.
+@aggregate_selection p(X, Y, P, C) (X, Y) min(C).
+@aggregate_selection p(X, Y, P, C) (X, Y, C) any(P).
+s_p(X, Y, P, C) :- s_p_length(X, Y, C), p(X, Y, P, C).
+s_p_length(X, Y, min(C)) :- p(X, Y, P, C).
+p(X, Y, P1, C1) :- p(X, Z, P, C), edge(Z, Y, EC), P1 = [e(Z, Y)|P], C1 = C + EC.
+p(X, Y, [e(X, Y)], C) :- edge(X, Y, C).
+end_module.
+`
+	sys := buildSystem(t, src)
+	got := ask(t, sys, "s_p(a, Y, P, C)")
+	t.Logf("answers: %v", got)
+	if len(got) != 4 {
+		t.Fatalf("s_p(a,...): %v", got)
+	}
+	joined := strings.Join(got, ";")
+	for _, want := range []string{"(b, [e(a, b)], 1)", ", 2)", ", 3)"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing %q in %v", want, got)
+		}
+	}
+}

@@ -1,0 +1,548 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"coral/internal/ast"
+	"coral/internal/relation"
+	"coral/internal/rewrite"
+	"coral/internal/term"
+)
+
+// Program is the compiled, optimized form of one (module, query form) pair
+// — the unit the query evaluation system interprets (paper §2, §5.1). It
+// contains the rewritten rules grouped into strata (SCCs in bottom-up
+// order), the magic seed description, aggregate selections, and index
+// requests.
+type Program struct {
+	ModName string
+	Ann     ast.Annotations
+	// QueryPred is the predicate whose relation holds the query's answers
+	// (the adorned query predicate under magic rewriting).
+	QueryPred ast.PredKey
+	// OrigQuery is the predicate the caller asked for.
+	OrigQuery ast.PredKey
+	// Adorn is the query form this program was optimized for.
+	Adorn string
+	// MagicPred is the magic seed predicate; zero when Rewriting is none.
+	MagicPred ast.PredKey
+	// SeedPositions are the original argument positions that form the seed.
+	SeedPositions []int
+	// KeepPositions lists the original query argument positions retained
+	// after existential rewriting (nil: all of them). Answers have the
+	// projected arity; dropped positions are existential (paper §4.1).
+	KeepPositions []int
+	// Strata lists rule groups in bottom-up evaluation order.
+	Strata []*Stratum
+	// Derived is the set of predicates defined by the (rewritten) program.
+	Derived map[ast.PredKey]bool
+	// LocalPreds is Derived plus done predicates: everything stored in the
+	// evaluation's local store rather than resolved externally.
+	LocalPreds map[ast.PredKey]bool
+	// MagicPreds are generated magic predicates (always duplicate-checked).
+	MagicPreds map[ast.PredKey]bool
+	// DonePreds maps guarded predicates to their done predicates (Ordered
+	// Search mode).
+	DonePreds map[ast.PredKey]ast.PredKey
+	// AnswerOf maps each magic predicate to the adorned predicate whose
+	// subgoals it holds (Ordered Search bookkeeping).
+	AnswerOf map[ast.PredKey]ast.PredKey
+	// SaveModule retains evaluation state across calls (paper §5.4.2).
+	SaveModule bool
+	// Eager computes the whole fixpoint before the first answer is
+	// returned; the default surfaces answers per iteration (paper §5.4.3).
+	Eager bool
+	// OrigName maps each derived predicate to the predicate it was derived
+	// from by adornment ("" for generated magic/sup predicates).
+	OrigName map[ast.PredKey]string
+	// AggSels maps original predicate names to compiled aggregate
+	// selections; they attach to every adorned variant.
+	AggSels map[string][]*relation.AggSel
+	// Multiset lists original predicate names with multiset semantics.
+	Multiset map[string]bool
+	// IndexReqs maps derived predicates to argument-form index requests
+	// computed by the optimizer from rule binding patterns (paper §5.3).
+	IndexReqs map[ast.PredKey][][]int
+	// IndexAnns are explicit @make_index annotations.
+	IndexAnns []ast.IndexAnn
+	// OrderedSearch, PSN, Naive select the fixpoint variant.
+	OrderedSearch bool
+	PSN           bool
+	Naive         bool
+	// RewrittenText is the rewritten program as text — the paper stores it
+	// in a file as a debugging aid (§2).
+	RewrittenText string
+}
+
+// Stratum is one SCC of the rewritten program together with its rules.
+type Stratum struct {
+	Preds     []ast.PredKey
+	Recursive bool
+	// ExitRules have no recursive body literal and run once.
+	ExitRules []*Compiled
+	// RecRules are iterated semi-naively.
+	RecRules []*Compiled
+	// AggRules aggregate and run once when the stratum starts (their
+	// bodies lie in lower strata under stratified evaluation).
+	AggRules []*Compiled
+}
+
+// BuildProgram runs the optimizer for one query form: rewriting per the
+// module's annotations, compilation to internal form, stratification, and
+// index planning.
+func BuildProgram(mod *ast.Module, query ast.PredKey, adorn string) (*Program, error) {
+	return BuildProgramMasked(mod, query, adorn, nil)
+}
+
+// BuildProgramMasked additionally applies existential query rewriting for a
+// call that observes only the positions where mask is true (paper §4.1:
+// existential rewriting is applied by default in conjunction with a
+// selection-pushing rewriting). A nil mask observes everything.
+func BuildProgramMasked(mod *ast.Module, query ast.PredKey, adorn string, mask []bool) (*Program, error) {
+	ann := mod.Ann
+	rewriting := ann.Rewriting
+	if rewriting == "" {
+		rewriting = "supmagic"
+	}
+	p := &Program{
+		ModName:       mod.Name,
+		Ann:           ann,
+		OrigQuery:     query,
+		Adorn:         adorn,
+		Derived:       make(map[ast.PredKey]bool),
+		MagicPreds:    make(map[ast.PredKey]bool),
+		DonePreds:     make(map[ast.PredKey]ast.PredKey),
+		OrigName:      make(map[ast.PredKey]string),
+		AnswerOf:      make(map[ast.PredKey]ast.PredKey),
+		AggSels:       make(map[string][]*relation.AggSel),
+		Multiset:      make(map[string]bool),
+		IndexReqs:     make(map[ast.PredKey][][]int),
+		IndexAnns:     append([]ast.IndexAnn(nil), ann.Indexes...),
+		OrderedSearch: ann.OrderedSearch,
+		SaveModule:    ann.SaveModule,
+		Eager:         ann.Eager,
+		PSN:           ann.FixpointStrategy == "psn",
+		Naive:         ann.FixpointStrategy == "naive",
+	}
+	if ann.SaveModule && ann.OrderedSearch {
+		return nil, fmt.Errorf("engine: module %s: @save_module cannot be combined with @ordered_search", mod.Name)
+	}
+	for _, m := range ann.Multiset {
+		p.Multiset[m] = true
+	}
+	if err := compileAggSels(mod, p); err != nil {
+		return nil, err
+	}
+
+	var rules []*ast.Rule
+	switch rewriting {
+	case "none":
+		rules = mod.Rules
+		if ann.Reorder {
+			rules = rewrite.ReorderRules(rules)
+		}
+		p.QueryPred = query
+		for _, r := range mod.Rules {
+			p.OrigName[r.Head.Key()] = r.Head.Key().Name
+		}
+	case "magic", "supmagic", "factoring":
+		adorned, err := rewrite.Adorn(mod.Rules, query, adorn,
+			rewrite.AdornOptions{NegFree: !ann.OrderedSearch, Reorder: ann.Reorder})
+		if err != nil {
+			return nil, err
+		}
+		if mask != nil && !ann.NoExistential && rewriting != "factoring" {
+			projected := rewrite.Exists(adorned, mask)
+			if projected != adorned {
+				adorned = projected
+				p.KeepPositions = rewrite.QueryKeepPositions(mask)
+			}
+		}
+		if rewriting == "factoring" {
+			if fr, ok := rewrite.Factor(adorned); ok {
+				rules = fr.Rules
+				p.QueryPred = ast.PredKey{Name: fr.QueryName, Arity: query.Arity}
+				p.MagicPred = ast.PredKey{Name: fr.MagicName, Arity: len(fr.SeedPositions)}
+				p.SeedPositions = fr.SeedPositions
+				for name, info := range fr.Preds {
+					p.OrigName[ast.PredKey{Name: name, Arity: info.Orig.Arity}] = info.Orig.Name
+				}
+				for name := range fr.MagicPreds {
+					p.MagicPreds[ast.PredKey{Name: name, Arity: arityOf(rules, name)}] = true
+				}
+				break
+			}
+			// The program is not linear in the required way; fall back to
+			// supplementary magic, CORAL's default.
+			rewriting = "supmagic"
+		}
+		// Ordered Search uses plain Magic Templates: every rewritten rule
+		// then carries its calling subgoal's magic fact as the first body
+		// literal, which is what lets the context attribute derived
+		// subgoals to their callers and sequence done facts correctly
+		// (§5.4.1 requires "a version of Magic"; supplementary predicates
+		// would project the caller away).
+		rw, err := rewrite.Magic(adorned, rewrite.Options{
+			Supplementary: rewriting == "supmagic" && !ann.OrderedSearch,
+			DoneLiterals:  ann.OrderedSearch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rules = rw.Rules
+		p.QueryPred = ast.PredKey{Name: rw.QueryName, Arity: len(rw.Preds[rw.QueryName].Adorn)}
+		p.MagicPred = ast.PredKey{Name: rw.MagicName, Arity: len(rw.SeedPositions)}
+		p.SeedPositions = rw.SeedPositions
+		if p.KeepPositions != nil {
+			// Seed positions index the projected query arguments; map them
+			// back to the caller's original argument positions.
+			mapped := make([]int, len(p.SeedPositions))
+			for i, pos := range p.SeedPositions {
+				mapped[i] = p.KeepPositions[pos]
+			}
+			p.SeedPositions = mapped
+		}
+		for name, info := range rw.Preds {
+			key := ast.PredKey{Name: name, Arity: info.Orig.Arity}
+			p.OrigName[key] = info.Orig.Name
+			nb := strings.Count(info.Adorn, "b")
+			p.AnswerOf[ast.PredKey{Name: rewrite.MagicPredName(name), Arity: nb}] = key
+		}
+		for name := range rw.MagicPreds {
+			p.MagicPreds[ast.PredKey{Name: name, Arity: arityOf(rules, name)}] = true
+		}
+		for guarded, done := range rw.DonePreds {
+			gk := ast.PredKey{Name: guarded, Arity: p.OrigName_arity(guarded, rules)}
+			dk := ast.PredKey{Name: done, Arity: arityOf(rules, done)}
+			p.DonePreds[gk] = dk
+		}
+	default:
+		return nil, fmt.Errorf("engine: unknown rewriting %q", rewriting)
+	}
+
+	for _, r := range rules {
+		p.Derived[r.Head.Key()] = true
+	}
+	// Done predicates and the magic seed predicate have no rules (the
+	// engine asserts their facts) but live in the evaluation's local store
+	// and must participate in semi-naive deltas: gated rules re-fire when
+	// a subgoal completes, and seed-reading rules re-fire when the context
+	// (or a later save-module call) makes a new seed available.
+	p.LocalPreds = make(map[ast.PredKey]bool, len(p.Derived)+len(p.DonePreds)+len(p.MagicPreds))
+	for k := range p.Derived {
+		p.LocalPreds[k] = true
+	}
+	for _, dk := range p.DonePreds {
+		p.LocalPreds[dk] = true
+	}
+	for k := range p.MagicPreds {
+		p.LocalPreds[k] = true
+	}
+	// Apply existential rewriting by default in conjunction with selection
+	// pushing (paper §4.1) — implemented as a post-pass in rewrite.Exists
+	// when the query projects positions away; the caller (module manager)
+	// decides per query, so here we only compile.
+
+	graph := rewrite.BuildDepGraph(rules)
+	if !p.OrderedSearch {
+		if err := graph.CheckStratified(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Compile rules and assign them to strata. Ordered Search and
+	// save-module evaluations iterate the whole rule set as one fixpoint
+	// with delta versions for every derived body literal: for Ordered
+	// Search because the context interleaves subgoals freely; for
+	// save-module because per-rule marks must persist across calls so no
+	// derivation is ever repeated (paper §5.4.2).
+	singleFixpoint := p.OrderedSearch || p.SaveModule
+	recursive := func(head ast.PredKey) func(ast.PredKey) bool {
+		if singleFixpoint {
+			return func(k ast.PredKey) bool { return p.LocalPreds[k] }
+		}
+		return func(k ast.PredKey) bool { return graph.SameSCC(head, k) }
+	}
+
+	if singleFixpoint {
+		st := &Stratum{Recursive: true}
+		seen := map[ast.PredKey]bool{}
+		for _, r := range rules {
+			c, err := CompileRule(r, recursive(r.Head.Key()))
+			if err != nil {
+				return nil, err
+			}
+			if !seen[c.HeadPred] {
+				seen[c.HeadPred] = true
+				st.Preds = append(st.Preds, c.HeadPred)
+			}
+			switch {
+			case len(c.Aggs) > 0:
+				st.AggRules = append(st.AggRules, c)
+			case len(c.RecPositions) > 0:
+				st.RecRules = append(st.RecRules, c)
+			default:
+				st.ExitRules = append(st.ExitRules, c)
+			}
+		}
+		p.Strata = []*Stratum{st}
+	} else {
+		byScc := make(map[int]*Stratum)
+		for _, r := range rules {
+			c, err := CompileRule(r, recursive(r.Head.Key()))
+			if err != nil {
+				return nil, err
+			}
+			si := graph.Stratum(c.HeadPred)
+			st, ok := byScc[si]
+			if !ok {
+				st = &Stratum{
+					Preds:     graph.SCCs[si].Preds,
+					Recursive: graph.SCCs[si].Recursive,
+				}
+				byScc[si] = st
+			}
+			switch {
+			case len(c.Aggs) > 0:
+				st.AggRules = append(st.AggRules, c)
+			case len(c.RecPositions) > 0:
+				st.RecRules = append(st.RecRules, c)
+			default:
+				st.ExitRules = append(st.ExitRules, c)
+			}
+		}
+		idxs := make([]int, 0, len(byScc))
+		for i := range byScc {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		for _, i := range idxs {
+			p.Strata = append(p.Strata, byScc[i])
+		}
+	}
+
+	// Aggregation inside a recursive stratum cannot be evaluated by
+	// stratified iteration.
+	if !p.OrderedSearch && !p.SaveModule {
+		for _, st := range p.Strata {
+			if len(st.AggRules) > 0 && (len(st.RecRules) > 0) {
+				return nil, fmt.Errorf("engine: aggregation is mutually recursive with other rules in module %s; use @ordered_search", mod.Name)
+			}
+		}
+	}
+	if p.SaveModule {
+		// Save-module evaluation replays rules incrementally across calls;
+		// negation over derived predicates and aggregation would observe
+		// incomplete extents mid-stream.
+		for _, st := range p.Strata {
+			if len(st.AggRules) > 0 {
+				return nil, fmt.Errorf("engine: module %s: @save_module does not support aggregation", mod.Name)
+			}
+			for _, group := range [][]*Compiled{st.ExitRules, st.RecRules} {
+				for _, c := range group {
+					for i := range c.Body {
+						if c.Body[i].Kind == ItemNegRel && p.Derived[c.Body[i].Pred] {
+							return nil, fmt.Errorf("engine: module %s: @save_module does not support negation over derived predicates", mod.Name)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	// Side-effecting update predicates need pipelining's execution-order
+	// guarantee (paper §5.2); under materialization the application order
+	// and count of rule bodies is an implementation detail.
+	for _, st := range p.Strata {
+		for _, group := range [][]*Compiled{st.ExitRules, st.RecRules, st.AggRules} {
+			for _, c := range group {
+				for i := range c.Body {
+					if c.Body[i].Kind != ItemBuiltin {
+						if _, isUpdate := updatePred(c.Body[i].Pred); isUpdate {
+							return nil, fmt.Errorf("engine: module %s uses %s, which requires @pipelining (§5.2)", mod.Name, c.Body[i].Pred)
+						}
+					}
+				}
+			}
+		}
+	}
+
+	p.planIndexes()
+	p.RewrittenText = renderRules(mod.Name, rules)
+	return p, nil
+}
+
+// OrigName_arity finds the arity of a predicate name in the rule set (for
+// done-pred bookkeeping, where only the name is known).
+func (p *Program) OrigName_arity(name string, rules []*ast.Rule) int {
+	return arityOf(rules, name)
+}
+
+func arityOf(rules []*ast.Rule, name string) int {
+	for _, r := range rules {
+		if r.Head.Pred == name {
+			return len(r.Head.Args)
+		}
+		for i := range r.Body {
+			if r.Body[i].Pred == name {
+				return len(r.Body[i].Args)
+			}
+		}
+	}
+	return 0
+}
+
+// compileAggSels turns @aggregate_selection annotations into positional
+// specs (positions resolved against the annotation's literal).
+func compileAggSels(mod *ast.Module, p *Program) error {
+	for _, s := range mod.Ann.AggSels {
+		posOf := func(v string) int {
+			for i, hv := range s.HeadVars {
+				if hv == v {
+					return i
+				}
+			}
+			return -1
+		}
+		spec := &relation.AggSel{}
+		switch s.Op {
+		case "min":
+			spec.Op = relation.AggMin
+		case "max":
+			spec.Op = relation.AggMax
+		case "any":
+			spec.Op = relation.AggAny
+		default:
+			return fmt.Errorf("engine: unknown aggregate selection op %q", s.Op)
+		}
+		for _, g := range s.GroupVars {
+			i := posOf(g)
+			if i < 0 {
+				return fmt.Errorf("engine: aggregate selection group variable %s not in %s(%s)", g, s.Pred, strings.Join(s.HeadVars, ","))
+			}
+			spec.GroupPos = append(spec.GroupPos, i)
+		}
+		vp := posOf(s.ValueVar)
+		if vp < 0 {
+			return fmt.Errorf("engine: aggregate selection value variable %s not in %s(%s)", s.ValueVar, s.Pred, strings.Join(s.HeadVars, ","))
+		}
+		spec.ValuePos = vp
+		p.AggSels[s.Pred] = append(p.AggSels[s.Pred], spec)
+	}
+	return nil
+}
+
+// planIndexes derives argument-form index requests from the bound argument
+// positions of each body literal (the optimizer's automatic index
+// annotations, paper §5.3).
+func (p *Program) planIndexes() {
+	if p.Ann.NoIndexing {
+		return
+	}
+	add := func(pred ast.PredKey, pos []int) {
+		if len(pos) == 0 {
+			return
+		}
+		for _, existing := range p.IndexReqs[pred] {
+			if samePos(existing, pos) {
+				return
+			}
+		}
+		p.IndexReqs[pred] = append(p.IndexReqs[pred], pos)
+	}
+	for _, st := range p.Strata {
+		for _, group := range [][]*Compiled{st.ExitRules, st.RecRules, st.AggRules} {
+			for _, c := range group {
+				for i := range c.Body {
+					it := &c.Body[i]
+					if it.Kind == ItemBuiltin {
+						continue
+					}
+					add(it.Pred, it.BoundPos)
+				}
+			}
+		}
+	}
+}
+
+func samePos(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// configureRelation applies multiset semantics, aggregate selections, and
+// planned indexes to a freshly created local relation.
+func (p *Program) configureRelation(key ast.PredKey, rel *relation.HashRelation) {
+	orig := p.OrigName[key]
+	if orig == "" {
+		orig = key.Name
+	}
+	if p.Multiset[orig] && !p.MagicPreds[key] {
+		// Multiset semantics keeps duplicate checks only on magic
+		// predicates (paper §4.2).
+		rel.Multiset = true
+	}
+	for _, spec := range p.AggSels[orig] {
+		rel.AddAggSel(&relation.AggSel{GroupPos: spec.GroupPos, Op: spec.Op, ValuePos: spec.ValuePos})
+	}
+	for _, pos := range p.IndexReqs[key] {
+		rel.MakeIndex(pos...)
+	}
+	for _, ann := range p.IndexAnns {
+		if ann.Pred != orig || len(ann.Pattern) != key.Arity {
+			continue
+		}
+		if argPos, ok := argFormIndex(ann); ok {
+			rel.MakeIndex(argPos...)
+		} else {
+			rel.MakePatternIndex(ann.Pattern, ann.KeyVars)
+		}
+	}
+}
+
+// argFormIndex reports whether a @make_index annotation is the simple
+// argument form (pattern arguments are distinct top-level variables) and
+// returns the key positions.
+func argFormIndex(ann ast.IndexAnn) ([]int, bool) {
+	posByName := map[string]int{}
+	for i, t := range ann.Pattern {
+		v, ok := t.(*term.Var)
+		if !ok {
+			return nil, false
+		}
+		if _, dup := posByName[v.Name]; dup {
+			return nil, false
+		}
+		posByName[v.Name] = i
+	}
+	var pos []int
+	for _, k := range ann.KeyVars {
+		i, ok := posByName[k]
+		if !ok {
+			return nil, false
+		}
+		pos = append(pos, i)
+	}
+	return pos, true
+}
+
+// renderRules produces the rewritten-program text (paper §2: "stored as a
+// text file — useful as a debugging aid").
+func renderRules(modName string, rules []*ast.Rule) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% rewritten program for module %s\n", modName)
+	for _, r := range rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

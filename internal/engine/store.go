@@ -1,0 +1,64 @@
+package engine
+
+import (
+	"coral/internal/ast"
+	"coral/internal/relation"
+	"coral/internal/term"
+)
+
+// Source is the engine's view of anything a body literal can read: a local
+// derived relation, a base relation, a Go-computed relation, a persistent
+// relation, or another module's export. It is a narrowing of
+// relation.Relation to the read-side operations — the get-next-tuple
+// interface of paper §2/§5.6.
+type Source interface {
+	Lookup(pattern []term.Term, env *term.Env) relation.Iterator
+	LookupRange(pattern []term.Term, env *term.Env, from, to relation.Mark) relation.Iterator
+	Snapshot() relation.Mark
+}
+
+// store holds the relation instances of one module evaluation: derived
+// relations are private to the evaluation (discarded after the call unless
+// save-module is on, paper §5.4.2); base and external sources are shared.
+type store struct {
+	local     map[ast.PredKey]*relation.HashRelation
+	external  func(ast.PredKey) (Source, error)
+	configure func(ast.PredKey, *relation.HashRelation)
+	// isLocal marks predicates owned by this evaluation (derived and done
+	// predicates) even before their relation is materialized.
+	isLocal func(ast.PredKey) bool
+}
+
+func newStore(external func(ast.PredKey) (Source, error), configure func(ast.PredKey, *relation.HashRelation)) *store {
+	return &store{
+		local:     make(map[ast.PredKey]*relation.HashRelation),
+		external:  external,
+		configure: configure,
+	}
+}
+
+// rel returns the local derived relation for key, creating (and
+// configuring: multiset, aggregate selections, indexes) it on first use.
+func (st *store) rel(key ast.PredKey) *relation.HashRelation {
+	r, ok := st.local[key]
+	if !ok {
+		r = relation.NewHashRelation(key.Name, key.Arity)
+		if st.configure != nil {
+			st.configure(key, r)
+		}
+		st.local[key] = r
+	}
+	return r
+}
+
+// source resolves a body predicate: local derived relations win; otherwise
+// the external resolver (base relations, other modules) is consulted.
+func (st *store) source(key ast.PredKey) (Source, error) {
+	if r, ok := st.local[key]; ok {
+		return r, nil
+	}
+	if st.isLocal != nil && st.isLocal(key) {
+		return st.rel(key), nil
+	}
+	return st.external(key)
+}

@@ -1,0 +1,484 @@
+package engine
+
+import (
+	"fmt"
+
+	"coral/internal/ast"
+	"coral/internal/relation"
+	"coral/internal/term"
+)
+
+// System is the engine-level registry of base relations and modules. It is
+// the single-user database process of paper §2: base relations (in-memory,
+// computed, or persistent) plus declarative modules whose exported
+// predicates are visible to all other modules and to queries.
+type System struct {
+	base    map[ast.PredKey]relation.Relation
+	exports map[ast.PredKey]*ModuleDef
+	modules map[string]*ModuleDef
+	// AutoDefineBase controls whether referencing an unknown predicate
+	// creates an empty base relation (convenient interactively) or errors.
+	AutoDefineBase bool
+}
+
+// NewSystem creates an empty system.
+func NewSystem() *System {
+	return &System{
+		base:           make(map[ast.PredKey]relation.Relation),
+		exports:        make(map[ast.PredKey]*ModuleDef),
+		modules:        make(map[string]*ModuleDef),
+		AutoDefineBase: true,
+	}
+}
+
+// BaseRelation returns (creating if needed) the in-memory base relation for
+// name/arity.
+func (sys *System) BaseRelation(name string, arity int) *relation.HashRelation {
+	key := ast.PredKey{Name: name, Arity: arity}
+	if r, ok := sys.base[key]; ok {
+		if hr, isHash := r.(*relation.HashRelation); isHash {
+			return hr
+		}
+		panic("engine: " + key.String() + " exists with a different representation")
+	}
+	r := relation.NewHashRelation(name, arity)
+	sys.base[key] = r
+	return r
+}
+
+// RegisterRelation installs an existing relation (computed, persistent,
+// list) as a base relation.
+func (sys *System) RegisterRelation(r relation.Relation) error {
+	key := ast.PredKey{Name: r.Name(), Arity: r.Arity()}
+	if _, dup := sys.base[key]; dup {
+		return fmt.Errorf("engine: relation %s already defined", key)
+	}
+	if _, dup := sys.exports[key]; dup {
+		return fmt.Errorf("engine: %s already exported by a module", key)
+	}
+	sys.base[key] = r
+	return nil
+}
+
+// Relation returns the base relation for key, if any.
+func (sys *System) Relation(key ast.PredKey) (relation.Relation, bool) {
+	r, ok := sys.base[key]
+	return r, ok
+}
+
+// ModuleDef is an installed module: the source plus compiled programs per
+// query form, and the save-module state (paper §5.4.2).
+type ModuleDef struct {
+	Src *ast.Module
+	sys *System
+
+	progs map[string]*Program // by adornment
+	saved map[string]*matEval // save-module state, by adornment
+	pipe  *pipeProgram        // pipelined modules
+}
+
+// AddModule validates and installs a module, preparing a program for each
+// declared query form (the paper's optimizer runs per module and query
+// form, §2).
+func (sys *System) AddModule(m *ast.Module) error {
+	if _, dup := sys.modules[m.Name]; dup {
+		return fmt.Errorf("engine: module %s already defined", m.Name)
+	}
+	def := &ModuleDef{
+		Src:   m,
+		sys:   sys,
+		progs: make(map[string]*Program),
+		saved: make(map[string]*matEval),
+	}
+	if m.Ann.Pipelining {
+		pp, err := buildPipeProgram(m)
+		if err != nil {
+			return err
+		}
+		def.pipe = pp
+	}
+	for _, e := range m.Exports {
+		key := ast.PredKey{Name: e.Pred, Arity: e.Arity}
+		if _, dup := sys.exports[key]; dup {
+			return fmt.Errorf("engine: %s exported by two modules", key)
+		}
+		if _, dup := sys.base[key]; dup {
+			return fmt.Errorf("engine: %s already defined as a base relation", key)
+		}
+		if !m.Ann.Pipelining {
+			for _, form := range e.Forms {
+				if _, ok := def.progs[formKey(e.Pred, form)]; ok {
+					continue
+				}
+				prog, err := BuildProgram(m, key, form)
+				if err != nil {
+					return fmt.Errorf("module %s, query form %s(%s): %w", m.Name, e.Pred, form, err)
+				}
+				def.progs[formKey(e.Pred, form)] = prog
+			}
+		}
+	}
+	for _, e := range m.Exports {
+		sys.exports[ast.PredKey{Name: e.Pred, Arity: e.Arity}] = def
+	}
+	sys.modules[m.Name] = def
+	return nil
+}
+
+// Module returns an installed module by name.
+func (sys *System) Module(name string) (*ModuleDef, bool) {
+	d, ok := sys.modules[name]
+	return d, ok
+}
+
+// Export returns the module exporting the given predicate, if any.
+func (sys *System) Export(key ast.PredKey) (*ModuleDef, bool) {
+	d, ok := sys.exports[key]
+	return d, ok
+}
+
+// Programs exposes the compiled programs (rewritten-program dumps, tests).
+func (def *ModuleDef) Programs() map[string]*Program { return def.progs }
+
+func formKey(pred, form string) string { return pred + "/" + form }
+
+// external builds the source resolver for module evaluation: base
+// relations, then other modules' exports (an inter-module call per lookup,
+// paper §5.6), then auto-defined empty base relations.
+func (sys *System) external(key ast.PredKey) (Source, error) {
+	if r, ok := sys.base[key]; ok {
+		return relSource{r}, nil
+	}
+	if def, ok := sys.exports[key]; ok {
+		return &moduleCallSource{def: def, pred: key}, nil
+	}
+	if sys.AutoDefineBase {
+		return relSource{sys.BaseRelation(key.Name, key.Arity)}, nil
+	}
+	return nil, fmt.Errorf("engine: unknown predicate %s", key)
+}
+
+// relSource adapts relation.Relation to Source.
+type relSource struct{ r relation.Relation }
+
+func (s relSource) Lookup(pattern []term.Term, env *term.Env) relation.Iterator {
+	return s.r.Lookup(pattern, env)
+}
+
+func (s relSource) LookupRange(pattern []term.Term, env *term.Env, from, to relation.Mark) relation.Iterator {
+	return s.r.LookupRange(pattern, env, from, to)
+}
+
+func (s relSource) Snapshot() relation.Mark { return s.r.Snapshot() }
+
+// moduleCallSource calls another module through the get-next-tuple
+// interface: every Lookup sets up one call (one subquery), whose answers
+// stream back as the caller's join demands them. The calling module waits;
+// the called module's evaluation strategy is invisible (paper §5.6).
+type moduleCallSource struct {
+	def  *ModuleDef
+	pred ast.PredKey
+}
+
+func (s *moduleCallSource) Lookup(pattern []term.Term, env *term.Env) relation.Iterator {
+	it, err := s.def.Call(s.pred, pattern, env)
+	if err != nil {
+		throwf("%v", err)
+	}
+	return it
+}
+
+func (s *moduleCallSource) LookupRange(pattern []term.Term, env *term.Env, from, to relation.Mark) relation.Iterator {
+	// A module call has no insertion history; it behaves like a computed
+	// relation: full extent on the initial range, nothing afterwards.
+	if from == 0 {
+		return s.Lookup(pattern, env)
+	}
+	return relation.EmptyIterator()
+}
+
+func (s *moduleCallSource) Snapshot() relation.Mark { return 0 }
+
+// Call evaluates a query against an exported predicate. The argument
+// pattern (under env) supplies the bindings; the best matching declared
+// query form is chosen. Answers stream through the returned iterator;
+// callers unify each fact against their pattern.
+func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (relation.Iterator, error) {
+	if def.pipe != nil {
+		return def.pipe.call(def.sys, pred, args, env)
+	}
+	form, err := def.selectForm(pred, args, env)
+	if err != nil {
+		return nil, err
+	}
+	prog, err := def.progForCall(pred, form, args, env)
+	if err != nil {
+		return nil, err
+	}
+	var me *matEval
+	if prog.SaveModule {
+		me = def.saved[formKey(pred.Name, form)]
+		if me == nil {
+			me = newMatEval(prog, def.sys.external)
+			def.saved[formKey(pred.Name, form)] = me
+		}
+	} else {
+		me = newMatEval(prog, def.sys.external)
+	}
+	me.addSeed(args, env)
+	pat, nvars := term.ResolveArgs(args, env)
+	if prog.KeepPositions != nil {
+		// Existentially rewritten program: answers carry only the kept
+		// positions; match against the projected pattern.
+		proj := make([]term.Term, len(prog.KeepPositions))
+		for i, pos := range prog.KeepPositions {
+			proj[i] = pat[pos]
+		}
+		pat = proj
+	}
+	scan := &answerScan{me: me, pattern: pat, patVars: nvars,
+		keep: prog.KeepPositions, fullArity: pred.Arity}
+	if prog.Eager || prog.SaveModule {
+		// Save-module also computes eagerly: suspending a shared
+		// evaluation between calls would interleave two consumers.
+		me.run()
+		if me.err != nil {
+			return nil, me.err
+		}
+	}
+	return scan, nil
+}
+
+// progForCall returns the compiled program for a call: the plain program
+// for the selected form, or — when the call leaves some positions
+// unobserved (anonymous variables) and the module allows it — a variant
+// with existential query rewriting applied (paper §4.1, on by default,
+// disabled by @no_existential). Variants are compiled once and cached.
+func (def *ModuleDef) progForCall(pred ast.PredKey, form string, args []term.Term, env *term.Env) (*Program, error) {
+	base := def.progs[formKey(pred.Name, form)]
+	if def.Src.Ann.NoExistential || def.Src.Ann.SaveModule || def.Src.Ann.Rewriting == "none" || def.Src.Ann.Rewriting == "factoring" {
+		return base, nil
+	}
+	mask := make([]bool, len(args))
+	anyDrop := false
+	for i, a := range args {
+		t, _ := term.Deref(a, env)
+		v, isVar := t.(*term.Var)
+		observed := !isVar || v.Name != ""
+		// A bound position of the form is always observed (it carries the
+		// selection).
+		if i < len(form) && form[i] == 'b' {
+			observed = true
+		}
+		mask[i] = observed
+		if !observed {
+			anyDrop = true
+		}
+	}
+	if !anyDrop {
+		return base, nil
+	}
+	key := formKey(pred.Name, form) + "/" + maskString(mask)
+	if p, ok := def.progs[key]; ok {
+		return p, nil
+	}
+	p, err := BuildProgramMasked(def.Src, pred, form, mask)
+	if err != nil {
+		// Projection is an optimization; fall back to the base program.
+		return base, nil
+	}
+	def.progs[key] = p
+	return p, nil
+}
+
+func maskString(mask []bool) string {
+	b := make([]byte, len(mask))
+	for i, m := range mask {
+		if m {
+			b[i] = 'o'
+		} else {
+			b[i] = 'x'
+		}
+	}
+	return string(b)
+}
+
+// selectForm picks the declared query form with the most bound positions
+// that the call can satisfy (a 'b' requires the argument to be ground under
+// env).
+func (def *ModuleDef) selectForm(pred ast.PredKey, args []term.Term, env *term.Env) (string, error) {
+	var forms []string
+	for _, e := range def.Src.Exports {
+		if e.Pred == pred.Name && e.Arity == pred.Arity {
+			forms = e.Forms
+		}
+	}
+	best := ""
+	bestBound := -1
+	for _, form := range forms {
+		ok := true
+		bound := 0
+		for i := 0; i < len(form); i++ {
+			if form[i] != 'b' {
+				continue
+			}
+			if !term.GroundUnder(args[i], env) {
+				ok = false
+				break
+			}
+			bound++
+		}
+		if ok && bound > bestBound {
+			best, bestBound = form, bound
+		}
+	}
+	if bestBound < 0 {
+		return "", fmt.Errorf("engine: no declared query form of %s matches the call's bindings (declared: %v)", pred, forms)
+	}
+	return best, nil
+}
+
+// answerScan streams a materialized evaluation's answers: it returns the
+// facts accumulated so far that match the call's pattern — the answer
+// relation may hold answers to other subgoals (magic computes every
+// relevant subquery; save-module accumulates across calls) — and resumes
+// the evaluation ("reactivates the frozen computation", §5.4.3) whenever
+// the consumer wants more.
+type answerScan struct {
+	me       *matEval
+	pattern  []term.Term
+	patVars  int
+	consumed relation.Mark
+	cur      relation.Iterator
+	curEnd   relation.Mark
+	tr       term.Trail
+	// keep/fullArity describe an existential projection: stored answers
+	// have len(keep) arguments; returned facts are widened to fullArity
+	// with fresh variables at the dropped (unobserved) positions.
+	keep      []int
+	fullArity int
+}
+
+// widen expands a projected answer to the call's arity. The dropped
+// positions were anonymous in the call, so the caller never reads the
+// fresh variables placed there.
+func (s *answerScan) widen(f Fact) Fact {
+	if s.keep == nil {
+		return f
+	}
+	args := make([]term.Term, s.fullArity)
+	for i, pos := range s.keep {
+		args[pos] = f.Args[i]
+	}
+	nv := f.NVars
+	for i := range args {
+		if args[i] == nil {
+			args[i] = &term.Var{Index: nv}
+			nv++
+		}
+	}
+	return Fact{Args: args, NVars: nv}
+}
+
+// matches checks the fact against the call pattern.
+func (s *answerScan) matches(f Fact) bool {
+	penv := term.NewEnv(s.patVars)
+	fenv := term.NewEnv(f.NVars)
+	m := s.tr.Mark()
+	ok := term.UnifyArgs(s.pattern, penv, f.Args, fenv, &s.tr)
+	s.tr.Undo(m)
+	return ok
+}
+
+// Next implements relation.Iterator.
+func (s *answerScan) Next() (Fact, bool) {
+	for {
+		if s.cur != nil {
+			for {
+				f, ok := s.cur.Next()
+				if !ok {
+					break
+				}
+				if s.matches(f) {
+					return s.widen(f), true
+				}
+			}
+			s.cur = nil
+			s.consumed = s.curEnd
+		}
+		ans := s.me.answers()
+		if mark := ans.Snapshot(); mark > s.consumed {
+			s.cur = ans.ScanRange(s.consumed, mark)
+			s.curEnd = mark
+			continue
+		}
+		if s.me.finished {
+			if s.me.err != nil {
+				throwf("%v", s.me.err)
+			}
+			return Fact{}, false
+		}
+		s.me.step()
+		if s.me.err != nil {
+			throwf("%v", s.me.err)
+		}
+	}
+}
+
+// Query evaluates a top-level conjunctive query against base relations and
+// module exports (paper §2: simple queries are typed at the interface and
+// not optimized). All answers are materialized; the returned facts bind the
+// query's distinct variables in order of first occurrence.
+func (sys *System) Query(body []ast.Literal) (vars []string, facts []Fact, err error) {
+	defer recoverEval(&err)
+	// Collect the distinct named variables as the answer tuple.
+	seen := make(map[*term.Var]bool)
+	var answerVars []*term.Var
+	var walk func(t term.Term)
+	walk = func(t term.Term) {
+		switch x := t.(type) {
+		case *term.Var:
+			if !seen[x] {
+				seen[x] = true
+				if x.Name != "" {
+					answerVars = append(answerVars, x)
+				}
+			}
+		case *term.Functor:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	for i := range body {
+		for _, a := range body[i].Args {
+			walk(a)
+		}
+	}
+	headArgs := make([]term.Term, len(answerVars))
+	for i, v := range answerVars {
+		headArgs[i] = v
+		vars = append(vars, v.Name)
+	}
+	rule := &ast.Rule{
+		Head: ast.Literal{Pred: "$query", Args: headArgs},
+		Body: body,
+	}
+	c, err := CompileRule(rule, func(ast.PredKey) bool { return false })
+	if err != nil {
+		return nil, nil, err
+	}
+	st := newStore(sys.external, nil)
+	ev := &evaluator{st: st, IntelligentBacktracking: true}
+	dedup := relation.NewHashRelation("$query", len(headArgs))
+	err = ev.evalRule(c, fullRanges, func(f Fact) bool {
+		if dedup.Insert(f) {
+			facts = append(facts, f)
+		}
+		return true
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return vars, facts, nil
+}

@@ -1,0 +1,300 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"coral/internal/ast"
+	"coral/internal/engine"
+	"coral/internal/parser"
+	"coral/internal/relation"
+	"coral/internal/storage"
+	"coral/internal/term"
+	"coral/internal/workload"
+)
+
+// E09 — the save-module facility (paper §5.4.2): retaining module state
+// between calls avoids recomputation when the same subgoals recur across
+// invocations.
+func E09(s Scale) Table {
+	t := Table{
+		ID:     "E09",
+		Title:  "Save-module: repeated calls without recomputation",
+		Claim:  "Retaining module state between calls avoids recomputation when the same subgoal is generated in many invocations (§5.4.2).",
+		Header: []string{"chain n", "calls", "discard (default)", "save_module", "speedup"},
+	}
+	calls := 40
+	if s.Quick {
+		calls = 10
+	}
+	for _, n := range s.sizes([]int{100, 200}, []int{60}) {
+		facts := workload.Chain(n)
+		run := func(ann string) time.Duration {
+			sys := mustSystem(facts + workload.TCModule(ann))
+			start := time.Now()
+			for c := 0; c < calls; c++ {
+				// The same source every time: every subgoal repeats.
+				_, err := sys.MeasureCall(ast.PredKey{Name: "tc", Arity: 2},
+					[]term.Term{term.Int(0), v("Y")})
+				if err != nil {
+					panic(err)
+				}
+			}
+			return time.Since(start)
+		}
+		discard := run("")
+		saved := run("@save_module.")
+		t.Rows = append(t.Rows, []string{
+			itoa(n), itoa(calls), ms(discard), ms(saved), ratio(discard, saved),
+		})
+	}
+	t.Notes = "the default discards all facts at the end of each call (paper default); save_module answers repeat calls from retained state"
+	return t
+}
+
+// E10 — Ordered Search (paper §5.4.1): the context restricts evaluation to
+// relevant subgoals while supporting negation. The comparison point is
+// pipelined (Prolog-style) evaluation, which recomputes shared subgoals.
+func E10(s Scale) Table {
+	t := Table{
+		ID:     "E10",
+		Title:  "Ordered Search on the win-move game (negation, magic relevance)",
+		Claim:  "Ordered Search evaluates left-to-right modularly stratified programs, making a subgoal's answers available only when complete, with magic-style relevance (§5.4.1).",
+		Header: []string{"positions", "ordered search", "subgoals", "pipelined", "pipe/OS"},
+	}
+	for _, n := range s.sizes([]int{60, 120}, []int{40}) {
+		moves := workload.WinGameMoves(n, 3, 4, int64(n))
+		osSys := mustSystem(moves + workload.WinModule("@ordered_search."))
+		ot, ostats := measure(osSys, "win", term.Atom("p0"))
+		// Pipelined negation-as-failure recomputes subgoals exponentially
+		// on this DAG.
+		pipeSys := mustSystem(moves + workload.WinModule("@pipelining."))
+		pt, _ := measure(pipeSys, "win", term.Atom("p0"))
+		t.Rows = append(t.Rows, []string{
+			itoa(n), ms(ot), itoa(ostats.FactsStored), ms(pt), ratio(pt, ot),
+		})
+	}
+	t.Notes = "win(X) :- move(X, Y), not win(Y) on layered DAGs; the game is not stratified, so SCC-ordered evaluation cannot run it at all"
+	return t
+}
+
+// E11 — existential query rewriting (paper §4.1): projections propagate,
+// so a query that observes nothing stores one fact where the full query
+// stores a witness per pair.
+func E11(s Scale) Table {
+	t := Table{
+		ID:     "E11",
+		Title:  "Existential query rewriting (projection pushing)",
+		Claim:  "Existential Query Rewriting propagates projections, applied by default with a selection-pushing rewriting (§4.1; [19]).",
+		Header: []string{"graph", "reach(a, Y)", "facts", "reach(a, _)", "facts", "speedup"},
+	}
+	for _, n := range s.sizes([]int{100, 200}, []int{50}) {
+		facts := workload.RandomGraph(n, 5*n, 3)
+		observedSys := mustSystem(facts + workload.TCModule(""))
+		ot, ostats := measure(observedSys, "tc", term.Int(0), v("Y"))
+		exSys := mustSystem(facts + workload.TCModule(""))
+		et, estats := measure(exSys, "tc", term.Int(0), w())
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("n=%d m=%d", n, 5*n), ms(ot), itoa(ostats.FactsStored), ms(et), itoa(estats.FactsStored), ratio(ot, et),
+		})
+	}
+	t.Notes = "reach(a, _) projects the destination away: answers collapse to existence and duplicate elimination prunes the search"
+	return t
+}
+
+// E12 — lazy evaluation (paper §5.4.3): answers surface at the end of each
+// fixpoint iteration instead of after the whole fixpoint.
+func E12(s Scale) Table {
+	t := Table{
+		ID:     "E12",
+		Title:  "Lazy vs eager answer return (time to first answer)",
+		Claim:  "Lazy evaluation returns the answers generated so far at the end of every iteration, instead of at the end of the computation (§5.4.3).",
+		Header: []string{"chain n", "lazy first answer", "eager first answer", "eager/lazy"},
+	}
+	for _, n := range s.sizes([]int{300, 600}, []int{100}) {
+		facts := workload.Chain(n)
+		lazySys := mustSystem(facts + workload.TCModule(""))
+		eagerSys := mustSystem(facts + workload.TCModule("@eager."))
+		lt := timeFirstAnswer(lazySys, "tc", term.Int(0), v("Y"))
+		et := timeFirstAnswer(eagerSys, "tc", term.Int(0), v("Y"))
+		t.Rows = append(t.Rows, []string{itoa(n), ms(lt), ms(et), ratio(et, lt)})
+	}
+	t.Notes = "both run the same fixpoint; the lazy scan surfaces answers as iterations produce them"
+	return t
+}
+
+// E13 — context factoring (paper §4.1; [16], [9]): on right-linear
+// programs the factored program stores contexts + answers instead of
+// per-context answer pairs.
+func E13(s Scale) Table {
+	t := Table{
+		ID:     "E13",
+		Title:  "Context factoring vs supplementary magic on right-linear TC",
+		Claim:  "Context factoring maintains context information in factored predicates; for some programs it is superior to supplementary magic (§4.1).",
+		Header: []string{"grid", "supmagic", "facts", "factoring", "facts", "speedup"},
+	}
+	for _, g := range s.sizes([]int{20, 30}, []int{12}) {
+		facts := workload.Grid(g, g)
+		supSys := mustSystem(facts + workload.RightLinearTC(""))
+		st, sstats := measure(supSys, "tc", term.Int(0), v("Y"))
+		facSys := mustSystem(facts + workload.RightLinearTC("@rewrite factoring."))
+		ft, fstats := measure(facSys, "tc", term.Int(0), v("Y"))
+		if sstats.Answers != fstats.Answers {
+			panic("E13: answer mismatch")
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%dx%d", g, g), ms(st), itoa(sstats.FactsStored), ms(ft), itoa(fstats.FactsStored), ratio(st, ft),
+		})
+	}
+	t.Notes = "right-linear reach: supplementary magic stores tc(X,Y) per context-answer pair; factoring stores reached contexts plus one answer set"
+	return t
+}
+
+// E14 — multiset semantics (paper §4.2): duplicate checks are skipped on
+// non-magic predicates, trading storage for check cost.
+func E14(s Scale) Table {
+	t := Table{
+		ID:     "E14",
+		Title:  "Set (subsumption checks) vs multiset semantics",
+		Claim:  "The default checks subsumption on all relations; a relation can instead be treated as a multiset with duplicate checks only on magic predicates (§4.2).",
+		Header: []string{"pairs", "set time", "set facts", "multiset time", "multiset facts"},
+	}
+	for _, n := range s.sizes([]int{60, 100}, []int{40}) {
+		// A duplicate-heavy two-hop join: many (X,Z) pairs derived many
+		// times through different Y.
+		facts := workload.RandomGraph(n, 8*n, 5)
+		mod := func(ann string) string {
+			return `
+module j.
+export hop2(ff).
+` + ann + `
+hop2(X, Z) :- edge(X, Y), edge(Y, Z).
+end_module.
+`
+		}
+		setSys := mustSystem(facts + mod(""))
+		st, sstats := measure(setSys, "hop2", v("X"), v("Z"))
+		bagSys := mustSystem(facts + mod("@multiset hop2."))
+		bt, bstats := measure(bagSys, "hop2", v("X"), v("Z"))
+		t.Rows = append(t.Rows, []string{
+			itoa(8 * n), ms(st), itoa(sstats.Answers), ms(bt), itoa(bstats.Answers),
+		})
+	}
+	t.Notes = "multiset retains one fact per derivation (SQL-consistent on non-recursive queries, per the paper's footnote)"
+	return t
+}
+
+// E15 — persistent relations (paper §2, §3.2): get-next-tuple over
+// disk-resident data is page-level I/O through the buffer pool; I/O counts
+// track the buffer size.
+func E15(s Scale) Table {
+	t := Table{
+		ID:     "E15",
+		Title:  "Persistent relations: buffer pool behaviour under scans and indexed lookups",
+		Claim:  "Persistent data is paged into buffers on demand; get-next-tuple requests become page-level I/O requests by the buffer manager (§2, §3.2).",
+		Header: []string{"tuples", "frames", "scan reads", "hit ratio", "indexed probe reads", "probe hit ratio"},
+	}
+	tuples := 20000
+	if s.Quick {
+		tuples = 4000
+	}
+	dir, err := os.MkdirTemp("", "coral-e15-*")
+	if err != nil {
+		panic(err)
+	}
+	defer os.RemoveAll(dir)
+	for _, frames := range s.sizes([]int{8, 64, 512}, []int{8, 64}) {
+		db, err := storage.Open(filepath.Join(dir, fmt.Sprintf("e15-%d.cdb", frames)), frames)
+		if err != nil {
+			panic(err)
+		}
+		rel, err := db.Relation("edge", 2)
+		if err != nil {
+			panic(err)
+		}
+		for i := 0; i < tuples; i++ {
+			rel.Insert(relation.GroundFact(term.Int(int64(i)), term.Int(int64(i+1))))
+		}
+		if err := rel.CreateIndex(0); err != nil {
+			panic(err)
+		}
+		// Two full scans: the second shows the buffer effect.
+		drainIter(rel.Scan())
+		db.ResetStats()
+		drainIter(rel.Scan())
+		scanStats := db.Stats()
+		// Random indexed probes.
+		db.ResetStats()
+		for i := 0; i < 500; i++ {
+			k := (i * 37) % tuples
+			drainIter(rel.Lookup([]term.Term{term.Int(int64(k)), v("Y")}, nil))
+		}
+		probeStats := db.Stats()
+		t.Rows = append(t.Rows, []string{
+			itoa(tuples), itoa(frames),
+			itoa(scanStats.PageReads), fmt.Sprintf("%.2f", scanStats.HitRatio()),
+			itoa(probeStats.PageReads), fmt.Sprintf("%.2f", probeStats.HitRatio()),
+		})
+		db.Close()
+	}
+	t.Notes = "larger pools turn repeated page requests into hits; the smallest pool re-reads nearly every page"
+	return t
+}
+
+// E16 — interpretation vs compilation (paper §2): CORAL interprets the
+// rewritten internal form because consulting must be fast for interactive
+// development; compilation to C++ bought little. We report the
+// consult+optimize cost against evaluation cost.
+func E16(s Scale) Table {
+	t := Table{
+		ID:     "E16",
+		Title:  "Consult/optimize cost vs evaluation cost (interpreted system)",
+		Claim:  "Consulting a program takes very little time; the interpreted internal form made compilation's small speedup not worth its compile time (§2).",
+		Header: []string{"program", "consult+optimize", "evaluate", "consult share"},
+	}
+	progs := []struct {
+		name  string
+		facts string
+		mod   string
+		pred  string
+		args  []term.Term
+	}{
+		{"transitive closure", workload.Chain(120), workload.TCModule(""), "tc", []term.Term{term.Int(0), v("Y")}},
+		{"mutual recursion k=4", workload.Chain(40), workload.MutualRecursion(4, ""), "p0", []term.Term{term.Int(0), v("Y")}},
+		{"figure 3 shortest path", workload.WeightedGraph(40, 160, 10, 9), workload.ShortestPathModule("@ordered_search."), "s_p", []term.Term{term.Int(0), v("Y"), v("P"), v("C")}},
+	}
+	for _, p := range progs {
+		start := time.Now()
+		src := p.facts + p.mod
+		u, err := parser.Parse(src)
+		if err != nil {
+			panic(err)
+		}
+		sys := mustSystemFromUnit(u)
+		consult := time.Since(start)
+		start = time.Now()
+		if _, err := sys.MeasureCall(ast.PredKey{Name: p.pred, Arity: len(p.args)}, p.args); err != nil {
+			panic(err)
+		}
+		eval := time.Since(start)
+		share := float64(consult) / float64(consult+eval) * 100
+		t.Rows = append(t.Rows, []string{p.name, ms(consult), ms(eval), fmt.Sprintf("%.0f%%", share)})
+	}
+	t.Notes = "consult includes parsing the facts, adornment, magic rewriting, compilation to internal form and index planning"
+	return t
+}
+
+func mustSystemFromUnit(u *ast.Unit) *engine.System {
+	sys := engine.NewSystem()
+	for _, f := range u.Facts {
+		sys.BaseRelation(f.Pred, len(f.Args)).Insert(relation.NewFact(f.Args, nil))
+	}
+	for _, m := range u.Modules {
+		if err := sys.AddModule(m); err != nil {
+			panic(err)
+		}
+	}
+	return sys
+}

@@ -1,0 +1,128 @@
+// Package experiments implements the reproduction's evaluation harness.
+// The SIGMOD'93 CORAL paper publishes no quantitative tables, so each
+// experiment E01–E16 operationalizes one explicit performance claim from
+// the text (see DESIGN.md §3); the harness regenerates one table per
+// experiment, and EXPERIMENTS.md records claim-vs-measured.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"coral/internal/ast"
+	"coral/internal/engine"
+	"coral/internal/parser"
+	"coral/internal/relation"
+	"coral/internal/term"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID     string
+	Title  string
+	Claim  string // the paper statement the experiment tests
+	Header []string
+	Rows   [][]string
+	Notes  string
+}
+
+// Scale shrinks experiment sizes for quick runs (1 = full table sizes used
+// by cmd/coralbench; benchmarks use smaller configurations directly).
+type Scale struct {
+	Quick bool
+}
+
+// sizes picks between the full and quick size lists.
+func (s Scale) sizes(full, quick []int) []int {
+	if s.Quick {
+		return quick
+	}
+	return full
+}
+
+// All runs every experiment.
+func All(s Scale) []Table {
+	return []Table{
+		E01(s), E02(s), E03(s), E04(s), E05(s), E06(s), E07(s), E08(s),
+		E09(s), E10(s), E11(s), E12(s), E13(s), E14(s), E15(s), E16(s),
+	}
+}
+
+// Print renders a table as aligned text.
+func (t Table) Print() string {
+	out := fmt.Sprintf("== %s: %s ==\nClaim: %s\n", t.ID, t.Title, t.Claim)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) string {
+		s := ""
+		for i, c := range cells {
+			s += fmt.Sprintf("%-*s  ", widths[i], c)
+		}
+		return s + "\n"
+	}
+	out += line(t.Header)
+	for _, r := range t.Rows {
+		out += line(r)
+	}
+	if t.Notes != "" {
+		out += "Note: " + t.Notes + "\n"
+	}
+	return out
+}
+
+// mustSystem consults source text into an engine system.
+func mustSystem(src string) *engine.System {
+	u, err := parser.Parse(src)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	sys := engine.NewSystem()
+	for _, f := range u.Facts {
+		sys.BaseRelation(f.Pred, len(f.Args)).Insert(relation.NewFact(f.Args, nil))
+	}
+	for _, m := range u.Modules {
+		if err := sys.AddModule(m); err != nil {
+			panic("experiments: " + err.Error())
+		}
+	}
+	return sys
+}
+
+// measure times one call and collects the engine's counters.
+func measure(sys *engine.System, pred string, args ...term.Term) (time.Duration, engine.RunStats) {
+	key := ast.PredKey{Name: pred, Arity: len(args)}
+	start := time.Now()
+	stats, err := sys.MeasureCall(key, args)
+	if err != nil {
+		panic("experiments: " + err.Error())
+	}
+	return time.Since(start), stats
+}
+
+// v returns a fresh named variable.
+func v(name string) term.Term { return term.NewVar(name) }
+
+// w returns a fresh anonymous variable (existential position).
+func w() term.Term { return term.NewVar("") }
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+}
+
+func ratio(a, b time.Duration) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fx", float64(a)/float64(b))
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }

@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsQuick runs every experiment at quick scale: the harness
+// must produce a non-empty, well-formed table for each, and the
+// cross-checks inside the experiments (answer-set agreement between
+// strategies) must hold.
+func TestAllExperimentsQuick(t *testing.T) {
+	tables := All(Scale{Quick: true})
+	if len(tables) != 16 {
+		t.Fatalf("got %d experiments", len(tables))
+	}
+	seen := map[string]bool{}
+	for _, tb := range tables {
+		if tb.ID == "" || tb.Title == "" || tb.Claim == "" {
+			t.Errorf("experiment %q lacks metadata", tb.ID)
+		}
+		if seen[tb.ID] {
+			t.Errorf("duplicate experiment id %s", tb.ID)
+		}
+		seen[tb.ID] = true
+		if len(tb.Rows) == 0 {
+			t.Errorf("%s produced no rows", tb.ID)
+		}
+		for _, r := range tb.Rows {
+			if len(r) != len(tb.Header) {
+				t.Errorf("%s row width %d != header %d", tb.ID, len(r), len(tb.Header))
+			}
+		}
+		text := tb.Print()
+		if !strings.Contains(text, tb.ID) || !strings.Contains(text, tb.Header[0]) {
+			t.Errorf("%s Print output malformed", tb.ID)
+		}
+	}
+}
+
+// Shape assertions for selected experiments: the *direction* of each
+// paper claim must hold even at quick scale.
+func TestE01SeminaiveBeatsNaive(t *testing.T) {
+	tb := E01(Scale{Quick: true})
+	// naive derivations (col 2) must exceed BSN derivations (col 4).
+	for _, r := range tb.Rows {
+		if !less(r[4], r[2]) {
+			t.Errorf("BSN derivations %s not < naive %s", r[4], r[2])
+		}
+	}
+}
+
+func TestE02PSNFewerIterations(t *testing.T) {
+	tb := E02(Scale{Quick: true})
+	for _, r := range tb.Rows {
+		if !less(r[3], r[1]) {
+			t.Errorf("PSN iterations %s not < BSN %s", r[3], r[1])
+		}
+	}
+}
+
+func TestE13FactoringStoresFewerFacts(t *testing.T) {
+	tb := E13(Scale{Quick: true})
+	for _, r := range tb.Rows {
+		if !less(r[4], r[2]) {
+			t.Errorf("factoring facts %s not < supmagic %s", r[4], r[2])
+		}
+	}
+}
+
+func TestE11ExistentialStoresFewerFacts(t *testing.T) {
+	tb := E11(Scale{Quick: true})
+	for _, r := range tb.Rows {
+		if !less(r[4], r[2]) {
+			t.Errorf("existential facts %s not < observed %s", r[4], r[2])
+		}
+	}
+}
+
+func TestE14MultisetKeepsMoreAnswers(t *testing.T) {
+	tb := E14(Scale{Quick: true})
+	for _, r := range tb.Rows {
+		if !less(r[2], r[4]) {
+			t.Errorf("set answers %s not < multiset %s", r[2], r[4])
+		}
+	}
+}
+
+// less compares two integer cell strings.
+func less(a, b string) bool {
+	x, errA := strconv.Atoi(a)
+	y, errB := strconv.Atoi(b)
+	return errA == nil && errB == nil && x < y
+}

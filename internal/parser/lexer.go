@@ -1,0 +1,249 @@
+// Package parser implements the lexer and recursive-descent parser for the
+// CORAL declarative language subset used in the paper: modules with exports
+// and query forms, Horn rules with complex terms and lists, negation, head
+// aggregation and set-grouping, arithmetic and comparison builtins, and the
+// control annotations of §4 and §5.
+package parser
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tkEOF tokKind = iota
+	tkAtom
+	tkVar
+	tkInt
+	tkFloat
+	tkString
+	tkPunct
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tkEOF:
+		return "end of input"
+	case tkAtom:
+		return "atom"
+	case tkVar:
+		return "variable"
+	case tkInt:
+		return "integer"
+	case tkFloat:
+		return "float"
+	case tkString:
+		return "string"
+	case tkPunct:
+		return "punctuation"
+	}
+	return "token?"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tkEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (lx *lexer) errorf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", lx.line, fmt.Sprintf(format, args...))
+}
+
+func (lx *lexer) peekByte() byte {
+	if lx.pos >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos]
+}
+
+func (lx *lexer) at(off int) byte {
+	if lx.pos+off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.pos+off]
+}
+
+func (lx *lexer) skipSpace() error {
+	for lx.pos < len(lx.src) {
+		c := lx.src[lx.pos]
+		switch {
+		case c == '\n':
+			lx.line++
+			lx.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			lx.pos++
+		case c == '%': // line comment
+			for lx.pos < len(lx.src) && lx.src[lx.pos] != '\n' {
+				lx.pos++
+			}
+		case c == '/' && lx.at(1) == '*': // block comment
+			lx.pos += 2
+			for {
+				if lx.pos >= len(lx.src) {
+					return lx.errorf("unterminated block comment")
+				}
+				if lx.src[lx.pos] == '\n' {
+					lx.line++
+				}
+				if lx.src[lx.pos] == '*' && lx.at(1) == '/' {
+					lx.pos += 2
+					break
+				}
+				lx.pos++
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isDigit(c byte) bool  { return c >= '0' && c <= '9' }
+func isLower(c byte) bool  { return c >= 'a' && c <= 'z' }
+func isUpper(c byte) bool  { return c >= 'A' && c <= 'Z' }
+func isIdentC(c byte) bool { return isDigit(c) || isLower(c) || isUpper(c) || c == '_' }
+
+// next returns the next token.
+func (lx *lexer) next() (token, error) {
+	if err := lx.skipSpace(); err != nil {
+		return token{}, err
+	}
+	if lx.pos >= len(lx.src) {
+		return token{kind: tkEOF, line: lx.line}, nil
+	}
+	start := lx.pos
+	line := lx.line
+	c := lx.src[lx.pos]
+	switch {
+	case isLower(c):
+		for lx.pos < len(lx.src) && isIdentC(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return token{kind: tkAtom, text: lx.src[start:lx.pos], line: line}, nil
+	case isUpper(c) || c == '_':
+		for lx.pos < len(lx.src) && isIdentC(lx.src[lx.pos]) {
+			lx.pos++
+		}
+		return token{kind: tkVar, text: lx.src[start:lx.pos], line: line}, nil
+	case isDigit(c):
+		return lx.lexNumber()
+	case c == '\'':
+		return lx.lexQuoted('\'', tkAtom)
+	case c == '"':
+		return lx.lexQuoted('"', tkString)
+	}
+	// Punctuation, longest match first.
+	two := ""
+	if lx.pos+1 < len(lx.src) {
+		two = lx.src[lx.pos : lx.pos+2]
+	}
+	switch two {
+	case ":-", "?-", ">=", "=<", "!=", "==", "<>":
+		lx.pos += 2
+		return token{kind: tkPunct, text: two, line: line}, nil
+	}
+	switch c {
+	case '(', ')', '[', ']', ',', '|', '.', '@', '<', '>', '=', '+', '-', '*', '/', '?':
+		lx.pos++
+		return token{kind: tkPunct, text: string(c), line: line}, nil
+	}
+	return token{}, lx.errorf("unexpected character %q", string(c))
+}
+
+func (lx *lexer) lexNumber() (token, error) {
+	start := lx.pos
+	line := lx.line
+	for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+		lx.pos++
+	}
+	isFloat := false
+	// A '.' begins a fraction only if followed by a digit; otherwise it is
+	// the clause terminator.
+	if lx.peekByte() == '.' && isDigit(lx.at(1)) {
+		isFloat = true
+		lx.pos++
+		for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+			lx.pos++
+		}
+	}
+	if c := lx.peekByte(); c == 'e' || c == 'E' {
+		save := lx.pos
+		lx.pos++
+		if b := lx.peekByte(); b == '+' || b == '-' {
+			lx.pos++
+		}
+		if isDigit(lx.peekByte()) {
+			isFloat = true
+			for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
+				lx.pos++
+			}
+		} else {
+			lx.pos = save
+		}
+	}
+	// Arbitrary-precision suffix 123n.
+	if !isFloat && lx.peekByte() == 'n' && !isIdentC(lx.at(1)) {
+		lx.pos++
+		return token{kind: tkInt, text: lx.src[start:lx.pos], line: line}, nil
+	}
+	kind := tkInt
+	if isFloat {
+		kind = tkFloat
+	}
+	return token{kind: kind, text: lx.src[start:lx.pos], line: line}, nil
+}
+
+func (lx *lexer) lexQuoted(quote byte, kind tokKind) (token, error) {
+	line := lx.line
+	lx.pos++ // opening quote
+	var b strings.Builder
+	for {
+		if lx.pos >= len(lx.src) {
+			return token{}, lx.errorf("unterminated quoted token")
+		}
+		c := lx.src[lx.pos]
+		if c == quote {
+			lx.pos++
+			return token{kind: kind, text: b.String(), line: line}, nil
+		}
+		if c == '\\' && lx.pos+1 < len(lx.src) {
+			lx.pos++
+			e := lx.src[lx.pos]
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '\\', '\'', '"':
+				b.WriteByte(e)
+			default:
+				return token{}, lx.errorf("unknown escape \\%c", e)
+			}
+			lx.pos++
+			continue
+		}
+		if c == '\n' {
+			lx.line++
+		}
+		b.WriteByte(c)
+		lx.pos++
+	}
+}

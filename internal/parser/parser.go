@@ -1,0 +1,837 @@
+package parser
+
+import (
+	"fmt"
+	"math/big"
+	"strconv"
+	"strings"
+
+	"coral/internal/ast"
+	"coral/internal/term"
+)
+
+// Parser turns source text into an ast.Unit.
+type Parser struct {
+	lx  *lexer
+	tok token
+	// vars maps variable names to their Var object within the current
+	// clause scope: every occurrence of X in one clause is the same
+	// variable, while X in different clauses is unrelated. Anonymous "_"
+	// variables are always fresh.
+	vars map[string]*term.Var
+}
+
+// beginScope starts a new clause-level variable scope.
+func (p *Parser) beginScope() { p.vars = make(map[string]*term.Var) }
+
+func (p *Parser) scopedVar(name string) *term.Var {
+	if p.vars == nil {
+		p.beginScope()
+	}
+	if v, ok := p.vars[name]; ok {
+		return v
+	}
+	v := term.NewVar(name)
+	p.vars[name] = v
+	return v
+}
+
+// Parse parses a complete source text (one consulted file).
+func Parse(src string) (*ast.Unit, error) {
+	p := &Parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	return p.parseUnit()
+}
+
+// ParseQuery parses a single query body such as "p(X, Y), Y > 3" (without
+// the "?-" prefix or trailing dot, both of which are also accepted).
+func ParseQuery(src string) (ast.Query, error) {
+	p := &Parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return ast.Query{}, err
+	}
+	if p.tok.kind == tkPunct && p.tok.text == "?-" {
+		if err := p.advance(); err != nil {
+			return ast.Query{}, err
+		}
+	}
+	p.beginScope()
+	body, err := p.parseBody()
+	if err != nil {
+		return ast.Query{}, err
+	}
+	if p.tok.kind == tkPunct && p.tok.text == "." {
+		if err := p.advance(); err != nil {
+			return ast.Query{}, err
+		}
+	}
+	if p.tok.kind != tkEOF {
+		return ast.Query{}, p.errorf("unexpected %s after query", p.tok)
+	}
+	return ast.Query{Body: body}, nil
+}
+
+// ParseTerm parses a single term, e.g. for constructing facts from text.
+func ParseTerm(src string) (term.Term, error) {
+	p := &Parser{lx: newLexer(src)}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	t, err := p.parseArith()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tkEOF {
+		return nil, p.errorf("unexpected %s after term", p.tok)
+	}
+	return t, nil
+}
+
+func (p *Parser) advance() error {
+	t, err := p.lx.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *Parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("line %d: %s", p.tok.line, fmt.Sprintf(format, args...))
+}
+
+func (p *Parser) isPunct(text string) bool {
+	return p.tok.kind == tkPunct && p.tok.text == text
+}
+
+func (p *Parser) expectPunct(text string) error {
+	if !p.isPunct(text) {
+		return p.errorf("expected %q, found %s", text, p.tok)
+	}
+	return p.advance()
+}
+
+func (p *Parser) expectDot() error { return p.expectPunct(".") }
+
+// parseUnit parses the whole file.
+func (p *Parser) parseUnit() (*ast.Unit, error) {
+	u := &ast.Unit{}
+	for p.tok.kind != tkEOF {
+		switch {
+		case p.tok.kind == tkAtom && p.tok.text == "module":
+			m, err := p.parseModule()
+			if err != nil {
+				return nil, err
+			}
+			u.Modules = append(u.Modules, m)
+		case p.isPunct("?-") || p.isPunct("?"):
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			body, err := p.parseBody()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectDot(); err != nil {
+				return nil, err
+			}
+			u.Queries = append(u.Queries, ast.Query{Body: body})
+		case p.isPunct("@"):
+			ix, err := p.parseTopLevelAnnotation()
+			if err != nil {
+				return nil, err
+			}
+			u.Indexes = append(u.Indexes, ix)
+		default:
+			r, err := p.parseClause()
+			if err != nil {
+				return nil, err
+			}
+			if !r.IsFact() {
+				return nil, fmt.Errorf("line %d: rules must appear inside a module (fact expected): %s", r.Line, r)
+			}
+			u.Facts = append(u.Facts, r.Head)
+		}
+	}
+	return u, nil
+}
+
+// parseTopLevelAnnotation parses annotations allowed outside modules;
+// currently only @make_index (applying to base relations).
+func (p *Parser) parseTopLevelAnnotation() (ast.IndexAnn, error) {
+	if err := p.advance(); err != nil { // consume '@'
+		return ast.IndexAnn{}, err
+	}
+	if p.tok.kind != tkAtom || p.tok.text != "make_index" {
+		return ast.IndexAnn{}, p.errorf("only @make_index is allowed outside modules, found @%s", p.tok.text)
+	}
+	return p.parseMakeIndex()
+}
+
+// parseModule parses 'module name.' ... 'end_module.'.
+func (p *Parser) parseModule() (*ast.Module, error) {
+	if err := p.advance(); err != nil { // consume 'module'
+		return nil, err
+	}
+	if p.tok.kind != tkAtom {
+		return nil, p.errorf("expected module name, found %s", p.tok)
+	}
+	m := &ast.Module{Name: p.tok.text}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	if err := p.expectDot(); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.tok.kind == tkEOF:
+			return nil, p.errorf("missing end_module for module %s", m.Name)
+		case p.tok.kind == tkAtom && p.tok.text == "end_module":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			return m, p.expectDot()
+		case p.tok.kind == tkAtom && p.tok.text == "export":
+			e, err := p.parseExport()
+			if err != nil {
+				return nil, err
+			}
+			m.Exports = append(m.Exports, e)
+		case p.isPunct("@"):
+			if err := p.parseModuleAnnotation(m); err != nil {
+				return nil, err
+			}
+		default:
+			r, err := p.parseClause()
+			if err != nil {
+				return nil, err
+			}
+			m.Rules = append(m.Rules, r)
+		}
+	}
+}
+
+// parseExport parses 'export pred(bf, ff).'. Each form is an adornment
+// string with one letter per argument ('b' bound, 'f' free).
+func (p *Parser) parseExport() (ast.Export, error) {
+	if err := p.advance(); err != nil { // consume 'export'
+		return ast.Export{}, err
+	}
+	if p.tok.kind != tkAtom {
+		return ast.Export{}, p.errorf("expected predicate name after export, found %s", p.tok)
+	}
+	e := ast.Export{Pred: p.tok.text}
+	if err := p.advance(); err != nil {
+		return ast.Export{}, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return ast.Export{}, err
+	}
+	for {
+		if p.tok.kind != tkAtom {
+			return ast.Export{}, p.errorf("expected adornment (e.g. bf), found %s", p.tok)
+		}
+		form := p.tok.text
+		for _, c := range form {
+			if c != 'b' && c != 'f' {
+				return ast.Export{}, p.errorf("adornment %q must use only 'b' and 'f'", form)
+			}
+		}
+		if e.Arity == 0 {
+			e.Arity = len(form)
+		} else if len(form) != e.Arity {
+			return ast.Export{}, p.errorf("adornment %q has wrong length for %s/%d", form, e.Pred, e.Arity)
+		}
+		e.Forms = append(e.Forms, form)
+		if err := p.advance(); err != nil {
+			return ast.Export{}, err
+		}
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return ast.Export{}, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return ast.Export{}, err
+	}
+	return e, p.expectDot()
+}
+
+// parseModuleAnnotation parses one '@...' annotation inside a module.
+func (p *Parser) parseModuleAnnotation(m *ast.Module) error {
+	if err := p.advance(); err != nil { // consume '@'
+		return err
+	}
+	if p.tok.kind != tkAtom {
+		return p.errorf("expected annotation name after @, found %s", p.tok)
+	}
+	name := p.tok.text
+	switch name {
+	case "pipelining":
+		m.Ann.Pipelining = true
+		return p.flagAnn()
+	case "materialized", "materialization":
+		m.Ann.Pipelining = false
+		return p.flagAnn()
+	case "ordered_search":
+		m.Ann.OrderedSearch = true
+		return p.flagAnn()
+	case "save_module":
+		m.Ann.SaveModule = true
+		return p.flagAnn()
+	case "eager":
+		m.Ann.Eager = true
+		return p.flagAnn()
+	case "lazy":
+		m.Ann.Eager = false
+		return p.flagAnn()
+	case "bsn", "psn", "naive":
+		m.Ann.FixpointStrategy = name
+		return p.flagAnn()
+	case "no_existential":
+		m.Ann.NoExistential = true
+		return p.flagAnn()
+	case "no_indexing":
+		m.Ann.NoIndexing = true
+		return p.flagAnn()
+	case "reorder":
+		m.Ann.Reorder = true
+		return p.flagAnn()
+	case "chronological_backtracking":
+		m.Ann.ChronologicalBacktracking = true
+		return p.flagAnn()
+	case "rewrite", "rewriting":
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tkAtom {
+			return p.errorf("expected rewriting name, found %s", p.tok)
+		}
+		switch p.tok.text {
+		case "supmagic", "magic", "factoring", "none":
+			m.Ann.Rewriting = p.tok.text
+		default:
+			return p.errorf("unknown rewriting %q (want supmagic, magic, factoring or none)", p.tok.text)
+		}
+		if err := p.advance(); err != nil {
+			return err
+		}
+		return p.expectDot()
+	case "multiset":
+		if err := p.advance(); err != nil {
+			return err
+		}
+		if p.tok.kind != tkAtom {
+			return p.errorf("expected predicate name, found %s", p.tok)
+		}
+		m.Ann.Multiset = append(m.Ann.Multiset, p.tok.text)
+		if err := p.advance(); err != nil {
+			return err
+		}
+		return p.expectDot()
+	case "aggregate_selection":
+		s, err := p.parseAggSel()
+		if err != nil {
+			return err
+		}
+		m.Ann.AggSels = append(m.Ann.AggSels, s)
+		return nil
+	case "make_index":
+		ix, err := p.parseMakeIndex()
+		if err != nil {
+			return err
+		}
+		m.Ann.Indexes = append(m.Ann.Indexes, ix)
+		return nil
+	}
+	return p.errorf("unknown annotation @%s", name)
+}
+
+func (p *Parser) flagAnn() error {
+	if err := p.advance(); err != nil {
+		return err
+	}
+	return p.expectDot()
+}
+
+// parseAggSel parses: aggregate_selection p(X,Y,P,C) (X,Y) min(C).
+// The group list may be empty: p(X,C) () min(C).
+func (p *Parser) parseAggSel() (ast.AggSelAnn, error) {
+	if err := p.advance(); err != nil { // consume 'aggregate_selection'
+		return ast.AggSelAnn{}, err
+	}
+	if p.tok.kind != tkAtom {
+		return ast.AggSelAnn{}, p.errorf("expected predicate name, found %s", p.tok)
+	}
+	s := ast.AggSelAnn{Pred: p.tok.text}
+	if err := p.advance(); err != nil {
+		return ast.AggSelAnn{}, err
+	}
+	vars, err := p.parseVarList()
+	if err != nil {
+		return ast.AggSelAnn{}, err
+	}
+	s.HeadVars = vars
+	s.GroupVars, err = p.parseVarList()
+	if err != nil {
+		return ast.AggSelAnn{}, err
+	}
+	if p.tok.kind != tkAtom {
+		return ast.AggSelAnn{}, p.errorf("expected aggregate operation, found %s", p.tok)
+	}
+	s.Op = p.tok.text
+	switch s.Op {
+	case "min", "max", "any":
+	default:
+		return ast.AggSelAnn{}, p.errorf("unknown aggregate selection %q (want min, max or any)", s.Op)
+	}
+	if err := p.advance(); err != nil {
+		return ast.AggSelAnn{}, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return ast.AggSelAnn{}, err
+	}
+	if p.tok.kind != tkVar {
+		return ast.AggSelAnn{}, p.errorf("expected variable, found %s", p.tok)
+	}
+	s.ValueVar = p.tok.text
+	if err := p.advance(); err != nil {
+		return ast.AggSelAnn{}, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return ast.AggSelAnn{}, err
+	}
+	return s, p.expectDot()
+}
+
+// parseVarList parses '(X, Y, Z)' (possibly empty) into variable names.
+func (p *Parser) parseVarList() ([]string, error) {
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var names []string
+	if p.isPunct(")") {
+		return names, p.advance()
+	}
+	for {
+		if p.tok.kind != tkVar {
+			return nil, p.errorf("expected variable, found %s", p.tok)
+		}
+		names = append(names, p.tok.text)
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	return names, p.expectPunct(")")
+}
+
+// parseMakeIndex parses: make_index emp(Name, addr(Street, City)) (Name, City).
+func (p *Parser) parseMakeIndex() (ast.IndexAnn, error) {
+	if err := p.advance(); err != nil { // consume 'make_index'
+		return ast.IndexAnn{}, err
+	}
+	if p.tok.kind != tkAtom {
+		return ast.IndexAnn{}, p.errorf("expected predicate name, found %s", p.tok)
+	}
+	ix := ast.IndexAnn{Pred: p.tok.text}
+	p.beginScope() // the index pattern is its own variable scope
+	if err := p.advance(); err != nil {
+		return ast.IndexAnn{}, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return ast.IndexAnn{}, err
+	}
+	for {
+		t, err := p.parseArith()
+		if err != nil {
+			return ast.IndexAnn{}, err
+		}
+		ix.Pattern = append(ix.Pattern, t)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return ast.IndexAnn{}, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return ast.IndexAnn{}, err
+	}
+	keys, err := p.parseVarList()
+	if err != nil {
+		return ast.IndexAnn{}, err
+	}
+	ix.KeyVars = keys
+	return ix, p.expectDot()
+}
+
+// parseClause parses 'head.' or 'head :- body.'.
+func (p *Parser) parseClause() (*ast.Rule, error) {
+	p.beginScope()
+	line := p.tok.line
+	head, aggs, err := p.parseHead()
+	if err != nil {
+		return nil, err
+	}
+	r := &ast.Rule{Head: head, Aggs: aggs, Line: line}
+	if p.isPunct(":-") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r.Body, err = p.parseBody()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return r, p.expectDot()
+}
+
+// aggOps are the head aggregate operations (paper's set-grouping and
+// aggregate operations; Figure 3 uses min).
+var aggOps = map[string]bool{
+	"min": true, "max": true, "sum": true, "count": true, "avg": true, "any": true,
+}
+
+// parseHead parses the head literal, normalizing aggregation: aggregated
+// arguments are replaced by fresh variables recorded in HeadAggs.
+func (p *Parser) parseHead() (ast.Literal, []ast.HeadAgg, error) {
+	if p.tok.kind != tkAtom {
+		return ast.Literal{}, nil, p.errorf("expected predicate name, found %s", p.tok)
+	}
+	lit := ast.Literal{Pred: p.tok.text}
+	if err := p.advance(); err != nil {
+		return ast.Literal{}, nil, err
+	}
+	if !p.isPunct("(") {
+		return lit, nil, nil // zero-arity head
+	}
+	if err := p.advance(); err != nil {
+		return ast.Literal{}, nil, err
+	}
+	var aggs []ast.HeadAgg
+	for {
+		pos := len(lit.Args)
+		// Set grouping <X>.
+		if p.isPunct("<") {
+			if err := p.advance(); err != nil {
+				return ast.Literal{}, nil, err
+			}
+			t, err := p.parseArith()
+			if err != nil {
+				return ast.Literal{}, nil, err
+			}
+			if err := p.expectPunct(">"); err != nil {
+				return ast.Literal{}, nil, err
+			}
+			v := term.NewVar(fmt.Sprintf("_Agg%d", pos))
+			aggs = append(aggs, ast.HeadAgg{Pos: pos, Op: "set", Arg: t})
+			lit.Args = append(lit.Args, v)
+		} else {
+			t, err := p.parseArith()
+			if err != nil {
+				return ast.Literal{}, nil, err
+			}
+			if f, ok := t.(*term.Functor); ok && len(f.Args) == 1 && aggOps[f.Sym] {
+				v := term.NewVar(fmt.Sprintf("_Agg%d", pos))
+				aggs = append(aggs, ast.HeadAgg{Pos: pos, Op: f.Sym, Arg: f.Args[0]})
+				lit.Args = append(lit.Args, v)
+			} else {
+				lit.Args = append(lit.Args, t)
+			}
+		}
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return ast.Literal{}, nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return ast.Literal{}, nil, err
+	}
+	return lit, aggs, nil
+}
+
+// parseBody parses a comma-separated conjunction of goals.
+func (p *Parser) parseBody() ([]ast.Literal, error) {
+	var body []ast.Literal
+	for {
+		g, err := p.parseGoal()
+		if err != nil {
+			return nil, err
+		}
+		body = append(body, g)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return body, nil
+	}
+}
+
+// comparison operators allowed between arithmetic expressions in goals.
+var cmpOps = map[string]bool{
+	"=": true, "!=": true, "==": true, "<": true, ">": true, ">=": true, "=<": true,
+}
+
+// parseGoal parses one body literal: a negated literal, a relational
+// literal, or a builtin comparison between expressions.
+func (p *Parser) parseGoal() (ast.Literal, error) {
+	if p.tok.kind == tkAtom && p.tok.text == "not" {
+		if err := p.advance(); err != nil {
+			return ast.Literal{}, err
+		}
+		inner, err := p.parseGoal()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		if inner.Neg {
+			return ast.Literal{}, p.errorf("double negation is not supported")
+		}
+		if inner.Builtin() {
+			return ast.Literal{}, p.errorf("negation of builtin %q is not supported; use the complement operator", inner.Pred)
+		}
+		inner.Neg = true
+		return inner, nil
+	}
+	left, err := p.parseArith()
+	if err != nil {
+		return ast.Literal{}, err
+	}
+	if p.tok.kind == tkPunct && cmpOps[p.tok.text] || p.tok.kind == tkAtom && p.tok.text == "is" {
+		op := p.tok.text
+		if op == "is" {
+			op = "="
+		}
+		if err := p.advance(); err != nil {
+			return ast.Literal{}, err
+		}
+		right, err := p.parseArith()
+		if err != nil {
+			return ast.Literal{}, err
+		}
+		return ast.Literal{Pred: op, Args: []term.Term{left, right}}, nil
+	}
+	f, ok := left.(*term.Functor)
+	if !ok {
+		return ast.Literal{}, p.errorf("expected a literal, found term %s", left)
+	}
+	return ast.Literal{Pred: f.Sym, Args: f.Args}, nil
+}
+
+// parseArith parses an additive expression.
+func (p *Parser) parseArith() (term.Term, error) {
+	left, err := p.parseMul()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("+") || p.isPunct("-") {
+		op := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseMul()
+		if err != nil {
+			return nil, err
+		}
+		left = term.NewFunctor(op, left, right)
+	}
+	return left, nil
+}
+
+func (p *Parser) parseMul() (term.Term, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for p.isPunct("*") || p.isPunct("/") || (p.tok.kind == tkAtom && p.tok.text == "mod") {
+		op := p.tok.text
+		// 'mod' is only an operator when followed by an operand; 'mod' as a
+		// plain atom (e.g. end of clause) stays an atom.
+		if op == "mod" {
+			// peek: treat as operator unconditionally in expression context
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = term.NewFunctor(op, left, right)
+	}
+	return left, nil
+}
+
+func (p *Parser) parseUnary() (term.Term, error) {
+	if p.isPunct("-") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		switch x := t.(type) {
+		case term.Int:
+			return term.Int(-int64(x)), nil
+		case term.Float:
+			return term.Float(-float64(x)), nil
+		case term.Big:
+			return term.NewBig(new(big.Int).Neg(x.V)), nil
+		default:
+			return term.NewFunctor("-", term.Int(0), t), nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() (term.Term, error) {
+	tok := p.tok
+	switch tok.kind {
+	case tkInt:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(tok.text, "n") {
+			v, ok := new(big.Int).SetString(strings.TrimSuffix(tok.text, "n"), 10)
+			if !ok {
+				return nil, p.errorf("bad big integer %q", tok.text)
+			}
+			return term.NewBig(v), nil
+		}
+		v, err := strconv.ParseInt(tok.text, 10, 64)
+		if err != nil {
+			// Overflowing literals promote to arbitrary precision.
+			b, ok := new(big.Int).SetString(tok.text, 10)
+			if !ok {
+				return nil, p.errorf("bad integer %q", tok.text)
+			}
+			return term.NewBig(b), nil
+		}
+		return term.Int(v), nil
+	case tkFloat:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseFloat(tok.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad float %q", tok.text)
+		}
+		return term.Float(v), nil
+	case tkString:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return term.Str(tok.text), nil
+	case tkVar:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if tok.text == "_" {
+			// Each underscore is a distinct anonymous variable.
+			return term.NewVar(""), nil
+		}
+		return p.scopedVar(tok.text), nil
+	case tkAtom:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if !p.isPunct("(") {
+			return term.Atom(tok.text), nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		var args []term.Term
+		for {
+			a, err := p.parseArith()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.isPunct(",") {
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			break
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		return term.NewFunctor(tok.text, args...), nil
+	case tkPunct:
+		switch tok.text {
+		case "[":
+			return p.parseList()
+		case "(":
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			t, err := p.parseArith()
+			if err != nil {
+				return nil, err
+			}
+			return t, p.expectPunct(")")
+		}
+	}
+	return nil, p.errorf("expected a term, found %s", tok)
+}
+
+func (p *Parser) parseList() (term.Term, error) {
+	if err := p.advance(); err != nil { // consume '['
+		return nil, err
+	}
+	if p.isPunct("]") {
+		return term.EmptyList(), p.advance()
+	}
+	var items []term.Term
+	for {
+		t, err := p.parseArith()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, t)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	tail := term.Term(term.EmptyList())
+	if p.isPunct("|") {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		t, err := p.parseArith()
+		if err != nil {
+			return nil, err
+		}
+		tail = t
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, err
+	}
+	return term.MakeListTail(tail, items...), nil
+}

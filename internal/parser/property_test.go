@@ -1,0 +1,150 @@
+package parser
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Property: printing a parsed module and reparsing it yields the same
+// printed form (print∘parse is a fixpoint), over randomly generated
+// modules covering rules, facts, builtins, negation, lists, functors,
+// aggregation and annotations.
+func TestQuickPrintParseFixpoint(t *testing.T) {
+	for seed := int64(0); seed < 40; seed++ {
+		src := genModule(rand.New(rand.NewSource(seed)))
+		u, err := Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: generated module does not parse: %v\n%s", seed, err, src)
+		}
+		printed := u.Modules[0].String()
+		u2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("seed %d: printed module does not reparse: %v\n%s", seed, err, printed)
+		}
+		again := u2.Modules[0].String()
+		if printed != again {
+			t.Fatalf("seed %d: print/parse not a fixpoint:\n%s\nvs\n%s", seed, printed, again)
+		}
+	}
+}
+
+// genModule builds a random but well-formed module text.
+func genModule(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString("module m.\nexport p0(")
+	arity := 1 + r.Intn(3)
+	form := make([]byte, arity)
+	for i := range form {
+		form[i] = "bf"[r.Intn(2)]
+	}
+	b.Write(form)
+	b.WriteString(").\n")
+	if r.Intn(3) == 0 {
+		b.WriteString("@psn.\n")
+	}
+	if r.Intn(4) == 0 {
+		b.WriteString("@multiset p0.\n")
+	}
+	nRules := 1 + r.Intn(4)
+	for ri := 0; ri < nRules; ri++ {
+		head := fmt.Sprintf("p%d(%s)", r.Intn(2), genArgs(r, arity))
+		b.WriteString(head)
+		nBody := r.Intn(3)
+		if nBody > 0 {
+			b.WriteString(" :- ")
+			for bi := 0; bi < nBody; bi++ {
+				if bi > 0 {
+					b.WriteString(", ")
+				}
+				b.WriteString(genGoal(r))
+			}
+		}
+		b.WriteString(".\n")
+	}
+	b.WriteString("end_module.\n")
+	return b.String()
+}
+
+func genArgs(r *rand.Rand, n int) string {
+	parts := make([]string, n)
+	for i := range parts {
+		parts[i] = genTerm(r, 2)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func genTerm(r *rand.Rand, depth int) string {
+	if depth == 0 {
+		switch r.Intn(4) {
+		case 0:
+			return fmt.Sprintf("%d", r.Intn(100)-50)
+		case 1:
+			return []string{"a", "b", "foo"}[r.Intn(3)]
+		case 2:
+			return `"str"`
+		default:
+			return []string{"X", "Y", "Z"}[r.Intn(3)]
+		}
+	}
+	switch r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("f(%s, %s)", genTerm(r, depth-1), genTerm(r, depth-1))
+	case 1:
+		return fmt.Sprintf("[%s, %s]", genTerm(r, depth-1), genTerm(r, depth-1))
+	case 2:
+		return fmt.Sprintf("[%s|T]", genTerm(r, depth-1))
+	default:
+		return genTerm(r, 0)
+	}
+}
+
+func genGoal(r *rand.Rand) string {
+	switch r.Intn(5) {
+	case 0:
+		return fmt.Sprintf("X %s %d", []string{"<", ">", ">=", "=<"}[r.Intn(4)], r.Intn(10))
+	case 1:
+		return "not base(X)"
+	default:
+		return fmt.Sprintf("q%d(%s)", r.Intn(2), genTerm(r, 1))
+	}
+}
+
+// Fuzz-shaped robustness: the parser must return errors, never panic, on
+// mangled inputs derived from valid programs.
+func TestParserNeverPanics(t *testing.T) {
+	base := `
+module m.
+export p(bf).
+@aggregate_selection p(X, C) (X) min(C).
+p(X, Y) :- e(X, Z), not q(Z), Y = Z * 2, r([a, f(X)|T]).
+end_module.
+?- p(1, Y).
+`
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		mangled := []byte(base)
+		for k := 0; k < 1+r.Intn(4); k++ {
+			switch r.Intn(3) {
+			case 0: // delete a byte
+				pos := r.Intn(len(mangled))
+				mangled = append(mangled[:pos], mangled[pos+1:]...)
+			case 1: // flip a byte
+				mangled[r.Intn(len(mangled))] = byte(32 + r.Intn(95))
+			case 2: // duplicate a span
+				pos := r.Intn(len(mangled))
+				end := pos + r.Intn(len(mangled)-pos)
+				mangled = append(mangled[:end], mangled[pos:]...)
+			}
+		}
+		func() {
+			defer func() {
+				if rec := recover(); rec != nil {
+					t.Fatalf("parser panicked on mangled input: %v\n%s", rec, mangled)
+				}
+			}()
+			Parse(string(mangled)) // error or success; never panic
+		}()
+	}
+}

@@ -1,0 +1,162 @@
+package relation
+
+import (
+	"coral/internal/term"
+)
+
+// AggSel is a run-time aggregate selection on a relation (paper §5.5.2):
+//
+//	@aggregate_selection p(X,Y,P,C) (X,Y) min(C).
+//
+// keeps, for every group (X,Y), only the facts whose C is minimal; costlier
+// facts are discarded on insert, and previously kept facts are deleted when
+// a cheaper one arrives. The shortest-path program of Figure 3 depends on
+// this: without it the program may run forever generating cyclic paths.
+//
+// The op "any" implements the paper's choice-like selection
+// (@aggregate_selection path(X,Y,P,C)(X,Y,C) any(P)): at most one fact per
+// group is retained, turning the relation into a witness function.
+//
+// A relation may carry several aggregate selections; a fact is admitted
+// only if every selection admits it.
+type AggSel struct {
+	// GroupPos are the argument positions forming the group key.
+	GroupPos []int
+	// Op is the aggregate operation.
+	Op AggOp
+	// ValuePos is the argument position being minimized/maximized
+	// (ignored for AggAny).
+	ValuePos int
+
+	groups map[uint64]*aggGroup
+}
+
+// AggOp enumerates aggregate-selection operations.
+type AggOp uint8
+
+// Supported aggregate-selection operations.
+const (
+	AggMin AggOp = iota
+	AggMax
+	AggAny
+)
+
+// String names the operation as it appears in annotations.
+func (op AggOp) String() string {
+	switch op {
+	case AggMin:
+		return "min"
+	case AggMax:
+		return "max"
+	case AggAny:
+		return "any"
+	}
+	return "aggop?"
+}
+
+type aggGroup struct {
+	best term.Term // current best value (nil for AggAny)
+	ords []int32   // ordinals of currently kept facts in this group
+	// key collision safety: the exact group values.
+	keyVals []term.Term
+	next    *aggGroup // hash-collision chain
+}
+
+// AddAggSel attaches an aggregate selection to the relation. Selections
+// apply to subsequently inserted facts; attach before populating.
+func (r *HashRelation) AddAggSel(sel *AggSel) {
+	for _, p := range sel.GroupPos {
+		if p < 0 || p >= r.arity {
+			panic("relation: aggregate selection group position out of range")
+		}
+	}
+	if sel.Op != AggAny && (sel.ValuePos < 0 || sel.ValuePos >= r.arity) {
+		panic("relation: aggregate selection value position out of range")
+	}
+	sel.groups = make(map[uint64]*aggGroup)
+	r.aggSels = append(r.aggSels, sel)
+}
+
+// AggSels returns the attached selections.
+func (r *HashRelation) AggSels() []*AggSel { return r.aggSels }
+
+func (s *AggSel) clear() { s.groups = make(map[uint64]*aggGroup) }
+
+// groupFor returns the group of f, creating it if asked. A fact with
+// non-ground group values falls outside the selection (nil group): the
+// selection does not constrain it.
+func (s *AggSel) groupFor(f Fact, create bool) *aggGroup {
+	keyVals := make([]term.Term, len(s.GroupPos))
+	for i, p := range s.GroupPos {
+		v := f.Args[p]
+		if !term.IsGround(v) {
+			return nil
+		}
+		keyVals[i] = v
+	}
+	h := term.HashArgs(keyVals)
+	for g := s.groups[h]; g != nil; g = g.next {
+		if term.EqualArgs(g.keyVals, keyVals) {
+			return g
+		}
+	}
+	if !create {
+		return nil
+	}
+	g := &aggGroup{keyVals: keyVals, next: s.groups[h]}
+	s.groups[h] = g
+	return g
+}
+
+// check reports whether f would be admitted. It does not mutate state.
+func (s *AggSel) check(f Fact) bool {
+	g := s.groupFor(f, false)
+	if g == nil {
+		return true
+	}
+	switch s.Op {
+	case AggAny:
+		return len(g.ords) == 0
+	case AggMin:
+		return s.cmpValue(f, g) <= 0
+	case AggMax:
+		return s.cmpValue(f, g) >= 0
+	}
+	return true
+}
+
+// cmpValue compares f's value against the group's current best.
+func (s *AggSel) cmpValue(f Fact, g *aggGroup) int {
+	v := f.Args[s.ValuePos]
+	if g.best == nil {
+		return 0
+	}
+	if term.IsNumeric(v) && term.IsNumeric(g.best) {
+		return term.NumCompare(v, g.best)
+	}
+	return term.Compare(v, g.best)
+}
+
+// commit records the admitted fact (stored at ord) and deletes facts it
+// displaces. The caller has already appended f.
+func (s *AggSel) commit(r *HashRelation, f Fact, ord int32) {
+	g := s.groupFor(f, true)
+	if g == nil {
+		return
+	}
+	switch s.Op {
+	case AggAny:
+		g.ords = append(g.ords, ord)
+	case AggMin, AggMax:
+		c := s.cmpValue(f, g)
+		strictlyBetter := (s.Op == AggMin && c < 0) || (s.Op == AggMax && c > 0)
+		if g.best == nil || strictlyBetter {
+			for _, old := range g.ords {
+				r.deleteOrd(old)
+			}
+			g.ords = g.ords[:0]
+			g.best = f.Args[s.ValuePos]
+		}
+		g.ords = append(g.ords, ord)
+	}
+}

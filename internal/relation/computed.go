@@ -1,0 +1,87 @@
+package relation
+
+import (
+	"coral/internal/term"
+)
+
+// GenFunc produces the facts of a computed relation for a given call
+// pattern. pattern/env describe the bindings at the call site; the function
+// returns an iterator over (canonical, environment-free) facts, which the
+// caller unifies against the pattern. Returning a superset of the matching
+// facts is allowed; returning facts for an insufficiently bound pattern may
+// be rejected by returning nil, which the engine reports as an
+// instantiation error.
+type GenFunc func(pattern []term.Term, env *term.Env) Iterator
+
+// Computed is a relation defined by a host-language function — the paper's
+// "relations defined by C++ functions" (§6.2, §7.2). It is read-only.
+type Computed struct {
+	name  string
+	arity int
+	gen   GenFunc
+}
+
+// NewComputed wraps fn as a relation.
+func NewComputed(name string, arity int, fn GenFunc) *Computed {
+	return &Computed{name: name, arity: arity, gen: fn}
+}
+
+// Name implements Relation.
+func (r *Computed) Name() string { return r.name }
+
+// Arity implements Relation.
+func (r *Computed) Arity() int { return r.arity }
+
+// Len implements Relation; the extent of a computed relation is unknown.
+func (r *Computed) Len() int { return 0 }
+
+// Insert implements Relation. Computed relations are read-only; inserting
+// is a program error.
+func (r *Computed) Insert(Fact) bool {
+	panic("relation: insert into computed relation " + r.name)
+}
+
+// Scan implements Relation by generating with an all-free pattern.
+func (r *Computed) Scan() Iterator {
+	pattern := make([]term.Term, r.arity)
+	env := term.NewEnv(r.arity)
+	for i := range pattern {
+		pattern[i] = &term.Var{Index: i}
+	}
+	it := r.gen(pattern, env)
+	if it == nil {
+		return EmptyIterator()
+	}
+	return it
+}
+
+// Lookup implements Relation.
+func (r *Computed) Lookup(pattern []term.Term, env *term.Env) Iterator {
+	it := r.gen(pattern, env)
+	if it == nil {
+		return EmptyIterator()
+	}
+	return it
+}
+
+// Snapshot implements Relation; computed relations have no history.
+func (r *Computed) Snapshot() Mark { return 0 }
+
+// ScanRange implements Relation. Ranges are meaningless for computed
+// relations: the full extent is returned for the initial range and nothing
+// for later deltas, which is exactly what semi-naive evaluation needs for a
+// relation that never changes.
+func (r *Computed) ScanRange(from, to Mark) Iterator {
+	if from == 0 {
+		return r.Scan()
+	}
+	return EmptyIterator()
+}
+
+// LookupRange implements Relation (see ScanRange).
+func (r *Computed) LookupRange(pattern []term.Term, env *term.Env, from, to Mark) Iterator {
+	if from == 0 {
+		return r.Lookup(pattern, env)
+	}
+	return EmptyIterator()
+}

@@ -1,0 +1,313 @@
+package relation
+
+import (
+	"coral/internal/term"
+)
+
+// HashRelation is the default in-memory relation (paper §3.2). Facts are
+// stored in insertion order; a Mark is simply a watermark into that order,
+// which gives the paper's "subsidiary relation per interval between marks"
+// its moral equivalent: every scan and every index lookup can be restricted
+// to an ordinal range, and indexes keep working across marks (bucket
+// postings are ordinal-sorted, so a range restriction is a binary search).
+//
+// Duplicate elimination ("subsumption checks", §4.2) is on by default:
+// a fact is rejected if a variant of it is already present, or — when
+// non-ground facts are involved — if an existing fact subsumes it. Setting
+// Multiset disables the checks, giving SQL-style duplicate semantics.
+type HashRelation struct {
+	name  string
+	arity int
+
+	facts []storedFact
+	live  int
+
+	// dedup maps the variant hash of a fact to the ordinals of facts with
+	// that hash.
+	dedup map[uint64][]int32
+	// nonground lists ordinals of live non-ground facts (usually empty);
+	// subsumption against these is linear.
+	nonground []int32
+
+	indexes    []*argIndex
+	patIndexes []*patternIndex
+
+	// Multiset disables duplicate and subsumption checks (paper §4.2).
+	Multiset bool
+	// aggSels filter insertions through aggregate selections (paper
+	// §5.5.2); a fact is admitted only if every selection admits it.
+	aggSels []*AggSel
+
+	inserted int // total insert attempts, for statistics
+}
+
+type storedFact struct {
+	fact Fact
+	dead bool
+}
+
+// NewHashRelation creates an empty hash relation.
+func NewHashRelation(name string, arity int) *HashRelation {
+	return &HashRelation{
+		name:  name,
+		arity: arity,
+		dedup: make(map[uint64][]int32),
+	}
+}
+
+// Name implements Relation.
+func (r *HashRelation) Name() string { return r.name }
+
+// Arity implements Relation.
+func (r *HashRelation) Arity() int { return r.arity }
+
+// Len implements Relation.
+func (r *HashRelation) Len() int { return r.live }
+
+// InsertAttempts returns the total number of Insert calls; the difference
+// from Len measures duplicate work (experiments E01/E14).
+func (r *HashRelation) InsertAttempts() int { return r.inserted }
+
+// Insert implements Relation. f must be canonical (see Fact).
+func (r *HashRelation) Insert(f Fact) bool {
+	if len(f.Args) != r.arity {
+		panic("relation: arity mismatch inserting into " + r.name)
+	}
+	r.inserted++
+	if !r.Multiset && r.isDuplicate(f) {
+		return false
+	}
+	for _, s := range r.aggSels {
+		if !s.check(f) {
+			return false
+		}
+	}
+	ord := r.append(f)
+	for _, s := range r.aggSels {
+		s.commit(r, f, ord)
+	}
+	return true
+}
+
+// append adds f unconditionally, updating dedup and indexes, and returns
+// the new fact's ordinal.
+func (r *HashRelation) append(f Fact) int32 {
+	ord := int32(len(r.facts))
+	r.facts = append(r.facts, storedFact{fact: f})
+	r.live++
+	if !r.Multiset {
+		h := term.HashArgs(f.Args)
+		r.dedup[h] = append(r.dedup[h], ord)
+	}
+	if f.NVars > 0 {
+		r.nonground = append(r.nonground, ord)
+	}
+	for _, ix := range r.indexes {
+		ix.insert(f, ord)
+	}
+	for _, ix := range r.patIndexes {
+		ix.insert(f, ord)
+	}
+	return ord
+}
+
+// isDuplicate reports whether f is a variant of an existing live fact or
+// subsumed by an existing non-ground fact.
+func (r *HashRelation) isDuplicate(f Fact) bool {
+	h := term.HashArgs(f.Args)
+	for _, ord := range r.dedup[h] {
+		sf := &r.facts[ord]
+		if sf.dead {
+			continue
+		}
+		if sf.fact.NVars == f.NVars && term.EqualArgs(sf.fact.Args, f.Args) {
+			return true
+		}
+	}
+	// Subsumption by a strictly more general stored fact.
+	for _, ord := range r.nonground {
+		sf := &r.facts[ord]
+		if sf.dead {
+			continue
+		}
+		if term.Subsumes(sf.fact.Args, sf.fact.NVars, f.Args) {
+			return true
+		}
+	}
+	return false
+}
+
+// Delete implements Deleter: every live fact unifying with pattern under
+// env is removed.
+func (r *HashRelation) Delete(pattern []term.Term, env *term.Env) int {
+	// Canonicalize the pattern so its variables are densely numbered (the
+	// public API may pass parser-style unnumbered variables).
+	pat, nvars := term.ResolveArgs(pattern, env)
+	var tr term.Trail
+	removed := 0
+	penv := term.NewEnv(nvars)
+	for ord := range r.facts {
+		sf := &r.facts[ord]
+		if sf.dead {
+			continue
+		}
+		fenv := term.NewEnv(sf.fact.NVars)
+		m := tr.Mark()
+		ok := term.UnifyArgs(pat, penv, sf.fact.Args, fenv, &tr)
+		tr.Undo(m)
+		if ok {
+			r.deleteOrd(int32(ord))
+			removed++
+		}
+	}
+	return removed
+}
+
+func (r *HashRelation) deleteOrd(ord int32) {
+	sf := &r.facts[ord]
+	if sf.dead {
+		return
+	}
+	sf.dead = true
+	r.live--
+	// dedup postings and index postings keep the ordinal; iterators skip
+	// dead facts. (The paper's EXODUS-free in-memory relations similarly
+	// tombstone; compaction is not needed for fixpoint workloads.)
+}
+
+// Clear removes all facts but keeps index definitions.
+func (r *HashRelation) Clear() {
+	r.facts = nil
+	r.live = 0
+	r.dedup = make(map[uint64][]int32)
+	r.nonground = nil
+	r.inserted = 0
+	for _, ix := range r.indexes {
+		ix.clear()
+	}
+	for _, ix := range r.patIndexes {
+		ix.clear()
+	}
+	for _, s := range r.aggSels {
+		s.clear()
+	}
+}
+
+// Snapshot implements Relation.
+func (r *HashRelation) Snapshot() Mark { return Mark(len(r.facts)) }
+
+// Scan implements Relation.
+func (r *HashRelation) Scan() Iterator { return r.ScanRange(0, r.Snapshot()) }
+
+// ScanRange implements Relation.
+func (r *HashRelation) ScanRange(from, to Mark) Iterator {
+	return &rangeIter{rel: r, pos: int(from), to: int(to)}
+}
+
+type rangeIter struct {
+	rel *HashRelation
+	pos int
+	to  int
+}
+
+func (it *rangeIter) Next() (Fact, bool) {
+	for it.pos < it.to {
+		sf := &it.rel.facts[it.pos]
+		it.pos++
+		if !sf.dead {
+			return sf.fact, true
+		}
+	}
+	return Fact{}, false
+}
+
+// Lookup implements Relation.
+func (r *HashRelation) Lookup(pattern []term.Term, env *term.Env) Iterator {
+	return r.LookupRange(pattern, env, 0, r.Snapshot())
+}
+
+// LookupRange implements Relation: it picks the most selective usable index
+// for the pattern; with no usable index it degrades to a range scan.
+func (r *HashRelation) LookupRange(pattern []term.Term, env *term.Env, from, to Mark) Iterator {
+	if best := r.chooseArgIndex(pattern, env); best != nil {
+		if it, ok := best.lookup(pattern, env, int32(from), int32(to)); ok {
+			return it
+		}
+	}
+	for _, ix := range r.patIndexes {
+		if it, ok := ix.lookup(pattern, env, int32(from), int32(to)); ok {
+			return it
+		}
+	}
+	return r.ScanRange(from, to)
+}
+
+// chooseArgIndex returns the argument-form index with the largest number of
+// positions that are all bound (ground) in the pattern under env.
+func (r *HashRelation) chooseArgIndex(pattern []term.Term, env *term.Env) *argIndex {
+	var best *argIndex
+	for _, ix := range r.indexes {
+		if !ix.usable(pattern, env) {
+			continue
+		}
+		if best == nil || len(ix.positions) > len(best.positions) {
+			best = ix
+		}
+	}
+	return best
+}
+
+// ordIter iterates a sorted ordinal posting list restricted to [from, to).
+type ordIter struct {
+	rel   *HashRelation
+	lists [][]int32 // each ordinal-sorted; merged lazily
+	pos   []int
+	from  int32
+	to    int32
+}
+
+func newOrdIter(rel *HashRelation, from, to int32, lists ...[]int32) *ordIter {
+	it := &ordIter{rel: rel, lists: lists, pos: make([]int, len(lists)), from: from, to: to}
+	for i, l := range lists {
+		it.pos[i] = lowerBound(l, from)
+	}
+	return it
+}
+
+// lowerBound returns the first index in sorted l with l[i] >= v.
+func lowerBound(l []int32, v int32) int {
+	lo, hi := 0, len(l)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if l[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+func (it *ordIter) Next() (Fact, bool) {
+	for {
+		// Pick the smallest next ordinal across lists (usually 1-2 lists).
+		bestList, bestOrd := -1, int32(0)
+		for i, l := range it.lists {
+			p := it.pos[i]
+			if p >= len(l) || l[p] >= it.to {
+				continue
+			}
+			if bestList == -1 || l[p] < bestOrd {
+				bestList, bestOrd = i, l[p]
+			}
+		}
+		if bestList == -1 {
+			return Fact{}, false
+		}
+		it.pos[bestList]++
+		sf := &it.rel.facts[bestOrd]
+		if !sf.dead {
+			return sf.fact, true
+		}
+	}
+}

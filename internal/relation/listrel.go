@@ -1,0 +1,115 @@
+package relation
+
+import (
+	"coral/internal/term"
+)
+
+// ListRelation is the paper's "relations organized as linked lists" (§7.2):
+// the simplest relation representation, with no indexes. It exists both as
+// a baseline (experiment E06 measures what indexes buy) and as the smallest
+// example of adding a new relation implementation behind the common
+// interface.
+type ListRelation struct {
+	name  string
+	arity int
+	facts []storedFact
+	live  int
+	// Multiset disables the (linear) duplicate check.
+	Multiset bool
+}
+
+// NewListRelation creates an empty list relation.
+func NewListRelation(name string, arity int) *ListRelation {
+	return &ListRelation{name: name, arity: arity}
+}
+
+// Name implements Relation.
+func (r *ListRelation) Name() string { return r.name }
+
+// Arity implements Relation.
+func (r *ListRelation) Arity() int { return r.arity }
+
+// Len implements Relation.
+func (r *ListRelation) Len() int { return r.live }
+
+// Insert implements Relation. The duplicate check is a linear scan — the
+// point of this representation is its simplicity, not its speed.
+func (r *ListRelation) Insert(f Fact) bool {
+	if len(f.Args) != r.arity {
+		panic("relation: arity mismatch inserting into " + r.name)
+	}
+	if !r.Multiset {
+		for i := range r.facts {
+			sf := &r.facts[i]
+			if !sf.dead && sf.fact.NVars == f.NVars && term.EqualArgs(sf.fact.Args, f.Args) {
+				return false
+			}
+		}
+	}
+	r.facts = append(r.facts, storedFact{fact: f})
+	r.live++
+	return true
+}
+
+// Delete implements Deleter.
+func (r *ListRelation) Delete(pattern []term.Term, env *term.Env) int {
+	pat, nvars := term.ResolveArgs(pattern, env)
+	var tr term.Trail
+	removed := 0
+	penv := term.NewEnv(nvars)
+	for i := range r.facts {
+		sf := &r.facts[i]
+		if sf.dead {
+			continue
+		}
+		fenv := term.NewEnv(sf.fact.NVars)
+		m := tr.Mark()
+		ok := term.UnifyArgs(pat, penv, sf.fact.Args, fenv, &tr)
+		tr.Undo(m)
+		if ok {
+			sf.dead = true
+			r.live--
+			removed++
+		}
+	}
+	return removed
+}
+
+// Snapshot implements Relation.
+func (r *ListRelation) Snapshot() Mark { return Mark(len(r.facts)) }
+
+// Scan implements Relation.
+func (r *ListRelation) Scan() Iterator { return r.ScanRange(0, r.Snapshot()) }
+
+// ScanRange implements Relation.
+func (r *ListRelation) ScanRange(from, to Mark) Iterator {
+	return &listIter{rel: r, pos: int(from), to: int(to)}
+}
+
+// Lookup implements Relation; a list relation has no indexes, so every
+// lookup is a scan.
+func (r *ListRelation) Lookup(pattern []term.Term, env *term.Env) Iterator {
+	return r.Scan()
+}
+
+// LookupRange implements Relation.
+func (r *ListRelation) LookupRange(pattern []term.Term, env *term.Env, from, to Mark) Iterator {
+	return r.ScanRange(from, to)
+}
+
+type listIter struct {
+	rel *ListRelation
+	pos int
+	to  int
+}
+
+func (it *listIter) Next() (Fact, bool) {
+	for it.pos < it.to {
+		sf := &it.rel.facts[it.pos]
+		it.pos++
+		if !sf.dead {
+			return sf.fact, true
+		}
+	}
+	return Fact{}, false
+}

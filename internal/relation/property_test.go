@@ -1,0 +1,164 @@
+package relation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"coral/internal/term"
+)
+
+// Property: for any sequence of inserts, the union of mark-range scans
+// equals the full scan (the paper's subsidiary-relation union guarantee,
+// §3.2), and an indexed lookup returns a superset of the unifying facts a
+// scan would find.
+func TestQuickMarksPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := NewHashRelation("p", 2)
+		rel.MakeIndex(0)
+		var marks []Mark
+		for i := 0; i < 60; i++ {
+			if r.Intn(10) == 0 {
+				marks = append(marks, rel.Snapshot())
+			}
+			rel.Insert(GroundFact(term.Int(int64(r.Intn(8))), term.Int(int64(r.Intn(8)))))
+		}
+		marks = append([]Mark{0}, append(marks, rel.Snapshot())...)
+		total := 0
+		for i := 0; i+1 < len(marks); i++ {
+			total += len(Drain(rel.ScanRange(marks[i], marks[i+1])))
+		}
+		return total == len(Drain(rel.Scan()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: indexed lookup finds every fact that unifies with the pattern.
+func TestQuickIndexComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := NewHashRelation("p", 2)
+		rel.MakeIndex(0)
+		rel.MakeIndex(0, 1)
+		for i := 0; i < 80; i++ {
+			rel.Insert(GroundFact(term.Int(int64(r.Intn(6))), term.Int(int64(r.Intn(6)))))
+		}
+		key := term.Int(int64(r.Intn(6)))
+		pattern := []term.Term{key, term.NewVar("Y")}
+		// Count by scan+unify.
+		want := 0
+		for _, f := range Drain(rel.Scan()) {
+			if term.Equal(f.Args[0], key) {
+				want++
+			}
+		}
+		// Count by indexed lookup + unify filter.
+		got := 0
+		for _, f := range Drain(rel.Lookup(pattern, nil)) {
+			if term.Equal(f.Args[0], key) {
+				got++
+			}
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with duplicate checking on, a relation holds exactly the set of
+// distinct facts inserted; with Multiset it holds them all.
+func TestQuickDuplicateElimination(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		set := NewHashRelation("s", 1)
+		bag := NewHashRelation("b", 1)
+		bag.Multiset = true
+		distinct := map[int64]bool{}
+		n := 0
+		for i := 0; i < 50; i++ {
+			v := int64(r.Intn(10))
+			set.Insert(GroundFact(term.Int(v)))
+			bag.Insert(GroundFact(term.Int(v)))
+			distinct[v] = true
+			n++
+		}
+		return set.Len() == len(distinct) && bag.Len() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: under a min aggregate selection, the relation retains exactly
+// the group minima of everything inserted.
+func TestQuickAggSelMin(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := NewHashRelation("p", 2)
+		rel.AddAggSel(&AggSel{GroupPos: []int{0}, Op: AggMin, ValuePos: 1})
+		best := map[int64]int64{}
+		for i := 0; i < 80; i++ {
+			g := int64(r.Intn(5))
+			v := int64(r.Intn(100))
+			rel.Insert(GroundFact(term.Int(g), term.Int(v)))
+			if old, ok := best[g]; !ok || v < old {
+				best[g] = v
+			}
+		}
+		if rel.Len() != len(best) {
+			// Ties can retain multiple facts per group; recount.
+			seen := map[int64]map[int64]bool{}
+			for _, f := range Drain(rel.Scan()) {
+				g := int64(f.Args[0].(term.Int))
+				v := int64(f.Args[1].(term.Int))
+				if v != best[g] {
+					return false
+				}
+				if seen[g] == nil {
+					seen[g] = map[int64]bool{}
+				}
+				seen[g][v] = true
+			}
+			return true
+		}
+		for _, f := range Drain(rel.Scan()) {
+			g := int64(f.Args[0].(term.Int))
+			v := int64(f.Args[1].(term.Int))
+			if v != best[g] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: deletes never leave ghosts in scans, lookups, or ranges.
+func TestQuickDeleteConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rel := NewHashRelation("p", 1)
+		rel.MakeIndex(0)
+		for i := 0; i < 30; i++ {
+			rel.Insert(GroundFact(term.Int(int64(i))))
+		}
+		victim := term.Int(int64(r.Intn(30)))
+		rel.Delete([]term.Term{victim}, nil)
+		for _, f := range Drain(rel.Scan()) {
+			if term.Equal(f.Args[0], victim) {
+				return false
+			}
+		}
+		return len(Drain(rel.Lookup([]term.Term{victim}, nil))) == 0 &&
+			rel.Len() == 29
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,133 @@
+// Package relation implements the CORAL relation representations (paper
+// §3.2) and index structures (paper §3.3): in-memory hash relations with
+// duplicate/subsumption checking, marks that distinguish facts inserted
+// before and after a point in time (the basis of all semi-naive evaluation
+// variants, §5.3), argument-form and pattern-form hash indexes, linked-list
+// relations, and relations computed by user-supplied Go functions (the
+// paper's C++-defined predicates, §6.2).
+//
+// Everything is consumed through the get-next-tuple iterator interface the
+// paper builds the whole system around (§2, §5.6).
+package relation
+
+import (
+	"coral/internal/term"
+)
+
+// Fact is one stored tuple. Args are environment-free canonical terms:
+// unbound variables are renumbered densely from 0 in order of first
+// occurrence and NVars is the number of distinct variables (0 for ground
+// facts). CORAL permits non-ground facts — variables in facts are
+// universally quantified (paper §3.1).
+type Fact struct {
+	Args  []term.Term
+	NVars int
+}
+
+// NewFact canonicalizes args under env into a Fact.
+func NewFact(args []term.Term, env *term.Env) Fact {
+	resolved, n := term.ResolveArgs(args, env)
+	return Fact{Args: resolved, NVars: n}
+}
+
+// GroundFact wraps already-ground, environment-free args without copying.
+func GroundFact(args ...term.Term) Fact { return Fact{Args: args} }
+
+// String renders the fact's argument list.
+func (f Fact) String() string {
+	s := "("
+	for i, a := range f.Args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+
+// Iterator is the get-next-tuple interface (paper §2): it yields facts one
+// at a time; ok is false when the scan is exhausted. Iterators are the only
+// way any component reads a relation, which is what lets base, derived,
+// computed and persistent relations interchange freely.
+type Iterator interface {
+	Next() (f Fact, ok bool)
+}
+
+// Mark is a point in a relation's insertion history. Facts inserted before
+// and after a mark can be scanned separately (paper §3.2); semi-naive
+// deltas are ranges between marks.
+type Mark int
+
+// Relation is the common interface of every relation implementation (class
+// Relation in the paper). Implementations may be hash relations, list
+// relations, Go-computed relations, or disk-resident relations from the
+// storage package.
+type Relation interface {
+	// Name returns the predicate name.
+	Name() string
+	// Arity returns the number of arguments.
+	Arity() int
+	// Insert adds f (canonical, environment-free) and reports whether it
+	// was new (false: rejected as duplicate, subsumed, or filtered by an
+	// aggregate selection).
+	Insert(f Fact) bool
+	// Len returns the number of live facts.
+	Len() int
+	// Scan returns an iterator over all live facts.
+	Scan() Iterator
+	// Lookup returns an iterator over facts that may match pattern under
+	// env, using the best available index; callers must still unify. A
+	// relation without a usable index returns a full scan.
+	Lookup(pattern []term.Term, env *term.Env) Iterator
+	// Snapshot returns the current mark.
+	Snapshot() Mark
+	// ScanRange iterates facts inserted in the mark interval [from, to).
+	ScanRange(from, to Mark) Iterator
+	// LookupRange is Lookup restricted to [from, to).
+	LookupRange(pattern []term.Term, env *term.Env, from, to Mark) Iterator
+}
+
+// Deleter is implemented by relations supporting deletion.
+type Deleter interface {
+	// Delete removes all facts matching pattern under env and returns how
+	// many were removed.
+	Delete(pattern []term.Term, env *term.Env) int
+}
+
+// emptyIter yields nothing.
+type emptyIter struct{}
+
+func (emptyIter) Next() (Fact, bool) { return Fact{}, false }
+
+// EmptyIterator returns an iterator with no facts.
+func EmptyIterator() Iterator { return emptyIter{} }
+
+// factsIter iterates a materialized slice of facts.
+type factsIter struct {
+	facts []Fact
+	pos   int
+}
+
+func (it *factsIter) Next() (Fact, bool) {
+	if it.pos >= len(it.facts) {
+		return Fact{}, false
+	}
+	f := it.facts[it.pos]
+	it.pos++
+	return f, true
+}
+
+// SliceIterator iterates over the given facts.
+func SliceIterator(facts []Fact) Iterator { return &factsIter{facts: facts} }
+
+// Drain collects all remaining facts from it.
+func Drain(it Iterator) []Fact {
+	var out []Fact
+	for {
+		f, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, f)
+	}
+}

@@ -1,0 +1,193 @@
+// Package repl implements the interactive interface's command processing
+// (paper §2): consulting files, running queries, asserting facts, and
+// inspecting the optimizer's output. cmd/coral wires it to stdin/stdout.
+package repl
+
+import (
+	"fmt"
+	"strings"
+
+	coral "coral"
+)
+
+// HelpText lists the interactive commands.
+const HelpText = `Commands (all end with a period):
+  consult("file").          load a program file (facts, modules, queries)
+  p(a, X).                  run a query against base relations and exports
+  fact(a, b).               assert a base fact
+  explain(p(a, c)).         show a derivation proof tree for each answer
+  rewritten(mod, p, "bf").  show the optimizer's rewritten program
+  save("file", pred/2).     write a base relation as a consultable file
+  help.                     this text
+  halt.                     exit`
+
+// Session holds REPL state: the system plus a pending multi-line clause.
+type Session struct {
+	Sys     *coral.System
+	pending strings.Builder
+}
+
+// NewSession wraps a system.
+func NewSession(sys *coral.System) *Session { return &Session{Sys: sys} }
+
+// Feed consumes one input line. It returns the output to print, whether
+// the session should end, and whether more lines are needed to complete
+// the current clause (the caller shows a continuation prompt).
+func (s *Session) Feed(line string) (output string, done, needMore bool) {
+	s.pending.WriteString(line)
+	s.pending.WriteByte('\n')
+	text := strings.TrimSpace(s.pending.String())
+	if text == "" {
+		s.pending.Reset()
+		return "", false, false
+	}
+	if !strings.HasSuffix(text, ".") {
+		return "", false, true
+	}
+	s.pending.Reset()
+	out, quit := s.Execute(text)
+	return out, quit, false
+}
+
+// Execute runs one period-terminated input and returns its output; done
+// reports a halt command.
+func (s *Session) Execute(text string) (output string, done bool) {
+	body := strings.TrimSuffix(strings.TrimSpace(text), ".")
+	switch strings.TrimSpace(body) {
+	case "halt", "quit", "exit":
+		return "", true
+	case "help":
+		return HelpText + "\n", false
+	}
+	if arg, ok := command(body, "consult"); ok {
+		results, err := s.Sys.ConsultFile(strings.Trim(strings.TrimSpace(arg), `"'`))
+		out := renderResults(results)
+		if err != nil {
+			out += "error: " + err.Error() + "\n"
+		}
+		return out, false
+	}
+	if arg, ok := command(body, "save"); ok {
+		parts := strings.SplitN(arg, ",", 2)
+		if len(parts) != 2 {
+			return "error: usage save(\"file\", pred/arity).\n", false
+		}
+		spec := strings.TrimSpace(parts[1])
+		slash := strings.LastIndex(spec, "/")
+		if slash < 0 {
+			return "error: usage save(\"file\", pred/arity).\n", false
+		}
+		arity := 0
+		for _, c := range spec[slash+1:] {
+			if c < '0' || c > '9' {
+				return "error: bad arity in " + spec + "\n", false
+			}
+			arity = arity*10 + int(c-'0')
+		}
+		path := strings.Trim(strings.TrimSpace(parts[0]), `"'`)
+		if err := s.Sys.SaveRelation(path, spec[:slash], arity); err != nil {
+			return "error: " + err.Error() + "\n", false
+		}
+		return fmt.Sprintf("saved %s to %s\n", spec, path), false
+	}
+	if arg, ok := command(body, "explain"); ok {
+		out, err := s.Sys.Explain(arg)
+		if err != nil {
+			return "error: " + err.Error() + "\n", false
+		}
+		return out, false
+	}
+	if arg, ok := command(body, "rewritten"); ok {
+		parts := strings.Split(arg, ",")
+		if len(parts) != 3 {
+			return "error: usage rewritten(module, pred, \"form\").\n", false
+		}
+		out, err := s.Sys.RewrittenProgram(
+			strings.TrimSpace(parts[0]),
+			strings.TrimSpace(parts[1]),
+			strings.Trim(strings.TrimSpace(parts[2]), `"'`))
+		if err != nil {
+			return "error: " + err.Error() + "\n", false
+		}
+		return out, false
+	}
+	// Module definitions and rules are program text.
+	if strings.Contains(text, ":-") || strings.HasPrefix(strings.TrimSpace(text), "module ") {
+		results, err := s.Sys.Consult(text)
+		out := renderResults(results)
+		if err != nil {
+			out += "error: " + err.Error() + "\n"
+		}
+		return out, false
+	}
+	// Otherwise run as a query. A ground single-literal input with no
+	// answers is taken as a fact assertion (the interactive convention:
+	// "edge(a, b)." adds the fact; re-entering it then answers yes).
+	ans, err := s.Sys.Query(body)
+	if err == nil {
+		if len(ans.Tuples) == 0 && len(ans.Vars) == 0 && s.assertable(text) {
+			if _, cerr := s.Sys.Consult(text); cerr == nil {
+				return "asserted.\n", false
+			}
+		}
+		return RenderAnswers(ans), false
+	}
+	return "error: " + err.Error() + "\n", false
+}
+
+// assertable reports whether the input is a single positive ground literal
+// on a predicate not exported by a module — i.e. a base fact. Non-ground
+// facts (universally quantified variables) must come through consult so a
+// mistyped query cannot silently assert p(X).
+func (s *Session) assertable(text string) bool {
+	u, err := s.Sys.ParseUnit(text)
+	if err != nil || len(u.Facts) != 1 || len(u.Modules) != 0 || len(u.Queries) != 0 {
+		return false
+	}
+	f := u.Facts[0]
+	for _, a := range f.Args {
+		if !coral.IsGroundTerm(a) {
+			return false
+		}
+	}
+	return !s.Sys.IsExported(f.Pred, len(f.Args))
+}
+
+// command parses name(arg) inputs.
+func command(body, name string) (string, bool) {
+	b := strings.TrimSpace(body)
+	if !strings.HasPrefix(b, name+"(") || !strings.HasSuffix(b, ")") {
+		return "", false
+	}
+	return b[len(name)+1 : len(b)-1], true
+}
+
+func renderResults(results []*coral.Answers) string {
+	var b strings.Builder
+	for _, ans := range results {
+		fmt.Fprintf(&b, "%% %s\n", ans.Query)
+		b.WriteString(RenderAnswers(ans))
+	}
+	return b.String()
+}
+
+// RenderAnswers prints a query's answers in X = v form.
+func RenderAnswers(ans *coral.Answers) string {
+	if len(ans.Tuples) == 0 {
+		return "no\n"
+	}
+	if len(ans.Vars) == 0 {
+		return "yes\n"
+	}
+	var b strings.Builder
+	for _, t := range ans.Tuples {
+		parts := make([]string, len(ans.Vars))
+		for i, v := range ans.Vars {
+			parts[i] = fmt.Sprintf("%s = %s", v, t[i])
+		}
+		b.WriteString(strings.Join(parts, ", "))
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "%% %d answer(s)\n", len(ans.Tuples))
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package repl
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	coral "coral"
+)
+
+func session(t *testing.T) *Session {
+	t.Helper()
+	return NewSession(coral.New())
+}
+
+func TestFactThenQuery(t *testing.T) {
+	s := session(t)
+	out, done := s.Execute("edge(a, b).")
+	if done || !strings.Contains(out, "asserted") {
+		t.Fatalf("assert: %q %v", out, done)
+	}
+	s.Execute("edge(b, c).")
+	out, _ = s.Execute("edge(X, Y).")
+	if !strings.Contains(out, "X = a, Y = b") || !strings.Contains(out, "2 answer(s)") {
+		t.Fatalf("query: %q", out)
+	}
+}
+
+func TestModuleDefinitionInline(t *testing.T) {
+	s := session(t)
+	s.Execute("edge(1, 2).")
+	s.Execute("edge(2, 3).")
+	out, _ := s.Execute(`module m.
+export tc(bf).
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- edge(X, Z), tc(Z, Y).
+end_module.`)
+	if strings.Contains(out, "error") {
+		t.Fatalf("module: %q", out)
+	}
+	out, _ = s.Execute("tc(1, Y).")
+	if !strings.Contains(out, "2 answer(s)") {
+		t.Fatalf("tc query: %q", out)
+	}
+	// The rewritten program is inspectable.
+	out, _ = s.Execute(`rewritten(m, tc, "bf").`)
+	if !strings.Contains(out, "m_tc_bf") {
+		t.Fatalf("rewritten: %q", out)
+	}
+	// And explainable.
+	out, _ = s.Execute("explain(tc(1, 3)).")
+	if !strings.Contains(out, "base fact") {
+		t.Fatalf("explain: %q", out)
+	}
+}
+
+func TestMultiLineClause(t *testing.T) {
+	s := session(t)
+	out, done, more := s.Feed("f(1,")
+	if out != "" || done || !more {
+		t.Fatalf("continuation: %q %v %v", out, done, more)
+	}
+	out, done, more = s.Feed("2).")
+	if done || more || !strings.Contains(out, "asserted") {
+		t.Fatalf("completion: %q %v %v", out, done, more)
+	}
+	out, _ = s.Execute("f(X, Y).")
+	if !strings.Contains(out, "1 answer(s)") {
+		t.Fatalf("query: %q", out)
+	}
+}
+
+func TestConsultCommand(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.crl")
+	os.WriteFile(path, []byte("g(7).\n?- g(X).\n"), 0o644)
+	s := session(t)
+	out, _ := s.Execute(`consult("` + path + `").`)
+	if !strings.Contains(out, "X = 7") {
+		t.Fatalf("consult output: %q", out)
+	}
+	out, _ = s.Execute(`consult("/does/not/exist").`)
+	if !strings.Contains(out, "error") {
+		t.Fatalf("missing file: %q", out)
+	}
+}
+
+func TestHaltHelpAndErrors(t *testing.T) {
+	s := session(t)
+	if _, done := s.Execute("halt."); !done {
+		t.Error("halt did not end the session")
+	}
+	out, done := s.Execute("help.")
+	if done || !strings.Contains(out, "consult") {
+		t.Errorf("help: %q", out)
+	}
+	out, _ = s.Execute("p(X :-.")
+	if !strings.Contains(out, "error") {
+		t.Errorf("garbage accepted: %q", out)
+	}
+	out, _ = s.Execute("nosuchquery(X).")
+	// Unknown predicates auto-define as empty: the query answers "no".
+	if !strings.Contains(out, "no") {
+		t.Errorf("unknown predicate: %q", out)
+	}
+	out, _ = s.Execute("rewritten(only_two, args).")
+	if !strings.Contains(out, "usage") {
+		t.Errorf("bad rewritten args: %q", out)
+	}
+}
+
+func TestBlankAndGroundQueries(t *testing.T) {
+	s := session(t)
+	if out, done, more := s.Feed(""); out != "" || done || more {
+		t.Error("blank line mishandled")
+	}
+	s.Execute("h(1).")
+	out, _ := s.Execute("h(1).")
+	// Re-entering an existing fact answers yes (it is already true).
+	if !strings.Contains(out, "yes") {
+		t.Errorf("ground query: %q", out)
+	}
+	// A bare new ground literal asserts; an explicit ?- query never does.
+	out, _ = s.Execute("?- h(9).")
+	if !strings.Contains(out, "no") {
+		t.Errorf("explicit ground query: %q", out)
+	}
+	out, _ = s.Execute("h(9).")
+	if !strings.Contains(out, "asserted") {
+		t.Errorf("bare literal should assert: %q", out)
+	}
+	out, _ = s.Execute("?- h(9).")
+	if !strings.Contains(out, "yes") {
+		t.Errorf("after assert: %q", out)
+	}
+}
+
+func TestSaveCommand(t *testing.T) {
+	s := session(t)
+	s.Execute("edge(a, b).")
+	s.Execute("edge(b, c).")
+	path := filepath.Join(t.TempDir(), "edges.crl")
+	out, _ := s.Execute(fmt.Sprintf("save(%q, edge/2).", path))
+	if !strings.Contains(out, "saved") {
+		t.Fatalf("save: %q", out)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || !strings.Contains(string(data), "edge(a, b).") {
+		t.Fatalf("saved file: %q %v", data, err)
+	}
+	out, _ = s.Execute(`save("x").`)
+	if !strings.Contains(out, "usage") {
+		t.Errorf("bad save args: %q", out)
+	}
+	out, _ = s.Execute(fmt.Sprintf("save(%q, nosuch/9).", path))
+	if !strings.Contains(out, "error") {
+		t.Errorf("unknown relation save: %q", out)
+	}
+	out, _ = s.Execute(fmt.Sprintf("save(%q, edge/x).", path))
+	if !strings.Contains(out, "error") {
+		t.Errorf("bad arity save: %q", out)
+	}
+}

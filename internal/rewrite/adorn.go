@@ -1,0 +1,279 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"coral/internal/ast"
+	"coral/internal/term"
+)
+
+// Adornment (paper §4.1): starting from a query form such as p^bf, rules
+// are specialized by binding pattern. An argument is 'b' (bound) when every
+// variable in it is bound at the point of call; bindings propagate across
+// subgoals left to right (CORAL's default sideways information passing
+// strategy).
+//
+// Adorned predicates are named orig_adornment (e.g. ancestor_bf); base and
+// imported predicates are never adorned.
+
+// AdornedPred records what an adorned predicate name stands for.
+type AdornedPred struct {
+	Orig  ast.PredKey
+	Adorn string
+}
+
+// Adorned is the result of adorning a program for one query form.
+type Adorned struct {
+	// Rules are adorned copies of the reachable rules.
+	Rules []*ast.Rule
+	// Preds maps adorned names to their origin.
+	Preds map[string]AdornedPred
+	// QueryName is the adorned name of the query predicate.
+	QueryName string
+	// Derived is the set of predicates defined in the module.
+	Derived map[ast.PredKey]bool
+}
+
+// AdornedName builds the adorned predicate name.
+func AdornedName(pred, adorn string) string { return pred + "_" + adorn }
+
+// AllFree returns the all-free adornment for the given arity.
+func AllFree(arity int) string {
+	b := make([]byte, arity)
+	for i := range b {
+		b[i] = 'f'
+	}
+	return string(b)
+}
+
+// AllBound returns the all-bound adornment for the given arity.
+func AllBound(arity int) string {
+	b := make([]byte, arity)
+	for i := range b {
+		b[i] = 'b'
+	}
+	return string(b)
+}
+
+// AdornOptions tunes adornment.
+type AdornOptions struct {
+	// NegFree forces negated derived calls to the all-free adornment. This
+	// is required for stratified evaluation: the negated predicate is then
+	// computed in full in a lower stratum, with an unconditional magic
+	// seed. Ordered Search instead keeps bound adornments on negated calls
+	// and gates them with done literals (paper §5.4.1).
+	NegFree bool
+	// Reorder applies join order selection before adorning each rule
+	// (paper §4.2), scheduling the most bound literal next instead of
+	// following source order.
+	Reorder bool
+}
+
+// Adorn specializes rules for query form (query, adorn). Aggregated head
+// positions are forced free: the aggregate's value cannot be propagated
+// into the body as a binding.
+func Adorn(rules []*ast.Rule, query ast.PredKey, adorn string, opts AdornOptions) (*Adorned, error) {
+	if len(adorn) != query.Arity {
+		return nil, fmt.Errorf("rewrite: adornment %q has wrong length for %s", adorn, query)
+	}
+	a := &Adorned{
+		Preds:   make(map[string]AdornedPred),
+		Derived: make(map[ast.PredKey]bool),
+	}
+	rulesFor := make(map[ast.PredKey][]*ast.Rule)
+	aggPositions := make(map[ast.PredKey]map[int]bool)
+	for _, r := range rules {
+		k := r.Head.Key()
+		a.Derived[k] = true
+		rulesFor[k] = append(rulesFor[k], r)
+		for _, ag := range r.Aggs {
+			if aggPositions[k] == nil {
+				aggPositions[k] = make(map[int]bool)
+			}
+			aggPositions[k][ag.Pos] = true
+		}
+	}
+	if !a.Derived[query] {
+		return nil, fmt.Errorf("rewrite: query predicate %s is not defined by the module", query)
+	}
+
+	// normalize demotes bound adornment letters at aggregated positions.
+	normalize := func(p ast.PredKey, ad string) string {
+		aggs := aggPositions[p]
+		if len(aggs) == 0 {
+			return ad
+		}
+		b := []byte(ad)
+		for pos := range aggs {
+			b[pos] = 'f'
+		}
+		return string(b)
+	}
+
+	type job struct {
+		pred  ast.PredKey
+		adorn string
+	}
+	seen := make(map[string]bool)
+	queue := []job{{query, normalize(query, adorn)}}
+	a.QueryName = AdornedName(query.Name, normalize(query, adorn))
+	seen[a.QueryName] = true
+	a.Preds[a.QueryName] = AdornedPred{Orig: query, Adorn: normalize(query, adorn)}
+
+	for len(queue) > 0 {
+		j := queue[0]
+		queue = queue[1:]
+		name := AdornedName(j.pred.Name, j.adorn)
+		for _, r := range rulesFor[j.pred] {
+			ar, calls, err := adornRule(r, j.adorn, a.Derived, normalize, opts)
+			if err != nil {
+				return nil, err
+			}
+			ar.Head.Pred = name
+			a.Rules = append(a.Rules, ar)
+			for _, c := range calls {
+				cn := AdornedName(c.pred.Name, c.adorn)
+				if !seen[cn] {
+					seen[cn] = true
+					a.Preds[cn] = AdornedPred{Orig: c.pred, Adorn: c.adorn}
+					queue = append(queue, job{pred: c.pred, adorn: c.adorn})
+				}
+			}
+		}
+	}
+	return a, nil
+}
+
+// varSet tracks bound variables by object identity.
+type varSet map[*term.Var]bool
+
+// addVars inserts every variable of t.
+func (s varSet) addVars(t term.Term) {
+	switch x := t.(type) {
+	case *term.Var:
+		s[x] = true
+	case *term.Functor:
+		for _, a := range x.Args {
+			s.addVars(a)
+		}
+	}
+}
+
+// covers reports whether every variable of t is in the set (a term with no
+// variables is covered).
+func (s varSet) covers(t term.Term) bool {
+	switch x := t.(type) {
+	case *term.Var:
+		return s[x]
+	case *term.Functor:
+		for _, a := range x.Args {
+			if !s.covers(a) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// VarsOf collects the variables of a term list.
+func VarsOf(ts []term.Term) varSet {
+	s := make(varSet)
+	for _, t := range ts {
+		s.addVars(t)
+	}
+	return s
+}
+
+type adornCall struct {
+	pred  ast.PredKey
+	adorn string
+}
+
+// adornRule adorns one rule given the head adornment, returning the
+// adorned copy and the derived calls it makes.
+func adornRule(r *ast.Rule, headAdorn string, derived map[ast.PredKey]bool, normalize func(ast.PredKey, string) string, opts AdornOptions) (*ast.Rule, []adornCall, error) {
+	bound := make(varSet)
+	for i, arg := range r.Head.Args {
+		if headAdorn[i] == 'b' {
+			bound.addVars(arg)
+		}
+	}
+	body := r.Body
+	if opts.Reorder {
+		body = reorderBody(body, bound)
+	}
+	out := &ast.Rule{
+		Head: ast.Literal{Pred: r.Head.Pred, Args: r.Head.Args},
+		Aggs: r.Aggs,
+		Line: r.Line,
+	}
+	var calls []adornCall
+	for i := range body {
+		l := body[i]
+		switch {
+		case l.Builtin():
+			applyBuiltinBindings(&l, bound)
+		case derived[l.Key()]:
+			orig := l.Key()
+			ad := make([]byte, len(l.Args))
+			for ai, arg := range l.Args {
+				if bound.covers(arg) {
+					ad[ai] = 'b'
+				} else {
+					ad[ai] = 'f'
+				}
+			}
+			if l.Neg && opts.NegFree {
+				ad = []byte(AllFree(len(l.Args)))
+			}
+			adStr := normalize(orig, string(ad))
+			l.Pred = AdornedName(orig.Name, adStr)
+			calls = append(calls, adornCall{pred: orig, adorn: adStr})
+			if !l.Neg {
+				for _, arg := range l.Args {
+					bound.addVars(arg)
+				}
+			}
+		default:
+			// Base or imported: not adorned; a positive occurrence binds
+			// its variables.
+			if !l.Neg {
+				for _, arg := range l.Args {
+					bound.addVars(arg)
+				}
+			}
+		}
+		out.Body = append(out.Body, l)
+	}
+	return out, calls, nil
+}
+
+// applyBuiltinBindings updates the bound set for a builtin literal: after
+// "X = expr" (or expr = X) with one side fully bound, the other side's
+// variables become bound. Comparisons bind nothing.
+func applyBuiltinBindings(l *ast.Literal, bound varSet) {
+	if l.Pred != "=" || len(l.Args) != 2 {
+		return
+	}
+	left, right := l.Args[0], l.Args[1]
+	switch {
+	case bound.covers(left):
+		bound.addVars(right)
+	case bound.covers(right):
+		bound.addVars(left)
+	}
+}
+
+// SortedPredNames returns the adorned predicate names in sorted order (for
+// deterministic output).
+func (a *Adorned) SortedPredNames() []string {
+	names := make([]string, 0, len(a.Preds))
+	for n := range a.Preds {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

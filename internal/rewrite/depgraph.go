@@ -1,0 +1,200 @@
+// Package rewrite implements the CORAL query optimizer's source-to-source
+// transformations (paper §4.1): adornment with a left-to-right sideways
+// information passing strategy, Magic Templates, Supplementary Magic
+// Templates (the default), Context Factoring for linear programs, and
+// Existential Query Rewriting, together with the dependency analysis
+// (strongly connected components, stratification) that both the rewriter
+// and the fixpoint engine rely on (paper §5.1).
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"coral/internal/ast"
+)
+
+// DepGraph is the predicate dependency graph of a module: predicate p
+// depends on q if q appears in the body of a rule with head p. Edges are
+// marked when the dependency passes through negation or aggregation, which
+// constrains evaluation order (paper §5.4.1).
+type DepGraph struct {
+	// Defined is the set of predicates defined by rules in the module.
+	Defined map[ast.PredKey]bool
+	// Edges maps each defined predicate to its body dependencies.
+	Edges map[ast.PredKey][]DepEdge
+	// SCCs lists strongly connected components in topological order:
+	// every dependency of SCC i lies in SCC j <= i (so evaluating in
+	// slice order is bottom-up).
+	SCCs []SCC
+	// CompOf maps a defined predicate to its SCC index.
+	CompOf map[ast.PredKey]int
+}
+
+// DepEdge is one dependency occurrence.
+type DepEdge struct {
+	To ast.PredKey
+	// Negated is true when the occurrence is under "not".
+	Negated bool
+	// Aggregated is true when the rule's head aggregates (so the body must
+	// be complete before the head fact is final).
+	Aggregated bool
+}
+
+// SCC is one strongly connected component.
+type SCC struct {
+	Preds []ast.PredKey
+	// Recursive is true when the component has more than one predicate or
+	// a self-loop: its rules need fixpoint iteration.
+	Recursive bool
+}
+
+// BuildDepGraph analyzes a module's rules.
+func BuildDepGraph(rules []*ast.Rule) *DepGraph {
+	g := &DepGraph{
+		Defined: make(map[ast.PredKey]bool),
+		Edges:   make(map[ast.PredKey][]DepEdge),
+		CompOf:  make(map[ast.PredKey]int),
+	}
+	for _, r := range rules {
+		g.Defined[r.Head.Key()] = true
+	}
+	for _, r := range rules {
+		hk := r.Head.Key()
+		for i := range r.Body {
+			l := &r.Body[i]
+			if l.Builtin() {
+				continue
+			}
+			bk := l.Key()
+			if !g.Defined[bk] {
+				continue // base or imported predicate: no cycle possible
+			}
+			g.Edges[hk] = append(g.Edges[hk], DepEdge{
+				To:         bk,
+				Negated:    l.Neg,
+				Aggregated: len(r.Aggs) > 0,
+			})
+		}
+	}
+	g.computeSCCs()
+	return g
+}
+
+// computeSCCs runs Tarjan's algorithm. Tarjan emits components in reverse
+// topological order of the condensation, so reversing gives bottom-up
+// order.
+func (g *DepGraph) computeSCCs() {
+	// Deterministic node order.
+	nodes := make([]ast.PredKey, 0, len(g.Defined))
+	for k := range g.Defined {
+		nodes = append(nodes, k)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		if nodes[i].Name != nodes[j].Name {
+			return nodes[i].Name < nodes[j].Name
+		}
+		return nodes[i].Arity < nodes[j].Arity
+	})
+
+	index := make(map[ast.PredKey]int)
+	lowlink := make(map[ast.PredKey]int)
+	onStack := make(map[ast.PredKey]bool)
+	var stack []ast.PredKey
+	next := 0
+	var comps [][]ast.PredKey
+
+	var strongconnect func(v ast.PredKey)
+	strongconnect = func(v ast.PredKey) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, e := range g.Edges[v] {
+			w := e.To
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				if lowlink[w] < lowlink[v] {
+					lowlink[v] = lowlink[w]
+				}
+			} else if onStack[w] && index[w] < lowlink[v] {
+				lowlink[v] = index[w]
+			}
+		}
+		if lowlink[v] == index[v] {
+			var comp []ast.PredKey
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	// Tarjan's emission order is already a reverse topological order of
+	// the condensation; since edges point head -> body (dependencies),
+	// the first component emitted depends on nothing later, i.e. it is
+	// bottom-most. So slice order is bottom-up as required.
+	for ci, comp := range comps {
+		scc := SCC{Preds: comp}
+		for _, p := range comp {
+			g.CompOf[p] = ci
+		}
+		if len(comp) > 1 {
+			scc.Recursive = true
+		} else {
+			for _, e := range g.Edges[comp[0]] {
+				if e.To == comp[0] {
+					scc.Recursive = true
+				}
+			}
+		}
+		g.SCCs = append(g.SCCs, scc)
+	}
+}
+
+// SameSCC reports whether two predicates are mutually recursive.
+func (g *DepGraph) SameSCC(a, b ast.PredKey) bool {
+	ca, oka := g.CompOf[a]
+	cb, okb := g.CompOf[b]
+	return oka && okb && ca == cb
+}
+
+// CheckStratified verifies that no negative or aggregated dependency stays
+// inside one SCC: such programs are not stratified and need Ordered Search
+// (or are rejected). The returned error names the offending cycle edge.
+func (g *DepGraph) CheckStratified() error {
+	for from, edges := range g.Edges {
+		for _, e := range edges {
+			if !e.Negated && !e.Aggregated {
+				continue
+			}
+			if g.SameSCC(from, e.To) {
+				kind := "negation"
+				if e.Aggregated {
+					kind = "aggregation"
+				}
+				return fmt.Errorf("rewrite: %s through %s depends on %s within one recursive component; the program is not stratified (use @ordered_search for modularly stratified programs)", kind, from, e.To)
+			}
+		}
+	}
+	return nil
+}
+
+// Stratum returns the SCC index of p, or -1 for base predicates.
+func (g *DepGraph) Stratum(p ast.PredKey) int {
+	if c, ok := g.CompOf[p]; ok {
+		return c
+	}
+	return -1
+}

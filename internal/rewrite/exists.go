@@ -1,0 +1,225 @@
+package rewrite
+
+import (
+	"coral/internal/ast"
+	"coral/internal/term"
+)
+
+// Existential query rewriting (paper §4.1; Ramakrishnan/Beeri/Krishnamurthy
+// [19]) propagates projections: when a query never observes some argument
+// positions (anonymous variables in the call), those positions can be
+// dropped from the program. Stored relations then hold one fact per
+// distinct projection instead of one per witness, which both shrinks
+// storage and lets duplicate elimination stop the derivation of further
+// witnesses. CORAL applies it by default in conjunction with a
+// selection-pushing rewriting, so Exists runs between Adorn and Magic.
+//
+// A position of a derived predicate is needed when some occurrence has a
+// non-variable argument there, or a variable that also occurs elsewhere in
+// its rule (a join or an observed output). The needed sets shrink to a
+// fixpoint starting from the query's observed positions; predicates then
+// get projected copies named <pred>_ex.
+
+// Exists projects the adorned program for a query that observes only the
+// positions where mask is true (mask has the query predicate's arity).
+// Projected predicates keep their adorned name plus an "_ex" suffix. It
+// returns the program unchanged if nothing can be dropped.
+func Exists(a *Adorned, mask []bool) *Adorned {
+	qinfo := a.Preds[a.QueryName]
+	if len(mask) != qinfo.Orig.Arity {
+		return a
+	}
+	all := true
+	for _, m := range mask {
+		all = all && m
+	}
+	if all {
+		return a
+	}
+
+	// needed[pred name] = per-position flags, shrinking fixpoint.
+	needed := make(map[string][]bool)
+	arity := make(map[string]int)
+	hasAggs := make(map[string]bool)
+	for name, info := range a.Preds {
+		arity[name] = info.Orig.Arity
+	}
+	for _, r := range a.Rules {
+		if len(r.Aggs) > 0 {
+			hasAggs[r.Head.Pred] = true
+		}
+	}
+	for name, n := range arity {
+		f := make([]bool, n)
+		if name == a.QueryName {
+			copy(f, mask)
+		}
+		if hasAggs[name] {
+			for i := range f {
+				f[i] = true
+			}
+		}
+		needed[name] = f
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, r := range a.Rules {
+			// Count variable occurrences in the observable parts of the
+			// rule: head args at needed positions, builtins, negated
+			// literals, base literals, and every derived-literal position
+			// (a variable linking two positions forces both to be needed,
+			// so occurrences count everywhere; only singleton variables in
+			// unneeded spots are existential).
+			counts := make(map[*term.Var]int)
+			headNeeded := needed[r.Head.Pred]
+			for i, arg := range r.Head.Args {
+				if headNeeded == nil || headNeeded[i] {
+					countVars(arg, counts)
+				}
+			}
+			for bi := range r.Body {
+				l := &r.Body[bi]
+				if _, derived := a.Preds[l.Pred]; derived && !l.Neg {
+					for _, arg := range l.Args {
+						countVars(arg, counts)
+					}
+					continue
+				}
+				for _, arg := range l.Args {
+					countVars(arg, counts)
+				}
+			}
+			// A derived positive literal's position is needed when its arg
+			// is a non-var, or a var observed outside this single position.
+			for bi := range r.Body {
+				l := &r.Body[bi]
+				info, derived := a.Preds[l.Pred]
+				if !derived {
+					continue
+				}
+				nd := needed[l.Pred]
+				for i, arg := range l.Args {
+					if nd[i] {
+						continue
+					}
+					v, isVar := arg.(*term.Var)
+					isNeeded := !isVar || counts[v] > 1 || l.Neg
+					// Bound positions carry the magic seed; always needed.
+					if info.Adorn[i] == 'b' {
+						isNeeded = true
+					}
+					if isNeeded {
+						nd[i] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Anything to drop?
+	drops := false
+	for name, nd := range needed {
+		for _, n := range nd {
+			if !n {
+				drops = true
+			}
+		}
+		_ = name
+	}
+	if !drops {
+		return a
+	}
+
+	out := &Adorned{
+		Preds:   make(map[string]AdornedPred),
+		Derived: a.Derived,
+	}
+	rename := func(name string) (string, []bool) {
+		nd := needed[name]
+		full := true
+		for _, n := range nd {
+			full = full && n
+		}
+		if full {
+			return name, nil
+		}
+		return name + "_ex", nd
+	}
+	for name, info := range a.Preds {
+		newName, nd := rename(name)
+		if nd != nil {
+			kept := 0
+			adorn := make([]byte, 0, len(info.Adorn))
+			for i, n := range nd {
+				if n {
+					kept++
+					adorn = append(adorn, info.Adorn[i])
+				}
+			}
+			out.Preds[newName] = AdornedPred{
+				Orig:  ast.PredKey{Name: info.Orig.Name, Arity: kept},
+				Adorn: string(adorn),
+			}
+		} else {
+			out.Preds[newName] = info
+		}
+	}
+	out.QueryName, _ = rename(a.QueryName)
+
+	project := func(l ast.Literal) ast.Literal {
+		newName, nd := rename(l.Pred)
+		if nd == nil {
+			return l
+		}
+		var args []term.Term
+		for i, n := range nd {
+			if n {
+				args = append(args, l.Args[i])
+			}
+		}
+		return ast.Literal{Pred: newName, Args: args, Neg: l.Neg}
+	}
+	for _, r := range a.Rules {
+		nr := &ast.Rule{Aggs: r.Aggs, Line: r.Line}
+		if _, derived := a.Preds[r.Head.Pred]; derived {
+			nr.Head = project(r.Head)
+		} else {
+			nr.Head = r.Head
+		}
+		for _, l := range r.Body {
+			if _, derived := a.Preds[l.Pred]; derived {
+				nr.Body = append(nr.Body, project(l))
+			} else {
+				nr.Body = append(nr.Body, l)
+			}
+		}
+		out.Rules = append(out.Rules, nr)
+	}
+	return out
+}
+
+// QueryKeepPositions reports which original query positions survive an
+// Exists projection with the given mask (identical to mask, provided for
+// symmetry and future masks that cannot drop everything asked).
+func QueryKeepPositions(mask []bool) []int {
+	var keep []int
+	for i, m := range mask {
+		if m {
+			keep = append(keep, i)
+		}
+	}
+	return keep
+}
+
+func countVars(t term.Term, counts map[*term.Var]int) {
+	switch x := t.(type) {
+	case *term.Var:
+		counts[x]++
+	case *term.Functor:
+		for _, a := range x.Args {
+			countVars(a, counts)
+		}
+	}
+}

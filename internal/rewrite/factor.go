@@ -1,0 +1,233 @@
+package rewrite
+
+import (
+	"coral/internal/ast"
+	"coral/internal/term"
+)
+
+// Context factoring (paper §4.1; Kemp/Ramamohanarao/Somogyi [9], Naughton
+// et al. [16]): for right-linear programs, the per-subgoal answer relation
+// of magic rewriting is unnecessary — the set of reachable contexts plus a
+// single answer relation (keyed only by the free arguments) suffices. On a
+// right-linear traversal this turns O(contexts × answers) stored facts into
+// O(contexts + answers).
+//
+// The transformation applies when the adorned program is self-recursive in
+// exactly one predicate q, every recursive rule has its single recursive
+// call in the last position with the free head arguments passed through
+// unchanged (and used nowhere else), and no rule aggregates or negates the
+// recursive predicate:
+//
+//	q(b̄, Ȳ) :- prefix(b̄, b̄'), q(b̄', Ȳ).
+//	q(b̄, Ȳ) :- exit(b̄, Ȳ).
+//
+// becomes
+//
+//	m_q(b̄)  :- seed_q(b̄).
+//	m_q(b̄') :- m_q(b̄), prefix(b̄, b̄').
+//	ans_q(Ȳ) :- m_q(b̄), exit(b̄, Ȳ).
+//	q(b̄, Ȳ)  :- seed_q(b̄), ans_q(Ȳ).
+
+// FactorResult mirrors the relevant parts of Rewritten for the factored
+// program.
+type FactorResult struct {
+	Rules         []*ast.Rule
+	QueryName     string
+	MagicName     string // the seed predicate the engine populates
+	SeedPositions []int
+	Preds         map[string]AdornedPred
+	MagicPreds    map[string]bool
+}
+
+// Factor attempts the context-factoring rewriting. ok is false when the
+// program is not right-linear in the required form; callers fall back to
+// supplementary magic (CORAL's default).
+func Factor(a *Adorned) (*FactorResult, bool) {
+	q := a.QueryName
+	info := a.Preds[q]
+	adorn := info.Adorn
+
+	// Single derived predicate, no aggregation anywhere.
+	if len(a.Preds) != 1 {
+		return nil, false
+	}
+	for _, r := range a.Rules {
+		if len(r.Aggs) > 0 {
+			return nil, false
+		}
+		for i := range r.Body {
+			if r.Body[i].Pred == q && r.Body[i].Neg {
+				return nil, false
+			}
+		}
+	}
+
+	var exits, recs []*ast.Rule
+	for _, r := range a.Rules {
+		n := 0
+		for i := range r.Body {
+			if r.Body[i].Pred == q {
+				n++
+			}
+		}
+		switch n {
+		case 0:
+			exits = append(exits, r)
+		case 1:
+			if r.Body[len(r.Body)-1].Pred != q {
+				return nil, false
+			}
+			recs = append(recs, r)
+		default:
+			return nil, false
+		}
+	}
+	if len(recs) == 0 {
+		return nil, false
+	}
+
+	// Check pass-through of free arguments in every recursive rule.
+	for _, r := range recs {
+		call := r.Body[len(r.Body)-1]
+		for i := 0; i < len(adorn); i++ {
+			if adorn[i] != 'f' {
+				continue
+			}
+			hv, hok := r.Head.Args[i].(*term.Var)
+			cv, cok := call.Args[i].(*term.Var)
+			if !hok || !cok || hv != cv {
+				return nil, false
+			}
+			// The pass-through variable may not occur anywhere else.
+			count := 0
+			countVar(r.Head.Args, hv, &count)
+			for j := range r.Body {
+				countVar(r.Body[j].Args, hv, &count)
+			}
+			if count != 2 {
+				return nil, false
+			}
+		}
+	}
+
+	seedName := "seed_" + q
+	magicName := MagicPredName(q)
+	ansName := "ans_" + q
+
+	fr := &FactorResult{
+		QueryName:  q,
+		MagicName:  seedName,
+		Preds:      map[string]AdornedPred{q: info},
+		MagicPreds: map[string]bool{seedName: true, magicName: true},
+	}
+	for i := 0; i < len(adorn); i++ {
+		if adorn[i] == 'b' {
+			fr.SeedPositions = append(fr.SeedPositions, i)
+		}
+	}
+	nBound := len(fr.SeedPositions)
+	nFree := len(adorn) - nBound
+
+	// m_q(b̄) :- seed_q(b̄).
+	seedVars := freshVars("B", nBound)
+	fr.Rules = append(fr.Rules, &ast.Rule{
+		Head: ast.Literal{Pred: magicName, Args: seedVars},
+		Body: []ast.Literal{{Pred: seedName, Args: seedVars}},
+	})
+	// m_q(b̄') :- m_q(b̄), prefix.
+	for _, r := range recs {
+		call := r.Body[len(r.Body)-1]
+		body := make([]ast.Literal, 0, len(r.Body))
+		body = append(body, ast.Literal{Pred: magicName, Args: boundArgs(r.Head.Args, adorn)})
+		body = append(body, r.Body[:len(r.Body)-1]...)
+		fr.Rules = append(fr.Rules, &ast.Rule{
+			Head: ast.Literal{Pred: magicName, Args: boundArgs(call.Args, adorn)},
+			Body: body,
+			Line: r.Line,
+		})
+	}
+	// ans_q(f̄) :- m_q(b̄), exit body.
+	for _, r := range exits {
+		body := make([]ast.Literal, 0, len(r.Body)+1)
+		body = append(body, ast.Literal{Pred: magicName, Args: boundArgs(r.Head.Args, adorn)})
+		body = append(body, r.Body...)
+		fr.Rules = append(fr.Rules, &ast.Rule{
+			Head: ast.Literal{Pred: ansName, Args: freeArgs(r.Head.Args, adorn)},
+			Body: body,
+			Line: r.Line,
+		})
+	}
+	// q(b̄, f̄) :- seed_q(b̄), ans_q(f̄).
+	bVars := freshVars("SB", nBound)
+	fVars := freshVars("SF", nFree)
+	headArgs := make([]term.Term, len(adorn))
+	bi, fi := 0, 0
+	for i := 0; i < len(adorn); i++ {
+		if adorn[i] == 'b' {
+			headArgs[i] = bVars[bi]
+			bi++
+		} else {
+			headArgs[i] = fVars[fi]
+			fi++
+		}
+	}
+	fr.Rules = append(fr.Rules, &ast.Rule{
+		Head: ast.Literal{Pred: q, Args: headArgs},
+		Body: []ast.Literal{
+			{Pred: seedName, Args: bVars},
+			{Pred: ansName, Args: fVars},
+		},
+	})
+	return fr, true
+}
+
+func freeArgs(args []term.Term, adorn string) []term.Term {
+	var out []term.Term
+	for i := 0; i < len(adorn); i++ {
+		if adorn[i] == 'f' {
+			out = append(out, args[i])
+		}
+	}
+	return out
+}
+
+func freshVars(prefix string, n int) []term.Term {
+	out := make([]term.Term, n)
+	for i := range out {
+		out[i] = term.NewVar(prefix + itoa(i))
+	}
+	return out
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func countVar(args []term.Term, v *term.Var, count *int) {
+	var walk func(t term.Term)
+	walk = func(t term.Term) {
+		switch x := t.(type) {
+		case *term.Var:
+			if x == v {
+				*count++
+			}
+		case *term.Functor:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	for _, a := range args {
+		walk(a)
+	}
+}

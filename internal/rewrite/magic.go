@@ -1,0 +1,355 @@
+package rewrite
+
+import (
+	"fmt"
+	"sort"
+
+	"coral/internal/ast"
+	"coral/internal/term"
+)
+
+// Magic Templates and Supplementary Magic Templates (paper §4.1; [18], [3]).
+// Given an adorned program, the rewriting restricts bottom-up evaluation to
+// facts relevant to the query by introducing magic predicates that compute
+// the set of (bound-argument) subqueries, and guarding every rule with its
+// head's magic predicate.
+//
+// Supplementary Magic — CORAL's default — additionally materializes
+// supplementary predicates capturing the join state of a rule body just
+// before each derived literal, so the prefix join feeding a magic rule and
+// the continuation of the original rule share work instead of recomputing
+// the prefix.
+//
+// Negation: under stratified evaluation, negated derived calls were adorned
+// all-free (AdornOptions.NegFree) and receive an unconditional magic seed —
+// the negated predicate is computed in full in a lower stratum. Under
+// Ordered Search, negated calls keep bound adornments, get magic rules like
+// positive calls, and are guarded by done_* literals that the engine
+// asserts when a subgoal's answers are complete (paper §5.4.1).
+
+// Options selects the rewriting variant.
+type Options struct {
+	// Supplementary selects Supplementary Magic Templates; otherwise plain
+	// Magic Templates.
+	Supplementary bool
+	// DoneLiterals marks Ordered Search mode: negated derived literals and
+	// derived literals in aggregated rules are guarded by done_* literals.
+	DoneLiterals bool
+}
+
+// Rewritten is the output of a magic rewriting.
+type Rewritten struct {
+	// Rules is the rewritten program.
+	Rules []*ast.Rule
+	// QueryName is the adorned query predicate name; its relation holds
+	// the query's answers.
+	QueryName string
+	// MagicName is the magic seed predicate name.
+	MagicName string
+	// SeedPositions are the original query argument positions whose values
+	// form the seed fact, in order.
+	SeedPositions []int
+	// Preds maps adorned names back to their origins.
+	Preds map[string]AdornedPred
+	// MagicPreds is the set of generated magic predicate names (duplicate
+	// checks are always kept on these, even under multiset semantics).
+	MagicPreds map[string]bool
+	// SupPreds is the set of generated supplementary predicate names.
+	SupPreds map[string]bool
+	// DonePreds maps each adorned predicate name whose completion must be
+	// tracked (Ordered Search) to its done predicate name.
+	DonePreds map[string]string
+}
+
+// MagicPredName returns the magic predicate name for an adorned predicate.
+func MagicPredName(adornedName string) string { return "m_" + adornedName }
+
+// DonePredName returns the done predicate name for an adorned predicate.
+func DonePredName(adornedName string) string { return "done_" + adornedName }
+
+// SupPredName returns the supplementary predicate name for rule ruleIdx of
+// head, at cut index cut.
+func SupPredName(head string, ruleIdx, cut int) string {
+	return fmt.Sprintf("sup_%d_%d_%s", ruleIdx, cut, head)
+}
+
+// boundArgs extracts the arguments at 'b' positions of the adornment.
+func boundArgs(args []term.Term, adorn string) []term.Term {
+	out := make([]term.Term, 0, len(args))
+	for i := 0; i < len(adorn); i++ {
+		if adorn[i] == 'b' {
+			out = append(out, args[i])
+		}
+	}
+	return out
+}
+
+// Magic rewrites the adorned program. The zero Options value yields plain
+// Magic Templates for stratified evaluation.
+func Magic(a *Adorned, opts Options) (*Rewritten, error) {
+	rw := &Rewritten{
+		QueryName:  a.QueryName,
+		MagicName:  MagicPredName(a.QueryName),
+		Preds:      copyPreds(a.Preds),
+		MagicPreds: map[string]bool{},
+		SupPreds:   map[string]bool{},
+		DonePreds:  map[string]string{},
+	}
+	qinfo := a.Preds[a.QueryName]
+	for i := 0; i < len(qinfo.Adorn); i++ {
+		if qinfo.Adorn[i] == 'b' {
+			rw.SeedPositions = append(rw.SeedPositions, i)
+		}
+	}
+	rw.MagicPreds[rw.MagicName] = true
+
+	for ri, r := range a.Rules {
+		rewriteRule(rw, r, ri, opts, a.Preds)
+	}
+	// Unconditional seeds for all-free negated calls (stratified mode):
+	// every adorned predicate that occurs negated somewhere gets its magic
+	// seeded if its adornment is all-free.
+	if !opts.DoneLiterals {
+		seeded := map[string]bool{}
+		for _, r := range a.Rules {
+			for i := range r.Body {
+				l := &r.Body[i]
+				info, isAdorned := a.Preds[l.Pred]
+				if !l.Neg || !isAdorned || seeded[l.Pred] {
+					continue
+				}
+				if info.Adorn != AllFree(len(l.Args)) {
+					return nil, fmt.Errorf("rewrite: negated call to %s has bound adornment %s; stratified evaluation requires NegFree adornment", l.Pred, info.Adorn)
+				}
+				seeded[l.Pred] = true
+				seed := &ast.Rule{Head: ast.Literal{Pred: MagicPredName(l.Pred)}}
+				rw.MagicPreds[seed.Head.Pred] = true
+				rw.Rules = append(rw.Rules, seed)
+			}
+		}
+	}
+	return rw, nil
+}
+
+func copyPreds(in map[string]AdornedPred) map[string]AdornedPred {
+	out := make(map[string]AdornedPred, len(in))
+	for k, v := range in {
+		out[k] = v
+	}
+	return out
+}
+
+// needsDone reports whether the OS rewriting must guard this occurrence
+// with a done literal: negated derived calls always; positive derived calls
+// when the rule aggregates (the aggregate needs the complete extent).
+func needsDone(l *ast.Literal, r *ast.Rule, isAdorned bool, opts Options) bool {
+	if !opts.DoneLiterals || !isAdorned {
+		return false
+	}
+	return l.Neg || len(r.Aggs) > 0
+}
+
+// rewriteRule emits the rewritten rules for one adorned rule.
+func rewriteRule(rw *Rewritten, r *ast.Rule, ruleIdx int, opts Options, adorned map[string]AdornedPred) {
+	magicHead := ast.Literal{
+		Pred: MagicPredName(r.Head.Pred),
+		Args: boundArgs(r.Head.Args, adorned[r.Head.Pred].Adorn),
+	}
+	rw.MagicPreds[magicHead.Pred] = true
+
+	// wantsMagicRule: positive derived calls always; negated derived calls
+	// only in Ordered Search mode (stratified mode seeds them globally).
+	wantsMagicRule := func(l *ast.Literal) (AdornedPred, bool) {
+		info, ok := adorned[l.Pred]
+		if !ok {
+			return AdornedPred{}, false
+		}
+		if l.Neg && !opts.DoneLiterals {
+			return AdornedPred{}, false
+		}
+		return info, true
+	}
+
+	// doneGuard returns the done literal for an occurrence.
+	doneGuard := func(l *ast.Literal, info AdornedPred) ast.Literal {
+		done := DonePredName(l.Pred)
+		rw.DonePreds[l.Pred] = done
+		return ast.Literal{Pred: done, Args: boundArgs(l.Args, info.Adorn)}
+	}
+
+	if !opts.Supplementary {
+		// Plain Magic Templates.
+		for i := range r.Body {
+			info, ok := wantsMagicRule(&r.Body[i])
+			if !ok {
+				continue
+			}
+			mb := make([]ast.Literal, 0, i+1)
+			mb = append(mb, magicHead)
+			mb = append(mb, r.Body[:i]...)
+			mr := &ast.Rule{
+				Head: ast.Literal{Pred: MagicPredName(r.Body[i].Pred), Args: boundArgs(r.Body[i].Args, info.Adorn)},
+				Body: mb,
+				Line: r.Line,
+			}
+			rw.MagicPreds[mr.Head.Pred] = true
+			rw.Rules = append(rw.Rules, mr)
+		}
+		guarded := &ast.Rule{
+			Head: r.Head,
+			Body: append([]ast.Literal{magicHead}, withDoneGuards(r, opts, adorned, doneGuard)...),
+			Aggs: r.Aggs,
+			Line: r.Line,
+		}
+		rw.Rules = append(rw.Rules, guarded)
+		return
+	}
+
+	// Supplementary Magic Templates.
+	// needFrom[i] = variables used by body[i:] or the head.
+	needFrom := make([]varSet, len(r.Body)+1)
+	needFrom[len(r.Body)] = VarsOf(r.Head.Args)
+	for i := len(r.Body) - 1; i >= 0; i-- {
+		s := union(needFrom[i+1], VarsOf(r.Body[i].Args))
+		needFrom[i] = s
+	}
+
+	current := magicHead // literal carrying the join state so far
+	avail := VarsOf(magicHead.Args)
+	var pending []ast.Literal // literals since the last cut, with guards
+	supCount := 0
+
+	flushCut := func(cutAt int) {
+		// Materialize the pending segment into a supplementary predicate
+		// whose arguments are the variables available so far that are
+		// still needed from cutAt on.
+		if len(pending) == 0 {
+			return
+		}
+		cutVars := intersectOrdered(avail, needFrom[cutAt], r)
+		sup := ast.Literal{Pred: SupPredName(r.Head.Pred, ruleIdx, supCount), Args: cutVars}
+		supCount++
+		rw.SupPreds[sup.Pred] = true
+		body := make([]ast.Literal, 0, len(pending)+1)
+		body = append(body, current)
+		body = append(body, pending...)
+		rw.Rules = append(rw.Rules, &ast.Rule{Head: sup, Body: body, Line: r.Line})
+		current = sup
+		pending = pending[:0]
+	}
+
+	for i := range r.Body {
+		l := r.Body[i]
+		info, wants := wantsMagicRule(&l)
+		if wants {
+			// Cut before this literal so the magic rule (and the
+			// continuation) can share the prefix join.
+			flushCut(i)
+			mr := &ast.Rule{
+				Head: ast.Literal{Pred: MagicPredName(l.Pred), Args: boundArgs(l.Args, info.Adorn)},
+				Body: []ast.Literal{current},
+				Line: r.Line,
+			}
+			rw.MagicPreds[mr.Head.Pred] = true
+			rw.Rules = append(rw.Rules, mr)
+		}
+		if isAd := func() bool { _, ok := adorned[l.Pred]; return ok }(); needsDone(&l, r, isAd, opts) {
+			inf := adorned[l.Pred]
+			if l.Neg {
+				// done guard must precede the negated literal.
+				pending = append(pending, doneGuard(&l, inf), l)
+			} else {
+				pending = append(pending, l, doneGuard(&l, inf))
+			}
+		} else {
+			pending = append(pending, l)
+		}
+		avail = union(avail, VarsOf(l.Args))
+	}
+	// Head rule from the last cut.
+	hb := make([]ast.Literal, 0, len(pending)+1)
+	hb = append(hb, current)
+	hb = append(hb, pending...)
+	rw.Rules = append(rw.Rules, &ast.Rule{Head: r.Head, Body: hb, Aggs: r.Aggs, Line: r.Line})
+}
+
+// withDoneGuards inserts done literals into a copied body (plain-magic
+// path).
+func withDoneGuards(r *ast.Rule, opts Options, adorned map[string]AdornedPred, doneGuard func(*ast.Literal, AdornedPred) ast.Literal) []ast.Literal {
+	out := make([]ast.Literal, 0, len(r.Body))
+	for i := range r.Body {
+		l := r.Body[i]
+		info, isAdorned := adorned[l.Pred]
+		if needsDone(&l, r, isAdorned, opts) {
+			if l.Neg {
+				out = append(out, doneGuard(&l, info), l)
+			} else {
+				out = append(out, l, doneGuard(&l, info))
+			}
+			continue
+		}
+		out = append(out, l)
+	}
+	return out
+}
+
+// union returns a new set holding both inputs.
+func union(a, b varSet) varSet {
+	s := make(varSet, len(a)+len(b))
+	for v := range a {
+		s[v] = true
+	}
+	for v := range b {
+		s[v] = true
+	}
+	return s
+}
+
+// intersectOrdered returns the variables present in both sets, ordered by
+// first occurrence in the rule (head then body) so supplementary-predicate
+// signatures are deterministic.
+func intersectOrdered(avail, need varSet, r *ast.Rule) []term.Term {
+	inBoth := make(map[*term.Var]bool)
+	for v := range avail {
+		if need[v] {
+			inBoth[v] = true
+		}
+	}
+	var ordered []term.Term
+	seen := make(map[*term.Var]bool)
+	var walk func(t term.Term)
+	walk = func(t term.Term) {
+		switch x := t.(type) {
+		case *term.Var:
+			if inBoth[x] && !seen[x] {
+				seen[x] = true
+				ordered = append(ordered, x)
+			}
+		case *term.Functor:
+			for _, a := range x.Args {
+				walk(a)
+			}
+		}
+	}
+	for _, t := range r.Head.Args {
+		walk(t)
+	}
+	for i := range r.Body {
+		for _, t := range r.Body[i].Args {
+			walk(t)
+		}
+	}
+	if len(ordered) < len(inBoth) {
+		var rest []*term.Var
+		for v := range inBoth {
+			if !seen[v] {
+				rest = append(rest, v)
+			}
+		}
+		sort.Slice(rest, func(i, j int) bool { return rest[i].Name < rest[j].Name })
+		for _, v := range rest {
+			ordered = append(ordered, v)
+		}
+	}
+	return ordered
+}

@@ -1,0 +1,120 @@
+package rewrite
+
+import (
+	"coral/internal/ast"
+)
+
+// Join order selection (paper §4.2: "with respect to semi-naive
+// evaluation, the optimizer is responsible for: (1) join order
+// selection, ..."). CORAL evaluates rule bodies left to right by default
+// ("more generally, in a user specified order", §5.6 fn. 7); with the
+// @reorder annotation the optimizer instead greedily schedules the most
+// bound literal next:
+//
+//   - a builtin or negated literal is scheduled as soon as its variables
+//     are bound (they filter, never generate);
+//   - among positive literals, the one with the most bound argument
+//     positions wins, breaking ties toward fewer new variables and then
+//     source order.
+//
+// Reordering a conjunction of positive literals, safe builtins and safe
+// negation preserves the declarative semantics; only the join cost
+// changes.
+
+// reorderBody returns the rule's body in greedy bound-first order, given
+// the variables bound at entry (the bound head arguments under the rule's
+// adornment). The input slice is not modified.
+func reorderBody(body []ast.Literal, bound varSet) []ast.Literal {
+	n := len(body)
+	out := make([]ast.Literal, 0, n)
+	used := make([]bool, n)
+	// Track boundness in a copy.
+	b := make(varSet, len(bound))
+	for v := range bound {
+		b[v] = true
+	}
+	covered := func(l *ast.Literal) bool {
+		for _, a := range l.Args {
+			if !b.covers(a) {
+				return false
+			}
+		}
+		return true
+	}
+	for len(out) < n {
+		pick := -1
+		bestBound, bestNew := -1, 1<<30
+		for i := range body {
+			if used[i] {
+				continue
+			}
+			l := &body[i]
+			// Filters go first the moment they are safe.
+			if (l.Builtin() || l.Neg) && covered(l) {
+				pick = i
+				break
+			}
+			if l.Builtin() && l.Pred == "=" && (b.covers(l.Args[0]) || b.covers(l.Args[1])) {
+				// An assignment with one side bound generates bindings
+				// cheaply; treat like a filter.
+				pick = i
+				break
+			}
+			if l.Builtin() || l.Neg {
+				continue // not yet safe
+			}
+			nb, nv := 0, 0
+			for _, a := range l.Args {
+				if b.covers(a) {
+					nb++
+				}
+			}
+			newVars := make(varSet)
+			for _, a := range l.Args {
+				newVars.addVars(a)
+			}
+			for v := range newVars {
+				if !b[v] {
+					nv++
+				}
+			}
+			if nb > bestBound || nb == bestBound && nv < bestNew {
+				pick, bestBound, bestNew = i, nb, nv
+			}
+		}
+		if pick < 0 {
+			// Only unsafe builtins/negations remain: emit them in source
+			// order; run-time safety checks will report them.
+			for i := range body {
+				if !used[i] {
+					pick = i
+					break
+				}
+			}
+		}
+		used[pick] = true
+		out = append(out, body[pick])
+		for _, a := range body[pick].Args {
+			if !body[pick].Neg {
+				b.addVars(a)
+			}
+		}
+	}
+	return out
+}
+
+// ReorderRules applies join order selection to every rule, seeding
+// boundness from nothing (used when no adornment information exists, i.e.
+// @rewrite none).
+func ReorderRules(rules []*ast.Rule) []*ast.Rule {
+	out := make([]*ast.Rule, len(rules))
+	for i, r := range rules {
+		out[i] = &ast.Rule{
+			Head: r.Head,
+			Body: reorderBody(r.Body, make(varSet)),
+			Aggs: r.Aggs,
+			Line: r.Line,
+		}
+	}
+	return out
+}

@@ -1,0 +1,557 @@
+package rewrite
+
+import (
+	"strings"
+	"testing"
+
+	"coral/internal/ast"
+	"coral/internal/parser"
+)
+
+func parseModule(t *testing.T, src string) *ast.Module {
+	t.Helper()
+	u, err := parser.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(u.Modules) != 1 {
+		t.Fatalf("want 1 module, got %d", len(u.Modules))
+	}
+	return u.Modules[0]
+}
+
+const ancSrc = `
+module anc.
+export ancestor(bf).
+ancestor(X, Y) :- edge(X, Y).
+ancestor(X, Y) :- edge(X, Z), ancestor(Z, Y).
+end_module.
+`
+
+func TestDepGraphSCC(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export a(f).
+a(X) :- b(X).
+b(X) :- c(X), a(X).
+b(X) :- base(X).
+c(X) :- b(X).
+d(X) :- a(X).
+end_module.
+`)
+	g := BuildDepGraph(m.Rules)
+	ka := ast.PredKey{Name: "a", Arity: 1}
+	kb := ast.PredKey{Name: "b", Arity: 1}
+	kc := ast.PredKey{Name: "c", Arity: 1}
+	kd := ast.PredKey{Name: "d", Arity: 1}
+	if !g.SameSCC(ka, kb) || !g.SameSCC(kb, kc) {
+		t.Error("a, b, c should be one SCC")
+	}
+	if g.SameSCC(ka, kd) {
+		t.Error("d should be outside the a/b/c SCC")
+	}
+	if g.Stratum(kd) <= g.Stratum(ka) {
+		t.Error("d must be in a higher stratum than a")
+	}
+	if g.Stratum(ast.PredKey{Name: "base", Arity: 1}) != -1 {
+		t.Error("base predicate should have stratum -1")
+	}
+	// The a/b/c SCC is recursive; d's is not.
+	if !g.SCCs[g.CompOf[ka]].Recursive {
+		t.Error("abc SCC not marked recursive")
+	}
+	if g.SCCs[g.CompOf[kd]].Recursive {
+		t.Error("d SCC marked recursive")
+	}
+}
+
+func TestDepGraphSelfLoop(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export p(f).
+p(X) :- p(X).
+end_module.
+`)
+	g := BuildDepGraph(m.Rules)
+	if !g.SCCs[0].Recursive {
+		t.Error("self-loop not recursive")
+	}
+}
+
+func TestStratificationCheck(t *testing.T) {
+	bad := parseModule(t, `
+module m.
+export p(f).
+p(X) :- d(X), not q(X).
+q(X) :- d(X), not p(X).
+end_module.
+`)
+	if err := BuildDepGraph(bad.Rules).CheckStratified(); err == nil {
+		t.Error("negative cycle accepted")
+	}
+	good := parseModule(t, `
+module m.
+export p(f).
+p(X) :- d(X), not q(X).
+q(X) :- e(X).
+end_module.
+`)
+	if err := BuildDepGraph(good.Rules).CheckStratified(); err != nil {
+		t.Errorf("stratified program rejected: %v", err)
+	}
+}
+
+func TestAdornAncestorBF(t *testing.T) {
+	m := parseModule(t, ancSrc)
+	a, err := Adorn(m.Rules, ast.PredKey{Name: "ancestor", Arity: 2}, "bf", AdornOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.QueryName != "ancestor_bf" {
+		t.Fatalf("query name %s", a.QueryName)
+	}
+	if len(a.Rules) != 2 {
+		t.Fatalf("adorned %d rules", len(a.Rules))
+	}
+	// The recursive call sees Z bound (via edge) and Y free: ancestor_bf.
+	rec := a.Rules[1]
+	if rec.Body[1].Pred != "ancestor_bf" {
+		t.Errorf("recursive call adorned as %s", rec.Body[1].Pred)
+	}
+	// Base predicate not adorned.
+	if rec.Body[0].Pred != "edge" {
+		t.Errorf("base call renamed to %s", rec.Body[0].Pred)
+	}
+	if len(a.Preds) != 1 {
+		t.Errorf("adorned preds: %v", a.SortedPredNames())
+	}
+}
+
+func TestAdornGeneratesMultipleVersions(t *testing.T) {
+	// sg with both-free recursive call through an unbound variable chain.
+	m := parseModule(t, `
+module m.
+export p(bf).
+p(X, Y) :- e(X, Y).
+p(X, Y) :- p(Y, X).
+end_module.
+`)
+	a, err := Adorn(m.Rules, ast.PredKey{Name: "p", Arity: 2}, "bf", AdornOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// p_bf calls p(Y, X) with Y free, X bound: p_fb; p_fb calls p_bf.
+	names := a.SortedPredNames()
+	if len(names) != 2 || names[0] != "p_bf" || names[1] != "p_fb" {
+		t.Errorf("adorned versions: %v", names)
+	}
+}
+
+func TestAdornBuiltinBindings(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export p(b).
+p(X) :- Y = X + 1, q(Y).
+q(Y) :- r(Y).
+end_module.
+`)
+	a, err := Adorn(m.Rules, ast.PredKey{Name: "p", Arity: 1}, "b", AdornOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Y is bound after Y = X + 1 with X bound, so q is called bound.
+	if a.Rules[0].Body[1].Pred != "q_b" {
+		t.Errorf("q adorned as %s", a.Rules[0].Body[1].Pred)
+	}
+}
+
+func TestAdornAggregatedPositionForcedFree(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export cheapest(bb).
+cheapest(X, min(C)) :- cost(X, C).
+end_module.
+`)
+	a, err := Adorn(m.Rules, ast.PredKey{Name: "cheapest", Arity: 2}, "bb", AdornOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.QueryName != "cheapest_bf" {
+		t.Errorf("aggregated position not demoted: %s", a.QueryName)
+	}
+}
+
+func TestMagicTemplates(t *testing.T) {
+	m := parseModule(t, ancSrc)
+	a, _ := Adorn(m.Rules, ast.PredKey{Name: "ancestor", Arity: 2}, "bf", AdornOptions{})
+	rw, err := Magic(a, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := render(rw.Rules)
+	// Plain magic: one magic rule (for the recursive call) + two guarded
+	// rules.
+	if len(rw.Rules) != 3 {
+		t.Fatalf("rule count %d:\n%s", len(rw.Rules), text)
+	}
+	if !strings.Contains(text, "m_ancestor_bf(Z) :- m_ancestor_bf(X), edge(X, Z).") {
+		t.Errorf("magic rule missing:\n%s", text)
+	}
+	if !strings.Contains(text, "ancestor_bf(X, Y) :- m_ancestor_bf(X), edge(X, Z), ancestor_bf(Z, Y).") {
+		t.Errorf("guarded rule missing:\n%s", text)
+	}
+	if rw.MagicName != "m_ancestor_bf" || len(rw.SeedPositions) != 1 || rw.SeedPositions[0] != 0 {
+		t.Errorf("seed info: %s %v", rw.MagicName, rw.SeedPositions)
+	}
+}
+
+func TestSupplementaryMagic(t *testing.T) {
+	// A rule with two recursive calls exercises the supplementary chain:
+	// p(X,Y) :- e(X,A), p(A,B), f(B,C), p(C,Y).
+	m := parseModule(t, `
+module m.
+export p(bf).
+p(X, Y) :- g(X, Y).
+p(X, Y) :- e(X, A), p(A, B), f(B, C), p(C, Y).
+end_module.
+`)
+	a, _ := Adorn(m.Rules, ast.PredKey{Name: "p", Arity: 2}, "bf", AdornOptions{})
+	rw, err := Magic(a, Options{Supplementary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := render(rw.Rules)
+	if len(rw.SupPreds) != 2 {
+		t.Fatalf("want 2 sup predicates, got %d:\n%s", len(rw.SupPreds), text)
+	}
+	// The second magic rule must be derived from a supplementary relation,
+	// not recompute the prefix join.
+	if !strings.Contains(text, "m_p_bf(C) :- sup_") {
+		t.Errorf("second magic rule does not use a supplementary:\n%s", text)
+	}
+	// Head rule continues from the last supplementary.
+	if !strings.Contains(text, "p_bf(X, Y) :- sup_") {
+		t.Errorf("head rule does not use a supplementary:\n%s", text)
+	}
+}
+
+func TestMagicNegationStratifiedSeeds(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export p(b).
+p(X) :- d(X), not q(X).
+q(X) :- e(X).
+end_module.
+`)
+	a, _ := Adorn(m.Rules, ast.PredKey{Name: "p", Arity: 1}, "b", AdornOptions{NegFree: true})
+	rw, err := Magic(a, Options{Supplementary: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := render(rw.Rules)
+	// The negated q is adorned all-free and unconditionally seeded.
+	if !strings.Contains(text, "not q_f(X)") {
+		t.Errorf("negated call not all-free:\n%s", text)
+	}
+	if !strings.Contains(text, "m_q_f.") {
+		t.Errorf("no unconditional seed for negated predicate:\n%s", text)
+	}
+}
+
+func TestMagicOrderedSearchDoneGuards(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export win(b).
+win(X) :- move(X, Y), not win(Y).
+end_module.
+`)
+	a, _ := Adorn(m.Rules, ast.PredKey{Name: "win", Arity: 1}, "b", AdornOptions{})
+	rw, err := Magic(a, Options{Supplementary: true, DoneLiterals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := render(rw.Rules)
+	if !strings.Contains(text, "done_win_b(Y), not win_b(Y)") {
+		t.Errorf("done guard missing or misplaced:\n%s", text)
+	}
+	// The magic rule for the negated call must NOT depend on the done
+	// literal (that would deadlock the context).
+	for _, r := range rw.Rules {
+		if r.Head.Pred != "m_win_b" {
+			continue
+		}
+		for i := range r.Body {
+			if strings.HasPrefix(r.Body[i].Pred, "done_") {
+				t.Errorf("magic rule depends on done literal: %s", r)
+			}
+		}
+	}
+	if len(rw.DonePreds) != 1 {
+		t.Errorf("done preds: %v", rw.DonePreds)
+	}
+}
+
+func TestFactorRightLinear(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export reach(bf).
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+end_module.
+`)
+	a, _ := Adorn(m.Rules, ast.PredKey{Name: "reach", Arity: 2}, "bf", AdornOptions{})
+	fr, ok := Factor(a)
+	if !ok {
+		t.Fatal("right-linear program not factored")
+	}
+	text := render(fr.Rules)
+	for _, want := range []string{
+		"m_reach_bf(B0) :- seed_reach_bf(B0).",
+		"m_reach_bf(Z) :- m_reach_bf(X), edge(X, Z).",
+		"ans_reach_bf(Y) :- m_reach_bf(X), edge(X, Y).",
+		"reach_bf(SB0, SF0) :- seed_reach_bf(SB0), ans_reach_bf(SF0).",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+	if fr.MagicName != "seed_reach_bf" {
+		t.Errorf("seed name %s", fr.MagicName)
+	}
+}
+
+func TestFactorRejectsNonLinear(t *testing.T) {
+	cases := []string{
+		// free arg not passed through unchanged (same generation)
+		`module m.
+export sg(bf).
+sg(X, Y) :- flat(X, Y).
+sg(X, Y) :- up(X, U), sg(U, V), down(V, Y).
+end_module.`,
+		// two recursive calls
+		`module m.
+export p(bf).
+p(X, Y) :- e(X, Y).
+p(X, Y) :- p(X, Z), p(Z, Y).
+end_module.`,
+		// recursive call not last
+		`module m.
+export p(bf).
+p(X, Y) :- e(X, Y).
+p(X, Y) :- p(Z, Y), e(X, Z).
+end_module.`,
+	}
+	for i, src := range cases {
+		m := parseModule(t, src)
+		q := m.Exports[0]
+		a, err := Adorn(m.Rules, ast.PredKey{Name: q.Pred, Arity: q.Arity}, q.Forms[0], AdornOptions{})
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if _, ok := Factor(a); ok {
+			t.Errorf("case %d: non-right-linear program factored", i)
+		}
+	}
+}
+
+func render(rules []*ast.Rule) string {
+	var b strings.Builder
+	for _, r := range rules {
+		b.WriteString(r.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func TestReorderBoundFirst(t *testing.T) {
+	// p(X) :- big(Y, Z), filt(X), X < 5, link(X, Y).
+	// With X bound (adornment b), reordering schedules filt(X) and the
+	// comparison first, then link (sharing X), then big (sharing Y).
+	m := parseModule(t, `
+module m.
+export p(b).
+p(X) :- big(Y, Z), filt(X), X < 5, link(X, Y).
+end_module.
+`)
+	a, err := Adorn(m.Rules, ast.PredKey{Name: "p", Arity: 1}, "b",
+		AdornOptions{Reorder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.Rules[0]
+	order := make([]string, len(got.Body))
+	for i := range got.Body {
+		order[i] = got.Body[i].Pred
+	}
+	// The safe filter runs first, then the bound unary literal, then link
+	// (sharing the bound X), and the unconstrained big literal last.
+	want := []string{"<", "filt", "link", "big"}
+	if strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Errorf("order %v, want %v", order, want)
+	}
+}
+
+func TestReorderKeepsNegationSafe(t *testing.T) {
+	// Negation may only run once its variables are bound.
+	m := parseModule(t, `
+module m.
+export p(f).
+p(X) :- not bad(X), d(X).
+end_module.
+`)
+	a, err := Adorn(m.Rules, ast.PredKey{Name: "p", Arity: 1}, "f",
+		AdornOptions{Reorder: true, NegFree: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := a.Rules[0].Body
+	if body[0].Neg || body[0].Pred != "d" {
+		t.Errorf("negation not deferred: %v then %v", body[0], body[1])
+	}
+}
+
+func TestReorderRulesStandalone(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export q(ff).
+q(X, Y) :- e(X, Y), c(X).
+end_module.
+`)
+	out := ReorderRules(m.Rules)
+	// With nothing bound, the unary literal (fewer new variables) runs
+	// first.
+	if out[0].Body[0].Pred != "c" {
+		t.Errorf("order: %v", out[0])
+	}
+	// Original untouched.
+	if m.Rules[0].Body[0].Pred != "e" {
+		t.Error("ReorderRules mutated its input")
+	}
+}
+
+func TestAdornmentHelpers(t *testing.T) {
+	if AllFree(3) != "fff" || AllBound(3) != "bbb" || AllFree(0) != "" {
+		t.Error("adornment helpers wrong")
+	}
+	if AdornedName("p", "bf") != "p_bf" {
+		t.Error("AdornedName wrong")
+	}
+	if MagicPredName("p_bf") != "m_p_bf" || DonePredName("p_bf") != "done_p_bf" {
+		t.Error("generated names wrong")
+	}
+	if SupPredName("p_bf", 2, 1) != "sup_2_1_p_bf" {
+		t.Error("sup name wrong")
+	}
+}
+
+func TestExistsProjectsQuery(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export reach(bf).
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+end_module.
+`)
+	a, err := Adorn(m.Rules, ast.PredKey{Name: "reach", Arity: 2}, "bf", AdornOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Observe only position 0 (the bound source); drop the destination.
+	out := Exists(a, []bool{true, false})
+	if out == a {
+		t.Fatal("projection did not apply")
+	}
+	if out.QueryName != "reach_bf_ex" {
+		t.Fatalf("projected name %s", out.QueryName)
+	}
+	info := out.Preds[out.QueryName]
+	if info.Orig.Arity != 1 || info.Adorn != "b" {
+		t.Fatalf("projected pred info: %+v", info)
+	}
+	// The projected head has one argument; the recursive body call is
+	// projected consistently.
+	text := render(out.Rules)
+	if !strings.Contains(text, "reach_bf_ex(X) :- edge(X, Y).") {
+		t.Errorf("exit rule not projected:\n%s", text)
+	}
+	if !strings.Contains(text, "reach_bf_ex(X) :- edge(X, Z), reach_bf_ex(Z).") {
+		t.Errorf("recursive rule not projected:\n%s", text)
+	}
+	if got := QueryKeepPositions([]bool{true, false}); len(got) != 1 || got[0] != 0 {
+		t.Errorf("keep positions: %v", got)
+	}
+}
+
+func TestExistsKeepsJoinVariables(t *testing.T) {
+	// A position is kept if its variable joins two literals even when the
+	// query never observes it.
+	m := parseModule(t, `
+module m.
+export p(bf).
+p(X, Y) :- e(X, Y), f(Y).
+end_module.
+`)
+	a, _ := Adorn(m.Rules, ast.PredKey{Name: "p", Arity: 2}, "bf", AdornOptions{})
+	out := Exists(a, []bool{true, false})
+	// Y joins e and f: the body must retain it even though the head
+	// projection drops the position. The head drops to arity 1.
+	text := render(out.Rules)
+	if !strings.Contains(text, "p_bf_ex(X) :- e(X, Y), f(Y).") {
+		t.Errorf("join variable mishandled:\n%s", text)
+	}
+}
+
+func TestExistsFullMaskNoChange(t *testing.T) {
+	m := parseModule(t, ancSrc)
+	a, _ := Adorn(m.Rules, ast.PredKey{Name: "ancestor", Arity: 2}, "bf", AdornOptions{})
+	if out := Exists(a, []bool{true, true}); out != a {
+		t.Error("full mask should be identity")
+	}
+	if out := Exists(a, []bool{true}); out != a {
+		t.Error("wrong-length mask should be identity")
+	}
+}
+
+func TestExistsSkipsAggregatedPreds(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export best(bf).
+best(X, min(C)) :- cost(X, C).
+end_module.
+`)
+	a, _ := Adorn(m.Rules, ast.PredKey{Name: "best", Arity: 2}, "bf", AdornOptions{})
+	// Aggregated predicates keep every position.
+	if out := Exists(a, []bool{true, false}); out != a {
+		t.Error("aggregated predicate was projected")
+	}
+}
+
+func TestPlainMagicDoneGuards(t *testing.T) {
+	// The plain-magic path with DoneLiterals (Ordered Search mode) also
+	// inserts done guards.
+	m := parseModule(t, `
+module m.
+export win(b).
+win(X) :- move(X, Y), not win(Y).
+end_module.
+`)
+	a, _ := Adorn(m.Rules, ast.PredKey{Name: "win", Arity: 1}, "b", AdornOptions{})
+	rw, err := Magic(a, Options{Supplementary: false, DoneLiterals: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := render(rw.Rules)
+	if !strings.Contains(text, "done_win_b(Y), not win_b(Y)") {
+		t.Errorf("plain-magic done guard missing:\n%s", text)
+	}
+	// Every rewritten rule's first body literal is a magic guard — the
+	// property Ordered Search's caller attribution relies on.
+	for _, r := range rw.Rules {
+		if len(r.Body) == 0 {
+			continue
+		}
+		if !rw.MagicPreds[r.Body[0].Pred] {
+			t.Errorf("rule does not lead with its magic guard: %s", r)
+		}
+	}
+}

@@ -1,0 +1,541 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// BTree is a B+tree over order-preserving encoded keys with RID payloads —
+// the index structure CORAL uses for persistent relations (paper §3.3).
+// Keys may repeat (secondary indexes); deletion is lazy (no rebalancing),
+// which suits the system's append-mostly usage.
+//
+// Node layout (one page per node):
+//
+//	[0]     kind: 1 leaf, 2 internal
+//	[1:3]   entry count
+//	[3:5]   free offset (entry data grows up from the header)
+//	[5:9]   leaf: next-leaf page; internal: leftmost child
+//	[9:]    entry data; a slot directory of 2-byte offsets grows down
+//	        from the page end, kept in key order.
+//
+// Leaf entry: klen u16, key, rid (6 bytes).
+// Internal entry: klen u16, key, child page (4 bytes).
+type BTree struct {
+	pool *Pool
+	root PageID
+}
+
+const (
+	btLeaf     = 1
+	btInternal = 2
+	btHdr      = 9
+)
+
+type btPage struct{ data []byte }
+
+func (p btPage) kind() byte         { return p.data[0] }
+func (p btPage) setKind(k byte)     { p.data[0] = k }
+func (p btPage) count() int         { return int(binary.BigEndian.Uint16(p.data[1:])) }
+func (p btPage) setCount(n int)     { binary.BigEndian.PutUint16(p.data[1:], uint16(n)) }
+func (p btPage) freeOff() int       { return int(binary.BigEndian.Uint16(p.data[3:])) }
+func (p btPage) setFreeOff(o int)   { binary.BigEndian.PutUint16(p.data[3:], uint16(o)) }
+func (p btPage) extra() PageID      { return PageID(binary.BigEndian.Uint32(p.data[5:])) }
+func (p btPage) setExtra(id PageID) { binary.BigEndian.PutUint32(p.data[5:], uint32(id)) }
+func (p btPage) slotOff(i int) int  { return PageSize - 2*(i+1) }
+func (p btPage) entryOff(i int) int { return int(binary.BigEndian.Uint16(p.data[p.slotOff(i):])) }
+func (p btPage) setEntryOff(i, o int) {
+	binary.BigEndian.PutUint16(p.data[p.slotOff(i):], uint16(o))
+}
+
+func initBTPage(data []byte, kind byte) {
+	for i := range data {
+		data[i] = 0
+	}
+	p := btPage{data}
+	p.setKind(kind)
+	p.setCount(0)
+	p.setFreeOff(btHdr)
+	p.setExtra(invalidPage)
+}
+
+// key returns entry i's key bytes.
+func (p btPage) key(i int) []byte {
+	off := p.entryOff(i)
+	klen := int(binary.BigEndian.Uint16(p.data[off:]))
+	return p.data[off+2 : off+2+klen]
+}
+
+// payload returns entry i's value bytes (rid or child).
+func (p btPage) payload(i int) []byte {
+	off := p.entryOff(i)
+	klen := int(binary.BigEndian.Uint16(p.data[off:]))
+	size := ridSize
+	if p.kind() == btInternal {
+		size = 4
+	}
+	return p.data[off+2+klen : off+2+klen+size]
+}
+
+func (p btPage) child(i int) PageID {
+	return PageID(binary.BigEndian.Uint32(p.payload(i)))
+}
+
+// entrySize is the stored size of an entry with key k.
+func (p btPage) entrySize(k []byte) int {
+	size := ridSize
+	if p.kind() == btInternal {
+		size = 4
+	}
+	return 2 + len(k) + size
+}
+
+// liveBytes sums the entries' stored sizes.
+func (p btPage) liveBytes() int {
+	total := 0
+	for i := 0; i < p.count(); i++ {
+		total += p.entrySize(p.key(i))
+	}
+	return total
+}
+
+// hasRoom reports whether an entry with key k fits without compaction.
+func (p btPage) hasRoom(k []byte) bool {
+	return p.freeOff()+p.entrySize(k) <= p.slotOff(p.count())
+}
+
+// fitsCompacted reports whether it fits after rewriting the page.
+func (p btPage) fitsCompacted(k []byte) bool {
+	return btHdr+p.liveBytes()+p.entrySize(k)+2*(p.count()+1) <= PageSize
+}
+
+// compact rewrites the page densely.
+func (p btPage) compact() {
+	type ent struct {
+		key     []byte
+		payload []byte
+	}
+	n := p.count()
+	ents := make([]ent, n)
+	for i := 0; i < n; i++ {
+		k := append([]byte(nil), p.key(i)...)
+		v := append([]byte(nil), p.payload(i)...)
+		ents[i] = ent{k, v}
+	}
+	kind, extra := p.kind(), p.extra()
+	initBTPage(p.data, kind)
+	p.setExtra(extra)
+	for i, e := range ents {
+		off := p.freeOff()
+		binary.BigEndian.PutUint16(p.data[off:], uint16(len(e.key)))
+		copy(p.data[off+2:], e.key)
+		copy(p.data[off+2+len(e.key):], e.payload)
+		p.setFreeOff(off + 2 + len(e.key) + len(e.payload))
+		p.setEntryOff(i, off)
+	}
+	p.setCount(n)
+}
+
+// insertAt places an entry at directory position i (space checked).
+func (p btPage) insertAt(i int, k, payload []byte) {
+	off := p.freeOff()
+	binary.BigEndian.PutUint16(p.data[off:], uint16(len(k)))
+	copy(p.data[off+2:], k)
+	copy(p.data[off+2+len(k):], payload)
+	p.setFreeOff(off + 2 + len(k) + len(payload))
+	// Shift directory entries [i, n) down one slot.
+	n := p.count()
+	for j := n; j > i; j-- {
+		p.setEntryOff(j, p.entryOff(j-1))
+	}
+	p.setEntryOff(i, off)
+	p.setCount(n + 1)
+}
+
+// removeAt drops directory entry i (data bytes become garbage until the
+// next compaction).
+func (p btPage) removeAt(i int) {
+	n := p.count()
+	for j := i; j < n-1; j++ {
+		p.setEntryOff(j, p.entryOff(j+1))
+	}
+	p.setCount(n - 1)
+}
+
+// lowerBound returns the first entry index with key >= k.
+func (p btPage) lowerBound(k []byte) int {
+	return sort.Search(p.count(), func(i int) bool {
+		return bytes.Compare(p.key(i), k) >= 0
+	})
+}
+
+// upperBound returns the first entry index with key > k.
+func (p btPage) upperBound(k []byte) int {
+	return sort.Search(p.count(), func(i int) bool {
+		return bytes.Compare(p.key(i), k) > 0
+	})
+}
+
+// NewBTree allocates an empty tree.
+func NewBTree(pool *Pool) (*BTree, error) {
+	fr, err := pool.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	initBTPage(fr.data[:], btLeaf)
+	pool.MarkDirty(fr)
+	root := fr.id
+	pool.Unpin(fr)
+	return &BTree{pool: pool, root: root}, nil
+}
+
+// OpenBTree attaches to an existing tree.
+func OpenBTree(pool *Pool, root PageID) *BTree { return &BTree{pool: pool, root: root} }
+
+// Root returns the current root page (persisted in the catalog).
+func (t *BTree) Root() PageID { return t.root }
+
+// Insert adds (key, rid). Duplicate keys are allowed.
+func (t *BTree) Insert(key []byte, rid RID) error {
+	if 2+len(key)+ridSize > (PageSize-btHdr-2)/4 {
+		return fmt.Errorf("storage: index key too large (%d bytes)", len(key))
+	}
+	var ridBuf [ridSize]byte
+	rid.pack(ridBuf[:])
+	promoted, newChild, err := t.insertInto(t.root, key, ridBuf[:])
+	if err != nil {
+		return err
+	}
+	if newChild == invalidPage {
+		return nil
+	}
+	// Root split: grow the tree by one level.
+	fr, err := t.pool.Alloc()
+	if err != nil {
+		return err
+	}
+	initBTPage(fr.data[:], btInternal)
+	p := btPage{fr.data[:]}
+	p.setExtra(t.root)
+	var childBuf [4]byte
+	binary.BigEndian.PutUint32(childBuf[:], uint32(newChild))
+	p.insertAt(0, promoted, childBuf[:])
+	t.pool.MarkDirty(fr)
+	t.root = fr.id
+	t.pool.Unpin(fr)
+	return nil
+}
+
+// insertInto descends recursively; on child split it returns the promoted
+// separator key and the new right sibling.
+func (t *BTree) insertInto(page PageID, key, payload []byte) ([]byte, PageID, error) {
+	fr, err := t.pool.Get(page)
+	if err != nil {
+		return nil, invalidPage, err
+	}
+	p := btPage{fr.data[:]}
+	if p.kind() == btLeaf {
+		pos := p.upperBound(key)
+		if !p.hasRoom(key) && p.fitsCompacted(key) {
+			t.pool.MarkDirty(fr)
+			p.compact()
+		}
+		if p.hasRoom(key) {
+			t.pool.MarkDirty(fr)
+			p.insertAt(pos, key, payload)
+			t.pool.Unpin(fr)
+			return nil, invalidPage, nil
+		}
+		promoted, right, err := t.splitLeaf(fr, key, payload)
+		t.pool.Unpin(fr)
+		return promoted, right, err
+	}
+	// Internal: inserts descend to the right of equal separators so runs
+	// of duplicate keys grow rightward.
+	idx := p.upperBound(key)
+	child := p.extra()
+	if idx > 0 {
+		child = p.child(idx - 1)
+	}
+	t.pool.Unpin(fr)
+	promoted, newChild, err := t.insertInto(child, key, payload)
+	if err != nil || newChild == invalidPage {
+		return nil, invalidPage, err
+	}
+	// Insert the promoted separator into this node.
+	fr, err = t.pool.Get(page)
+	if err != nil {
+		return nil, invalidPage, err
+	}
+	p = btPage{fr.data[:]}
+	var childBuf [4]byte
+	binary.BigEndian.PutUint32(childBuf[:], uint32(newChild))
+	pos := p.upperBound(promoted)
+	if !p.hasRoom(promoted) && p.fitsCompacted(promoted) {
+		t.pool.MarkDirty(fr)
+		p.compact()
+	}
+	if p.hasRoom(promoted) {
+		t.pool.MarkDirty(fr)
+		p.insertAt(pos, promoted, childBuf[:])
+		t.pool.Unpin(fr)
+		return nil, invalidPage, nil
+	}
+	up, right, err := t.splitInternal(fr, promoted, childBuf[:])
+	t.pool.Unpin(fr)
+	return up, right, err
+}
+
+// splitLeaf moves the upper half of fr into a new leaf, then inserts the
+// pending entry into the proper side. Returns the new leaf's first key.
+func (t *BTree) splitLeaf(fr *frame, key, payload []byte) ([]byte, PageID, error) {
+	right, err := t.pool.Alloc()
+	if err != nil {
+		return nil, invalidPage, err
+	}
+	initBTPage(right.data[:], btLeaf)
+	lp := btPage{fr.data[:]}
+	rp := btPage{right.data[:]}
+	n := lp.count()
+	mid := n / 2
+	for i := mid; i < n; i++ {
+		rp.insertAt(rp.count(), lp.key(i), lp.payload(i))
+	}
+	lp.setCount(mid)
+	rp.setExtra(lp.extra())
+	lp.setExtra(right.id)
+	lp.compact()
+	// Insert the pending entry on the side its key belongs to.
+	if bytes.Compare(key, rp.key(0)) < 0 {
+		lp.insertAt(lp.upperBound(key), key, payload)
+	} else {
+		rp.insertAt(rp.upperBound(key), key, payload)
+	}
+	t.pool.MarkDirty(fr)
+	t.pool.MarkDirty(right)
+	promoted := append([]byte(nil), rp.key(0)...)
+	id := right.id
+	t.pool.Unpin(right)
+	return promoted, id, nil
+}
+
+// splitInternal splits an internal node, promoting its middle key.
+func (t *BTree) splitInternal(fr *frame, key, childBuf []byte) ([]byte, PageID, error) {
+	right, err := t.pool.Alloc()
+	if err != nil {
+		return nil, invalidPage, err
+	}
+	initBTPage(right.data[:], btInternal)
+	lp := btPage{fr.data[:]}
+	rp := btPage{right.data[:]}
+	n := lp.count()
+	mid := n / 2
+	promoted := append([]byte(nil), lp.key(mid)...)
+	rp.setExtra(lp.child(mid))
+	for i := mid + 1; i < n; i++ {
+		rp.insertAt(rp.count(), lp.key(i), lp.payload(i))
+	}
+	lp.setCount(mid)
+	lp.compact()
+	// Route the pending separator to the correct side.
+	if bytes.Compare(key, promoted) < 0 {
+		if !lp.hasRoom(key) {
+			lp.compact()
+		}
+		lp.insertAt(lp.upperBound(key), key, childBuf)
+	} else {
+		rp.insertAt(rp.upperBound(key), key, childBuf)
+	}
+	t.pool.MarkDirty(fr)
+	t.pool.MarkDirty(right)
+	id := right.id
+	t.pool.Unpin(right)
+	return promoted, id, nil
+}
+
+// descendToLeaf finds the leftmost leaf that can hold key: seeks descend
+// to the LEFT of equal separators, because a split can leave duplicates of
+// the promoted key in both children; the leaf chain then yields the whole
+// run.
+func (t *BTree) descendToLeaf(key []byte) (PageID, error) {
+	page := t.root
+	for {
+		fr, err := t.pool.Get(page)
+		if err != nil {
+			return invalidPage, err
+		}
+		p := btPage{fr.data[:]}
+		if p.kind() == btLeaf {
+			t.pool.Unpin(fr)
+			return page, nil
+		}
+		idx := p.lowerBound(key)
+		child := p.extra()
+		if idx > 0 {
+			child = p.child(idx - 1)
+		}
+		t.pool.Unpin(fr)
+		page = child
+	}
+}
+
+// Cursor iterates leaf entries in key order.
+type Cursor struct {
+	t    *BTree
+	page PageID
+	idx  int
+	// hi bounds the scan: nil = unbounded; otherwise stop at the first key
+	// with prefixCompare(key, hi) > 0.
+	hi  []byte
+	err error
+}
+
+// Err reports an iteration failure.
+func (c *Cursor) Err() error { return c.err }
+
+// Seek positions a cursor at the first entry with key >= lo.
+func (t *BTree) Seek(lo []byte) (*Cursor, error) {
+	leaf, err := t.descendToLeaf(lo)
+	if err != nil {
+		return nil, err
+	}
+	fr, err := t.pool.Get(leaf)
+	if err != nil {
+		return nil, err
+	}
+	idx := btPage{fr.data[:]}.lowerBound(lo)
+	t.pool.Unpin(fr)
+	return &Cursor{t: t, page: leaf, idx: idx}, nil
+}
+
+// SeekPrefix positions a cursor over exactly the entries whose key starts
+// with prefix.
+func (t *BTree) SeekPrefix(prefix []byte) (*Cursor, error) {
+	c, err := t.Seek(prefix)
+	if err != nil {
+		return nil, err
+	}
+	c.hi = prefix
+	return c, nil
+}
+
+// Next returns the next (key, rid) pair.
+func (c *Cursor) Next() ([]byte, RID, bool) {
+	for c.page != invalidPage {
+		fr, err := c.t.pool.Get(c.page)
+		if err != nil {
+			c.err = err
+			return nil, RID{}, false
+		}
+		p := btPage{fr.data[:]}
+		if c.idx < p.count() {
+			key := append([]byte(nil), p.key(c.idx)...)
+			rid := unpackRID(p.payload(c.idx))
+			c.idx++
+			c.t.pool.Unpin(fr)
+			if c.hi != nil && !bytes.HasPrefix(key, c.hi) {
+				c.page = invalidPage
+				return nil, RID{}, false
+			}
+			return key, rid, true
+		}
+		next := p.extra()
+		c.t.pool.Unpin(fr)
+		c.page = next
+		c.idx = 0
+	}
+	return nil, RID{}, false
+}
+
+// Delete removes one entry matching (key, rid); it reports whether an
+// entry was removed. Pages are not rebalanced.
+func (t *BTree) Delete(key []byte, rid RID) (bool, error) {
+	leaf, err := t.descendToLeaf(key)
+	if err != nil {
+		return false, err
+	}
+	for leaf != invalidPage {
+		fr, err := t.pool.Get(leaf)
+		if err != nil {
+			return false, err
+		}
+		p := btPage{fr.data[:]}
+		i := p.lowerBound(key)
+		for ; i < p.count(); i++ {
+			if !bytes.Equal(p.key(i), key) {
+				t.pool.Unpin(fr)
+				return false, nil
+			}
+			if unpackRID(p.payload(i)) == rid {
+				t.pool.MarkDirty(fr)
+				p.removeAt(i)
+				t.pool.Unpin(fr)
+				return true, nil
+			}
+		}
+		next := p.extra()
+		t.pool.Unpin(fr)
+		leaf = next
+	}
+	return false, nil
+}
+
+// Validate checks tree invariants (tests use this): keys sorted within
+// every node, and leaf chain globally sorted.
+func (t *BTree) Validate() error {
+	return t.validateNode(t.root, nil, nil)
+}
+
+func (t *BTree) validateNode(page PageID, lo, hi []byte) error {
+	fr, err := t.pool.Get(page)
+	if err != nil {
+		return err
+	}
+	p := btPage{fr.data[:]}
+	n := p.count()
+	for i := 1; i < n; i++ {
+		if bytes.Compare(p.key(i-1), p.key(i)) > 0 {
+			t.pool.Unpin(fr)
+			return fmt.Errorf("storage: page %d keys out of order", page)
+		}
+	}
+	for i := 0; i < n; i++ {
+		k := p.key(i)
+		if lo != nil && bytes.Compare(k, lo) < 0 || hi != nil && bytes.Compare(k, hi) > 0 {
+			t.pool.Unpin(fr)
+			return fmt.Errorf("storage: page %d key outside separator bounds", page)
+		}
+	}
+	if p.kind() == btInternal {
+		type span struct {
+			child  PageID
+			lo, hi []byte
+		}
+		var spans []span
+		prev := lo
+		for i := 0; i < n; i++ {
+			k := append([]byte(nil), p.key(i)...)
+			child := p.extra()
+			if i > 0 {
+				child = p.child(i - 1)
+			}
+			spans = append(spans, span{child, prev, k})
+			prev = k
+		}
+		spans = append(spans, span{p.child(n - 1), prev, hi})
+		if n == 0 {
+			spans = []span{{p.extra(), lo, hi}}
+		}
+		t.pool.Unpin(fr)
+		for _, s := range spans {
+			if err := t.validateNode(s.child, s.lo, s.hi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	t.pool.Unpin(fr)
+	return nil
+}

@@ -1,0 +1,205 @@
+package storage
+
+import (
+	"fmt"
+)
+
+// Pool is the buffer pool: CORAL "maintains buffers for persistent
+// relations; if a requested tuple is not in the client buffer pool, a
+// request is forwarded to the server and the page with the requested tuple
+// is retrieved" (paper §3.2). Eviction is clock (second chance).
+type Pool struct {
+	file   *DBFile
+	frames []frame
+	table  map[PageID]int // page -> frame index
+	hand   int
+	stats  PoolStats
+	// txn, when non-nil, captures before-images of modified pages.
+	txn *Txn
+}
+
+type frame struct {
+	id    PageID
+	data  [PageSize]byte
+	pins  int
+	dirty bool
+	used  bool // clock reference bit
+	valid bool
+}
+
+// PoolStats counts buffer pool activity; experiment E15 reports these.
+type PoolStats struct {
+	Hits      int
+	Misses    int
+	PageReads int
+	Writes    int
+	Evictions int
+}
+
+// HitRatio is Hits / (Hits+Misses).
+func (s PoolStats) HitRatio() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(t)
+}
+
+// NewPool creates a pool with the given number of frames (minimum 4).
+func NewPool(f *DBFile, frames int) *Pool {
+	if frames < 4 {
+		frames = 4
+	}
+	return &Pool{
+		file:   f,
+		frames: make([]frame, frames),
+		table:  make(map[PageID]int, frames),
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (p *Pool) Stats() PoolStats { return p.stats }
+
+// ResetStats zeroes the counters (benchmarks call this between phases).
+func (p *Pool) ResetStats() { p.stats = PoolStats{} }
+
+// Get pins the page, reading it if absent.
+func (p *Pool) Get(id PageID) (*frame, error) {
+	if fi, ok := p.table[id]; ok {
+		p.stats.Hits++
+		fr := &p.frames[fi]
+		fr.pins++
+		fr.used = true
+		return fr, nil
+	}
+	p.stats.Misses++
+	fi, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	fr := &p.frames[fi]
+	if err := p.file.ReadPage(id, fr.data[:]); err != nil {
+		fr.valid = false
+		return nil, err
+	}
+	p.stats.PageReads++
+	fr.id = id
+	fr.pins = 1
+	fr.dirty = false
+	fr.used = true
+	fr.valid = true
+	p.table[id] = fi
+	return fr, nil
+}
+
+// Alloc extends the file and pins a zeroed frame for the new page.
+func (p *Pool) Alloc() (*frame, error) {
+	id, err := p.file.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	fi, err := p.victim()
+	if err != nil {
+		return nil, err
+	}
+	fr := &p.frames[fi]
+	for i := range fr.data {
+		fr.data[i] = 0
+	}
+	fr.id = id
+	fr.pins = 1
+	fr.dirty = true
+	fr.used = true
+	fr.valid = true
+	p.table[id] = fi
+	return fr, nil
+}
+
+// MarkDirty records a modification; with a transaction active, the page's
+// before-image is captured on first touch.
+func (p *Pool) MarkDirty(fr *frame) {
+	if p.txn != nil {
+		p.txn.snapshot(p, fr.id)
+	}
+	fr.dirty = true
+}
+
+// Unpin releases a pin.
+func (p *Pool) Unpin(fr *frame) {
+	if fr.pins <= 0 {
+		panic("storage: unpin of unpinned frame")
+	}
+	fr.pins--
+}
+
+// victim finds a free or evictable frame using the clock algorithm.
+func (p *Pool) victim() (int, error) {
+	for i := range p.frames {
+		if !p.frames[i].valid {
+			return i, nil
+		}
+	}
+	for sweep := 0; sweep < 2*len(p.frames); sweep++ {
+		fr := &p.frames[p.hand]
+		idx := p.hand
+		p.hand = (p.hand + 1) % len(p.frames)
+		if fr.pins > 0 {
+			continue
+		}
+		if fr.used {
+			fr.used = false
+			continue
+		}
+		if fr.dirty {
+			if err := p.file.WritePage(fr.id, fr.data[:]); err != nil {
+				return 0, err
+			}
+			p.stats.Writes++
+		}
+		p.stats.Evictions++
+		delete(p.table, fr.id)
+		fr.valid = false
+		return idx, nil
+	}
+	return 0, fmt.Errorf("storage: buffer pool exhausted (all %d frames pinned)", len(p.frames))
+}
+
+// FlushAll writes every dirty page back.
+func (p *Pool) FlushAll() error {
+	for i := range p.frames {
+		fr := &p.frames[i]
+		if fr.valid && fr.dirty {
+			if err := p.file.WritePage(fr.id, fr.data[:]); err != nil {
+				return err
+			}
+			p.stats.Writes++
+			fr.dirty = false
+		}
+	}
+	return p.file.Sync()
+}
+
+// readPageCopy returns a copy of the page's current content (used for undo
+// images; reads through the pool to see in-memory state).
+func (p *Pool) readPageCopy(id PageID) ([]byte, error) {
+	fr, err := p.Get(id)
+	if err != nil {
+		return nil, err
+	}
+	img := make([]byte, PageSize)
+	copy(img, fr.data[:])
+	p.Unpin(fr)
+	return img, nil
+}
+
+// writePageImage restores a page's content (undo).
+func (p *Pool) writePageImage(id PageID, img []byte) error {
+	fr, err := p.Get(id)
+	if err != nil {
+		return err
+	}
+	copy(fr.data[:], img)
+	fr.dirty = true
+	p.Unpin(fr)
+	return nil
+}

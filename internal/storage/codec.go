@@ -1,0 +1,191 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/big"
+
+	"coral/internal/term"
+)
+
+// Tuple codecs. The paper restricts EXODUS-resident data to terms of the
+// primitive types (integers, doubles, strings, arbitrary-precision
+// integers); we additionally allow zero-arity functors (atoms), which are
+// constants in every relevant sense. Structured terms and variables are
+// rejected.
+
+// record encoding tags.
+const (
+	tagInt byte = iota + 1
+	tagFloat
+	tagString
+	tagAtom
+	tagBig
+)
+
+// EncodeTuple serializes a tuple of primitive terms.
+func EncodeTuple(args []term.Term) ([]byte, error) {
+	var out []byte
+	out = append(out, byte(len(args)))
+	for _, a := range args {
+		switch x := a.(type) {
+		case term.Int:
+			out = append(out, tagInt)
+			out = binary.BigEndian.AppendUint64(out, uint64(x))
+		case term.Float:
+			out = append(out, tagFloat)
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(float64(x)))
+		case term.Str:
+			out = appendBytes(out, tagString, []byte(x))
+		case *term.Functor:
+			if !x.IsAtom() {
+				return nil, fmt.Errorf("storage: persistent tuples are restricted to primitive types; got %s", x)
+			}
+			out = appendBytes(out, tagAtom, []byte(x.Sym))
+		case term.Big:
+			sign := byte(0)
+			if x.V.Sign() < 0 {
+				sign = 1
+			}
+			payload := append([]byte{sign}, x.V.Bytes()...)
+			out = appendBytes(out, tagBig, payload)
+		default:
+			return nil, fmt.Errorf("storage: persistent tuples are restricted to primitive types; got %s (%s)", a, a.Kind())
+		}
+	}
+	return out, nil
+}
+
+func appendBytes(out []byte, tag byte, b []byte) []byte {
+	out = append(out, tag)
+	out = binary.BigEndian.AppendUint32(out, uint32(len(b)))
+	return append(out, b...)
+}
+
+// DecodeTuple reverses EncodeTuple.
+func DecodeTuple(b []byte) ([]term.Term, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("storage: empty record")
+	}
+	n := int(b[0])
+	b = b[1:]
+	args := make([]term.Term, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("storage: truncated record")
+		}
+		tag := b[0]
+		b = b[1:]
+		switch tag {
+		case tagInt:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("storage: truncated int")
+			}
+			args = append(args, term.Int(int64(binary.BigEndian.Uint64(b))))
+			b = b[8:]
+		case tagFloat:
+			if len(b) < 8 {
+				return nil, fmt.Errorf("storage: truncated float")
+			}
+			args = append(args, term.Float(math.Float64frombits(binary.BigEndian.Uint64(b))))
+			b = b[8:]
+		case tagString, tagAtom, tagBig:
+			if len(b) < 4 {
+				return nil, fmt.Errorf("storage: truncated length")
+			}
+			l := int(binary.BigEndian.Uint32(b))
+			b = b[4:]
+			if len(b) < l {
+				return nil, fmt.Errorf("storage: truncated payload")
+			}
+			payload := b[:l]
+			b = b[l:]
+			switch tag {
+			case tagString:
+				args = append(args, term.Str(payload))
+			case tagAtom:
+				args = append(args, term.Atom(string(payload)))
+			case tagBig:
+				if l == 0 {
+					return nil, fmt.Errorf("storage: empty bignum")
+				}
+				v := new(big.Int).SetBytes(payload[1:])
+				if payload[0] == 1 {
+					v.Neg(v)
+				}
+				args = append(args, term.NewBig(v))
+			}
+		default:
+			return nil, fmt.Errorf("storage: unknown tag %d", tag)
+		}
+	}
+	return args, nil
+}
+
+// Order-preserving key encoding for B+tree indexes. Keys compare bytewise
+// in the same order as term.Compare over the supported constants: within a
+// field, kind rank first (numerics merged), then value. Each field is
+// prefixed by its rank byte; strings/atoms use 0x00-escaping with a
+// 0x00 0x01 terminator so prefixes order correctly.
+const (
+	rankNumKey  byte = 0x10
+	rankStrKey  byte = 0x20
+	rankAtomKey byte = 0x28
+)
+
+// EncodeKey builds the order-preserving key for the given fields.
+// Arbitrary-precision integers are not supported as key fields.
+func EncodeKey(args []term.Term) ([]byte, error) {
+	var out []byte
+	for _, a := range args {
+		switch x := a.(type) {
+		case term.Int:
+			out = append(out, rankNumKey)
+			out = appendOrderedFloat(out, float64(x))
+			// Tie-break exact integers against equal floats by the raw
+			// value so distinct terms encode distinctly.
+			out = binary.BigEndian.AppendUint64(out, uint64(x)^(1<<63))
+		case term.Float:
+			out = append(out, rankNumKey)
+			out = appendOrderedFloat(out, float64(x))
+			out = binary.BigEndian.AppendUint64(out, math.Float64bits(float64(x)))
+		case term.Str:
+			out = append(out, rankStrKey)
+			out = appendEscaped(out, []byte(x))
+		case *term.Functor:
+			if !x.IsAtom() {
+				return nil, fmt.Errorf("storage: index key fields must be primitive; got %s", x)
+			}
+			out = append(out, rankAtomKey)
+			out = appendEscaped(out, []byte(x.Sym))
+		default:
+			return nil, fmt.Errorf("storage: unsupported index key field %s (%s)", a, a.Kind())
+		}
+	}
+	return out, nil
+}
+
+// appendOrderedFloat encodes a float so byte order matches numeric order.
+func appendOrderedFloat(out []byte, f float64) []byte {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		bits = ^bits
+	} else {
+		bits |= 1 << 63
+	}
+	return binary.BigEndian.AppendUint64(out, bits)
+}
+
+// appendEscaped writes b with 0x00 escaped as 0x00 0xFF, terminated by
+// 0x00 0x01 (which orders below any continuation).
+func appendEscaped(out, b []byte) []byte {
+	for _, c := range b {
+		if c == 0 {
+			out = append(out, 0, 0xFF)
+		} else {
+			out = append(out, c)
+		}
+	}
+	return append(out, 0, 1)
+}

@@ -1,0 +1,246 @@
+package storage
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sync"
+)
+
+// DB is the storage manager instance: one page file, one buffer pool, and a
+// catalog of persistent relations. CORAL is "designed primarily as a single
+// user database system" (paper §2); the DB serializes access with one
+// mutex, and the Server/Client types model the EXODUS client–server split.
+type DB struct {
+	mu      sync.Mutex
+	file    *DBFile
+	pool    *Pool
+	catalog catalog
+	rels    map[string]*PersistentRelation
+	txn     *Txn
+}
+
+// catalog is persisted as a gob blob in page 1.
+type catalog struct {
+	Relations map[string]*relMeta
+}
+
+type relMeta struct {
+	Name      string
+	Arity     int
+	HeapFirst PageID
+	HeapLast  PageID
+	Count     int // live records
+	Inserted  int // total accepted inserts (the relation's mark space)
+	Primary   PageID
+	Indexes   []idxMeta
+}
+
+type idxMeta struct {
+	Cols []int
+	Root PageID
+}
+
+// Open opens (or creates) a database at path with the given buffer pool
+// size in frames.
+func Open(path string, frames int) (*DB, error) {
+	f, err := OpenFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return openDB(f, frames)
+}
+
+// OpenBacking opens a database over an injected backing store (tests).
+func OpenBacking(b Backing, frames int) (*DB, error) {
+	f, err := openFile(b)
+	if err != nil {
+		return nil, err
+	}
+	return openDB(f, frames)
+}
+
+func openDB(f *DBFile, frames int) (*DB, error) {
+	db := &DB{
+		file: f,
+		pool: NewPool(f, frames),
+		rels: make(map[string]*PersistentRelation),
+	}
+	if err := db.loadCatalog(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) loadCatalog() error {
+	fr, err := db.pool.Get(1)
+	if err != nil {
+		return err
+	}
+	defer db.pool.Unpin(fr)
+	length := int(uint32(fr.data[0])<<24 | uint32(fr.data[1])<<16 | uint32(fr.data[2])<<8 | uint32(fr.data[3]))
+	if length == 0 {
+		db.catalog = catalog{Relations: map[string]*relMeta{}}
+		return nil
+	}
+	if length > PageSize-4 {
+		return fmt.Errorf("storage: corrupt catalog length %d", length)
+	}
+	dec := gob.NewDecoder(bytes.NewReader(fr.data[4 : 4+length]))
+	if err := dec.Decode(&db.catalog); err != nil {
+		return fmt.Errorf("storage: decoding catalog: %w", err)
+	}
+	if db.catalog.Relations == nil {
+		db.catalog.Relations = map[string]*relMeta{}
+	}
+	return nil
+}
+
+func (db *DB) saveCatalog() error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&db.catalog); err != nil {
+		return err
+	}
+	if buf.Len() > PageSize-4 {
+		return fmt.Errorf("storage: catalog exceeds one page (%d bytes); too many relations", buf.Len())
+	}
+	fr, err := db.pool.Get(1)
+	if err != nil {
+		return err
+	}
+	defer db.pool.Unpin(fr)
+	db.pool.MarkDirty(fr)
+	l := buf.Len()
+	fr.data[0], fr.data[1], fr.data[2], fr.data[3] = byte(l>>24), byte(l>>16), byte(l>>8), byte(l)
+	copy(fr.data[4:], buf.Bytes())
+	return nil
+}
+
+// Stats exposes buffer pool counters.
+func (db *DB) Stats() PoolStats { return db.pool.Stats() }
+
+// ResetStats clears buffer pool counters.
+func (db *DB) ResetStats() { db.pool.ResetStats() }
+
+// Flush writes all dirty pages and the catalog.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.saveCatalog(); err != nil {
+		return err
+	}
+	return db.pool.FlushAll()
+}
+
+// Close flushes and closes the file.
+func (db *DB) Close() error {
+	if err := db.Flush(); err != nil {
+		db.file.Close()
+		return err
+	}
+	return db.file.Close()
+}
+
+// Txn is an undo-log transaction: before-images of touched pages plus a
+// catalog snapshot; abort restores both. One transaction at a time — the
+// single-user design the paper describes.
+type Txn struct {
+	db      *DB
+	images  map[PageID][]byte
+	catSnap catalog
+	done    bool
+}
+
+// Begin starts a transaction.
+func (db *DB) Begin() (*Txn, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.txn != nil {
+		return nil, fmt.Errorf("storage: a transaction is already active (single-user system)")
+	}
+	t := &Txn{db: db, images: make(map[PageID][]byte), catSnap: db.catalogSnapshot()}
+	db.txn = t
+	db.pool.txn = t
+	return t, nil
+}
+
+func (db *DB) catalogSnapshot() catalog {
+	snap := catalog{Relations: make(map[string]*relMeta, len(db.catalog.Relations))}
+	for k, v := range db.catalog.Relations {
+		c := *v
+		c.Indexes = append([]idxMeta(nil), v.Indexes...)
+		snap.Relations[k] = &c
+	}
+	return snap
+}
+
+// snapshot captures a page's before-image on first touch.
+func (t *Txn) snapshot(p *Pool, id PageID) {
+	if t.done {
+		return
+	}
+	if _, ok := t.images[id]; ok {
+		return
+	}
+	// Temporarily detach so the copy does not recurse.
+	p.txn = nil
+	img, err := p.readPageCopy(id)
+	p.txn = t
+	if err != nil {
+		// Reading an allocated page only fails on I/O errors; remember a
+		// nil image meaning "restore by zeroing" is wrong, so mark the
+		// transaction poisoned instead.
+		t.images[id] = nil
+		return
+	}
+	t.images[id] = img
+}
+
+// Commit makes the transaction's changes durable.
+func (t *Txn) Commit() error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if t.done {
+		return fmt.Errorf("storage: transaction already finished")
+	}
+	t.finish()
+	if err := t.db.saveCatalog(); err != nil {
+		return err
+	}
+	return t.db.pool.FlushAll()
+}
+
+// Abort undoes every page modified since Begin and restores the catalog.
+func (t *Txn) Abort() error {
+	t.db.mu.Lock()
+	defer t.db.mu.Unlock()
+	if t.done {
+		return fmt.Errorf("storage: transaction already finished")
+	}
+	t.finish()
+	for id, img := range t.images {
+		if img == nil {
+			return fmt.Errorf("storage: transaction poisoned by an I/O error on page %d; abort incomplete", id)
+		}
+		if err := t.db.pool.writePageImage(id, img); err != nil {
+			return err
+		}
+	}
+	t.db.catalog = t.catSnap
+	// In-memory relation state is rebuilt from the restored catalog.
+	for name := range t.db.rels {
+		if meta, ok := t.db.catalog.Relations[name]; ok {
+			t.db.rels[name].reattach(meta)
+		} else {
+			delete(t.db.rels, name)
+		}
+	}
+	return nil
+}
+
+func (t *Txn) finish() {
+	t.done = true
+	t.db.txn = nil
+	t.db.pool.txn = nil
+}

@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Backing is the byte-level interface the page file needs; tests inject
+// failing implementations to exercise I/O error paths.
+type Backing interface {
+	io.ReaderAt
+	io.WriterAt
+	Sync() error
+	Close() error
+}
+
+// DBFile reads and writes fixed-size pages of a backing file. Page 0 holds
+// the header: a magic string and the allocated page count.
+type DBFile struct {
+	b        Backing
+	numPages PageID
+}
+
+const fileMagic = "CORALDB1"
+
+// openFile wraps a backing store, initializing the header when empty.
+func openFile(b Backing) (*DBFile, error) {
+	f := &DBFile{b: b}
+	var hdr [PageSize]byte
+	n, err := b.ReadAt(hdr[:], 0)
+	if err != nil && n == 0 {
+		// Fresh file: write the header; pages 0 (header) and 1 (catalog)
+		// exist from the start.
+		f.numPages = 2
+		if err := f.writeHeader(); err != nil {
+			return nil, err
+		}
+		var zero [PageSize]byte
+		if _, err := b.WriteAt(zero[:], PageSize); err != nil {
+			return nil, fmt.Errorf("storage: initializing catalog page: %w", err)
+		}
+		return f, nil
+	}
+	if n < PageSize {
+		return nil, fmt.Errorf("storage: truncated header page")
+	}
+	if string(hdr[:len(fileMagic)]) != fileMagic {
+		return nil, fmt.Errorf("storage: not a coral database file")
+	}
+	f.numPages = PageID(binary.BigEndian.Uint32(hdr[len(fileMagic):]))
+	if f.numPages < 2 {
+		return nil, fmt.Errorf("storage: corrupt header (numPages=%d)", f.numPages)
+	}
+	return f, nil
+}
+
+// OpenFile opens (or creates) a database file on disk.
+func OpenFile(path string) (*DBFile, error) {
+	osf, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	f, err := openFile(osf)
+	if err != nil {
+		osf.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func (f *DBFile) writeHeader() error {
+	var hdr [PageSize]byte
+	copy(hdr[:], fileMagic)
+	binary.BigEndian.PutUint32(hdr[len(fileMagic):], uint32(f.numPages))
+	if _, err := f.b.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("storage: writing header: %w", err)
+	}
+	return nil
+}
+
+// NumPages returns the allocated page count.
+func (f *DBFile) NumPages() PageID { return f.numPages }
+
+// ReadPage fills buf with the page's bytes.
+func (f *DBFile) ReadPage(id PageID, buf []byte) error {
+	if id >= f.numPages {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	n, err := f.b.ReadAt(buf[:PageSize], int64(id)*PageSize)
+	if err != nil && !(err == io.EOF && n == PageSize) {
+		if n < PageSize && err == io.EOF {
+			// Allocated but never written: zero page.
+			for i := n; i < PageSize; i++ {
+				buf[i] = 0
+			}
+			return nil
+		}
+		return fmt.Errorf("storage: reading page %d: %w", id, err)
+	}
+	return nil
+}
+
+// WritePage persists the page's bytes.
+func (f *DBFile) WritePage(id PageID, buf []byte) error {
+	if id >= f.numPages {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	if _, err := f.b.WriteAt(buf[:PageSize], int64(id)*PageSize); err != nil {
+		return fmt.Errorf("storage: writing page %d: %w", id, err)
+	}
+	return nil
+}
+
+// Alloc extends the file by one page.
+func (f *DBFile) Alloc() (PageID, error) {
+	id := f.numPages
+	f.numPages++
+	if err := f.writeHeader(); err != nil {
+		f.numPages--
+		return invalidPage, err
+	}
+	return id, nil
+}
+
+// Sync flushes the backing store.
+func (f *DBFile) Sync() error { return f.b.Sync() }
+
+// Close closes the backing store.
+func (f *DBFile) Close() error { return f.b.Close() }

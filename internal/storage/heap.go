@@ -1,0 +1,149 @@
+package storage
+
+import "fmt"
+
+// HeapFile is an append-oriented chain of slotted pages holding one
+// relation's records. Scans walk the chain in insertion order, which is
+// what lets persistent relations support the mark/range interface of
+// semi-naive evaluation.
+type HeapFile struct {
+	pool  *Pool
+	first PageID
+	last  PageID
+}
+
+// newHeapFile allocates the first page of a fresh heap.
+func newHeapFile(pool *Pool) (*HeapFile, error) {
+	fr, err := pool.Alloc()
+	if err != nil {
+		return nil, err
+	}
+	initHeapPage(fr.data[:])
+	pool.MarkDirty(fr)
+	id := fr.id
+	pool.Unpin(fr)
+	return &HeapFile{pool: pool, first: id, last: id}, nil
+}
+
+// openHeapFile attaches to an existing chain.
+func openHeapFile(pool *Pool, first, last PageID) *HeapFile {
+	return &HeapFile{pool: pool, first: first, last: last}
+}
+
+// Insert appends a record and returns its RID.
+func (h *HeapFile) Insert(rec []byte) (RID, error) {
+	if len(rec) > maxRecordSize {
+		return RID{}, ErrTupleTooLarge
+	}
+	fr, err := h.pool.Get(h.last)
+	if err != nil {
+		return RID{}, err
+	}
+	hp := heapPage{fr.data[:]}
+	if hp.freeSpace() < len(rec)+slotEntrySize {
+		nfr, err := h.pool.Alloc()
+		if err != nil {
+			h.pool.Unpin(fr)
+			return RID{}, err
+		}
+		initHeapPage(nfr.data[:])
+		h.pool.MarkDirty(nfr)
+		h.pool.MarkDirty(fr)
+		hp.setNext(nfr.id)
+		h.pool.Unpin(fr)
+		h.last = nfr.id
+		fr = nfr
+		hp = heapPage{fr.data[:]}
+	}
+	h.pool.MarkDirty(fr)
+	slot := hp.insert(rec)
+	rid := RID{Page: fr.id, Slot: slot}
+	h.pool.Unpin(fr)
+	return rid, nil
+}
+
+// Get returns a copy of the record at rid (nil, nil for tombstones).
+func (h *HeapFile) Get(rid RID) ([]byte, error) {
+	fr, err := h.pool.Get(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer h.pool.Unpin(fr)
+	rec := heapPage{fr.data[:]}.record(rid.Slot)
+	if rec == nil {
+		return nil, nil
+	}
+	out := make([]byte, len(rec))
+	copy(out, rec)
+	return out, nil
+}
+
+// Delete tombstones the record at rid; it reports whether a live record
+// was removed.
+func (h *HeapFile) Delete(rid RID) (bool, error) {
+	fr, err := h.pool.Get(rid.Page)
+	if err != nil {
+		return false, err
+	}
+	defer h.pool.Unpin(fr)
+	hp := heapPage{fr.data[:]}
+	if rid.Slot >= hp.slotCount() {
+		return false, fmt.Errorf("storage: delete of invalid slot %v", rid)
+	}
+	off, length := hp.slot(rid.Slot)
+	if length == 0 {
+		return false, nil
+	}
+	h.pool.MarkDirty(fr)
+	hp.setSlot(rid.Slot, off, 0)
+	return true, nil
+}
+
+// HeapScan iterates a heap file's live records in insertion order. Each
+// Next that crosses a page boundary is a page request against the buffer
+// pool — the paper's "a get-next-tuple request on a persistent relation
+// results in a page-level I/O request by the buffer manager" (§2).
+type HeapScan struct {
+	h    *HeapFile
+	page PageID
+	slot uint16
+	err  error
+}
+
+// Scan starts a scan from the first page.
+func (h *HeapFile) Scan() *HeapScan {
+	return &HeapScan{h: h, page: h.first}
+}
+
+// Err reports a scan failure (Next returns false on error).
+func (s *HeapScan) Err() error { return s.err }
+
+// Next returns the next live record and its RID.
+func (s *HeapScan) Next() ([]byte, RID, bool) {
+	for s.page != invalidPage {
+		fr, err := s.h.pool.Get(s.page)
+		if err != nil {
+			s.err = err
+			return nil, RID{}, false
+		}
+		hp := heapPage{fr.data[:]}
+		for s.slot < hp.slotCount() {
+			slot := s.slot
+			s.slot++
+			rec := hp.record(slot)
+			if rec == nil {
+				continue
+			}
+			out := make([]byte, len(rec))
+			copy(out, rec)
+			rid := RID{Page: s.page, Slot: slot}
+			s.h.pool.Unpin(fr)
+			return out, rid, true
+		}
+		next := hp.next()
+		s.h.pool.Unpin(fr)
+		s.page = next
+		s.slot = 0
+	}
+	return nil, RID{}, false
+}

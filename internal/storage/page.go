@@ -1,0 +1,134 @@
+// Package storage is the reproduction's stand-in for the EXODUS storage
+// manager (paper §2, §3.2): persistent relations live in slotted 8 KiB
+// pages fetched on demand into a buffer pool; get-next-tuple requests on a
+// persistent relation turn into page-level I/O; B+tree indexes support
+// selective access; and a simple undo-log transaction layer provides the
+// paper's "transactions and concurrency control are supported by the
+// EXODUS toolkit" at the fidelity the reproduction needs (single-user
+// process, as CORAL was designed).
+//
+// Persistent tuples are restricted to fields of primitive types — the same
+// restriction the paper states for EXODUS-resident data.
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the unit of I/O.
+const PageSize = 8192
+
+// PageID identifies a page within the database file; page 0 is the file
+// header, page 1 the catalog.
+type PageID uint32
+
+// invalidPage marks "no page".
+const invalidPage PageID = 0
+
+// RID is a record identifier: page plus slot.
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// pack/unpack RIDs for index payloads.
+func (r RID) pack(b []byte) {
+	binary.BigEndian.PutUint32(b, uint32(r.Page))
+	binary.BigEndian.PutUint16(b[4:], r.Slot)
+}
+
+func unpackRID(b []byte) RID {
+	return RID{Page: PageID(binary.BigEndian.Uint32(b)), Slot: binary.BigEndian.Uint16(b[4:])}
+}
+
+const ridSize = 6
+
+// Slotted page layout (heap pages):
+//
+//	[0:4]   next page in chain
+//	[4:6]   slot count
+//	[6:8]   free-space offset (start of unused bytes)
+//	[8:]    record data grows up; slot directory grows down from the end.
+//
+// Each slot is 4 bytes: record offset (2) and length (2). Length 0 marks a
+// tombstone.
+const (
+	heapHdrSize   = 8
+	slotEntrySize = 4
+)
+
+type heapPage struct {
+	data []byte // the frame's bytes
+}
+
+func (p heapPage) next() PageID      { return PageID(binary.BigEndian.Uint32(p.data[0:])) }
+func (p heapPage) setNext(id PageID) { binary.BigEndian.PutUint32(p.data[0:], uint32(id)) }
+func (p heapPage) slotCount() uint16 { return binary.BigEndian.Uint16(p.data[4:]) }
+func (p heapPage) setSlotCount(n uint16) {
+	binary.BigEndian.PutUint16(p.data[4:], n)
+}
+func (p heapPage) freeOff() uint16       { return binary.BigEndian.Uint16(p.data[6:]) }
+func (p heapPage) setFreeOff(off uint16) { binary.BigEndian.PutUint16(p.data[6:], off) }
+
+func initHeapPage(data []byte) {
+	for i := range data {
+		data[i] = 0
+	}
+	p := heapPage{data}
+	p.setNext(invalidPage)
+	p.setSlotCount(0)
+	p.setFreeOff(heapHdrSize)
+}
+
+func (p heapPage) slotPos(i uint16) int {
+	return PageSize - int(i+1)*slotEntrySize
+}
+
+func (p heapPage) slot(i uint16) (off, length uint16) {
+	pos := p.slotPos(i)
+	return binary.BigEndian.Uint16(p.data[pos:]), binary.BigEndian.Uint16(p.data[pos+2:])
+}
+
+func (p heapPage) setSlot(i, off, length uint16) {
+	pos := p.slotPos(i)
+	binary.BigEndian.PutUint16(p.data[pos:], off)
+	binary.BigEndian.PutUint16(p.data[pos+2:], length)
+}
+
+// freeSpace reports the bytes available for one more record plus its slot.
+func (p heapPage) freeSpace() int {
+	return p.slotPos(p.slotCount()) - int(p.freeOff())
+}
+
+// insert places a record, returning its slot. The caller checked freeSpace.
+func (p heapPage) insert(rec []byte) uint16 {
+	slot := p.slotCount()
+	off := p.freeOff()
+	copy(p.data[off:], rec)
+	p.setSlot(slot, off, uint16(len(rec)))
+	p.setFreeOff(off + uint16(len(rec)))
+	p.setSlotCount(slot + 1)
+	return slot
+}
+
+// record returns the bytes of a slot (nil for tombstones).
+func (p heapPage) record(slot uint16) []byte {
+	if slot >= p.slotCount() {
+		return nil
+	}
+	off, length := p.slot(slot)
+	if length == 0 {
+		return nil
+	}
+	return p.data[off : off+length]
+}
+
+// ErrTupleTooLarge is returned for records that cannot fit a page.
+var ErrTupleTooLarge = errors.New("storage: tuple exceeds page capacity")
+
+// maxRecordSize is the largest record a fresh heap page can hold.
+const maxRecordSize = PageSize - heapHdrSize - slotEntrySize

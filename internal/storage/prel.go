@@ -1,0 +1,389 @@
+package storage
+
+import (
+	"fmt"
+
+	"coral/internal/relation"
+	"coral/internal/term"
+)
+
+// PersistentRelation is a disk-resident relation behind the same
+// get-next-tuple interface as every other relation (paper §2, §3.2): the
+// design "does not require that this data be collected into main-memory
+// CORAL structures before being used; the data can be accessed purely out
+// of pages in the buffer pool". Tuples are restricted to primitive types.
+//
+// Every persistent relation has an implicit primary B+tree over all
+// columns, giving the duplicate check; additional B+tree indexes can be
+// created on column subsets.
+type PersistentRelation struct {
+	db      *DB
+	meta    *relMeta
+	heap    *HeapFile
+	primary *BTree
+	indexes []persistentIndex
+}
+
+type persistentIndex struct {
+	cols []int
+	tree *BTree
+}
+
+// Relation opens (creating if absent) a persistent relation.
+func (db *DB) Relation(name string, arity int) (*PersistentRelation, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if r, ok := db.rels[name]; ok {
+		if r.meta.Arity != arity {
+			return nil, fmt.Errorf("storage: relation %s exists with arity %d", name, r.meta.Arity)
+		}
+		return r, nil
+	}
+	meta, ok := db.catalog.Relations[name]
+	if ok {
+		if meta.Arity != arity {
+			return nil, fmt.Errorf("storage: relation %s exists with arity %d", name, meta.Arity)
+		}
+	} else {
+		heap, err := newHeapFile(db.pool)
+		if err != nil {
+			return nil, err
+		}
+		primary, err := NewBTree(db.pool)
+		if err != nil {
+			return nil, err
+		}
+		meta = &relMeta{
+			Name:      name,
+			Arity:     arity,
+			HeapFirst: heap.first,
+			HeapLast:  heap.last,
+			Primary:   primary.Root(),
+		}
+		db.catalog.Relations[name] = meta
+		if err := db.saveCatalog(); err != nil {
+			return nil, err
+		}
+	}
+	r := &PersistentRelation{db: db}
+	r.reattach(meta)
+	db.rels[name] = r
+	return r, nil
+}
+
+// reattach rebuilds the in-memory handles from catalog metadata (open and
+// transaction abort).
+func (r *PersistentRelation) reattach(meta *relMeta) {
+	r.meta = meta
+	r.heap = openHeapFile(r.db.pool, meta.HeapFirst, meta.HeapLast)
+	r.primary = OpenBTree(r.db.pool, meta.Primary)
+	r.indexes = r.indexes[:0]
+	for _, im := range meta.Indexes {
+		r.indexes = append(r.indexes, persistentIndex{cols: im.Cols, tree: OpenBTree(r.db.pool, im.Root)})
+	}
+}
+
+// CreateIndex adds a B+tree index on the given columns, indexing existing
+// tuples.
+func (r *PersistentRelation) CreateIndex(cols ...int) error {
+	r.db.mu.Lock()
+	defer r.db.mu.Unlock()
+	for _, c := range cols {
+		if c < 0 || c >= r.meta.Arity {
+			return fmt.Errorf("storage: index column %d out of range", c)
+		}
+	}
+	for _, ix := range r.indexes {
+		if sameCols(ix.cols, cols) {
+			return nil
+		}
+	}
+	tree, err := NewBTree(r.db.pool)
+	if err != nil {
+		return err
+	}
+	scan := r.heap.Scan()
+	for {
+		rec, rid, ok := scan.Next()
+		if !ok {
+			break
+		}
+		args, err := DecodeTuple(rec)
+		if err != nil {
+			return err
+		}
+		key, err := keyFor(args, cols)
+		if err != nil {
+			return err
+		}
+		if err := tree.Insert(key, rid); err != nil {
+			return err
+		}
+	}
+	if err := scan.Err(); err != nil {
+		return err
+	}
+	r.indexes = append(r.indexes, persistentIndex{cols: cols, tree: tree})
+	r.meta.Indexes = append(r.meta.Indexes, idxMeta{Cols: cols, Root: tree.Root()})
+	return r.db.saveCatalog()
+}
+
+func sameCols(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func keyFor(args []term.Term, cols []int) ([]byte, error) {
+	sel := make([]term.Term, len(cols))
+	for i, c := range cols {
+		sel[i] = args[c]
+	}
+	return EncodeKey(sel)
+}
+
+// Name implements relation.Relation.
+func (r *PersistentRelation) Name() string { return r.meta.Name }
+
+// Arity implements relation.Relation.
+func (r *PersistentRelation) Arity() int { return r.meta.Arity }
+
+// Len implements relation.Relation.
+func (r *PersistentRelation) Len() int { return r.meta.Count }
+
+// Insert implements relation.Relation. The fact must be ground and of
+// primitive types; duplicates are rejected through the primary index.
+func (r *PersistentRelation) Insert(f relation.Fact) bool {
+	r.db.mu.Lock()
+	defer r.db.mu.Unlock()
+	if f.NVars != 0 {
+		panic("storage: persistent relations cannot hold non-ground facts")
+	}
+	if len(f.Args) != r.meta.Arity {
+		panic("storage: arity mismatch inserting into " + r.meta.Name)
+	}
+	rec, err := EncodeTuple(f.Args)
+	if err != nil {
+		panic(err.Error())
+	}
+	key, err := EncodeKey(f.Args)
+	if err != nil {
+		panic(err.Error())
+	}
+	// Duplicate check via the primary index.
+	c, err := r.primary.SeekPrefix(key)
+	if err == nil {
+		if _, _, found := c.Next(); found {
+			return false
+		}
+	}
+	rid, err := r.heap.Insert(rec)
+	if err != nil {
+		panic(err.Error())
+	}
+	if err := r.primary.Insert(key, rid); err != nil {
+		panic(err.Error())
+	}
+	r.meta.Primary = r.primary.Root()
+	for i := range r.indexes {
+		k, err := keyFor(f.Args, r.indexes[i].cols)
+		if err != nil {
+			panic(err.Error())
+		}
+		if err := r.indexes[i].tree.Insert(k, rid); err != nil {
+			panic(err.Error())
+		}
+		r.meta.Indexes[i].Root = r.indexes[i].tree.Root()
+	}
+	r.meta.HeapLast = r.heap.last
+	r.meta.Count++
+	r.meta.Inserted++
+	return true
+}
+
+// Delete implements relation.Deleter: removes facts unifying with pattern.
+func (r *PersistentRelation) Delete(pattern []term.Term, env *term.Env) int {
+	r.db.mu.Lock()
+	defer r.db.mu.Unlock()
+	pat, nvars := term.ResolveArgs(pattern, env)
+	penv := term.NewEnv(nvars)
+	var tr term.Trail
+	removed := 0
+	scan := r.heap.Scan()
+	for {
+		rec, rid, ok := scan.Next()
+		if !ok {
+			break
+		}
+		args, err := DecodeTuple(rec)
+		if err != nil {
+			panic(err.Error())
+		}
+		m := tr.Mark()
+		matched := term.UnifyArgs(pat, penv, args, nil, &tr)
+		tr.Undo(m)
+		if !matched {
+			continue
+		}
+		if _, err := r.heap.Delete(rid); err != nil {
+			panic(err.Error())
+		}
+		key, _ := EncodeKey(args)
+		r.primary.Delete(key, rid)
+		for i := range r.indexes {
+			k, _ := keyFor(args, r.indexes[i].cols)
+			r.indexes[i].tree.Delete(k, rid)
+		}
+		r.meta.Count--
+		removed++
+	}
+	return removed
+}
+
+// Snapshot implements relation.Relation: the mark space counts accepted
+// inserts in order.
+func (r *PersistentRelation) Snapshot() relation.Mark {
+	return relation.Mark(r.meta.Inserted)
+}
+
+// Scan implements relation.Relation.
+func (r *PersistentRelation) Scan() relation.Iterator {
+	return &prelIter{scan: r.heap.Scan(), to: -1}
+}
+
+// ScanRange implements relation.Relation over insertion ordinals.
+func (r *PersistentRelation) ScanRange(from, to relation.Mark) relation.Iterator {
+	return &prelIter{scan: r.heap.Scan(), skip: int(from), to: int(to)}
+}
+
+// prelIter adapts a heap scan to the relation iterator.
+type prelIter struct {
+	scan *HeapScan
+	skip int
+	to   int // -1: unbounded
+	seen int
+}
+
+func (it *prelIter) Next() (relation.Fact, bool) {
+	for {
+		if it.to >= 0 && it.seen >= it.to {
+			return relation.Fact{}, false
+		}
+		rec, _, ok := it.scan.Next()
+		if !ok {
+			if err := it.scan.Err(); err != nil {
+				panic(err.Error())
+			}
+			return relation.Fact{}, false
+		}
+		ord := it.seen
+		it.seen++
+		if ord < it.skip {
+			continue
+		}
+		args, err := DecodeTuple(rec)
+		if err != nil {
+			panic(err.Error())
+		}
+		return relation.Fact{Args: args}, true
+	}
+}
+
+// Lookup implements relation.Relation: a B+tree index whose columns are all
+// bound in the pattern serves the scan; otherwise the heap is scanned.
+func (r *PersistentRelation) Lookup(pattern []term.Term, env *term.Env) relation.Iterator {
+	best := r.chooseIndex(pattern, env)
+	if best == nil {
+		return r.Scan()
+	}
+	sel := make([]term.Term, len(best.cols))
+	for i, c := range best.cols {
+		t, e := term.Deref(pattern[c], env)
+		res, _ := term.ResolveArgs([]term.Term{t}, e)
+		sel[i] = res[0]
+	}
+	key, err := EncodeKey(sel)
+	if err != nil {
+		return r.Scan()
+	}
+	cur, err := best.tree.SeekPrefix(key)
+	if err != nil {
+		panic(err.Error())
+	}
+	return &indexIter{rel: r, cur: cur}
+}
+
+// LookupRange implements relation.Relation. Index postings do not carry
+// ordinals, so range-restricted lookups fall back to range scans; base
+// data rarely changes mid-fixpoint, making this the cold path.
+func (r *PersistentRelation) LookupRange(pattern []term.Term, env *term.Env, from, to relation.Mark) relation.Iterator {
+	if from == 0 && to == r.Snapshot() {
+		return r.Lookup(pattern, env)
+	}
+	return r.ScanRange(from, to)
+}
+
+func (r *PersistentRelation) chooseIndex(pattern []term.Term, env *term.Env) *persistentIndex {
+	var best *persistentIndex
+	usable := func(cols []int) bool {
+		for _, c := range cols {
+			if !term.GroundUnder(pattern[c], env) {
+				return false
+			}
+		}
+		return true
+	}
+	allCols := make([]int, r.meta.Arity)
+	for i := range allCols {
+		allCols[i] = i
+	}
+	if usable(allCols) {
+		return &persistentIndex{cols: allCols, tree: r.primary}
+	}
+	for i := range r.indexes {
+		ix := &r.indexes[i]
+		if !usable(ix.cols) {
+			continue
+		}
+		if best == nil || len(ix.cols) > len(best.cols) {
+			best = ix
+		}
+	}
+	return best
+}
+
+// indexIter fetches heap records for index hits.
+type indexIter struct {
+	rel *PersistentRelation
+	cur *Cursor
+}
+
+func (it *indexIter) Next() (relation.Fact, bool) {
+	for {
+		_, rid, ok := it.cur.Next()
+		if !ok {
+			if err := it.cur.Err(); err != nil {
+				panic(err.Error())
+			}
+			return relation.Fact{}, false
+		}
+		rec, err := it.rel.heap.Get(rid)
+		if err != nil {
+			panic(err.Error())
+		}
+		if rec == nil {
+			continue // tombstoned since indexed
+		}
+		args, err := DecodeTuple(rec)
+		if err != nil {
+			panic(err.Error())
+		}
+		return relation.Fact{Args: args}, true
+	}
+}

@@ -1,0 +1,64 @@
+package storage
+
+import "fmt"
+
+// Server and Client model the EXODUS client–server architecture the paper
+// describes (§2): "each CORAL single-user process is a client that accesses
+// the common persistent data from the server. Multiple CORAL processes
+// could interact by accessing persistent data stored using the EXODUS
+// storage manager." In this reproduction the server owns the database
+// in-process and clients are handles with their own statistics view; the
+// page-fetch boundary between them is the same boundary a remote protocol
+// would cross.
+type Server struct {
+	db *DB
+}
+
+// NewServer opens the database file and serves it.
+func NewServer(path string, frames int) (*Server, error) {
+	db, err := Open(path, frames)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{db: db}, nil
+}
+
+// DB exposes the served database (single-process deployments use it
+// directly).
+func (s *Server) DB() *DB { return s.db }
+
+// Close shuts the server down, flushing all state.
+func (s *Server) Close() error { return s.db.Close() }
+
+// Client is one CORAL process's handle on the server.
+type Client struct {
+	srv  *Server
+	name string
+}
+
+// Connect attaches a named client.
+func (s *Server) Connect(name string) *Client {
+	return &Client{srv: s, name: name}
+}
+
+// Relation opens a persistent relation through the client.
+func (c *Client) Relation(name string, arity int) (*PersistentRelation, error) {
+	if c.srv == nil {
+		return nil, fmt.Errorf("storage: client %s is disconnected", c.name)
+	}
+	return c.srv.db.Relation(name, arity)
+}
+
+// Begin starts a transaction through the client.
+func (c *Client) Begin() (*Txn, error) {
+	if c.srv == nil {
+		return nil, fmt.Errorf("storage: client %s is disconnected", c.name)
+	}
+	return c.srv.db.Begin()
+}
+
+// Stats reports the server's buffer pool counters.
+func (c *Client) Stats() PoolStats { return c.srv.db.Stats() }
+
+// Disconnect detaches the client.
+func (c *Client) Disconnect() { c.srv = nil }

@@ -1,0 +1,173 @@
+package term
+
+import (
+	"math/big"
+	"strings"
+)
+
+// Compare defines a total order over environment-free terms, used for
+// sorted answer output, B-tree keys, and deterministic aggregation. Numeric
+// kinds (Int, Float, Big) form one rank and compare by value; other kinds
+// order as var < numeric < string < external < functor. Functors compare by
+// arity, then symbol, then arguments left to right.
+func Compare(a, b Term) int {
+	ra, rb := rank(a), rank(b)
+	if ra != rb {
+		return intCmp(ra, rb)
+	}
+	switch ra {
+	case rankVar:
+		av, bv := a.(*Var), b.(*Var)
+		return intCmp(av.Index, bv.Index)
+	case rankNum:
+		return NumCompare(a, b)
+	case rankStr:
+		return strings.Compare(string(a.(Str)), string(b.(Str)))
+	case rankExt:
+		ax, bx := a.(External), b.(External)
+		if c := strings.Compare(ax.TypeName(), bx.TypeName()); c != 0 {
+			return c
+		}
+		// Externals have no intrinsic order; fall back on hash then on
+		// printed form for determinism.
+		ha, hb := ax.HashExternal(), bx.HashExternal()
+		if ha != hb {
+			if ha < hb {
+				return -1
+			}
+			return 1
+		}
+		return strings.Compare(ax.String(), bx.String())
+	case rankFun:
+		af, bf := a.(*Functor), b.(*Functor)
+		if c := intCmp(len(af.Args), len(bf.Args)); c != 0 {
+			return c
+		}
+		if c := strings.Compare(af.Sym, bf.Sym); c != 0 {
+			return c
+		}
+		if af.id != 0 && af.id == bf.id {
+			return 0
+		}
+		for i := range af.Args {
+			if c := Compare(af.Args[i], bf.Args[i]); c != 0 {
+				return c
+			}
+		}
+		return 0
+	}
+	return 0
+}
+
+// CompareArgs orders two argument lists lexicographically, shorter first.
+func CompareArgs(a, b []Term) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	return intCmp(len(a), len(b))
+}
+
+const (
+	rankVar = iota
+	rankNum
+	rankStr
+	rankExt
+	rankFun
+)
+
+func rank(t Term) int {
+	switch t.Kind() {
+	case KindVar:
+		return rankVar
+	case KindInt, KindFloat, KindBigInt:
+		return rankNum
+	case KindString:
+		return rankStr
+	case KindExternal:
+		return rankExt
+	default:
+		return rankFun
+	}
+}
+
+func intCmp(a, b int) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// NumCompare compares two numeric terms by value across Int, Float and Big.
+// It panics if either term is not numeric.
+func NumCompare(a, b Term) int {
+	switch x := a.(type) {
+	case Int:
+		switch y := b.(type) {
+		case Int:
+			return intCmp64(int64(x), int64(y))
+		case Float:
+			return floatCmp(float64(x), float64(y))
+		case Big:
+			return new(big.Int).SetInt64(int64(x)).Cmp(y.V)
+		}
+	case Float:
+		switch y := b.(type) {
+		case Int:
+			return floatCmp(float64(x), float64(y))
+		case Float:
+			return floatCmp(float64(x), float64(y))
+		case Big:
+			bf := new(big.Float).SetInt(y.V)
+			return new(big.Float).SetFloat64(float64(x)).Cmp(bf)
+		}
+	case Big:
+		switch y := b.(type) {
+		case Int:
+			return x.V.Cmp(new(big.Int).SetInt64(int64(y)))
+		case Float:
+			xf := new(big.Float).SetInt(x.V)
+			return xf.Cmp(new(big.Float).SetFloat64(float64(y)))
+		case Big:
+			return x.V.Cmp(y.V)
+		}
+	}
+	panic("term: NumCompare on non-numeric term")
+}
+
+// IsNumeric reports whether t is an Int, Float or Big constant.
+func IsNumeric(t Term) bool {
+	switch t.Kind() {
+	case KindInt, KindFloat, KindBigInt:
+		return true
+	}
+	return false
+}
+
+func intCmp64(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+func floatCmp(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}

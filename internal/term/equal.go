@@ -1,0 +1,80 @@
+package term
+
+// Equal reports structural equality of two environment-free terms.
+// Variables compare by index (so on canonically renumbered tuples this is
+// the variant check). When both sides are interned ground functors the
+// comparison is a single identifier comparison — the payoff of hash-consing
+// (paper §3.1).
+func Equal(a, b Term) bool {
+	if a == b {
+		return true
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	switch x := a.(type) {
+	case Int:
+		return x == b.(Int)
+	case Float:
+		return x == b.(Float)
+	case Str:
+		return x == b.(Str)
+	case Big:
+		return x.V.Cmp(b.(Big).V) == 0
+	case *Var:
+		y := b.(*Var)
+		return x.Index == y.Index && (x.Index >= 0 || x == y)
+	case *Functor:
+		y := b.(*Functor)
+		if x.id != 0 && y.id != 0 {
+			return x.id == y.id
+		}
+		return functorEqual(x, y, Equal)
+	case External:
+		y := b.(External)
+		return x.TypeName() == y.TypeName() && x.EqualExternal(y)
+	default:
+		panic("term: Equal on unknown term kind")
+	}
+}
+
+// StructuralEqual is Equal without the hash-consing fast path. It exists so
+// the benefit of unique identifiers can be measured (experiment E08).
+func StructuralEqual(a, b Term) bool {
+	if a == b {
+		return true
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	x, ok := a.(*Functor)
+	if !ok {
+		return Equal(a, b)
+	}
+	return functorEqual(x, b.(*Functor), StructuralEqual)
+}
+
+func functorEqual(x, y *Functor, eq func(a, b Term) bool) bool {
+	if x.Sym != y.Sym || len(x.Args) != len(y.Args) || x.hash != y.hash {
+		return false
+	}
+	for i := range x.Args {
+		if !eq(x.Args[i], y.Args[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// EqualArgs reports element-wise Equal over two argument lists.
+func EqualArgs(a, b []Term) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

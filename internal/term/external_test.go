@@ -1,0 +1,105 @@
+package term
+
+import (
+	"fmt"
+	"testing"
+)
+
+// point is a user-defined abstract data type (paper §7.1): it implements
+// the External interface — the fixed set of "virtual methods" every ADT
+// must provide — and flows through unification, hashing, comparison and
+// printing without any change to system code ("locality").
+type point struct{ x, y int }
+
+func (point) Kind() Kind       { return KindExternal }
+func (p point) String() string { return fmt.Sprintf("#point(%d,%d)", p.x, p.y) }
+func (point) TypeName() string { return "point" }
+func (p point) HashExternal() uint64 {
+	return uint64(p.x)*1099511628211 ^ uint64(p.y)
+}
+func (p point) EqualExternal(o External) bool {
+	q, ok := o.(point)
+	return ok && p == q
+}
+
+// color is a second ADT to check cross-type behaviour.
+type color string
+
+func (color) Kind() Kind             { return KindExternal }
+func (c color) String() string       { return "#" + string(c) }
+func (color) TypeName() string       { return "color" }
+func (c color) HashExternal() uint64 { return Hash(Str(string(c))) }
+func (c color) EqualExternal(o External) bool {
+	q, ok := o.(color)
+	return ok && c == q
+}
+
+func TestExternalEquality(t *testing.T) {
+	a, b, c := point{1, 2}, point{1, 2}, point{3, 4}
+	if !Equal(a, b) || Equal(a, c) {
+		t.Error("external equality wrong")
+	}
+	// Cross-type externals never compare equal.
+	if Equal(point{1, 2}, color("red")) {
+		t.Error("cross-type externals equal")
+	}
+	// Hash consistency.
+	if Hash(a) != Hash(b) {
+		t.Error("equal externals hash differently")
+	}
+}
+
+func TestExternalUnification(t *testing.T) {
+	env := NewEnv(1)
+	var tr Trail
+	x := &Var{Name: "X", Index: 0}
+	if !Unify(x, env, point{1, 2}, nil, &tr) {
+		t.Fatal("var-external unify failed")
+	}
+	if g, _ := Deref(x, env); !Equal(g, point{1, 2}) {
+		t.Errorf("X bound to %v", g)
+	}
+	tr.Undo(0)
+	env.Reset()
+	// Externals nested inside functor terms unify structurally.
+	l := NewFunctor("at", x, color("red"))
+	r := NewFunctor("at", point{5, 5}, color("red"))
+	if !Unify(l, env, r, nil, &tr) {
+		t.Fatal("nested external unify failed")
+	}
+	if Unify(NewFunctor("at", point{0, 0}), nil, NewFunctor("at", point{1, 1}), nil, &tr) {
+		t.Error("different externals unified")
+	}
+}
+
+func TestExternalCompareAndOrder(t *testing.T) {
+	// Externals order between strings and functors; within a type, by
+	// hash then printed form (deterministic).
+	if Compare(point{1, 2}, point{1, 2}) != 0 {
+		t.Error("equal externals compare nonzero")
+	}
+	if Compare(Str("z"), point{0, 0}) >= 0 {
+		t.Error("string should order before external")
+	}
+	if Compare(point{0, 0}, Atom("a")) >= 0 {
+		t.Error("external should order before functor")
+	}
+	if c1, c2 := Compare(point{1, 2}, point{3, 4}), Compare(point{3, 4}, point{1, 2}); c1 != -c2 || c1 == 0 {
+		t.Error("external order not antisymmetric")
+	}
+	// Cross-type: by type name.
+	if Compare(color("red"), point{0, 0}) >= 0 {
+		t.Error("color should order before point (type name)")
+	}
+}
+
+func TestExternalInResolvedFacts(t *testing.T) {
+	args, n := ResolveArgs([]Term{point{1, 2}, NewVar("X")}, nil)
+	if n != 1 || !Equal(args[0], point{1, 2}) {
+		t.Errorf("resolve: %v %d", args, n)
+	}
+	// Variant hashing covers externals.
+	if HashArgs(args) == 0 {
+		t.Error("hash of external tuple is zero")
+	}
+}

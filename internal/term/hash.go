@@ -1,0 +1,170 @@
+package term
+
+import (
+	"math"
+	"math/big"
+)
+
+// Structural and variant hashing. Structural hashes treat variables by
+// index; they are used for hash-consing buckets, duplicate detection in
+// relations, and hash indexes (paper §3.3).
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashCombine(h, v uint64) uint64 {
+	h ^= v
+	h *= fnvPrime
+	return h
+}
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Per-kind seeds keep, e.g., Int(0) and the atom distinguishable.
+var kindSeed = [...]uint64{
+	KindInt:      0x9e3779b97f4a7c15,
+	KindFloat:    0xc2b2ae3d27d4eb4f,
+	KindString:   0x165667b19e3779f9,
+	KindBigInt:   0x27d4eb2f165667c5,
+	KindVar:      0x85ebca6b0f4a7c15,
+	KindFunctor:  0xd6e8feb86659fd93,
+	KindExternal: 0xff51afd7ed558ccd,
+}
+
+// Hash returns a structural hash of t. Variables hash by their index, so
+// the hash of a canonically renumbered term is a variant hash: two terms
+// that are variants of each other (equal up to consistent variable
+// renaming, after canonical numbering) hash equally. t must be
+// environment-free (stored-fact form).
+func Hash(t Term) uint64 {
+	h := uint64(fnvOffset)
+	return hashTerm(h, t)
+}
+
+func hashTerm(h uint64, t Term) uint64 {
+	h = hashCombine(h, kindSeed[t.Kind()])
+	switch x := t.(type) {
+	case Int:
+		return hashCombine(h, uint64(x))
+	case Float:
+		return hashCombine(h, math.Float64bits(float64(x)))
+	case Str:
+		return hashString(h, string(x))
+	case Big:
+		return hashBig(h, x.V)
+	case *Var:
+		i := x.Index
+		if i < 0 {
+			i = 0
+		}
+		return hashCombine(h, uint64(i))
+	case *Functor:
+		return hashCombine(h, x.hash)
+	case External:
+		h = hashString(h, x.TypeName())
+		return hashCombine(h, x.HashExternal())
+	default:
+		panic("term: Hash on unknown term kind")
+	}
+}
+
+func hashBig(h uint64, v *big.Int) uint64 {
+	if v.Sign() < 0 {
+		h = hashCombine(h, 1)
+	}
+	for _, w := range v.Bits() {
+		h = hashCombine(h, uint64(w))
+	}
+	return h
+}
+
+// structHash computes the cached hash of a functor from its symbol and the
+// hashes of its arguments.
+func structHash(f *Functor) uint64 {
+	h := hashString(uint64(fnvOffset), f.Sym)
+	h = hashCombine(h, uint64(len(f.Args)))
+	for _, a := range f.Args {
+		h = hashTerm(h, a)
+	}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// HashArgs hashes a tuple of environment-free terms.
+func HashArgs(args []Term) uint64 {
+	h := uint64(fnvOffset)
+	h = hashCombine(h, uint64(len(args)))
+	for _, a := range args {
+		h = hashTerm(h, a)
+	}
+	return h
+}
+
+// HashBound hashes the terms at the given positions of args after
+// dereferencing under env; it is used by argument-form hash indexes. The
+// caller guarantees the dereferenced terms are ground; non-ground terms
+// hash to VarHash, the special bucket the paper calls "var".
+func HashBound(args []Term, positions []int, env *Env) (uint64, bool) {
+	h := uint64(fnvOffset)
+	for _, p := range positions {
+		t, e := Deref(args[p], env)
+		if !groundUnder(t, e) {
+			return 0, false
+		}
+		h = hashTerm(h, mustResolveGround(t, e))
+	}
+	return h, true
+}
+
+// groundUnder reports whether t, interpreted in env, is fully bound.
+func groundUnder(t Term, e *Env) bool {
+	t, e = Deref(t, e)
+	switch x := t.(type) {
+	case *Var:
+		return false
+	case *Functor:
+		if MaxVar(x) == -1 { // syntactically ground: no env needed
+			return true
+		}
+		for _, a := range x.Args {
+			if !groundUnder(a, e) {
+				return false
+			}
+		}
+		return true
+	default:
+		return true
+	}
+}
+
+// GroundUnder reports whether t, interpreted in env, contains no unbound
+// variables.
+func GroundUnder(t Term, e *Env) bool { return groundUnder(t, e) }
+
+// mustResolveGround materializes a ground (t, env) pair into an
+// environment-free term, sharing syntactically ground subterms.
+func mustResolveGround(t Term, e *Env) Term {
+	t, e = Deref(t, e)
+	f, ok := t.(*Functor)
+	if !ok {
+		return t
+	}
+	if MaxVar(f) == -1 {
+		return f
+	}
+	args := make([]Term, len(f.Args))
+	for i, a := range f.Args {
+		args[i] = mustResolveGround(a, e)
+	}
+	return NewFunctor(f.Sym, args...)
+}

@@ -1,0 +1,134 @@
+package term
+
+import "sync"
+
+// Lazy hash-consing (paper §3.1, citing Goto's monocopy technique). Ground
+// functor terms are assigned unique identifiers on demand: two ground
+// functor terms unify if and only if their identifiers are equal.
+// Identifiers cannot be assigned to terms containing free variables; those
+// are unified structurally.
+//
+// Each type generates its identifiers independently of other types (the
+// paper stresses this orthogonality); here the functor interner keys on the
+// symbol plus the identifiers/values of the arguments, so user-defined
+// External types participate automatically through their HashExternal and
+// EqualExternal methods.
+
+type interner struct {
+	mu      sync.Mutex
+	buckets map[uint64][]*Functor
+	nextID  uint64
+	terms   uint64 // number of interned terms, for statistics
+}
+
+var globalInterner = &interner{buckets: make(map[uint64][]*Functor), nextID: 1}
+
+// InternStats reports the number of distinct interned ground terms.
+func InternStats() (distinct uint64) {
+	globalInterner.mu.Lock()
+	defer globalInterner.mu.Unlock()
+	return globalInterner.terms
+}
+
+// ResetInterner discards the intern table. Only tests and benchmarks use
+// this; identifiers assigned before the reset remain valid with respect to
+// each other but must not be compared with identifiers assigned after.
+func ResetInterner() {
+	globalInterner.mu.Lock()
+	defer globalInterner.mu.Unlock()
+	globalInterner.buckets = make(map[uint64][]*Functor)
+	globalInterner.terms = 0
+	// nextID deliberately keeps counting so stale ids never collide.
+}
+
+// GroundID returns the hash-consing identifier of t if t is a ground
+// functor term, interning it (and all its ground functor subterms) on
+// demand. It returns 0 for every other term.
+func GroundID(t Term) uint64 {
+	f, ok := t.(*Functor)
+	if !ok || MaxVar(f) != -1 {
+		return 0
+	}
+	if f.id != 0 {
+		return f.id
+	}
+	globalInterner.mu.Lock()
+	defer globalInterner.mu.Unlock()
+	return globalInterner.intern(f)
+}
+
+// Intern interns every ground functor subterm of t and returns t itself
+// (not a canonical copy; identifiers make canonical pointers unnecessary).
+func Intern(t Term) Term {
+	GroundID(t)
+	if f, ok := t.(*Functor); ok && MaxVar(f) >= 0 {
+		// Non-ground: still intern the ground subtrees so later
+		// unifications benefit.
+		for _, a := range f.Args {
+			Intern(a)
+		}
+	}
+	return t
+}
+
+// intern must run with the lock held.
+func (in *interner) intern(f *Functor) uint64 {
+	if f.id != 0 {
+		return f.id
+	}
+	// Intern children first so the bucket key can use their ids.
+	for _, a := range f.Args {
+		if cf, ok := a.(*Functor); ok && cf.id == 0 {
+			in.intern(cf)
+		}
+	}
+	key := f.internKey()
+	for _, cand := range in.buckets[key] {
+		if cand.Sym == f.Sym && len(cand.Args) == len(f.Args) && sameInterned(cand.Args, f.Args) {
+			f.id = cand.id
+			return f.id
+		}
+	}
+	in.nextID++
+	f.id = in.nextID
+	in.terms++
+	in.buckets[key] = append(in.buckets[key], f)
+	return f.id
+}
+
+// internKey hashes the symbol and the identifiers/values of the arguments.
+// Children are already interned when this runs.
+func (f *Functor) internKey() uint64 {
+	h := hashString(uint64(fnvOffset), f.Sym)
+	h = hashCombine(h, uint64(len(f.Args)))
+	for _, a := range f.Args {
+		if cf, ok := a.(*Functor); ok {
+			h = hashCombine(h, cf.id)
+			continue
+		}
+		h = hashTerm(h, a)
+	}
+	return h
+}
+
+// sameInterned compares argument lists where functor children are compared
+// by identifier and constants by value.
+func sameInterned(a, b []Term) bool {
+	for i := range a {
+		af, aok := a[i].(*Functor)
+		bf, bok := b[i].(*Functor)
+		if aok != bok {
+			return false
+		}
+		if aok {
+			if af.id != bf.id {
+				return false
+			}
+			continue
+		}
+		if !Equal(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}

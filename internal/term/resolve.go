@@ -1,0 +1,117 @@
+package term
+
+// Resolution materializes a (term, environment) pair into an
+// environment-free term suitable for storage in a relation. Following the
+// paper's structure-sharing philosophy (§9), syntactically ground subterms
+// are shared, never copied; only the spine containing variables is rebuilt.
+//
+// Unbound variables are renumbered canonically in order of first occurrence,
+// so the stored fact's variables are 0..n-1 and the variant (duplicate)
+// check reduces to hashing plus structural equality.
+
+// envVar identifies an unbound variable occurrence: its environment and
+// slot. Variables from the same environment slot are the same variable.
+type envVar struct {
+	env *Env
+	idx int
+}
+
+// Resolver renumbers unbound variables consistently across several Resolve
+// calls (all arguments of one tuple share one Resolver).
+type Resolver struct {
+	seen    map[envVar]*Var
+	ptrSeen map[*Var]int // identity map for unnumbered variables
+	n       int
+}
+
+// NumVars returns how many distinct unbound variables were encountered.
+func (r *Resolver) NumVars() int { return r.n }
+
+func (r *Resolver) fresh(key envVar, name string) *Var {
+	if r.seen == nil {
+		r.seen = make(map[envVar]*Var, 4)
+	}
+	if v, ok := r.seen[key]; ok {
+		return v
+	}
+	v := &Var{Name: name, Index: r.n}
+	r.n++
+	r.seen[key] = v
+	return v
+}
+
+// Resolve returns the environment-free form of t under env.
+func (r *Resolver) Resolve(t Term, env *Env) Term {
+	t, env = Deref(t, env)
+	switch x := t.(type) {
+	case *Var:
+		if x.Index < 0 {
+			// Unnumbered variables have pointer identity.
+			return r.fresh(envVar{env: nil, idx: -1 - r.ptrKey(x)}, x.Name)
+		}
+		return r.fresh(envVar{env: env, idx: x.Index}, x.Name)
+	case *Functor:
+		if MaxVar(x) == -1 {
+			return x // ground: share, do not copy
+		}
+		args := make([]Term, len(x.Args))
+		changed := false
+		for i, a := range x.Args {
+			args[i] = r.Resolve(a, env)
+			if args[i] != a {
+				changed = true
+			}
+		}
+		if !changed {
+			return x
+		}
+		return NewFunctor(x.Sym, args...)
+	default:
+		return t
+	}
+}
+
+// ptrKey gives unnumbered variables stable small integers per Resolver.
+func (r *Resolver) ptrKey(v *Var) int {
+	if r.ptrSeen == nil {
+		r.ptrSeen = make(map[*Var]int, 4)
+	}
+	if k, ok := r.ptrSeen[v]; ok {
+		return k
+	}
+	k := len(r.ptrSeen)
+	r.ptrSeen[v] = k
+	return k
+}
+
+// ResolveArgs resolves a whole argument list under one shared Resolver and
+// returns the canonical argument list plus the number of variable slots.
+func ResolveArgs(args []Term, env *Env) ([]Term, int) {
+	var r Resolver
+	out := make([]Term, len(args))
+	for i, a := range args {
+		out[i] = r.Resolve(a, env)
+	}
+	return out, r.NumVars()
+}
+
+// RenameApart returns a copy of t with every variable shifted by offset.
+// It is used when a stored non-ground fact must be combined with another
+// environment without interference. Ground subterms are shared.
+func RenameApart(t Term, offset int) Term {
+	switch x := t.(type) {
+	case *Var:
+		return &Var{Name: x.Name, Index: x.Index + offset}
+	case *Functor:
+		if MaxVar(x) == -1 {
+			return x
+		}
+		args := make([]Term, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = RenameApart(a, offset)
+		}
+		return NewFunctor(x.Sym, args...)
+	default:
+		return t
+	}
+}

@@ -1,0 +1,548 @@
+package term
+
+import (
+	"math/big"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	kinds := []Kind{KindInt, KindFloat, KindString, KindBigInt, KindVar, KindFunctor, KindExternal}
+	want := []string{"int", "float", "string", "bigint", "var", "functor", "external"}
+	for i, k := range kinds {
+		if k.String() != want[i] {
+			t.Errorf("Kind(%d).String() = %q, want %q", i, k.String(), want[i])
+		}
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Errorf("unknown kind printed %q", Kind(99).String())
+	}
+}
+
+func TestConstantKinds(t *testing.T) {
+	cases := []struct {
+		t Term
+		k Kind
+	}{
+		{Int(5), KindInt},
+		{Float(2.5), KindFloat},
+		{Str("hi"), KindString},
+		{NewBig(big.NewInt(42)), KindBigInt},
+		{NewVar("X"), KindVar},
+		{Atom("a"), KindFunctor},
+	}
+	for _, c := range cases {
+		if c.t.Kind() != c.k {
+			t.Errorf("%v.Kind() = %v, want %v", c.t, c.t.Kind(), c.k)
+		}
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		t    Term
+		want string
+	}{
+		{Int(-7), "-7"},
+		{Float(2.5), "2.5"},
+		{Float(3), "3.0"},
+		{Str("a b"), `"a b"`},
+		{Atom("john"), "john"},
+		{Atom("Weird Atom"), "'Weird Atom'"},
+		{NewFunctor("f", Int(1), Atom("a")), "f(1, a)"},
+		{MakeList(Int(1), Int(2), Int(3)), "[1, 2, 3]"},
+		{MakeListTail(NewVar("T"), Int(1)), "[1|T]"},
+		{EmptyList(), "[]"},
+		{&Var{Name: "", Index: 3}, "_V3"},
+		{NewVar(""), "_"},
+		{NewBig(big.NewInt(99)), "99n"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestListHelpers(t *testing.T) {
+	l := MakeList(Int(1), Int(2))
+	h, tl, ok := IsCons(l)
+	if !ok || !Equal(h, Int(1)) {
+		t.Fatalf("IsCons head = %v, ok=%v", h, ok)
+	}
+	h2, tl2, ok := IsCons(tl)
+	if !ok || !Equal(h2, Int(2)) || !IsNil(tl2) {
+		t.Fatalf("second cell wrong: %v %v %v", h2, tl2, ok)
+	}
+	if IsNil(l) {
+		t.Error("non-empty list reported nil")
+	}
+	if _, _, ok := IsCons(Int(3)); ok {
+		t.Error("IsCons on int succeeded")
+	}
+}
+
+func TestMaxVarAndGround(t *testing.T) {
+	g := NewFunctor("f", Int(1), NewFunctor("g", Atom("a")))
+	if !IsGround(g) || MaxVar(g) != -1 {
+		t.Errorf("ground term misreported: MaxVar=%d", MaxVar(g))
+	}
+	v := &Var{Name: "X", Index: 4}
+	ng := NewFunctor("f", Int(1), NewFunctor("g", v))
+	if IsGround(ng) || MaxVar(ng) != 4 {
+		t.Errorf("non-ground term misreported: MaxVar=%d", MaxVar(ng))
+	}
+	if NumVarSlots([]Term{ng, Int(3)}) != 5 {
+		t.Errorf("NumVarSlots = %d, want 5", NumVarSlots([]Term{ng, Int(3)}))
+	}
+	// MaxVar is cached; calling twice must agree.
+	if MaxVar(ng) != 4 {
+		t.Error("cached MaxVar disagrees")
+	}
+}
+
+// TestFigure2Representation mirrors the paper's Figure 2: the term
+// f(X, 10, Y) where X is bound to 25, Y is bound to Z, and Z is bound to 50
+// in a separate binding environment.
+func TestFigure2Representation(t *testing.T) {
+	x := &Var{Name: "X", Index: 0}
+	y := &Var{Name: "Y", Index: 1}
+	z := &Var{Name: "Z", Index: 0}
+	f := NewFunctor("f", x, Int(10), y)
+
+	envZ := NewEnv(1) // Z's separate bindenv
+	env := NewEnv(2)  // the rule's bindenv holding X and Y
+	var tr Trail
+	Bind(z, envZ, Int(50), nil, &tr)
+	Bind(x, env, Int(25), nil, &tr)
+	Bind(y, env, z, envZ, &tr)
+
+	// Dereferencing the arguments of f under env yields 25, 10, 50.
+	got0, _ := Deref(f.Args[0], env)
+	got2, e2 := Deref(f.Args[2], env)
+	if !Equal(got0, Int(25)) {
+		t.Errorf("X dereferenced to %v", got0)
+	}
+	if !Equal(got2, Int(50)) || e2 != nil {
+		t.Errorf("Y dereferenced to %v (env %v)", got2, e2)
+	}
+	// The term itself was never rewritten: structure sharing.
+	if f.Args[0] != Term(x) || f.Args[2] != Term(y) {
+		t.Error("binding mutated the term structure")
+	}
+	// Resolving materializes f(25,10,50).
+	var r Resolver
+	res := r.Resolve(f, env)
+	if res.String() != "f(25, 10, 50)" {
+		t.Errorf("resolved to %v", res)
+	}
+	// Undoing the trail restores unbound state.
+	tr.Undo(0)
+	if g, _ := Deref(f.Args[0], env); g != Term(x) {
+		t.Errorf("after undo X dereferenced to %v", g)
+	}
+}
+
+func TestTrailUndoPartial(t *testing.T) {
+	env := NewEnv(3)
+	var tr Trail
+	v0 := &Var{Index: 0}
+	v1 := &Var{Index: 1}
+	Bind(v0, env, Int(1), nil, &tr)
+	m := tr.Mark()
+	Bind(v1, env, Int(2), nil, &tr)
+	tr.Undo(m)
+	if b := env.Lookup(1); b.T != nil {
+		t.Error("slot 1 still bound after undo")
+	}
+	if b := env.Lookup(0); b.T == nil {
+		t.Error("slot 0 lost its binding")
+	}
+	if tr.Len() != 1 {
+		t.Errorf("trail length = %d, want 1", tr.Len())
+	}
+}
+
+func TestBindUnnumberedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Bind on unnumbered variable did not panic")
+		}
+	}()
+	var tr Trail
+	Bind(NewVar("X"), NewEnv(1), Int(1), nil, &tr)
+}
+
+func TestEnvReset(t *testing.T) {
+	env := NewEnv(2)
+	var tr Trail
+	Bind(&Var{Index: 0}, env, Int(9), nil, &tr)
+	env.Reset()
+	if env.Lookup(0).T != nil {
+		t.Error("Reset did not clear binding")
+	}
+	if env.Size() != 2 {
+		t.Errorf("Size = %d after reset", env.Size())
+	}
+}
+
+func TestEqualBasics(t *testing.T) {
+	if !Equal(Int(3), Int(3)) || Equal(Int(3), Int(4)) {
+		t.Error("Int equality wrong")
+	}
+	if Equal(Int(3), Float(3)) {
+		t.Error("Int equals Float")
+	}
+	if !Equal(Str("a"), Str("a")) || Equal(Str("a"), Str("b")) {
+		t.Error("Str equality wrong")
+	}
+	if !Equal(NewBig(big.NewInt(7)), NewBig(big.NewInt(7))) {
+		t.Error("Big equality wrong")
+	}
+	a := NewFunctor("f", Int(1), Atom("x"))
+	b := NewFunctor("f", Int(1), Atom("x"))
+	c := NewFunctor("f", Int(2), Atom("x"))
+	if !Equal(a, b) || Equal(a, c) {
+		t.Error("functor equality wrong")
+	}
+	if !StructuralEqual(a, b) || StructuralEqual(a, c) {
+		t.Error("structural equality wrong")
+	}
+	v1 := &Var{Index: 2}
+	v2 := &Var{Index: 2}
+	if !Equal(v1, v2) {
+		t.Error("numbered vars with same index not equal")
+	}
+	if Equal(NewVar("X"), NewVar("X")) {
+		t.Error("distinct unnumbered vars equal")
+	}
+}
+
+func TestHashConsing(t *testing.T) {
+	a := NewFunctor("f", Int(1), NewFunctor("g", Atom("a")))
+	b := NewFunctor("f", Int(1), NewFunctor("g", Atom("a")))
+	c := NewFunctor("f", Int(1), NewFunctor("g", Atom("b")))
+	ia, ib, ic := GroundID(a), GroundID(b), GroundID(c)
+	if ia == 0 || ib == 0 || ic == 0 {
+		t.Fatal("ground terms got no id")
+	}
+	if ia != ib {
+		t.Error("equal ground terms got different ids")
+	}
+	if ia == ic {
+		t.Error("different ground terms share an id")
+	}
+	// Non-ground terms get no id.
+	ng := NewFunctor("f", NewVar("X"))
+	if GroundID(ng) != 0 {
+		t.Error("non-ground term got an id")
+	}
+	// Intern on non-ground interns the ground subtrees.
+	ng2 := NewFunctor("h", &Var{Index: 0}, NewFunctor("g", Atom("a")))
+	Intern(ng2)
+	if GroundID(ng2.Args[1]) == 0 {
+		t.Error("ground subtree not interned")
+	}
+	// Ids survive and equality uses them.
+	if !Equal(a, b) {
+		t.Error("Equal failed on interned terms")
+	}
+}
+
+func TestUnifyBasics(t *testing.T) {
+	var tr Trail
+	env := NewEnv(4)
+	x := &Var{Name: "X", Index: 0}
+	y := &Var{Name: "Y", Index: 1}
+
+	if !Unify(x, env, Int(5), nil, &tr) {
+		t.Fatal("var-const unify failed")
+	}
+	if g, _ := Deref(x, env); !Equal(g, Int(5)) {
+		t.Fatal("binding not visible")
+	}
+	if Unify(x, env, Int(6), nil, &tr) {
+		t.Fatal("bound var unified with different constant")
+	}
+	if !Unify(x, env, Int(5), nil, &tr) {
+		t.Fatal("bound var failed against same constant")
+	}
+	// f(X, g(Y)) = f(a, g(b))
+	tr.Undo(0)
+	env.Reset()
+	l := NewFunctor("f", x, NewFunctor("g", y))
+	r := NewFunctor("f", Atom("a"), NewFunctor("g", Atom("b")))
+	if !Unify(l, env, r, nil, &tr) {
+		t.Fatal("structural unify failed")
+	}
+	if g, _ := Deref(y, env); !Equal(g, Atom("b")) {
+		t.Errorf("Y bound to %v", g)
+	}
+	// Symbol clash.
+	tr.Undo(0)
+	env.Reset()
+	if Unify(l, env, NewFunctor("h", Atom("a"), Atom("b")), nil, &tr) {
+		t.Error("unified distinct functors")
+	}
+	// Arity clash.
+	if Unify(NewFunctor("f", x), env, NewFunctor("f", x, y), env, &tr) {
+		t.Error("unified distinct arities")
+	}
+}
+
+func TestUnifyVarVar(t *testing.T) {
+	var tr Trail
+	e1, e2 := NewEnv(1), NewEnv(1)
+	x := &Var{Name: "X", Index: 0}
+	y := &Var{Name: "Y", Index: 0}
+	if !Unify(x, e1, y, e2, &tr) {
+		t.Fatal("var-var unify failed")
+	}
+	if !Unify(y, e2, Int(9), nil, &tr) {
+		t.Fatal("binding the second var failed")
+	}
+	if g, _ := Deref(x, e1); !Equal(g, Int(9)) {
+		t.Errorf("X sees %v through the chain", g)
+	}
+}
+
+func TestUnifyGroundFastPath(t *testing.T) {
+	big1 := MakeList(Int(1), Int(2), Int(3), Int(4))
+	big2 := MakeList(Int(1), Int(2), Int(3), Int(4))
+	GroundID(big1.(*Functor))
+	GroundID(big2.(*Functor))
+	var tr Trail
+	if !Unify(big1, nil, big2, nil, &tr) {
+		t.Error("interned equal lists did not unify")
+	}
+	if !UnifyStructural(big1, nil, big2, nil, &tr) {
+		t.Error("structural unify of equal lists failed")
+	}
+	diff := MakeList(Int(1), Int(2), Int(3), Int(5))
+	if Unify(big1, nil, diff, nil, &tr) {
+		t.Error("different lists unified")
+	}
+}
+
+func TestOccursCheck(t *testing.T) {
+	OccursCheck = true
+	defer func() { OccursCheck = false }()
+	var tr Trail
+	env := NewEnv(1)
+	x := &Var{Name: "X", Index: 0}
+	if Unify(x, env, NewFunctor("f", x), env, &tr) {
+		t.Error("occurs check failed to reject X = f(X)")
+	}
+}
+
+func TestMatchOneWay(t *testing.T) {
+	var tr Trail
+	penv := NewEnv(2)
+	x := &Var{Name: "X", Index: 0}
+	pat := NewFunctor("f", x, Int(2))
+	sub := NewFunctor("f", Int(1), Int(2))
+	if !Match(pat, penv, sub, nil, &tr) {
+		t.Fatal("match failed")
+	}
+	if g, _ := Deref(x, penv); !Equal(g, Int(1)) {
+		t.Errorf("pattern var bound to %v", g)
+	}
+	// Subject variables are constants: f(1) should not match pattern f(1)
+	// when the subject has a variable.
+	tr.Undo(0)
+	penv.Reset()
+	subVar := NewFunctor("f", &Var{Index: 0})
+	if Match(NewFunctor("f", Int(1)), penv, subVar, NewEnv(1), &tr) {
+		t.Error("constant pattern matched free subject variable")
+	}
+	// Repeated pattern variables must bind consistently.
+	tr.Undo(0)
+	penv.Reset()
+	pat2 := NewFunctor("f", x, x)
+	if Match(pat2, penv, NewFunctor("f", Int(1), Int(2)), nil, &tr) {
+		t.Error("inconsistent repeated var matched")
+	}
+	tr.Undo(0)
+	penv.Reset()
+	if !Match(pat2, penv, NewFunctor("f", Int(1), Int(1)), nil, &tr) {
+		t.Error("consistent repeated var failed")
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	// p(X, b) subsumes p(a, b)
+	x := &Var{Name: "X", Index: 0}
+	gen := []Term{x, Atom("b")}
+	spec := []Term{Atom("a"), Atom("b")}
+	if !Subsumes(gen, 1, spec) {
+		t.Error("p(X,b) should subsume p(a,b)")
+	}
+	if Subsumes(spec, 0, gen) {
+		t.Error("p(a,b) should not subsume p(X,b)")
+	}
+	// p(X, X) does not subsume p(a, b).
+	gen2 := []Term{x, x}
+	if Subsumes(gen2, 1, spec) {
+		t.Error("p(X,X) should not subsume p(a,b)")
+	}
+	// p(X) subsumes p(Y) (variant).
+	if !Subsumes([]Term{x}, 1, []Term{&Var{Name: "Y", Index: 0}}) {
+		t.Error("p(X) should subsume p(Y)")
+	}
+}
+
+func TestResolveArgsCanonical(t *testing.T) {
+	env := NewEnv(5)
+	var tr Trail
+	a := &Var{Name: "A", Index: 3}
+	b := &Var{Name: "B", Index: 1}
+	Bind(b, env, Int(7), nil, &tr)
+	args, n := ResolveArgs([]Term{a, b, a, NewFunctor("f", a)}, env)
+	if n != 1 {
+		t.Fatalf("NumVars = %d, want 1", n)
+	}
+	v0, ok := args[0].(*Var)
+	if !ok || v0.Index != 0 {
+		t.Fatalf("first unbound var renumbered to %v", args[0])
+	}
+	if !Equal(args[1], Int(7)) {
+		t.Errorf("bound var resolved to %v", args[1])
+	}
+	if args[2].(*Var) != v0 {
+		t.Error("same variable resolved to different Var objects")
+	}
+	f := args[3].(*Functor)
+	if f.Args[0].(*Var) != v0 {
+		t.Error("var inside functor not shared")
+	}
+}
+
+func TestResolveSharesGround(t *testing.T) {
+	g := NewFunctor("big", MakeList(Int(1), Int(2), Int(3)))
+	var r Resolver
+	if out := r.Resolve(g, nil); out != Term(g) {
+		t.Error("ground term was copied instead of shared")
+	}
+}
+
+func TestRenameApart(t *testing.T) {
+	f := NewFunctor("f", &Var{Index: 0}, NewFunctor("g", &Var{Index: 1}), Int(5))
+	out := RenameApart(f, 10).(*Functor)
+	if out.Args[0].(*Var).Index != 10 {
+		t.Errorf("first var index = %d", out.Args[0].(*Var).Index)
+	}
+	if out.Args[1].(*Functor).Args[0].(*Var).Index != 11 {
+		t.Error("nested var not shifted")
+	}
+	if out.Args[2] != Term(Int(5)) {
+		t.Error("constant not shared")
+	}
+	if RenameApart(Int(3), 5) != Term(Int(3)) {
+		t.Error("constant rename changed value")
+	}
+}
+
+func TestCompareOrder(t *testing.T) {
+	// var < numeric < string < functor; numerics merge by value.
+	terms := []Term{
+		&Var{Index: 0},
+		Int(1),
+		Float(1.5),
+		Int(2),
+		NewBig(big.NewInt(3)),
+		Str("a"),
+		Atom("a"),
+		Atom("b"),
+		NewFunctor("a", Int(1)),
+	}
+	for i := range terms {
+		for j := range terms {
+			c := Compare(terms[i], terms[j])
+			switch {
+			case i < j && c >= 0:
+				t.Errorf("Compare(%v,%v) = %d, want <0", terms[i], terms[j], c)
+			case i == j && c != 0:
+				t.Errorf("Compare(%v,%v) = %d, want 0", terms[i], terms[j], c)
+			case i > j && c <= 0:
+				t.Errorf("Compare(%v,%v) = %d, want >0", terms[i], terms[j], c)
+			}
+		}
+	}
+}
+
+func TestNumCompareMixed(t *testing.T) {
+	if NumCompare(Int(2), Float(2.0)) != 0 {
+		t.Error("2 != 2.0")
+	}
+	if NumCompare(Int(2), Float(2.5)) != -1 {
+		t.Error("2 not < 2.5")
+	}
+	if NumCompare(NewBig(big.NewInt(10)), Int(3)) != 1 {
+		t.Error("10n not > 3")
+	}
+	if NumCompare(Float(0.5), NewBig(big.NewInt(1))) != -1 {
+		t.Error("0.5 not < 1n")
+	}
+	if !IsNumeric(Int(1)) || IsNumeric(Str("x")) {
+		t.Error("IsNumeric wrong")
+	}
+}
+
+func TestCompareArgs(t *testing.T) {
+	a := []Term{Int(1), Int(2)}
+	b := []Term{Int(1), Int(3)}
+	if CompareArgs(a, b) != -1 || CompareArgs(b, a) != 1 || CompareArgs(a, a) != 0 {
+		t.Error("CompareArgs basic order wrong")
+	}
+	if CompareArgs(a, a[:1]) != 1 {
+		t.Error("longer list should order after its prefix")
+	}
+}
+
+func TestHashVariantProperty(t *testing.T) {
+	// Variants (after canonical renumbering) must hash equally.
+	mk := func(names ...string) []Term {
+		env := NewEnv(len(names))
+		_ = env
+		args := make([]Term, len(names))
+		vars := map[string]*Var{}
+		n := 0
+		for i, nm := range names {
+			v, ok := vars[nm]
+			if !ok {
+				v = &Var{Name: nm, Index: n}
+				n++
+				vars[nm] = v
+			}
+			args[i] = v
+		}
+		return args
+	}
+	a := mk("X", "Y", "X")
+	b := mk("P", "Q", "P")
+	c := mk("X", "X", "Y")
+	if HashArgs(a) != HashArgs(b) {
+		t.Error("variants hash differently")
+	}
+	if HashArgs(a) == HashArgs(c) {
+		t.Error("non-variants hash equally (collision in tiny case)")
+	}
+}
+
+func TestHashBoundIndexKeys(t *testing.T) {
+	env := NewEnv(2)
+	var tr Trail
+	x := &Var{Index: 0}
+	Bind(x, env, Atom("k"), nil, &tr)
+	args := []Term{x, Int(3), &Var{Index: 1}}
+	h1, ok := HashBound(args, []int{0, 1}, env)
+	if !ok {
+		t.Fatal("bound positions reported non-ground")
+	}
+	h2, ok := HashBound([]Term{Atom("k"), Int(3)}, []int{0, 1}, nil)
+	if !ok || h1 != h2 {
+		t.Error("index key hash differs between env-bound and direct values")
+	}
+	if _, ok := HashBound(args, []int{2}, env); ok {
+		t.Error("unbound position reported ground")
+	}
+}

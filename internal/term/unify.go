@@ -1,0 +1,235 @@
+package term
+
+// Unification over (term, environment) pairs with trailing. This is the
+// basic inference operation of rule evaluation (paper §3.1): the
+// nested-loops join binds rule variables by unifying body-literal argument
+// patterns against tuples, and undoes the bindings via the trail on
+// backtracking.
+
+// OccursCheck enables the occurs check in Unify. CORAL, like Prolog
+// implementations, runs without it by default.
+var OccursCheck = false
+
+// Unify attempts to unify a (in env ae) with b (in env be), recording new
+// bindings on tr. It returns true on success; on failure the caller must
+// undo the trail to its pre-call mark (Unify may have made bindings before
+// failing).
+func Unify(a Term, ae *Env, b Term, be *Env, tr *Trail) bool {
+	a, ae = Deref(a, ae)
+	b, be = Deref(b, be)
+	if a == b && ae == be {
+		return true
+	}
+	if av, ok := a.(*Var); ok {
+		if bv, ok2 := b.(*Var); ok2 && av == bv && ae == be {
+			return true
+		}
+		if OccursCheck && occurs(av, ae, b, be) {
+			return false
+		}
+		Bind(av, ae, b, be, tr)
+		return true
+	}
+	if bv, ok := b.(*Var); ok {
+		if OccursCheck && occurs(bv, be, a, ae) {
+			return false
+		}
+		Bind(bv, be, a, ae, tr)
+		return true
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	af, ok := a.(*Functor)
+	if !ok {
+		return Equal(a, b)
+	}
+	bf := b.(*Functor)
+	if af.Sym != bf.Sym || len(af.Args) != len(bf.Args) {
+		return false
+	}
+	// Hash-consing fast path: two ground functor terms unify iff their
+	// unique identifiers are equal (paper §3.1).
+	if ai, bi := GroundID(af), GroundID(bf); ai != 0 && bi != 0 {
+		return ai == bi
+	}
+	for i := range af.Args {
+		if !Unify(af.Args[i], ae, bf.Args[i], be, tr) {
+			return false
+		}
+	}
+	return true
+}
+
+// UnifyStructural is Unify without the hash-consing fast path, used to
+// measure the benefit of unique identifiers (experiment E08).
+func UnifyStructural(a Term, ae *Env, b Term, be *Env, tr *Trail) bool {
+	a, ae = Deref(a, ae)
+	b, be = Deref(b, be)
+	if a == b && ae == be {
+		return true
+	}
+	if av, ok := a.(*Var); ok {
+		if bv, ok2 := b.(*Var); ok2 && av == bv && ae == be {
+			return true
+		}
+		Bind(av, ae, b, be, tr)
+		return true
+	}
+	if bv, ok := b.(*Var); ok {
+		Bind(bv, be, a, ae, tr)
+		return true
+	}
+	if a.Kind() != b.Kind() {
+		return false
+	}
+	af, ok := a.(*Functor)
+	if !ok {
+		return Equal(a, b)
+	}
+	bf := b.(*Functor)
+	if af.Sym != bf.Sym || len(af.Args) != len(bf.Args) {
+		return false
+	}
+	for i := range af.Args {
+		if !UnifyStructural(af.Args[i], ae, bf.Args[i], be, tr) {
+			return false
+		}
+	}
+	return true
+}
+
+func occurs(v *Var, venv *Env, t Term, te *Env) bool {
+	t, te = Deref(t, te)
+	switch x := t.(type) {
+	case *Var:
+		return x == v && te == venv || (x.Index == v.Index && te == venv)
+	case *Functor:
+		for _, a := range x.Args {
+			if occurs(v, venv, a, te) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// UnifyArgs unifies two equal-length argument lists pairwise.
+func UnifyArgs(a []Term, ae *Env, b []Term, be *Env, tr *Trail) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !Unify(a[i], ae, b[i], be, tr) {
+			return false
+		}
+	}
+	return true
+}
+
+// Match performs one-way matching: only variables of the pattern (in penv)
+// may be bound; variables of the subject are treated as constants. It is
+// the basis of subsumption checking (a fact F is subsumed by a fact G if F
+// is an instance of G, i.e. G matches F) and of pattern-form indexes
+// (paper §3.3).
+func Match(pat Term, penv *Env, sub Term, senv *Env, tr *Trail) bool {
+	pat, penv = Deref(pat, penv)
+	sub, senv = Deref(sub, senv)
+	if pv, ok := pat.(*Var); ok {
+		Bind(pv, penv, sub, senv, tr)
+		return true
+	}
+	if _, ok := sub.(*Var); ok {
+		return false // pattern constant cannot match a free subject variable
+	}
+	if pat.Kind() != sub.Kind() {
+		return false
+	}
+	pf, ok := pat.(*Functor)
+	if !ok {
+		return Equal(pat, sub)
+	}
+	sf := sub.(*Functor)
+	if pf.Sym != sf.Sym || len(pf.Args) != len(sf.Args) {
+		return false
+	}
+	if pi, si := GroundID(pf), GroundID(sf); pi != 0 && si != 0 {
+		return pi == si
+	}
+	for i := range pf.Args {
+		if !Match(pf.Args[i], penv, sf.Args[i], senv, tr) {
+			return false
+		}
+	}
+	return true
+}
+
+// MatchArgs matches two equal-length argument lists pairwise, one-way.
+func MatchArgs(pat []Term, penv *Env, sub []Term, senv *Env, tr *Trail) bool {
+	if len(pat) != len(sub) {
+		return false
+	}
+	for i := range pat {
+		if !Match(pat[i], penv, sub[i], senv, tr) {
+			return false
+		}
+	}
+	return true
+}
+
+// Subsumes reports whether the fact with arguments gen (more general)
+// subsumes the fact with arguments spec: spec is an instance of gen. Both
+// argument lists are environment-free canonical facts (variables numbered
+// densely from 0); genVars is the number of variable slots in gen. Unlike
+// Match, variables of spec may be matched by variables of gen — p(X)
+// subsumes p(Y) — but behave as constants otherwise.
+func Subsumes(gen []Term, genVars int, spec []Term) bool {
+	if len(gen) != len(spec) {
+		return false
+	}
+	bound := make([]Term, genVars)
+	for i := range gen {
+		if !subsumeTerm(gen[i], spec[i], bound) {
+			return false
+		}
+	}
+	return true
+}
+
+func subsumeTerm(g, s Term, bound []Term) bool {
+	if gv, ok := g.(*Var); ok {
+		if gv.Index < 0 || gv.Index >= len(bound) {
+			return false // non-canonical pattern
+		}
+		if prev := bound[gv.Index]; prev != nil {
+			// Later occurrences must match the same spec subterm; both
+			// sides are env-free canonical so Equal is the right check.
+			return Equal(prev, s)
+		}
+		bound[gv.Index] = s
+		return true
+	}
+	if _, ok := s.(*Var); ok {
+		return false // a constant in gen cannot cover a free variable
+	}
+	if g.Kind() != s.Kind() {
+		return false
+	}
+	gf, ok := g.(*Functor)
+	if !ok {
+		return Equal(g, s)
+	}
+	sf := s.(*Functor)
+	if gf.Sym != sf.Sym || len(gf.Args) != len(sf.Args) {
+		return false
+	}
+	if gi, si := GroundID(gf), GroundID(sf); gi != 0 && si != 0 {
+		return gi == si
+	}
+	for i := range gf.Args {
+		if !subsumeTerm(gf.Args[i], sf.Args[i], bound) {
+			return false
+		}
+	}
+	return true
+}

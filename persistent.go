@@ -1,0 +1,77 @@
+package coral
+
+import (
+	"fmt"
+
+	"coral/internal/storage"
+)
+
+// Persistent storage: the paper stores persistent relations through the
+// EXODUS storage manager (§2, §3.2); this reproduction's substitute is the
+// internal storage package — slotted pages, a buffer pool, B+tree indexes
+// and undo-log transactions. Persistent relations answer the same
+// get-next-tuple interface as in-memory ones, so declarative rules read
+// them transparently; tuples are restricted to primitive types, as the
+// paper states for EXODUS-resident data.
+
+// AttachStorage opens (creating if needed) a database file and attaches it
+// to the system. frames sizes the buffer pool in 8 KiB pages.
+func (s *System) AttachStorage(path string, frames int) error {
+	if s.db != nil {
+		return fmt.Errorf("coral: storage already attached")
+	}
+	db, err := storage.Open(path, frames)
+	if err != nil {
+		return err
+	}
+	s.db = db
+	return nil
+}
+
+// Storage returns the attached database, if any.
+func (s *System) Storage() (*storage.DB, bool) { return s.db, s.db != nil }
+
+// PersistentRelation opens (creating if needed) a disk-resident relation
+// and registers it so declarative rules can read it. Rules accessing it
+// perform page-level I/O through the buffer pool, exactly the paper's
+// description of get-next-tuple on persistent data (§2).
+func (s *System) PersistentRelation(name string, arity int) (*Relation, error) {
+	if s.db == nil {
+		return nil, fmt.Errorf("coral: no storage attached (call AttachStorage first)")
+	}
+	prel, err := s.db.Relation(name, arity)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.eng.RegisterRelation(prel); err != nil {
+		// Already registered on a previous call: return the handle.
+		if existing, ok := s.LookupRelation(name, arity); ok {
+			return existing, nil
+		}
+		return nil, err
+	}
+	return &Relation{rel: prel}, nil
+}
+
+// CreatePersistentIndex adds a B+tree index on the named persistent
+// relation's columns (paper §3.3).
+func (s *System) CreatePersistentIndex(name string, arity int, cols ...int) error {
+	if s.db == nil {
+		return fmt.Errorf("coral: no storage attached")
+	}
+	prel, err := s.db.Relation(name, arity)
+	if err != nil {
+		return err
+	}
+	return prel.CreateIndex(cols...)
+}
+
+// Close flushes and closes the attached storage, if any.
+func (s *System) Close() error {
+	if s.db == nil {
+		return nil
+	}
+	err := s.db.Close()
+	s.db = nil
+	return err
+}

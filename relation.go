@@ -1,0 +1,107 @@
+package coral
+
+import (
+	"fmt"
+
+	"coral/internal/ast"
+	"coral/internal/parser"
+	"coral/internal/relation"
+	"coral/internal/term"
+)
+
+// Relation is a handle on a base relation: the class Relation of the
+// paper's C++ interface (§6.1), supporting explicit inserts and deletes,
+// scans, and index creation, without breaking the relation abstraction.
+type Relation struct {
+	rel relation.Relation
+}
+
+// BaseRelation returns (creating if needed) the in-memory base relation
+// name/arity.
+func (s *System) BaseRelation(name string, arity int) *Relation {
+	return &Relation{rel: s.eng.BaseRelation(name, arity)}
+}
+
+// LookupRelation finds an existing relation of any representation.
+func (s *System) LookupRelation(name string, arity int) (*Relation, bool) {
+	r, ok := s.eng.Relation(ast.PredKey{Name: name, Arity: arity})
+	if !ok {
+		return nil, false
+	}
+	return &Relation{rel: r}, true
+}
+
+// Register installs a custom relation implementation (a new relation or
+// index representation per the paper's extensibility story, §7.2) as a
+// base relation.
+func (s *System) Register(rel relation.Relation) error {
+	return s.eng.RegisterRelation(rel)
+}
+
+// Name returns the relation's predicate name.
+func (r *Relation) Name() string { return r.rel.Name() }
+
+// Arity returns the relation's arity.
+func (r *Relation) Arity() int { return r.rel.Arity() }
+
+// Len returns the number of live facts.
+func (r *Relation) Len() int { return r.rel.Len() }
+
+// Insert adds a fact; it reports whether the fact was new. Arguments may
+// contain variables — CORAL facts are universally quantified over them
+// (paper §3.1).
+func (r *Relation) Insert(args ...Term) bool {
+	return r.rel.Insert(relation.NewFact(args, nil))
+}
+
+// Delete removes all facts unifying with the given pattern, returning how
+// many were removed.
+func (r *Relation) Delete(args ...Term) (int, error) {
+	d, ok := r.rel.(relation.Deleter)
+	if !ok {
+		return 0, fmt.Errorf("coral: relation %s does not support deletion", r.rel.Name())
+	}
+	return d.Delete(args, nil), nil
+}
+
+// Scan opens a cursor over all facts.
+func (r *Relation) Scan() *Scan { return newScan(r.rel.Scan(), nil, nil) }
+
+// Lookup opens a cursor over facts unifying with the pattern, using the
+// best available index (paper §3.3).
+func (r *Relation) Lookup(args ...Term) *Scan {
+	resolved, n := term.ResolveArgs(args, nil)
+	env := term.NewEnv(n)
+	return newScan(r.rel.Lookup(resolved, env), resolved, env)
+}
+
+// MakeIndex creates an argument-form hash index on the given positions
+// (paper §3.3); in-memory relations only.
+func (r *Relation) MakeIndex(positions ...int) error {
+	hr, ok := r.rel.(*relation.HashRelation)
+	if !ok {
+		return fmt.Errorf("coral: %s is not an in-memory hash relation", r.rel.Name())
+	}
+	hr.MakeIndex(positions...)
+	return nil
+}
+
+// MakePatternIndex creates a pattern-form index (paper §3.3, §5.5.1). The
+// pattern is source syntax, e.g. "emp(Name, addr(Street, City))", and keys
+// name the pattern variables forming the index key.
+func (r *Relation) MakePatternIndex(pattern string, keys ...string) error {
+	hr, ok := r.rel.(*relation.HashRelation)
+	if !ok {
+		return fmt.Errorf("coral: %s is not an in-memory hash relation", r.rel.Name())
+	}
+	t, err := parser.ParseTerm(pattern)
+	if err != nil {
+		return err
+	}
+	f, ok := t.(*term.Functor)
+	if !ok || f.Sym != r.rel.Name() || len(f.Args) != r.rel.Arity() {
+		return fmt.Errorf("coral: pattern %q does not match %s/%d", pattern, r.rel.Name(), r.rel.Arity())
+	}
+	hr.MakePatternIndex(f.Args, keys)
+	return nil
+}

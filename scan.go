@@ -1,0 +1,73 @@
+package coral
+
+import (
+	"fmt"
+
+	"coral/internal/relation"
+	"coral/internal/term"
+)
+
+// Scan is a cursor over a relation or a module call's answers — the
+// C_ScanDesc abstraction of the paper's C++ interface (§6.1), built on the
+// get-next-tuple interface every relation implementation shares (§2).
+// Evaluation behind the scan proceeds only as far as the consumer pulls:
+// abandoned scans simply stop computing.
+type Scan struct {
+	it      relation.Iterator
+	pattern []term.Term
+	env     *term.Env
+	tr      term.Trail
+	err     error
+	done    bool
+}
+
+func newScan(it relation.Iterator, pattern []term.Term, env *term.Env) *Scan {
+	return &Scan{it: it, pattern: pattern, env: env}
+}
+
+// Next returns the next tuple unifying with the call pattern. It returns
+// ok=false at the end of the scan or on error (check Err).
+func (s *Scan) Next() (t Tuple, ok bool) {
+	if s.done {
+		return nil, false
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			s.err = fmt.Errorf("coral: %v", r)
+			s.done = true
+			t, ok = nil, false
+		}
+	}()
+	for {
+		f, more := s.it.Next()
+		if !more {
+			s.done = true
+			return nil, false
+		}
+		if s.pattern != nil {
+			fenv := term.NewEnv(f.NVars)
+			m := s.tr.Mark()
+			matched := term.UnifyArgs(s.pattern, s.env, f.Args, fenv, &s.tr)
+			s.tr.Undo(m)
+			if !matched {
+				continue
+			}
+		}
+		return Tuple(f.Args), true
+	}
+}
+
+// All drains the scan.
+func (s *Scan) All() ([]Tuple, error) {
+	var out []Tuple
+	for {
+		t, ok := s.Next()
+		if !ok {
+			return out, s.err
+		}
+		out = append(out, t)
+	}
+}
+
+// Err reports the scan's failure, if any.
+func (s *Scan) Err() error { return s.err }

@@ -1,0 +1,76 @@
+package coral
+
+import (
+	"math/big"
+
+	"coral/internal/parser"
+	"coral/internal/term"
+)
+
+// Term is a CORAL value: the class Arg of the paper (§3). The built-in
+// implementations are integers, doubles, strings, arbitrary-precision
+// integers, atoms and functor terms, and variables. User-defined abstract
+// data types implement term.External (§7.1) and flow through the system
+// unchanged.
+type Term = term.Term
+
+// Tuple is an argument list — one row of a relation.
+type Tuple []Term
+
+// String renders the tuple as "(a, b, c)".
+func (t Tuple) String() string {
+	s := "("
+	for i, a := range t {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+
+// Int builds an integer constant.
+func Int(v int64) Term { return term.Int(v) }
+
+// Float builds a double constant.
+func Float(v float64) Term { return term.Float(v) }
+
+// Str builds a string constant.
+func Str(v string) Term { return term.Str(v) }
+
+// BigInt builds an arbitrary-precision integer constant (the paper used
+// the DEC BigNum package; this reproduction uses math/big).
+func BigInt(v *big.Int) Term { return term.NewBig(v) }
+
+// Atom builds a zero-arity functor constant such as john.
+func Atom(name string) Term { return term.Atom(name) }
+
+// Func builds the functor term name(args...).
+func Func(name string, args ...Term) Term { return term.NewFunctor(name, args...) }
+
+// List builds a proper list term.
+func List(items ...Term) Term { return term.MakeList(items...) }
+
+// ListTail builds the list [items... | tail].
+func ListTail(tail Term, items ...Term) Term { return term.MakeListTail(tail, items...) }
+
+// Var builds a named logic variable for call patterns; distinct calls to
+// Var yield distinct variables even for equal names.
+func Var(name string) Term { return term.NewVar(name) }
+
+// Wildcard builds an anonymous variable. Calls whose arguments are
+// wildcards are subject to existential query rewriting (paper §4.1): the
+// engine may avoid computing distinct witnesses for positions nobody
+// observes.
+func Wildcard() Term { return term.NewVar("") }
+
+// ParseTerm parses a single term from source syntax (e.g. "f(1, [a|T])").
+func ParseTerm(src string) (Term, error) { return parser.ParseTerm(src) }
+
+// Equal reports structural equality of two ground or canonical terms,
+// using hash-consing identifiers where available (paper §3.1).
+func Equal(a, b Term) bool { return term.Equal(a, b) }
+
+// Compare orders two terms (numerics by value, then strings, then
+// functors structurally).
+func Compare(a, b Term) int { return term.Compare(a, b) }

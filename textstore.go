@@ -1,0 +1,74 @@
+package coral
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"coral/internal/term"
+)
+
+// Text-file persistence (paper §2: "Persistent data is stored either in
+// text files, or using the EXODUS storage manager. Data stored in text
+// files can be 'consulted', at which point the data is converted into
+// main-memory relations"). WriteFacts/SaveRelation produce consultable
+// fact files; ConsultFile loads them back.
+
+// WriteFacts writes every fact of the relation as source-syntax facts, one
+// per line, in a deterministic order. The output consults back into an
+// identical relation.
+func (r *Relation) WriteFacts(w io.Writer) error {
+	var lines []string
+	it := r.rel.Scan()
+	for {
+		f, ok := it.Next()
+		if !ok {
+			break
+		}
+		lines = append(lines, r.rel.Name()+factBody(f.Args)+".")
+	}
+	sort.Strings(lines)
+	bw := bufio.NewWriter(w)
+	for _, l := range lines {
+		if _, err := bw.WriteString(l); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+func factBody(args []term.Term) string {
+	if len(args) == 0 {
+		return ""
+	}
+	s := "("
+	for i, a := range args {
+		if i > 0 {
+			s += ", "
+		}
+		s += a.String()
+	}
+	return s + ")"
+}
+
+// SaveRelation writes a base relation to a consultable text file.
+func (s *System) SaveRelation(path, name string, arity int) error {
+	rel, ok := s.LookupRelation(name, arity)
+	if !ok {
+		return fmt.Errorf("coral: unknown relation %s/%d", name, arity)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rel.WriteFacts(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
