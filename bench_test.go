@@ -19,6 +19,17 @@ import (
 	"coral/internal/workload"
 )
 
+// benchBase returns the in-memory base relation, failing the benchmark on
+// a representation conflict.
+func benchBase(b *testing.B, sys *engine.System, name string, arity int) *relation.HashRelation {
+	b.Helper()
+	rel, err := sys.BaseRelation(name, arity)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return rel
+}
+
 // benchSystem consults source into an engine system, failing the benchmark
 // on error.
 func benchSystem(b *testing.B, src string) *engine.System {
@@ -29,7 +40,7 @@ func benchSystem(b *testing.B, src string) *engine.System {
 	}
 	sys := engine.NewSystem()
 	for _, f := range u.Facts {
-		sys.BaseRelation(f.Pred, len(f.Args)).Insert(relation.NewFact(f.Args, nil))
+		benchBase(b, sys, f.Pred, len(f.Args)).Insert(relation.NewFact(f.Args, nil))
 	}
 	for _, m := range u.Modules {
 		if err := sys.AddModule(m); err != nil {
@@ -167,7 +178,7 @@ func BenchmarkE07PatternIndex(b *testing.B) {
 	}
 	b.Run("patternindex", func(b *testing.B) {
 		sys := benchSystem(b, src)
-		rel := sys.BaseRelation("emp", 2)
+		rel := benchBase(b, sys, "emp", 2)
 		rel.MakePatternIndex([]term.Term{term.NewVar("Name"),
 			term.NewFunctor("addr", term.NewVar("Street"), term.NewVar("City"))},
 			[]string{"Name", "City"})
@@ -175,7 +186,7 @@ func BenchmarkE07PatternIndex(b *testing.B) {
 	})
 	b.Run("scan", func(b *testing.B) {
 		sys := benchSystem(b, src)
-		run(b, sys.BaseRelation("emp", 2))
+		run(b, benchBase(b, sys, "emp", 2))
 	})
 }
 
@@ -346,7 +357,7 @@ func BenchmarkE16ConsultAndRun(b *testing.B) {
 			}
 			sys := engine.NewSystem()
 			for _, f := range u.Facts {
-				sys.BaseRelation(f.Pred, len(f.Args)).Insert(relation.NewFact(f.Args, nil))
+				benchBase(b, sys, f.Pred, len(f.Args)).Insert(relation.NewFact(f.Args, nil))
 			}
 			for _, m := range u.Modules {
 				if err := sys.AddModule(m); err != nil {

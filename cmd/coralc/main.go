@@ -7,9 +7,15 @@
 // For every module and declared query form, the adorned, magic-rewritten
 // (or factored) program is printed along with the generated predicate
 // classes (magic, supplementary, done).
+//
+// With -vet, coralc instead runs the static analysis pass and prints its
+// diagnostics (file:line:col: severity [check-id]: message), exiting
+// non-zero when any diagnostic is an error; -Werror also fails on
+// warnings. Multiple files may be vetted in one run.
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"sort"
@@ -20,11 +26,31 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: coralc <program.crl>")
+	vet := flag.Bool("vet", false, "run static analysis instead of printing rewritten programs")
+	werror := flag.Bool("Werror", false, "with -vet, treat warnings as errors")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: coralc [-vet [-Werror]] <program.crl> ...")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 || (!*vet && flag.NArg() != 1) {
+		flag.Usage()
 		os.Exit(2)
 	}
-	src, err := os.ReadFile(os.Args[1])
+	if *vet {
+		code := 0
+		for _, path := range flag.Args() {
+			src, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			if c := runVet(path, string(src), *werror, os.Stdout); c > code {
+				code = c
+			}
+		}
+		os.Exit(code)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
 	if err != nil {
 		fatal(err)
 	}

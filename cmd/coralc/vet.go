@@ -1,0 +1,32 @@
+package main
+
+import (
+	"fmt"
+	"io"
+
+	"coral/internal/analysis"
+	"coral/internal/parser"
+)
+
+// runVet analyzes one program source and writes diagnostics to w, one per
+// line, prefixed with the file name. It returns the exit code: 0 when the
+// program is clean enough (no errors; no warnings either under -Werror),
+// 1 when diagnostics demand failure, 2 on a parse error.
+func runVet(name, src string, werror bool, w io.Writer) int {
+	u, err := parser.Parse(src)
+	if err != nil {
+		fmt.Fprintf(w, "%s: %v\n", name, err)
+		return 2
+	}
+	diags := analysis.AnalyzeUnit(u, analysis.Options{})
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s:%s\n", name, d)
+	}
+	if analysis.HasErrors(diags) {
+		return 1
+	}
+	if werror && len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunVetAcceptance is the issue's acceptance program: an unbound head
+// variable, an undefined predicate, and an unstratified negation must all
+// be reported with correct line numbers, and the run must fail.
+func TestRunVetAcceptance(t *testing.T) {
+	src := `module bad.
+export p(ff).
+export win(f).
+p(X, Y) :- q(X).
+win(X) :- mov(X, Y), not win(Y).
+q(a).
+move(a, b).
+end_module.
+`
+	var out strings.Builder
+	code := runVet("bad.crl", src, false, &out)
+	if code == 0 {
+		t.Fatalf("expected non-zero exit, output:\n%s", out.String())
+	}
+	for _, want := range []string{
+		"bad.crl:4:1: warning [range-restriction]",
+		"bad.crl:5:11: warning [undefined-pred]",
+		"bad.crl:5:22: error [unstratified]",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestRunVetCleanProgram(t *testing.T) {
+	src := `edge(a, b).
+module paths.
+export path(bf, ff).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.
+?- path(a, X).
+`
+	var out strings.Builder
+	if code := runVet("paths.crl", src, false, &out); code != 0 {
+		t.Fatalf("clean program exits %d:\n%s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Fatalf("clean program produced output:\n%s", out.String())
+	}
+}
+
+func TestRunVetWerror(t *testing.T) {
+	src := `edge(a, b).
+module m.
+export p(f).
+p(X) :- edge(X, Unused).
+end_module.
+`
+	var out strings.Builder
+	if code := runVet("m.crl", src, false, &out); code != 0 {
+		t.Fatalf("warnings alone exit %d without -Werror:\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := runVet("m.crl", src, true, &out); code != 1 {
+		t.Fatalf("-Werror exit = %d, want 1:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "singleton-var") {
+		t.Errorf("expected singleton-var warning:\n%s", out.String())
+	}
+}
+
+func TestRunVetParseError(t *testing.T) {
+	var out strings.Builder
+	if code := runVet("x.crl", "module m", false, &out); code != 2 {
+		t.Fatalf("parse error exit = %d, want 2:\n%s", code, out.String())
+	}
+}
+
+// TestRunVetExampleFiles vets every .crl program shipped under examples/:
+// they must all be error-free with no diagnostics at all.
+func TestRunVetExampleFiles(t *testing.T) {
+	paths, err := filepath.Glob("../../examples/*/*.crl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	more, err := filepath.Glob("../../examples/*.crl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths = append(paths, more...)
+	if len(paths) == 0 {
+		t.Skip("no .crl example files")
+	}
+	for _, path := range paths {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out strings.Builder
+		if code := runVet(path, string(src), true, &out); code != 0 {
+			t.Errorf("%s: exit %d:\n%s", path, code, out.String())
+		}
+	}
+}

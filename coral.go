@@ -60,7 +60,10 @@ func (s *System) Consult(src string) ([]*Answers, error) {
 		return nil, err
 	}
 	for _, f := range u.Facts {
-		rel := s.eng.BaseRelation(f.Pred, len(f.Args))
+		rel, err := s.eng.BaseRelation(f.Pred, len(f.Args))
+		if err != nil {
+			return nil, err
+		}
 		rel.Insert(relation.NewFact(f.Args, nil))
 	}
 	for _, ix := range u.Indexes {
@@ -99,7 +102,10 @@ func (s *System) ConsultFile(path string) ([]*Answers, error) {
 }
 
 func (s *System) applyIndex(ix ast.IndexAnn) error {
-	rel := s.eng.BaseRelation(ix.Pred, len(ix.Pattern))
+	rel, err := s.eng.BaseRelation(ix.Pred, len(ix.Pattern))
+	if err != nil {
+		return err
+	}
 	if pos, ok := argFormIndex(ix); ok {
 		rel.MakeIndex(pos...)
 		return nil

@@ -87,7 +87,10 @@ func writeFile(path, content string) error {
 
 func TestRelationAPI(t *testing.T) {
 	sys := New()
-	rel := sys.BaseRelation("emp", 2)
+	rel, err := sys.BaseRelation("emp", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !rel.Insert(Atom("ann"), Func("addr", Atom("main"), Atom("madison"))) {
 		t.Fatal("insert rejected")
 	}
@@ -327,7 +330,10 @@ func TestExplainAPI(t *testing.T) {
 
 func TestTextFilePersistenceRoundTrip(t *testing.T) {
 	sys := New()
-	rel := sys.BaseRelation("emp", 2)
+	rel, err := sys.BaseRelation("emp", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rel.Insert(Atom("ann"), Func("addr", Atom("main"), Atom("madison")))
 	rel.Insert(Atom("bob"), Int(42))
 	rel.Insert(Str("weird name"), List(Int(1), Int(2)))
@@ -440,7 +446,9 @@ func TestAttachStorageTwice(t *testing.T) {
 
 func TestRegisterConflicts(t *testing.T) {
 	sys := New()
-	sys.BaseRelation("p", 1)
+	if _, err := sys.BaseRelation("p", 1); err != nil {
+		t.Fatal(err)
+	}
 	if err := sys.RegisterPredicate("p", 1, func(Tuple) ([]Tuple, error) { return nil, nil }); err == nil {
 		t.Error("registering over an existing base relation allowed")
 	}
@@ -514,7 +522,10 @@ func TestBigIntConstructor(t *testing.T) {
 	v, _ := new(big.Int).SetString("123456789012345678901234567890", 10)
 	b := BigInt(v)
 	sys := New()
-	rel := sys.BaseRelation("huge", 1)
+	rel, err := sys.BaseRelation("huge", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	rel.Insert(b)
 	rows, err := rel.Scan().All()
 	if err != nil || len(rows) != 1 || !Equal(rows[0][0], b) {
@@ -528,7 +539,10 @@ func TestBigIntConstructor(t *testing.T) {
 
 func TestRelationMakeIndexAPI(t *testing.T) {
 	sys := New()
-	rel := sys.BaseRelation("p", 2)
+	rel, err := sys.BaseRelation("p", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 100; i++ {
 		rel.Insert(Int(int64(i)), Int(int64(i*2)))
 	}

@@ -36,8 +36,8 @@ func main() {
 		export components(bf).
 
 		% Transitive subparts.
-		subpart(P, C) :- assembly(P, C, Q).
-		subpart(P, C) :- assembly(P, M, Q), subpart(M, C).
+		subpart(P, C) :- assembly(P, C, _).
+		subpart(P, C) :- assembly(P, M, _), subpart(M, C).
 
 		% Purchased descendants of a part, with their unit costs.
 		leafcost(P, C, U) :- subpart(P, C), basecost(C, U).
@@ -48,12 +48,12 @@ func main() {
 		partstats(P, count(C), sum(U)) :- leafcost(P, C, U).
 
 		% Set-grouping: the distinct direct components of a part.
-		components(P, <C>) :- assembly(P, C, Q).
+		components(P, <C>) :- assembly(P, C, _).
 
 		% A part is top-level if nothing uses it (stratified negation).
-		ispart(P) :- assembly(P, C, Q).
-		ispart(C) :- assembly(P, C, Q).
-		used(C) :- assembly(P, C, Q).
+		ispart(P) :- assembly(P, _, _).
+		ispart(C) :- assembly(_, C, _).
+		used(C) :- assembly(_, C, _).
 		toplevel(P) :- ispart(P), not used(P).
 		end_module.
 	`)

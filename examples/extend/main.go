@@ -68,7 +68,10 @@ func main() {
 	}
 
 	// Facts carrying the ADT, inserted through the relation API.
-	prices := sys.BaseRelation("price", 2)
+	prices, err := sys.BaseRelation("price", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	prices.Insert(coral.Atom("coffee"), Money{450})
 	prices.Insert(coral.Atom("bagel"), Money{325})
 	prices.Insert(coral.Atom("espresso"), Money{450})

@@ -52,7 +52,10 @@ func main() {
 
 	// Pattern-form index: retrieve employees by name and city without
 	// knowing the street — the paper's own example.
-	emp := sys.BaseRelation("emp", 2)
+	emp, err := sys.BaseRelation("emp", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	for i := 0; i < 10000; i++ {
 		emp.Insert(
 			coral.Atom(fmt.Sprintf("name%d", i)),

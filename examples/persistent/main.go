@@ -48,8 +48,8 @@ func main() {
 	if _, err := sys.Consult(`
 		module trips.
 		export reach(bf).
-		reach(X, Y) :- flight(X, Y, D).
-		reach(X, Y) :- flight(X, Z, D), reach(Z, Y).
+		reach(X, Y) :- flight(X, Y, _).
+		reach(X, Y) :- flight(X, Z, _), reach(Z, Y).
 		end_module.
 	`); err != nil {
 		log.Fatal(err)

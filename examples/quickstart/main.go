@@ -42,7 +42,10 @@ func main() {
 
 	// Imperative part: insert a fact through the relation API and watch
 	// the declarative view update (the paper's C++-interface usage mode).
-	edges := sys.BaseRelation("edge", 2)
+	edges, err := sys.BaseRelation("edge", 2)
+	if err != nil {
+		log.Fatal(err)
+	}
 	edges.Insert(coral.Atom("d"), coral.Atom("z"))
 	ans, _ = sys.Query("path(a, z)")
 	fmt.Printf("a reaches z after inserting edge(d, z): %v\n", len(ans.Tuples) == 1)

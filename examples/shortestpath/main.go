@@ -32,7 +32,7 @@ func main() {
 		@aggregate_selection p(X, Y, P, C) (X, Y) min(C).
 		@aggregate_selection p(X, Y, P, C) (X, Y, C) any(P).
 		s_p(X, Y, P, C)        :- s_p_length(X, Y, C), p(X, Y, P, C).
-		s_p_length(X, Y, min(C)) :- p(X, Y, P, C).
+		s_p_length(X, Y, min(C)) :- p(X, Y, _, C).
 		p(X, Y, P1, C1) :- p(X, Z, P, C), edge(Z, Y, EC),
 		                   P1 = [e(Z, Y)|P], C1 = C + EC.
 		p(X, Y, [e(X, Y)], C) :- edge(X, Y, C).

@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"coral/internal/ast"
+	"coral/internal/rewrite"
+	"coral/internal/term"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	// Known reports predicates defined outside the analyzed source:
+	// registered Go predicates, persistent relations, relations already
+	// loaded into a running system. Unknown body predicates that Known
+	// rejects are reported by the undefined-pred check. A nil Known
+	// knows nothing.
+	Known func(ast.PredKey) bool
+	// AssumeDefined suppresses the undefined-pred and arity-mismatch
+	// checks entirely — used when only a fragment of the program is
+	// visible (the engine's per-module compile gate) so that references
+	// to not-yet-seen base relations do not misfire.
+	AssumeDefined bool
+}
+
+// AnalyzeUnit runs the whole check catalogue over one consulted unit:
+// unit-level checks (arity consistency, undefined predicates in queries)
+// plus every module's checks. Diagnostics come back sorted by source
+// position.
+func AnalyzeUnit(u *ast.Unit, opt Options) []Diagnostic {
+	a := &analyzer{opt: opt, defined: unitDefined(u, opt)}
+	if !opt.AssumeDefined {
+		a.checkArity(u)
+	}
+	for _, m := range u.Modules {
+		a.analyzeModule(m)
+	}
+	a.checkQueries(u)
+	sortDiags(a.diags)
+	return a.diags
+}
+
+// AnalyzeModule runs the module-local checks over a single module — the
+// engine's pre-compile gate. Predicates not defined inside the module
+// are assumed to be base relations, so only genuinely module-local
+// problems (safety, builtin bindings, stratification, ...) are reported.
+func AnalyzeModule(m *ast.Module, opt Options) []Diagnostic {
+	opt.AssumeDefined = true
+	a := &analyzer{opt: opt}
+	a.analyzeModule(m)
+	sortDiags(a.diags)
+	return a.diags
+}
+
+// analyzer accumulates diagnostics across checks.
+type analyzer struct {
+	opt     Options
+	defined map[ast.PredKey]bool // unit-level definitions (nil when AssumeDefined)
+	diags   []Diagnostic
+}
+
+func (a *analyzer) add(d Diagnostic) { a.diags = append(a.diags, d) }
+
+// unitDefined collects every predicate the unit itself defines: base
+// facts, module rule heads are NOT included (they are module-scoped;
+// only exports are visible outside), exports of every module.
+func unitDefined(u *ast.Unit, opt Options) map[ast.PredKey]bool {
+	defined := make(map[ast.PredKey]bool)
+	for i := range u.Facts {
+		defined[u.Facts[i].Key()] = true
+	}
+	for _, m := range u.Modules {
+		for _, e := range m.Exports {
+			defined[ast.PredKey{Name: e.Pred, Arity: e.Arity}] = true
+		}
+	}
+	return defined
+}
+
+// known reports whether key is resolvable in the given module's scope:
+// unit-level definitions, the module's own rule heads, or the caller's
+// Known oracle. heads is nil for query-level checks.
+func (a *analyzer) known(key ast.PredKey, heads map[ast.PredKey]bool) bool {
+	if a.defined[key] || heads[key] {
+		return true
+	}
+	return a.opt.Known != nil && a.opt.Known(key)
+}
+
+// analyzeModule runs all module-scoped checks.
+func (a *analyzer) analyzeModule(m *ast.Module) {
+	heads := make(map[ast.PredKey]bool)
+	for _, r := range m.Rules {
+		heads[r.Head.Key()] = true
+	}
+	graph := rewrite.BuildDepGraph(m.Rules)
+
+	for _, r := range m.Rules {
+		a.checkRuleSafety(m, r)
+		a.checkBuiltinBindings(m, r)
+		a.checkSingletons(m, r)
+		if !a.opt.AssumeDefined {
+			a.checkUndefined(m, r, heads)
+		}
+	}
+	a.checkDuplicates(m)
+	a.checkUnused(m, heads)
+	a.checkExports(m, heads)
+	a.checkFunctorGrowth(m, graph)
+	a.checkStratification(m, graph)
+}
+
+// --- shared term helpers ---
+
+// walkVars calls f for every variable occurrence in t.
+func walkVars(t term.Term, f func(*term.Var)) {
+	switch x := t.(type) {
+	case *term.Var:
+		f(x)
+	case *term.Functor:
+		for _, arg := range x.Args {
+			walkVars(arg, f)
+		}
+	}
+}
+
+// argVars collects the variables of an argument list into set.
+func argVars(args []term.Term, set map[*term.Var]bool) {
+	for _, arg := range args {
+		walkVars(arg, func(v *term.Var) { set[v] = true })
+	}
+}
+
+// covered reports whether every variable of t is in set.
+func covered(t term.Term, set map[*term.Var]bool) bool {
+	ok := true
+	walkVars(t, func(v *term.Var) {
+		if !set[v] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// varNames renders the distinct unbound variables of t (those not in
+// set), in order of first occurrence, for messages.
+func varNames(t term.Term, set map[*term.Var]bool) string {
+	seen := make(map[*term.Var]bool)
+	names := ""
+	walkVars(t, func(v *term.Var) {
+		if set[v] || seen[v] {
+			return
+		}
+		seen[v] = true
+		if names != "" {
+			names += ", "
+		}
+		if v.Name == "" {
+			names += "_"
+		} else {
+			names += v.Name
+		}
+	})
+	return names
+}
+
+// bodyBound computes the variables a rule body binds: every variable of
+// a positive relational literal, closed under "=" unification (a side
+// whose variables are all bound makes the other side's variables bound;
+// a ground side always binds the other).
+func bodyBound(r *ast.Rule) map[*term.Var]bool {
+	bound := make(map[*term.Var]bool)
+	for i := range r.Body {
+		l := &r.Body[i]
+		if !l.Builtin() && !l.Neg {
+			argVars(l.Args, bound)
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := range r.Body {
+			l := &r.Body[i]
+			if l.Pred != "=" || len(l.Args) != 2 {
+				continue
+			}
+			left, right := l.Args[0], l.Args[1]
+			if covered(left, bound) && !covered(right, bound) {
+				argVars([]term.Term{right}, bound)
+				changed = true
+			}
+			if covered(right, bound) && !covered(left, bound) {
+				argVars([]term.Term{left}, bound)
+				changed = true
+			}
+		}
+	}
+	return bound
+}

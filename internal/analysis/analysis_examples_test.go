@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"coral/internal/ast"
+	"coral/internal/parser"
+)
+
+// externals lists predicates each example defines outside its consulted
+// program text — through the relation API, RegisterPredicate, or a
+// persistent store — keyed by example directory name.
+var externals = map[string][]ast.PredKey{
+	"extend":     {{Name: "price", Arity: 2}, {Name: "cents", Arity: 2}, {Name: "upto", Arity: 1}},
+	"persistent": {{Name: "flight", Arity: 3}},
+	"nonground":  {{Name: "emp", Arity: 2}},
+	"quickstart": {{Name: "edge", Arity: 2}},
+}
+
+// TestExamplesAreVetClean runs the analyzer over every CORAL program
+// embedded in examples/*/main.go (the backtick strings passed to Consult)
+// and over every examples .crl file: the shipped examples must produce no
+// diagnostics at all, errors or warnings.
+func TestExamplesAreVetClean(t *testing.T) {
+	dirs, err := filepath.Glob("../../examples/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dirs) == 0 {
+		t.Fatal("no examples found")
+	}
+	for _, dir := range dirs {
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			continue
+		}
+		name := filepath.Base(dir)
+		t.Run(name, func(t *testing.T) {
+			known := make(map[ast.PredKey]bool)
+			for _, k := range externals[name] {
+				known[k] = true
+			}
+			opt := Options{Known: func(k ast.PredKey) bool { return known[k] }}
+
+			programs := 0
+			// Embedded programs in the example's Go source.
+			data, err := os.ReadFile(filepath.Join(dir, "main.go"))
+			if err == nil {
+				for _, src := range backtickPrograms(string(data)) {
+					programs++
+					vetExample(t, name, src, opt)
+				}
+			}
+			// Consultable .crl files shipped with the example.
+			crls, _ := filepath.Glob(filepath.Join(dir, "*.crl"))
+			for _, path := range crls {
+				src, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				programs++
+				vetExample(t, filepath.Base(path), string(src), opt)
+			}
+			if programs == 0 {
+				t.Fatalf("no CORAL programs found in %s", dir)
+			}
+		})
+	}
+}
+
+func vetExample(t *testing.T, name, src string, opt Options) {
+	t.Helper()
+	u, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("%s: parse: %v", name, err)
+	}
+	diags := AnalyzeUnit(u, opt)
+	if len(diags) != 0 {
+		t.Errorf("%s: expected a vet-clean program, got:\n%s", name, Render(diags))
+	}
+}
+
+// backtickPrograms extracts the raw string literals of a Go source file
+// that look like CORAL programs (they contain a module declaration or a
+// fact/query and parse successfully).
+func backtickPrograms(gosrc string) []string {
+	var out []string
+	for {
+		start := strings.IndexByte(gosrc, '`')
+		if start < 0 {
+			return out
+		}
+		rest := gosrc[start+1:]
+		end := strings.IndexByte(rest, '`')
+		if end < 0 {
+			return out
+		}
+		lit := rest[:end]
+		gosrc = rest[end+1:]
+		if !strings.Contains(lit, "module ") && !strings.Contains(lit, ":-") {
+			continue
+		}
+		if _, err := parser.Parse(lit); err != nil {
+			continue
+		}
+		out = append(out, lit)
+	}
+}

@@ -1,0 +1,420 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"coral/internal/ast"
+	"coral/internal/parser"
+)
+
+func mustParse(t *testing.T, src string) *ast.Unit {
+	t.Helper()
+	u, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return u
+}
+
+// diagAt finds a diagnostic by check ID and returns it.
+func diagsFor(diags []Diagnostic, check string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if d.Check == check {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+func TestChecks(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		check string // expected check ID
+		sev   Severity
+		count int
+		line  int // expected line of first diagnostic (0 = don't care)
+		col   int
+	}{
+		{
+			name: "range restriction violation",
+			src: `module m.
+export p(ff).
+p(X, Y) :- q(X).
+q(a).
+end_module.
+`,
+			check: CheckRangeRestriction, sev: Warning, count: 1, line: 3, col: 1,
+		},
+		{
+			name: "non-ground fact is exempt from range restriction",
+			src: `module m.
+export p(ff).
+p(X, X).
+end_module.
+`,
+			check: CheckRangeRestriction, sev: Warning, count: 0,
+		},
+		{
+			name: "head var bound through equality fixpoint",
+			src: `module m.
+export p(bf).
+p(X, Y) :- q(X, Z), Y = Z + 1.
+q(a, 1).
+end_module.
+`,
+			check: CheckRangeRestriction, sev: Warning, count: 0,
+		},
+		{
+			name: "unsafe negation free variable",
+			src: `module m.
+export p(f).
+p(X) :- q(X), not r(Y).
+q(a).
+r(b).
+end_module.
+`,
+			check: CheckUnsafeNegation, sev: Error, count: 1, line: 3,
+		},
+		{
+			name: "negation bound only via head is a warning",
+			src: `module m.
+export p(b).
+p(X) :- not r(X).
+r(b).
+end_module.
+`,
+			check: CheckUnsafeNegation, sev: Warning, count: 1, line: 3,
+		},
+		{
+			name: "safe negation is clean",
+			src: `module m.
+export p(f).
+p(X) :- q(X), not r(X).
+q(a).
+r(b).
+end_module.
+`,
+			check: CheckUnsafeNegation, sev: Error, count: 0,
+		},
+		{
+			name: "unsafe aggregation",
+			src: `module m.
+export p(ff).
+p(X, sum(C)) :- q(X).
+q(a).
+end_module.
+`,
+			check: CheckUnsafeAggregation, sev: Error, count: 1, line: 3,
+		},
+		{
+			name: "comparison on unbound variable",
+			src: `module m.
+export p(f).
+p(X) :- q(X), Y < 3.
+q(a).
+end_module.
+`,
+			check: CheckBuiltinBinding, sev: Error, count: 1, line: 3, col: 15,
+		},
+		{
+			name: "comparison after binding literal is clean",
+			src: `module m.
+export p(f).
+p(X) :- q(X, Y), Y < 3.
+q(a, 1).
+end_module.
+`,
+			check: CheckBuiltinBinding, sev: Error, count: 0,
+		},
+		{
+			name: "comparison before binding literal violates left-to-right SIP",
+			src: `module m.
+export p(f).
+p(X) :- Y < 3, q(X, Y).
+q(a, 1).
+end_module.
+`,
+			check: CheckBuiltinBinding, sev: Error, count: 1, line: 3,
+		},
+		{
+			name: "arithmetic with both sides unbound warns",
+			src: `module m.
+export p(f).
+p(X) :- X = Y + 1, q(Y).
+q(1).
+end_module.
+`,
+			check: CheckBuiltinBinding, sev: Warning, count: 1, line: 3,
+		},
+		{
+			name: "undefined predicate in rule body",
+			src: `module m.
+export p(f).
+p(X) :- qq(X).
+q(a).
+end_module.
+`,
+			check: CheckUndefinedPred, sev: Warning, count: 1, line: 3, col: 9,
+		},
+		{
+			name: "known oracle suppresses undefined",
+			src: `module m.
+export p(f).
+p(X) :- base(X).
+end_module.
+`,
+			check: CheckUndefinedPred, sev: Warning, count: 0,
+		},
+		{
+			name: "arity mismatch",
+			src: `module m.
+export p(f).
+p(X) :- q(X, X), q(X).
+q(a, b).
+end_module.
+`,
+			check: CheckArityMismatch, sev: Warning, count: 1, line: 3,
+		},
+		{
+			name: "singleton variable",
+			src: `module m.
+export p(f).
+p(X) :- q(X, Extra).
+q(a, b).
+end_module.
+`,
+			check: CheckSingletonVar, sev: Warning, count: 1, line: 3,
+		},
+		{
+			name: "underscore-prefixed singleton stays silent",
+			src: `module m.
+export p(f).
+p(X) :- q(X, _Extra).
+q(a, b).
+end_module.
+`,
+			check: CheckSingletonVar, sev: Warning, count: 0,
+		},
+		{
+			name: "duplicate rule",
+			src: `module m.
+export p(f).
+p(X) :- q(X).
+p(X) :- q(X).
+q(a).
+end_module.
+`,
+			check: CheckDuplicateRule, sev: Warning, count: 1, line: 4,
+		},
+		{
+			name: "unused predicate",
+			src: `module m.
+export p(f).
+p(X) :- q(X).
+q(a).
+dead(X) :- q(X).
+end_module.
+`,
+			check: CheckUnusedPred, sev: Warning, count: 1, line: 5,
+		},
+		{
+			name: "export with no rules",
+			src: `module m.
+export p(f).
+export ghost(ff).
+p(a).
+end_module.
+`,
+			check: CheckExportUndefined, sev: Warning, count: 1, line: 3,
+		},
+		{
+			name: "functor growth in recursive rule",
+			src: `module m.
+export nat(f).
+nat(zero).
+nat(s(N)) :- nat(N).
+end_module.
+`,
+			check: CheckFunctorGrowth, sev: Warning, count: 1, line: 4,
+		},
+		{
+			name: "non-recursive compound head does not warn",
+			src: `module m.
+export wrap(f).
+wrap(box(X)) :- item(X).
+item(a).
+end_module.
+`,
+			check: CheckFunctorGrowth, sev: Warning, count: 0,
+		},
+		{
+			name: "unstratified negation",
+			src: `module m.
+export win(f).
+win(X) :- move(X, Y), not win(Y).
+move(a, b).
+end_module.
+`,
+			check: CheckUnstratified, sev: Error, count: 1, line: 3,
+		},
+		{
+			name: "ordered_search suppresses unstratified",
+			src: `module m.
+@ordered_search.
+export win(f).
+win(X) :- move(X, Y), not win(Y).
+move(a, b).
+end_module.
+`,
+			check: CheckUnstratified, sev: Error, count: 0,
+		},
+		{
+			name: "aggregation inside recursive component",
+			src: `module m.
+export sp(bbf).
+sp(X, Y, min(C)) :- edge(X, Y, C).
+sp(X, Y, min(C)) :- sp(X, Z, C1), edge(Z, Y, C2), C = C1 + C2.
+edge(a, b, 1).
+end_module.
+`,
+			check: CheckUnstratified, sev: Error, count: 1, line: 4,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := mustParse(t, tc.src)
+			opt := Options{Known: func(k ast.PredKey) bool {
+				return k.Name == "base"
+			}}
+			diags := AnalyzeUnit(u, opt)
+			var got []Diagnostic
+			for _, d := range diagsFor(diags, tc.check) {
+				if d.Sev == tc.sev {
+					got = append(got, d)
+				}
+			}
+			if len(got) != tc.count {
+				t.Fatalf("want %d %s diagnostics of severity %s, got %d:\n%s",
+					tc.count, tc.check, tc.sev, len(got), Render(diags))
+			}
+			if tc.count == 0 {
+				return
+			}
+			d := got[0]
+			if tc.line != 0 && d.Line != tc.line {
+				t.Errorf("line = %d, want %d (%s)", d.Line, tc.line, d)
+			}
+			if tc.col != 0 && d.Col != tc.col {
+				t.Errorf("col = %d, want %d (%s)", d.Col, tc.col, d)
+			}
+		})
+	}
+}
+
+// TestAcceptanceProgram is the issue's acceptance scenario: one program
+// with an unbound head variable, an undefined predicate, and
+// unstratified negation must produce all three diagnostics with correct
+// line numbers.
+func TestAcceptanceProgram(t *testing.T) {
+	src := `module bad.
+export p(ff).
+export win(f).
+p(X, Y) :- q(X).
+win(X) :- mov(X, Y), not win(Y).
+q(a).
+move(a, b).
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{})
+	if !HasErrors(diags) {
+		t.Fatalf("expected errors, got:\n%s", Render(diags))
+	}
+	wantChecks := map[string]int{
+		CheckRangeRestriction: 4, // p(X, Y) head at line 4
+		CheckUndefinedPred:    5, // mov/2 at line 5
+		CheckUnstratified:     5, // not win(Y) at line 5
+	}
+	for check, line := range wantChecks {
+		found := diagsFor(diags, check)
+		if len(found) == 0 {
+			t.Errorf("missing %s diagnostic:\n%s", check, Render(diags))
+			continue
+		}
+		if found[0].Line != line {
+			t.Errorf("%s at line %d, want %d", check, found[0].Line, line)
+		}
+	}
+}
+
+// TestAnalyzeModuleAssumesDefined checks the engine-gate entry point:
+// module-local analysis must not flag references to base relations it
+// cannot see.
+func TestAnalyzeModuleAssumesDefined(t *testing.T) {
+	src := `module m.
+export reach(bf).
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- reach(X, Z), edge(Z, Y).
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeModule(u.Modules[0], Options{})
+	if len(diags) != 0 {
+		t.Fatalf("expected clean module, got:\n%s", Render(diags))
+	}
+}
+
+// TestUnstratifiedViaDepGraph exercises the CheckStratified error paths
+// through the analysis API: negation in an SCC and aggregation in an SCC
+// must each surface as an unstratified diagnostic whose message matches
+// the dependency-graph error's vocabulary.
+func TestUnstratifiedViaDepGraph(t *testing.T) {
+	negSrc := `module neg.
+export win(f).
+win(X) :- move(X, Y), not win(Y).
+move(a, b).
+end_module.
+`
+	aggSrc := `module agg.
+export sp(bf).
+sp(X, min(C)) :- sp(Z, C1), edge(Z, X, C2), C = C1 + C2.
+edge(a, b, 1).
+end_module.
+`
+	for _, tc := range []struct {
+		name, src, kind string
+	}{
+		{"negation", negSrc, "negation"},
+		{"aggregation", aggSrc, "aggregation"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			u := mustParse(t, tc.src)
+			diags := AnalyzeModule(u.Modules[0], Options{})
+			found := diagsFor(diags, CheckUnstratified)
+			if len(found) == 0 {
+				t.Fatalf("expected unstratified diagnostic, got:\n%s", Render(diags))
+			}
+			if !strings.Contains(found[0].Message, tc.kind) {
+				t.Errorf("message %q does not mention %q", found[0].Message, tc.kind)
+			}
+			if found[0].Sev != Error {
+				t.Errorf("severity = %s, want error", found[0].Sev)
+			}
+		})
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Sev: Error, Check: CheckUnsafeNegation, Line: 5, Col: 12,
+		Message: "variable Y occurs only under \"not r(Y)\"", Suggestion: "bind it in a positive body literal",
+	}
+	want := `5:12: error [unsafe-negation]: variable Y occurs only under "not r(Y)" (bind it in a positive body literal)`
+	if d.String() != want {
+		t.Errorf("String() = %q, want %q", d.String(), want)
+	}
+}

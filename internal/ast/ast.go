@@ -27,6 +27,9 @@ type Module struct {
 	Exports []Export
 	Rules   []*Rule
 	Ann     Annotations
+	// Line and Col locate the "module" keyword in the consulted source.
+	Line int
+	Col  int
 }
 
 // Export declares a predicate visible outside the module together with its
@@ -36,6 +39,9 @@ type Export struct {
 	Pred  string
 	Arity int
 	Forms []string
+	// Line and Col locate the "export" keyword in the consulted source.
+	Line int
+	Col  int
 }
 
 // Annotations collects module-level control choices (paper §4, §5.4, §5.5).
@@ -107,7 +113,10 @@ type Rule struct {
 	Head Literal
 	Body []Literal
 	Aggs []HeadAgg
+	// Line and Col locate the rule's first token in the consulted source
+	// (diagnostics point at it; the rewriters preserve it).
 	Line int
+	Col  int
 }
 
 // HeadAgg records one aggregated head argument after normalization.
@@ -127,6 +136,11 @@ type Literal struct {
 	Pred string
 	Args []term.Term
 	Neg  bool
+	// Line and Col locate the literal's first token ("not" for negated
+	// literals, the left operand for builtins) in the consulted source.
+	// Zero for literals synthesized by the rewriters.
+	Line int
+	Col  int
 }
 
 // Builtin reports whether the literal is an arithmetic/comparison builtin

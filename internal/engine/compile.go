@@ -7,8 +7,11 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
+	"coral/internal/analysis"
 	"coral/internal/ast"
 	"coral/internal/relation"
 	"coral/internal/term"
@@ -290,6 +293,28 @@ func checkSafety(c *Compiled) error {
 		}
 	}
 	return nil
+}
+
+// VetModule is the pre-compile gate: it runs the static analysis over a
+// module and returns an error carrying the diagnostics when any finding
+// is Error severity. Predicates the module does not define are assumed
+// to be base relations (they may be loaded later), so only genuinely
+// module-local problems — unsafe rules, builtin binding violations,
+// unstratified negation or aggregation — reject the module.
+func VetModule(m *ast.Module) error {
+	diags := analysis.AnalyzeModule(m, analysis.Options{})
+	errs := analysis.Errors(diags)
+	if len(errs) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "engine: module %s rejected by static analysis:\n", m.Name)
+	for _, d := range errs {
+		b.WriteString("  ")
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return errors.New(strings.TrimRight(b.String(), "\n"))
 }
 
 // Fact re-exports the relation fact type for engine callers.

@@ -33,7 +33,10 @@ func LoadSystem(src string) (*System, error) {
 	}
 	sys := NewSystem()
 	for _, f := range u.Facts {
-		rel := sys.BaseRelation(f.Pred, len(f.Args))
+		rel, err := sys.BaseRelation(f.Pred, len(f.Args))
+		if err != nil {
+			return nil, err
+		}
 		rel.Insert(relation.NewFact(f.Args, nil))
 	}
 	for _, m := range u.Modules {

@@ -74,7 +74,10 @@ near(C, N) :- emp(N, addr(S, C)).
 end_module.
 `
 	sys := buildSystem(t, src)
-	emp := sys.BaseRelation("emp", 2)
+	emp, err := sys.BaseRelation("emp", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 100; i++ {
 		emp.Insert(relation.NewFact([]term.Term{
 			term.Atom(fmt.Sprintf("n%d", i)),

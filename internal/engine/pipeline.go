@@ -260,7 +260,11 @@ func (u *updateIter) next() bool {
 	}
 	rel, ok := u.ev.sys.base[key]
 	if !ok {
-		rel = u.ev.sys.BaseRelation(key.Name, key.Arity)
+		hr, err := u.ev.sys.BaseRelation(key.Name, key.Arity)
+		if err != nil {
+			throwf("%v", err)
+		}
+		rel = hr
 	}
 	switch u.kind {
 	case "assert":

@@ -32,18 +32,20 @@ func NewSystem() *System {
 }
 
 // BaseRelation returns (creating if needed) the in-memory base relation for
-// name/arity.
-func (sys *System) BaseRelation(name string, arity int) *relation.HashRelation {
+// name/arity. It errors when the predicate is already registered with a
+// non-hash representation (computed, persistent, list): those relations
+// cannot accept interactive inserts.
+func (sys *System) BaseRelation(name string, arity int) (*relation.HashRelation, error) {
 	key := ast.PredKey{Name: name, Arity: arity}
 	if r, ok := sys.base[key]; ok {
 		if hr, isHash := r.(*relation.HashRelation); isHash {
-			return hr
+			return hr, nil
 		}
-		panic("engine: " + key.String() + " exists with a different representation")
+		return nil, fmt.Errorf("engine: %s exists with a different representation (%T)", key, r)
 	}
 	r := relation.NewHashRelation(name, arity)
 	sys.base[key] = r
-	return r
+	return r, nil
 }
 
 // RegisterRelation installs an existing relation (computed, persistent,
@@ -83,6 +85,9 @@ type ModuleDef struct {
 func (sys *System) AddModule(m *ast.Module) error {
 	if _, dup := sys.modules[m.Name]; dup {
 		return fmt.Errorf("engine: module %s already defined", m.Name)
+	}
+	if err := VetModule(m); err != nil {
+		return err
 	}
 	def := &ModuleDef{
 		Src:   m,
@@ -153,7 +158,11 @@ func (sys *System) external(key ast.PredKey) (Source, error) {
 		return &moduleCallSource{def: def, pred: key}, nil
 	}
 	if sys.AutoDefineBase {
-		return relSource{sys.BaseRelation(key.Name, key.Arity)}, nil
+		r, err := sys.BaseRelation(key.Name, key.Arity)
+		if err != nil {
+			return nil, err
+		}
+		return relSource{r}, nil
 	}
 	return nil, fmt.Errorf("engine: unknown predicate %s", key)
 }

@@ -250,10 +250,16 @@ func E07(s Scale) Table {
 		}
 		lookups := 200
 		idxSys := mustSystem(src)
-		idxRel := idxSys.BaseRelation("emp", 2)
+		idxRel, err := idxSys.BaseRelation("emp", 2)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
 		idxRel.MakePatternIndex([]term.Term{v("Name"), term.NewFunctor("addr", v("Street"), v("City"))}, []string{"Name", "City"})
 		scanSys := mustSystem(src)
-		scanRel := scanSys.BaseRelation("emp", 2)
+		scanRel, err := scanSys.BaseRelation("emp", 2)
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
 
 		start := time.Now()
 		for i := 0; i < lookups; i++ {

@@ -289,7 +289,11 @@ func E16(s Scale) Table {
 func mustSystemFromUnit(u *ast.Unit) *engine.System {
 	sys := engine.NewSystem()
 	for _, f := range u.Facts {
-		sys.BaseRelation(f.Pred, len(f.Args)).Insert(relation.NewFact(f.Args, nil))
+		rel, err := sys.BaseRelation(f.Pred, len(f.Args))
+		if err != nil {
+			panic(err)
+		}
+		rel.Insert(relation.NewFact(f.Args, nil))
 	}
 	for _, m := range u.Modules {
 		if err := sys.AddModule(m); err != nil {

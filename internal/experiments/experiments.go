@@ -87,7 +87,11 @@ func mustSystem(src string) *engine.System {
 	}
 	sys := engine.NewSystem()
 	for _, f := range u.Facts {
-		sys.BaseRelation(f.Pred, len(f.Args)).Insert(relation.NewFact(f.Args, nil))
+		rel, err := sys.BaseRelation(f.Pred, len(f.Args))
+		if err != nil {
+			panic("experiments: " + err.Error())
+		}
+		rel.Insert(relation.NewFact(f.Args, nil))
 	}
 	for _, m := range u.Modules {
 		if err := sys.AddModule(m); err != nil {

@@ -46,6 +46,7 @@ type token struct {
 	kind tokKind
 	text string
 	line int
+	col  int // 1-based column of the token's first character
 }
 
 func (t token) String() string {
@@ -59,9 +60,23 @@ type lexer struct {
 	src  string
 	pos  int
 	line int
+	// lineStart is the byte offset of the current line's first character;
+	// columns are computed as pos - lineStart + 1.
+	lineStart int
 }
 
 func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+// col returns the 1-based column of the given byte offset on the current
+// line.
+func (lx *lexer) col(pos int) int { return pos - lx.lineStart + 1 }
+
+// newline advances past a '\n' at lx.pos, updating line accounting.
+func (lx *lexer) newline() {
+	lx.line++
+	lx.pos++
+	lx.lineStart = lx.pos
+}
 
 func (lx *lexer) errorf(format string, args ...any) error {
 	return fmt.Errorf("line %d: %s", lx.line, fmt.Sprintf(format, args...))
@@ -86,8 +101,7 @@ func (lx *lexer) skipSpace() error {
 		c := lx.src[lx.pos]
 		switch {
 		case c == '\n':
-			lx.line++
-			lx.pos++
+			lx.newline()
 		case c == ' ' || c == '\t' || c == '\r':
 			lx.pos++
 		case c == '%': // line comment
@@ -100,14 +114,15 @@ func (lx *lexer) skipSpace() error {
 				if lx.pos >= len(lx.src) {
 					return lx.errorf("unterminated block comment")
 				}
-				if lx.src[lx.pos] == '\n' {
-					lx.line++
-				}
 				if lx.src[lx.pos] == '*' && lx.at(1) == '/' {
 					lx.pos += 2
 					break
 				}
-				lx.pos++
+				if lx.src[lx.pos] == '\n' {
+					lx.newline()
+				} else {
+					lx.pos++
+				}
 			}
 		default:
 			return nil
@@ -127,22 +142,23 @@ func (lx *lexer) next() (token, error) {
 		return token{}, err
 	}
 	if lx.pos >= len(lx.src) {
-		return token{kind: tkEOF, line: lx.line}, nil
+		return token{kind: tkEOF, line: lx.line, col: lx.col(lx.pos)}, nil
 	}
 	start := lx.pos
 	line := lx.line
+	col := lx.col(start)
 	c := lx.src[lx.pos]
 	switch {
 	case isLower(c):
 		for lx.pos < len(lx.src) && isIdentC(lx.src[lx.pos]) {
 			lx.pos++
 		}
-		return token{kind: tkAtom, text: lx.src[start:lx.pos], line: line}, nil
+		return token{kind: tkAtom, text: lx.src[start:lx.pos], line: line, col: col}, nil
 	case isUpper(c) || c == '_':
 		for lx.pos < len(lx.src) && isIdentC(lx.src[lx.pos]) {
 			lx.pos++
 		}
-		return token{kind: tkVar, text: lx.src[start:lx.pos], line: line}, nil
+		return token{kind: tkVar, text: lx.src[start:lx.pos], line: line, col: col}, nil
 	case isDigit(c):
 		return lx.lexNumber()
 	case c == '\'':
@@ -158,12 +174,12 @@ func (lx *lexer) next() (token, error) {
 	switch two {
 	case ":-", "?-", ">=", "=<", "!=", "==", "<>":
 		lx.pos += 2
-		return token{kind: tkPunct, text: two, line: line}, nil
+		return token{kind: tkPunct, text: two, line: line, col: col}, nil
 	}
 	switch c {
 	case '(', ')', '[', ']', ',', '|', '.', '@', '<', '>', '=', '+', '-', '*', '/', '?':
 		lx.pos++
-		return token{kind: tkPunct, text: string(c), line: line}, nil
+		return token{kind: tkPunct, text: string(c), line: line, col: col}, nil
 	}
 	return token{}, lx.errorf("unexpected character %q", string(c))
 }
@@ -171,6 +187,7 @@ func (lx *lexer) next() (token, error) {
 func (lx *lexer) lexNumber() (token, error) {
 	start := lx.pos
 	line := lx.line
+	col := lx.col(start)
 	for lx.pos < len(lx.src) && isDigit(lx.src[lx.pos]) {
 		lx.pos++
 	}
@@ -202,17 +219,18 @@ func (lx *lexer) lexNumber() (token, error) {
 	// Arbitrary-precision suffix 123n.
 	if !isFloat && lx.peekByte() == 'n' && !isIdentC(lx.at(1)) {
 		lx.pos++
-		return token{kind: tkInt, text: lx.src[start:lx.pos], line: line}, nil
+		return token{kind: tkInt, text: lx.src[start:lx.pos], line: line, col: col}, nil
 	}
 	kind := tkInt
 	if isFloat {
 		kind = tkFloat
 	}
-	return token{kind: kind, text: lx.src[start:lx.pos], line: line}, nil
+	return token{kind: kind, text: lx.src[start:lx.pos], line: line, col: col}, nil
 }
 
 func (lx *lexer) lexQuoted(quote byte, kind tokKind) (token, error) {
 	line := lx.line
+	col := lx.col(lx.pos)
 	lx.pos++ // opening quote
 	var b strings.Builder
 	for {
@@ -222,7 +240,7 @@ func (lx *lexer) lexQuoted(quote byte, kind tokKind) (token, error) {
 		c := lx.src[lx.pos]
 		if c == quote {
 			lx.pos++
-			return token{kind: kind, text: b.String(), line: line}, nil
+			return token{kind: kind, text: b.String(), line: line, col: col}, nil
 		}
 		if c == '\\' && lx.pos+1 < len(lx.src) {
 			lx.pos++
@@ -242,6 +260,7 @@ func (lx *lexer) lexQuoted(quote byte, kind tokKind) (token, error) {
 		}
 		if c == '\n' {
 			lx.line++
+			lx.lineStart = lx.pos + 1
 		}
 		b.WriteByte(c)
 		lx.pos++

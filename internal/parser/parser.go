@@ -172,13 +172,14 @@ func (p *Parser) parseTopLevelAnnotation() (ast.IndexAnn, error) {
 
 // parseModule parses 'module name.' ... 'end_module.'.
 func (p *Parser) parseModule() (*ast.Module, error) {
+	line, col := p.tok.line, p.tok.col
 	if err := p.advance(); err != nil { // consume 'module'
 		return nil, err
 	}
 	if p.tok.kind != tkAtom {
 		return nil, p.errorf("expected module name, found %s", p.tok)
 	}
-	m := &ast.Module{Name: p.tok.text}
+	m := &ast.Module{Name: p.tok.text, Line: line, Col: col}
 	if err := p.advance(); err != nil {
 		return nil, err
 	}
@@ -217,13 +218,14 @@ func (p *Parser) parseModule() (*ast.Module, error) {
 // parseExport parses 'export pred(bf, ff).'. Each form is an adornment
 // string with one letter per argument ('b' bound, 'f' free).
 func (p *Parser) parseExport() (ast.Export, error) {
+	line, col := p.tok.line, p.tok.col
 	if err := p.advance(); err != nil { // consume 'export'
 		return ast.Export{}, err
 	}
 	if p.tok.kind != tkAtom {
 		return ast.Export{}, p.errorf("expected predicate name after export, found %s", p.tok)
 	}
-	e := ast.Export{Pred: p.tok.text}
+	e := ast.Export{Pred: p.tok.text, Line: line, Col: col}
 	if err := p.advance(); err != nil {
 		return ast.Export{}, err
 	}
@@ -482,12 +484,12 @@ func (p *Parser) parseMakeIndex() (ast.IndexAnn, error) {
 // parseClause parses 'head.' or 'head :- body.'.
 func (p *Parser) parseClause() (*ast.Rule, error) {
 	p.beginScope()
-	line := p.tok.line
+	line, col := p.tok.line, p.tok.col
 	head, aggs, err := p.parseHead()
 	if err != nil {
 		return nil, err
 	}
-	r := &ast.Rule{Head: head, Aggs: aggs, Line: line}
+	r := &ast.Rule{Head: head, Aggs: aggs, Line: line, Col: col}
 	if p.isPunct(":-") {
 		if err := p.advance(); err != nil {
 			return nil, err
@@ -512,7 +514,7 @@ func (p *Parser) parseHead() (ast.Literal, []ast.HeadAgg, error) {
 	if p.tok.kind != tkAtom {
 		return ast.Literal{}, nil, p.errorf("expected predicate name, found %s", p.tok)
 	}
-	lit := ast.Literal{Pred: p.tok.text}
+	lit := ast.Literal{Pred: p.tok.text, Line: p.tok.line, Col: p.tok.col}
 	if err := p.advance(); err != nil {
 		return ast.Literal{}, nil, err
 	}
@@ -594,6 +596,7 @@ var cmpOps = map[string]bool{
 // parseGoal parses one body literal: a negated literal, a relational
 // literal, or a builtin comparison between expressions.
 func (p *Parser) parseGoal() (ast.Literal, error) {
+	line, col := p.tok.line, p.tok.col
 	if p.tok.kind == tkAtom && p.tok.text == "not" {
 		if err := p.advance(); err != nil {
 			return ast.Literal{}, err
@@ -609,6 +612,7 @@ func (p *Parser) parseGoal() (ast.Literal, error) {
 			return ast.Literal{}, p.errorf("negation of builtin %q is not supported; use the complement operator", inner.Pred)
 		}
 		inner.Neg = true
+		inner.Line, inner.Col = line, col
 		return inner, nil
 	}
 	left, err := p.parseArith()
@@ -627,13 +631,13 @@ func (p *Parser) parseGoal() (ast.Literal, error) {
 		if err != nil {
 			return ast.Literal{}, err
 		}
-		return ast.Literal{Pred: op, Args: []term.Term{left, right}}, nil
+		return ast.Literal{Pred: op, Args: []term.Term{left, right}, Line: line, Col: col}, nil
 	}
 	f, ok := left.(*term.Functor)
 	if !ok {
 		return ast.Literal{}, p.errorf("expected a literal, found term %s", left)
 	}
-	return ast.Literal{Pred: f.Sym, Args: f.Args}, nil
+	return ast.Literal{Pred: f.Sym, Args: f.Args, Line: line, Col: col}, nil
 }
 
 // parseArith parses an additive expression.

@@ -386,3 +386,64 @@ func TestNegativeNumberInFact(t *testing.T) {
 		t.Errorf("negative literal: %v", u.Facts[0].Args[1])
 	}
 }
+
+func TestPositions(t *testing.T) {
+	// Column-sensitive source: do not reindent. Lines are 1-based; the
+	// leading newline puts "p(a)." on line 2.
+	src := "\n" +
+		"p(a).\n" +
+		"  module m.\n" +
+		"export q(ff).\n" +
+		"q(X, Y) :- p(X), not r(Y, X),\n" +
+		"    X < Y, s(Y).\n" +
+		"end_module.\n" +
+		"?- q(A, B), A = B + 1.\n"
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Facts[0]; got.Line != 2 || got.Col != 1 {
+		t.Errorf("fact p(a) at %d:%d, want 2:1", got.Line, got.Col)
+	}
+	m := u.Modules[0]
+	if m.Line != 3 || m.Col != 3 {
+		t.Errorf("module m at %d:%d, want 3:3", m.Line, m.Col)
+	}
+	r := m.Rules[0]
+	if r.Line != 5 || r.Col != 1 {
+		t.Errorf("rule q at %d:%d, want 5:1", r.Line, r.Col)
+	}
+	if h := r.Head; h.Line != 5 || h.Col != 1 {
+		t.Errorf("head literal at %d:%d, want 5:1", h.Line, h.Col)
+	}
+	wantBody := []struct{ line, col int }{
+		{5, 12}, // p(X)
+		{5, 18}, // not r(Y, X) — position of "not"
+		{6, 5},  // X < Y — position of the left operand
+		{6, 12}, // s(Y)
+	}
+	for i, w := range wantBody {
+		if g := r.Body[i]; g.Line != w.line || g.Col != w.col {
+			t.Errorf("body[%d] %s at %d:%d, want %d:%d", i, g.Pred, g.Line, g.Col, w.line, w.col)
+		}
+	}
+	q := u.Queries[0]
+	if g := q.Body[0]; g.Line != 8 || g.Col != 4 {
+		t.Errorf("query literal at %d:%d, want 8:4", g.Line, g.Col)
+	}
+	if g := q.Body[1]; g.Line != 8 || g.Col != 13 {
+		t.Errorf("query builtin at %d:%d, want 8:13", g.Line, g.Col)
+	}
+}
+
+func TestPositionsAfterComments(t *testing.T) {
+	src := "/* block\n   comment */ % trailing\n" +
+		"fact(1).\n"
+	u, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Facts[0]; got.Line != 3 || got.Col != 1 {
+		t.Errorf("fact after comments at %d:%d, want 3:1", got.Line, got.Col)
+	}
+}

@@ -18,6 +18,7 @@ const HelpText = `Commands (all end with a period):
   explain(p(a, c)).         show a derivation proof tree for each answer
   rewritten(mod, p, "bf").  show the optimizer's rewritten program
   save("file", pred/2).     write a base relation as a consultable file
+  :vet "file".              run static analysis over a program file without loading it
   help.                     this text
   halt.                     exit`
 
@@ -58,6 +59,9 @@ func (s *Session) Execute(text string) (output string, done bool) {
 		return "", true
 	case "help":
 		return HelpText + "\n", false
+	}
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(body), ":vet"); ok {
+		return s.vet(rest), false
 	}
 	if arg, ok := command(body, "consult"); ok {
 		results, err := s.Sys.ConsultFile(strings.Trim(strings.TrimSpace(arg), `"'`))
@@ -133,6 +137,28 @@ func (s *Session) Execute(text string) (output string, done bool) {
 		return RenderAnswers(ans), false
 	}
 	return "error: " + err.Error() + "\n", false
+}
+
+// vet runs the static analysis pass over a program file without loading
+// it. Predicates already known to the running system count as defined.
+func (s *Session) vet(arg string) string {
+	arg = strings.Trim(strings.TrimSpace(arg), `"'`)
+	if arg == "" {
+		return "usage: :vet \"file.crl\".\n"
+	}
+	diags, err := s.Sys.VetFile(arg)
+	if err != nil {
+		return "error: " + err.Error() + "\n"
+	}
+	if len(diags) == 0 {
+		return "clean: no diagnostics.\n"
+	}
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
 }
 
 // assertable reports whether the input is a single positive ground literal

@@ -163,3 +163,64 @@ func TestSaveCommand(t *testing.T) {
 		t.Errorf("bad arity save: %q", out)
 	}
 }
+
+func TestVetCommand(t *testing.T) {
+	s := session(t)
+	path := filepath.Join(t.TempDir(), "bad.crl")
+	src := `module bad.
+export win(f).
+win(X) :- move(X, Y), not win(Y).
+move(a, b).
+end_module.
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, done := s.Execute(fmt.Sprintf(":vet %q.", path))
+	if done {
+		t.Fatal(":vet ended the session")
+	}
+	if !strings.Contains(out, "error [unstratified]") || !strings.Contains(out, "3:23:") {
+		t.Fatalf("vet output: %q", out)
+	}
+
+	// A clean file reports no diagnostics.
+	clean := filepath.Join(t.TempDir(), "ok.crl")
+	cleanSrc := `edge(a, b).
+module paths.
+export path(bf).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.
+`
+	if err := os.WriteFile(clean, []byte(cleanSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = s.Execute(fmt.Sprintf(":vet %q.", clean))
+	if !strings.Contains(out, "clean") {
+		t.Fatalf("clean vet output: %q", out)
+	}
+
+	// Predicates already loaded in the session count as defined: a file
+	// referencing flight/2 is clean once the fact exists.
+	s.Execute("flight(msn, ord).")
+	reach := filepath.Join(t.TempDir(), "reach.crl")
+	reachSrc := `module r.
+export reach(bf).
+reach(X, Y) :- flight(X, Y).
+reach(X, Y) :- reach(X, Z), flight(Z, Y).
+end_module.
+`
+	if err := os.WriteFile(reach, []byte(reachSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, _ = s.Execute(fmt.Sprintf(":vet %q.", reach))
+	if !strings.Contains(out, "clean") {
+		t.Fatalf("vet against session relations: %q", out)
+	}
+
+	out, _ = s.Execute(":vet.")
+	if !strings.Contains(out, "usage") {
+		t.Fatalf("bare :vet: %q", out)
+	}
+}

@@ -17,9 +17,14 @@ type Relation struct {
 }
 
 // BaseRelation returns (creating if needed) the in-memory base relation
-// name/arity.
-func (s *System) BaseRelation(name string, arity int) *Relation {
-	return &Relation{rel: s.eng.BaseRelation(name, arity)}
+// name/arity. It errors when the name is already bound to a relation of a
+// different representation (computed, persistent, list).
+func (s *System) BaseRelation(name string, arity int) (*Relation, error) {
+	hr, err := s.eng.BaseRelation(name, arity)
+	if err != nil {
+		return nil, err
+	}
+	return &Relation{rel: hr}, nil
 }
 
 // LookupRelation finds an existing relation of any representation.

@@ -1,0 +1,41 @@
+package coral
+
+import (
+	"os"
+
+	"coral/internal/analysis"
+	"coral/internal/ast"
+)
+
+// Vet runs the static analysis pass over program text without loading it.
+// Predicates already present in the system — base relations, registered Go
+// predicates, and exports of installed modules — count as defined, so
+// vetting a program against a populated system reports only genuine
+// problems. Diagnostics come back sorted by source position; use
+// analysis.Render / analysis.HasErrors to present them.
+func (s *System) Vet(src string) ([]analysis.Diagnostic, error) {
+	u, err := s.ParseUnit(src)
+	if err != nil {
+		return nil, err
+	}
+	return analysis.AnalyzeUnit(u, analysis.Options{Known: s.knownPred}), nil
+}
+
+// VetFile runs Vet over a program file.
+func (s *System) VetFile(path string) ([]analysis.Diagnostic, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return s.Vet(string(src))
+}
+
+// knownPred is the Known oracle for Vet: anything resolvable in the
+// running system.
+func (s *System) knownPred(key ast.PredKey) bool {
+	if _, ok := s.eng.Relation(key); ok {
+		return true
+	}
+	_, ok := s.eng.Export(key)
+	return ok
+}

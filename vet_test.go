@@ -1,0 +1,70 @@
+package coral
+
+import (
+	"strings"
+	"testing"
+
+	"coral/internal/analysis"
+)
+
+// TestVetKnownOracle: predicates resolvable in the running system —
+// registered Go predicates, base relations, module exports — count as
+// defined when vetting new program text.
+func TestVetKnownOracle(t *testing.T) {
+	sys := New()
+	if err := sys.RegisterPredicate("cents", 2, func(Tuple) ([]Tuple, error) { return nil, nil }); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := sys.BaseRelation("price", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel.Insert(Atom("coffee"), Int(450))
+
+	src := `module totals.
+export total(bf).
+total(Item, C) :- price(Item, P), cents(P, C).
+end_module.
+`
+	diags, err := sys.Vet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("expected clean vet, got:\n%s", analysis.Render(diags))
+	}
+
+	// The same program against an empty system reports both predicates.
+	diags, err = New().Vet(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	undef := 0
+	for _, d := range diags {
+		if d.Check == analysis.CheckUndefinedPred {
+			undef++
+		}
+	}
+	if undef != 2 {
+		t.Fatalf("expected 2 undefined-pred diagnostics, got %d:\n%s", undef, analysis.Render(diags))
+	}
+}
+
+// TestConsultRejectsUnsafeModule: the engine's pre-compile gate refuses a
+// module whose analysis has errors, and the error carries the diagnostic.
+func TestConsultRejectsUnsafeModule(t *testing.T) {
+	sys := New()
+	_, err := sys.Consult(`
+module m.
+export p(f).
+p(X) :- d(X), not p(X).
+end_module.
+d(1).
+`)
+	if err == nil {
+		t.Fatal("unstratified module was accepted")
+	}
+	if !strings.Contains(err.Error(), "unstratified") || !strings.Contains(err.Error(), "static analysis") {
+		t.Fatalf("gate error lacks diagnostic text: %v", err)
+	}
+}
