@@ -142,6 +142,35 @@ func BenchmarkE05ShortestPath(b *testing.B) {
 	}
 }
 
+// BenchmarkE05Par compares sequential and parallel BSN rounds on the E05
+// weighted-graph workload. The shortest-path program itself runs under
+// Ordered Search — an inherently sequential control strategy — so the
+// parallel arm evaluates the BSN-parallelizable reachability closure over
+// the same graphs (workload.ReachModule). The par arm uses Parallelism=0
+// (all of GOMAXPROCS): run with -cpu=4 to give the worker pool cores; on
+// a single hardware thread the two arms measure the pool's overhead.
+func BenchmarkE05Par(b *testing.B) {
+	for _, V := range []int{96} {
+		facts := workload.WeightedGraph(V, 4*V, 10, int64(V))
+		for _, mode := range []struct {
+			name string
+			par  int
+		}{
+			{"seq", 1},
+			{"par", 0},
+		} {
+			b.Run(fmt.Sprintf("V=%d/%s", V, mode.name), func(b *testing.B) {
+				sys := benchSystem(b, facts+workload.ReachModule("@rewrite none."))
+				sys.Parallelism = mode.par
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					benchCall(b, sys, "reach", term.NewVar("X"), term.NewVar("Y"))
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkE06IndexVsScan(b *testing.B) {
 	facts := workload.RandomGraph(150, 450, 11)
 	for _, mode := range []struct{ name, ann string }{

@@ -50,6 +50,14 @@ func New() *System {
 	return &System{eng: engine.NewSystem()}
 }
 
+// SetParallelism bounds the number of worker goroutines a materialized
+// fixpoint round may use. The default (0) uses every available core; 1
+// forces sequential evaluation. Evaluations that are inherently sequential
+// — Ordered Search, tracing, aggregate selections, pipelined modules,
+// module-call or computed body sources — are unaffected. Parallel and
+// sequential evaluation produce identical answers in identical order.
+func (s *System) SetParallelism(n int) { s.eng.Parallelism = n }
+
 // Consult loads a program text: base facts outside modules are inserted
 // into base relations, modules are optimized and installed for their
 // declared query forms, @make_index annotations are applied, and inline
@@ -107,11 +115,9 @@ func (s *System) applyIndex(ix ast.IndexAnn) error {
 		return err
 	}
 	if pos, ok := argFormIndex(ix); ok {
-		rel.MakeIndex(pos...)
-		return nil
+		return rel.MakeIndex(pos...)
 	}
-	rel.MakePatternIndex(ix.Pattern, ix.KeyVars)
-	return nil
+	return rel.MakePatternIndex(ix.Pattern, ix.KeyVars)
 }
 
 func argFormIndex(ix ast.IndexAnn) ([]int, bool) {

@@ -33,9 +33,16 @@ type matEval struct {
 	ctx      *osContext // Ordered Search context; nil otherwise
 	exitDone map[*Stratum]bool
 
+	// parallelism is the worker budget for BSN rounds (<= 1: sequential);
+	// parSafe caches the per-stratum parallel-safety analysis (parallel.go).
+	parallelism int
+	parSafe     map[*Stratum]bool
+
 	// Iterations counts fixpoint iterations (reported by benchmarks).
 	Iterations int
-	err        error
+	// ParRounds counts the BSN rounds that actually ran on the worker pool.
+	ParRounds int
+	err       error
 }
 
 func newMatEval(prog *Program, external func(ast.PredKey) (Source, error)) *matEval {
@@ -267,8 +274,13 @@ func (me *matEval) applyRecursive(c *Compiled, now map[ast.PredKey]relation.Mark
 }
 
 // bsnIteration is one Basic Semi-Naive round: all rules see the same
-// snapshot taken at the start of the round (paper §4.2, §5.3).
+// snapshot taken at the start of the round (paper §4.2, §5.3). When the
+// stratum passes the parallel-safety analysis the round runs on the worker
+// pool instead (parallel.go); both paths produce identical relations.
 func (me *matEval) bsnIteration(st *Stratum) bool {
+	if w := me.workersFor(st); w > 1 {
+		return me.bsnParallel(st, w)
+	}
 	now := make(map[ast.PredKey]relation.Mark)
 	for _, c := range st.RecRules {
 		for _, pos := range c.RecPositions {

@@ -15,10 +15,22 @@ import (
 // items before it scan [0, Last); recursive items after it scan [0, Now).
 // DeltaPos < 0 evaluates the rule against full extents (non-recursive
 // rules, or naive evaluation).
+//
+// Split, when non-nil, further restricts the relation item at Split.Pos to
+// the ordinal range [Split.From, Split.To) — the parallel round's work
+// partitioning (see parallel.go). The range must be a subrange of whatever
+// the discipline above would give that position.
 type ruleRanges struct {
 	DeltaPos int
 	Last     map[ast.PredKey]relation.Mark
 	Now      map[ast.PredKey]relation.Mark
+	Split    *splitRange
+}
+
+// splitRange restricts one body position's scan to an ordinal chunk.
+type splitRange struct {
+	Pos      int
+	From, To relation.Mark
 }
 
 var fullRanges = ruleRanges{DeltaPos: -1}
@@ -191,6 +203,9 @@ func (ev *evaluator) lookupFor(it *CItem, pos int, rr ruleRanges, env *term.Env)
 	src, err := ev.st.source(it.Pred)
 	if err != nil {
 		throwf("%v", err)
+	}
+	if sp := rr.Split; sp != nil && pos == sp.Pos {
+		return src.LookupRange(it.Args, env, sp.From, sp.To)
 	}
 	if !it.Recursive || rr.DeltaPos < 0 {
 		return src.Lookup(it.Args, env)

@@ -18,6 +18,9 @@ type RunStats struct {
 	Attempts int
 	// Iterations counts fixpoint iterations.
 	Iterations int
+	// ParallelRounds counts the BSN rounds that ran on the worker pool
+	// (0 under sequential evaluation or when a stratum is parallel-unsafe).
+	ParallelRounds int
 	// FactsStored sums the sizes of the evaluation's derived relations
 	// (including magic and supplementary predicates).
 	FactsStored int
@@ -44,6 +47,7 @@ func (sys *System) MeasureCall(pred ast.PredKey, args []term.Term) (RunStats, er
 		stats.Derivations = scan.me.ev.Derivations
 		stats.Attempts = scan.me.ev.Attempts
 		stats.Iterations = scan.me.Iterations
+		stats.ParallelRounds = scan.me.ParRounds
 		for _, rel := range scan.me.st.local {
 			stats.FactsStored += rel.Len()
 		}

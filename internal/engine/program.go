@@ -494,17 +494,20 @@ func (p *Program) configureRelation(key ast.PredKey, rel *relation.HashRelation)
 	for _, spec := range p.AggSels[orig] {
 		rel.AddAggSel(&relation.AggSel{GroupPos: spec.GroupPos, Op: spec.Op, ValuePos: spec.ValuePos})
 	}
+	// Index positions below come from compiled rule arguments and
+	// arity-checked annotations, so they are always in range; an index is
+	// an optimization either way, so a failure just means no index.
 	for _, pos := range p.IndexReqs[key] {
-		rel.MakeIndex(pos...)
+		_ = rel.MakeIndex(pos...)
 	}
 	for _, ann := range p.IndexAnns {
 		if ann.Pred != orig || len(ann.Pattern) != key.Arity {
 			continue
 		}
 		if argPos, ok := argFormIndex(ann); ok {
-			rel.MakeIndex(argPos...)
+			_ = rel.MakeIndex(argPos...)
 		} else {
-			rel.MakePatternIndex(ann.Pattern, ann.KeyVars)
+			_ = rel.MakePatternIndex(ann.Pattern, ann.KeyVars)
 		}
 	}
 }

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"runtime"
 
 	"coral/internal/ast"
 	"coral/internal/relation"
@@ -19,6 +20,12 @@ type System struct {
 	// AutoDefineBase controls whether referencing an unknown predicate
 	// creates an empty base relation (convenient interactively) or errors.
 	AutoDefineBase bool
+	// Parallelism bounds the worker pool of each BSN fixpoint round
+	// (parallel.go). 0 uses runtime.GOMAXPROCS(0); 1 forces sequential
+	// rounds. Strata whose evaluation is inherently sequential — Ordered
+	// Search, tracing, aggregate selections, module-call or computed body
+	// sources — ignore the setting and run sequentially either way.
+	Parallelism int
 }
 
 // NewSystem creates an empty system.
@@ -147,6 +154,14 @@ func (def *ModuleDef) Programs() map[string]*Program { return def.progs }
 
 func formKey(pred, form string) string { return pred + "/" + form }
 
+// fixpointWorkers resolves the Parallelism setting to a worker count.
+func (sys *System) fixpointWorkers() int {
+	if sys.Parallelism > 0 {
+		return sys.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
 // external builds the source resolver for module evaluation: base
 // relations, then other modules' exports (an inter-module call per lookup,
 // paper §5.6), then auto-defined empty base relations.
@@ -234,6 +249,8 @@ func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (r
 	} else {
 		me = newMatEval(prog, def.sys.external)
 	}
+	// Re-applied on every call so saved evaluations follow later changes.
+	me.parallelism = def.sys.fixpointWorkers()
 	me.addSeed(args, env)
 	pat, nvars := term.ResolveArgs(args, env)
 	if prog.KeepPositions != nil {

@@ -1,0 +1,178 @@
+package relation
+
+import (
+	"strings"
+	"testing"
+
+	"coral/internal/term"
+)
+
+func postingCount(lists ...[]int32) int {
+	n := 0
+	for _, l := range lists {
+		n += len(l)
+	}
+	return n
+}
+
+func (r *HashRelation) argIndexPostings(i int) int {
+	n := len(r.indexes[i].varBucket)
+	for _, l := range r.indexes[i].buckets {
+		n += len(l)
+	}
+	return n
+}
+
+func (r *HashRelation) dedupPostings() int {
+	n := 0
+	for _, l := range r.dedup {
+		n += len(l)
+	}
+	return n
+}
+
+// TestPostingCompaction pins the dead-postings bugfix: tombstoned ordinals
+// used to stay in every posting list forever, so heavy churn left lookups
+// scanning mostly-dead buckets. Once the dead-since-last-compaction count
+// crosses the threshold, buckets must shrink to the live facts.
+func TestPostingCompaction(t *testing.T) {
+	defer func(old int) { compactMinDead = old }(compactMinDead)
+	compactMinDead = 8
+
+	r := NewHashRelation("p", 2)
+	if err := r.MakeIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.MakePatternIndex([]term.Term{term.NewVar("A"), term.NewVar("B")}, []string{"A"}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 100
+	for i := 0; i < n; i++ {
+		// All facts share the indexed first argument: one hot bucket.
+		r.Insert(GroundFact(term.Int(0), term.Int(int64(i))))
+	}
+	if got := r.argIndexPostings(0); got != n {
+		t.Fatalf("postings before delete = %d, want %d", got, n)
+	}
+
+	// Keep a pre-deletion iterator alive across the compaction: it holds
+	// the old posting slices and must stay consistent.
+	live := r.Lookup([]term.Term{term.Int(0), term.NewVar("X")}, nil)
+
+	pat := []term.Term{term.Int(0), term.NewVar("X")}
+	env := term.NewEnv(1)
+	deleted := 0
+	for i := 0; i < n; i++ {
+		if i%10 == 0 {
+			continue // survivors
+		}
+		del := r.Delete([]term.Term{term.Int(0), term.Int(int64(i))}, nil)
+		deleted += del
+	}
+	if deleted != n-n/10 {
+		t.Fatalf("deleted %d facts, want %d", deleted, n-n/10)
+	}
+
+	// Tombstones added after the last compaction may linger (they are below
+	// the threshold by definition), so the bound is live + compactMinDead —
+	// far below the n postings that used to accumulate forever.
+	bound := r.live + compactMinDead
+	if got := r.argIndexPostings(0); got > bound {
+		t.Errorf("argIndex postings after churn = %d, want <= %d", got, bound)
+	}
+	if got := r.dedupPostings(); got > bound {
+		t.Errorf("dedup postings after churn = %d, want <= %d", got, bound)
+	}
+	if got := postingCount(r.patIndexes[0].overflow) + func() int {
+		n := 0
+		for _, l := range r.patIndexes[0].buckets {
+			n += len(l)
+		}
+		return n
+	}(); got > bound {
+		t.Errorf("pattern-index postings after churn = %d, want <= %d", got, bound)
+	}
+
+	// Fresh lookups and the pre-compaction iterator both see the survivors.
+	count := 0
+	for it := r.Lookup(pat, env); ; count++ {
+		if _, ok := it.Next(); !ok {
+			break
+		}
+	}
+	if count != r.live {
+		t.Errorf("post-compaction lookup yields %d facts, want %d", count, r.live)
+	}
+	oldCount := 0
+	for {
+		if _, ok := live.Next(); !ok {
+			break
+		}
+		oldCount++
+	}
+	if oldCount != r.live {
+		t.Errorf("pre-compaction iterator yields %d facts, want %d", oldCount, r.live)
+	}
+}
+
+// TestCompactionNotRetriggeredWithoutNewDeletes guards the threshold
+// design: the facts slice is never rewritten, so the all-time dead ratio
+// stays high after a compaction — the trigger must count tombstones since
+// the last compaction, not overall.
+func TestCompactionNotRetriggeredWithoutNewDeletes(t *testing.T) {
+	defer func(old int) { compactMinDead = old }(compactMinDead)
+	compactMinDead = 4
+
+	r := NewHashRelation("p", 1)
+	for i := 0; i < 32; i++ {
+		r.Insert(GroundFact(term.Int(int64(i))))
+	}
+	for i := 0; i < 28; i++ {
+		r.Delete([]term.Term{term.Int(int64(i))}, nil)
+	}
+	if r.deadAtCompact == 0 {
+		t.Fatal("compaction never triggered")
+	}
+	mark := r.deadAtCompact
+	// Inserts without deletes must not re-trigger.
+	for i := 100; i < 140; i++ {
+		r.Insert(GroundFact(term.Int(int64(i))))
+	}
+	if r.deadAtCompact != mark {
+		t.Errorf("compaction re-triggered without new tombstones")
+	}
+}
+
+// TestMakeIndexErrors pins the panic-to-error change for out-of-range
+// index positions (and the pattern-index analogues).
+func TestMakeIndexErrors(t *testing.T) {
+	r := NewHashRelation("p", 2)
+	for _, pos := range []int{-1, 2, 7} {
+		err := r.MakeIndex(pos)
+		if err == nil {
+			t.Fatalf("MakeIndex(%d) on p/2 succeeded", pos)
+		}
+		if !strings.Contains(err.Error(), "out of range") {
+			t.Errorf("MakeIndex(%d) error = %q", pos, err)
+		}
+	}
+	if len(r.indexes) != 0 {
+		t.Fatalf("failed MakeIndex left %d indexes behind", len(r.indexes))
+	}
+	if err := r.MakeIndex(0, 1); err != nil {
+		t.Fatalf("valid MakeIndex: %v", err)
+	}
+
+	if err := r.MakePatternIndex([]term.Term{term.NewVar("A")}, []string{"A"}); err == nil {
+		t.Error("arity-1 pattern on p/2 accepted")
+	}
+	if err := r.MakePatternIndex([]term.Term{term.NewVar("A"), term.NewVar("B")}, []string{"Z"}); err == nil {
+		t.Error("unknown key variable accepted")
+	}
+	if len(r.patIndexes) != 0 {
+		t.Fatalf("failed MakePatternIndex left %d indexes behind", len(r.patIndexes))
+	}
+	if err := r.MakePatternIndex([]term.Term{term.NewVar("A"), term.NewVar("B")}, []string{"A"}); err != nil {
+		t.Fatalf("valid MakePatternIndex: %v", err)
+	}
+}

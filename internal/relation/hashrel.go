@@ -15,6 +15,23 @@ import (
 // a fact is rejected if a variant of it is already present, or — when
 // non-ground facts are involved — if an existing fact subsumes it. Setting
 // Multiset disables the checks, giving SQL-style duplicate semantics.
+//
+// # Concurrency contract (DESIGN.md §5.9)
+//
+// A HashRelation is single-writer. Any number of goroutines may read
+// concurrently — Scan/ScanRange/Lookup/LookupRange and their iterators —
+// provided no goroutine is mutating the relation at the same time. The
+// parallel fixpoint round exploits exactly this: workers read Mark-bounded
+// prefixes frozen at the top of the round while all writes are buffered,
+// and the single merge writer applies the buffer after every reader has
+// reached the round barrier. There is no internal locking; interleaving a
+// writer with concurrent readers is a data race.
+//
+// Within the single-writer regime, iterators stay valid across writes:
+// appends only extend the facts slice beyond an iterator's bound, deletes
+// only tombstone (the facts slice is never compacted, because ordinals are
+// the Mark coordinate system), and posting-list compaction allocates fresh
+// slices so an in-flight iterator keeps its — merely staler — view.
 type HashRelation struct {
 	name  string
 	arity int
@@ -39,7 +56,15 @@ type HashRelation struct {
 	aggSels []*AggSel
 
 	inserted int // total insert attempts, for statistics
+
+	// deadAtCompact is the tombstone count at the last posting compaction;
+	// compaction triggers on tombstones added since (see maybeCompact).
+	deadAtCompact int
 }
+
+// compactMinDead is the minimum number of new tombstones before a posting
+// compaction is considered (a package variable so tests can lower it).
+var compactMinDead = 64
 
 type storedFact struct {
 	fact Fact
@@ -137,6 +162,43 @@ func (r *HashRelation) isDuplicate(f Fact) bool {
 	return false
 }
 
+// DuplicateWithin reports whether f is a variant of — or subsumed by — a
+// live fact with ordinal below to. It performs the same checks as Insert's
+// duplicate elimination, restricted to the Mark-bounded prefix, and never
+// mutates the relation: under the single-writer contract (see the type
+// comment) the parallel round's workers call it concurrently to discard
+// rederivations of round-start facts before the merge barrier. A false
+// result is not a promise of admission — the merge writer still runs the
+// full check against facts inserted after to.
+func (r *HashRelation) DuplicateWithin(f Fact, to Mark) bool {
+	h := term.HashArgs(f.Args)
+	for _, ord := range r.dedup[h] {
+		if ord >= int32(to) {
+			break // postings are ordinal-sorted
+		}
+		sf := &r.facts[ord]
+		if sf.dead {
+			continue
+		}
+		if sf.fact.NVars == f.NVars && term.EqualArgs(sf.fact.Args, f.Args) {
+			return true
+		}
+	}
+	for _, ord := range r.nonground {
+		if ord >= int32(to) {
+			break
+		}
+		sf := &r.facts[ord]
+		if sf.dead {
+			continue
+		}
+		if term.Subsumes(sf.fact.Args, sf.fact.NVars, f.Args) {
+			return true
+		}
+	}
+	return false
+}
+
 // Delete implements Deleter: every live fact unifying with pattern under
 // env is removed.
 func (r *HashRelation) Delete(pattern []term.Term, env *term.Env) int {
@@ -170,9 +232,76 @@ func (r *HashRelation) deleteOrd(ord int32) {
 	}
 	sf.dead = true
 	r.live--
-	// dedup postings and index postings keep the ordinal; iterators skip
-	// dead facts. (The paper's EXODUS-free in-memory relations similarly
-	// tombstone; compaction is not needed for fixpoint workloads.)
+	// dedup postings and index postings keep the ordinal until enough
+	// tombstones accumulate; iterators skip dead facts either way. Heavy
+	// @aggregate_selection churn would otherwise leave lookups scanning
+	// mostly-dead buckets forever.
+	r.maybeCompact()
+}
+
+// maybeCompact drops dead ordinals from the posting lists once the
+// tombstones added since the previous compaction outnumber both
+// compactMinDead and the live facts (so at least half of all postings are
+// provably dead). The trigger counts tombstones since the last compaction —
+// not the total — because the facts slice is never rewritten and the
+// all-time dead ratio therefore never drops.
+func (r *HashRelation) maybeCompact() {
+	dead := len(r.facts) - r.live
+	newDead := dead - r.deadAtCompact
+	if newDead < compactMinDead || newDead < r.live {
+		return
+	}
+	r.compactPostings()
+	r.deadAtCompact = dead
+}
+
+// compactPostings removes dead ordinals from every posting list: the dedup
+// map, the non-ground list, and the argument- and pattern-form indexes.
+// The facts slice itself is untouched (ordinals must stay stable for
+// Marks). Replacement lists are freshly allocated rather than filtered in
+// place: an in-flight iterator holds the old slice header and must keep a
+// consistent view.
+func (r *HashRelation) compactPostings() {
+	for h, l := range r.dedup {
+		if nl := r.liveOnly(l); len(nl) == 0 {
+			delete(r.dedup, h)
+		} else {
+			r.dedup[h] = nl
+		}
+	}
+	r.nonground = r.liveOnly(r.nonground)
+	for _, ix := range r.indexes {
+		for h, l := range ix.buckets {
+			if nl := r.liveOnly(l); len(nl) == 0 {
+				delete(ix.buckets, h)
+			} else {
+				ix.buckets[h] = nl
+			}
+		}
+		ix.varBucket = r.liveOnly(ix.varBucket)
+	}
+	for _, ix := range r.patIndexes {
+		for h, l := range ix.buckets {
+			if nl := r.liveOnly(l); len(nl) == 0 {
+				delete(ix.buckets, h)
+			} else {
+				ix.buckets[h] = nl
+			}
+		}
+		ix.overflow = r.liveOnly(ix.overflow)
+	}
+}
+
+// liveOnly returns a newly allocated copy of l without dead ordinals
+// (nil when none survive).
+func (r *HashRelation) liveOnly(l []int32) []int32 {
+	var nl []int32
+	for _, ord := range l {
+		if !r.facts[ord].dead {
+			nl = append(nl, ord)
+		}
+	}
+	return nl
 }
 
 // Clear removes all facts but keeps index definitions.
@@ -182,6 +311,7 @@ func (r *HashRelation) Clear() {
 	r.dedup = make(map[uint64][]int32)
 	r.nonground = nil
 	r.inserted = 0
+	r.deadAtCompact = 0
 	for _, ix := range r.indexes {
 		ix.clear()
 	}

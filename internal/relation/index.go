@@ -1,6 +1,8 @@
 package relation
 
 import (
+	"fmt"
+
 	"coral/internal/term"
 )
 
@@ -17,24 +19,26 @@ type argIndex struct {
 
 // MakeIndex adds an argument-form index on the given positions, indexing
 // existing facts. Adding an index that already exists is a no-op (paper
-// allows indices to "be added to existing relations").
-func (r *HashRelation) MakeIndex(positions ...int) {
+// allows indices to "be added to existing relations"). An out-of-range
+// position is reported as an error, leaving the relation unchanged.
+func (r *HashRelation) MakeIndex(positions ...int) error {
 	for _, p := range positions {
 		if p < 0 || p >= r.arity {
-			panic("relation: index position out of range")
+			return fmt.Errorf("relation: %s/%d: index position %d out of range", r.name, r.arity, p)
 		}
 	}
 	for _, ix := range r.indexes {
 		if samePositions(ix.positions, positions) {
-			return
+			return nil
 		}
 	}
 	ix := &argIndex{rel: r, positions: positions, buckets: make(map[uint64][]int32)}
 	for ord := range r.facts {
-		// Dead facts keep postings; iterators skip them.
+		// Dead facts keep postings until compaction; iterators skip them.
 		ix.insert(r.facts[ord].fact, int32(ord))
 	}
 	r.indexes = append(r.indexes, ix)
+	return nil
 }
 
 // HasIndex reports whether an argument-form index exists on exactly these

@@ -1,6 +1,8 @@
 package relation
 
 import (
+	"fmt"
+
 	"coral/internal/term"
 )
 
@@ -29,10 +31,12 @@ type patternIndex struct {
 
 // MakePatternIndex adds a pattern-form index. pattern must have the
 // relation's arity; its variables are canonically renumbered here. keyVars
-// names the key variables (by their names in pattern).
-func (r *HashRelation) MakePatternIndex(pattern []term.Term, keyNames []string) {
+// names the key variables (by their names in pattern). A pattern of the
+// wrong arity or a key name absent from the pattern is reported as an
+// error, leaving the relation unchanged.
+func (r *HashRelation) MakePatternIndex(pattern []term.Term, keyNames []string) error {
 	if len(pattern) != r.arity {
-		panic("relation: pattern arity mismatch")
+		return fmt.Errorf("relation: %s/%d: index pattern has arity %d", r.name, r.arity, len(pattern))
 	}
 	canon, nvars := term.ResolveArgs(pattern, nil)
 	byName := map[string]int{}
@@ -41,7 +45,7 @@ func (r *HashRelation) MakePatternIndex(pattern []term.Term, keyNames []string) 
 	for _, name := range keyNames {
 		idx, ok := byName[name]
 		if !ok {
-			panic("relation: key variable " + name + " not in index pattern")
+			return fmt.Errorf("relation: %s/%d: key variable %s not in index pattern", r.name, r.arity, name)
 		}
 		keyVars = append(keyVars, idx)
 	}
@@ -56,6 +60,7 @@ func (r *HashRelation) MakePatternIndex(pattern []term.Term, keyNames []string) 
 		ix.insert(r.facts[ord].fact, int32(ord))
 	}
 	r.patIndexes = append(r.patIndexes, ix)
+	return nil
 }
 
 func collectVarNames(ts []term.Term, out map[string]int) {

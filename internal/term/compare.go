@@ -46,7 +46,7 @@ func Compare(a, b Term) int {
 		if c := strings.Compare(af.Sym, bf.Sym); c != 0 {
 			return c
 		}
-		if af.id != 0 && af.id == bf.id {
+		if aid := af.groundID(); aid != 0 && aid == bf.groundID() {
 			return 0
 		}
 		for i := range af.Args {

@@ -26,8 +26,8 @@ func Equal(a, b Term) bool {
 		return x.Index == y.Index && (x.Index >= 0 || x == y)
 	case *Functor:
 		y := b.(*Functor)
-		if x.id != 0 && y.id != 0 {
-			return x.id == y.id
+		if xid, yid := x.groundID(), y.groundID(); xid != 0 && yid != 0 {
+			return xid == yid
 		}
 		return functorEqual(x, y, Equal)
 	case External:

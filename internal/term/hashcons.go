@@ -49,8 +49,8 @@ func GroundID(t Term) uint64 {
 	if !ok || MaxVar(f) != -1 {
 		return 0
 	}
-	if f.id != 0 {
-		return f.id
+	if id := f.groundID(); id != 0 {
+		return id
 	}
 	globalInterner.mu.Lock()
 	defer globalInterner.mu.Unlock()
@@ -71,29 +71,32 @@ func Intern(t Term) Term {
 	return t
 }
 
-// intern must run with the lock held.
+// intern must run with the lock held. Identifiers are published with
+// atomic stores so the lock-free fast paths in GroundID, Equal and Compare
+// stay race-free.
 func (in *interner) intern(f *Functor) uint64 {
-	if f.id != 0 {
-		return f.id
+	if id := f.groundID(); id != 0 {
+		return id
 	}
 	// Intern children first so the bucket key can use their ids.
 	for _, a := range f.Args {
-		if cf, ok := a.(*Functor); ok && cf.id == 0 {
+		if cf, ok := a.(*Functor); ok && cf.groundID() == 0 {
 			in.intern(cf)
 		}
 	}
 	key := f.internKey()
 	for _, cand := range in.buckets[key] {
 		if cand.Sym == f.Sym && len(cand.Args) == len(f.Args) && sameInterned(cand.Args, f.Args) {
-			f.id = cand.id
-			return f.id
+			id := cand.groundID()
+			f.setGroundID(id)
+			return id
 		}
 	}
 	in.nextID++
-	f.id = in.nextID
+	f.setGroundID(in.nextID)
 	in.terms++
 	in.buckets[key] = append(in.buckets[key], f)
-	return f.id
+	return in.nextID
 }
 
 // internKey hashes the symbol and the identifiers/values of the arguments.
@@ -103,7 +106,7 @@ func (f *Functor) internKey() uint64 {
 	h = hashCombine(h, uint64(len(f.Args)))
 	for _, a := range f.Args {
 		if cf, ok := a.(*Functor); ok {
-			h = hashCombine(h, cf.id)
+			h = hashCombine(h, cf.groundID())
 			continue
 		}
 		h = hashTerm(h, a)
@@ -121,7 +124,7 @@ func sameInterned(a, b []Term) bool {
 			return false
 		}
 		if aok {
-			if af.id != bf.id {
+			if af.groundID() != bf.groundID() {
 				return false
 			}
 			continue

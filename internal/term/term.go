@@ -18,6 +18,7 @@ import (
 	"math/big"
 	"strconv"
 	"strings"
+	"sync/atomic"
 )
 
 // Kind discriminates the built-in term representations.
@@ -169,14 +170,29 @@ const maxVarUnknown = math.MinInt32
 // A Functor caches its structural hash, the largest variable index occurring
 // in it (or -1 if it is ground), and — once interned — the unique identifier
 // assigned by hash-consing.
+//
+// maxVar and id are memoized lazily, so they are published with atomic
+// stores and read with atomic loads: terms are shared structurally across
+// relations, and the parallel fixpoint round reads stored facts from many
+// goroutines at once (DESIGN.md §5.9). Both memos are write-once-per-value
+// (id never changes once assigned; maxVar always recomputes to the same
+// value), so racing writers are idempotent and a stale read only costs a
+// recomputation or the structural slow path.
 type Functor struct {
 	Sym  string
 	Args []Term
 
 	hash   uint64 // structural hash; computed eagerly at construction
-	maxVar int32  // largest Var.Index inside; -1 when ground; maxVarUnknown when stale
-	id     uint64 // hash-consing identifier; 0 when unassigned
+	maxVar int32  // atomic; largest Var.Index inside; -1 when ground; maxVarUnknown when stale
+	id     uint64 // atomic; hash-consing identifier; 0 when unassigned
 }
+
+// groundID atomically reads the memoized hash-consing identifier (0 when
+// not yet interned).
+func (f *Functor) groundID() uint64 { return atomic.LoadUint64(&f.id) }
+
+// setGroundID atomically publishes the hash-consing identifier.
+func (f *Functor) setGroundID(id uint64) { atomic.StoreUint64(&f.id, id) }
 
 // NewFunctor builds the term sym(args...). The argument slice is not copied;
 // callers must not mutate it afterwards (structure sharing is the point —
@@ -249,8 +265,8 @@ func MaxVar(t Term) int {
 		}
 		return x.Index
 	case *Functor:
-		if x.maxVar != maxVarUnknown {
-			return int(x.maxVar)
+		if mv := atomic.LoadInt32(&x.maxVar); mv != maxVarUnknown {
+			return int(mv)
 		}
 		m := -1
 		for _, a := range x.Args {
@@ -258,7 +274,7 @@ func MaxVar(t Term) int {
 				m = v
 			}
 		}
-		x.maxVar = int32(m)
+		atomic.StoreInt32(&x.maxVar, int32(m))
 		return m
 	default:
 		return -1

@@ -154,6 +154,60 @@ func MutualRecursion(k int, ann string) string {
 	return b.String()
 }
 
+// ReachModule is plain reachability over the weighted edge/3 relation
+// (the shortest-path workload's graph): the cost argument is read but not
+// aggregated, so the fixpoint is a pure BSN round — the workload the
+// parallel fixpoint benchmark (BenchmarkE05Par) partitions across cores.
+func ReachModule(ann string) string {
+	return `
+module reach.
+export reach(ff, bf).
+` + ann + `
+reach(X, Y) :- edge(X, Y, C).
+reach(X, Y) :- edge(X, Z, C), reach(Z, Y).
+end_module.
+`
+}
+
+// RandomDatalogModule emits a randomized mutually recursive Datalog module
+// deterministically derived from seed: k predicates p0..p{k-1} over a
+// binary edge relation, each with the exit rule pi(X,Y) :- edge(X,Y) and
+// 1–3 recursive rules drawn from the safe join shapes
+//
+//	pi(X, Y) :- edge(X, Z), pj(Z, Y).
+//	pi(X, Y) :- pj(X, Z), edge(Z, Y).
+//	pi(X, Y) :- pj(X, Z), pk(Z, Y).
+//
+// Every rule is range-restricted and every derived value is a graph node,
+// so the fixpoint always terminates. p0 is exported free-free; splice ann
+// (e.g. "@rewrite none.") to pick the evaluation strategy. The property
+// test in internal/engine runs these under BSN, PSN, naive and parallel
+// evaluation and requires identical answer sets.
+func RandomDatalogModule(seed int64, ann string) string {
+	r := rand.New(rand.NewSource(seed))
+	k := 2 + r.Intn(3)
+	var b strings.Builder
+	b.WriteString("module rnd.\nexport p0(ff).\n")
+	b.WriteString(ann)
+	for i := 0; i < k; i++ {
+		fmt.Fprintf(&b, "p%d(X, Y) :- edge(X, Y).\n", i)
+		rules := 1 + r.Intn(3)
+		for n := 0; n < rules; n++ {
+			j := r.Intn(k)
+			switch r.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "p%d(X, Y) :- edge(X, Z), p%d(Z, Y).\n", i, j)
+			case 1:
+				fmt.Fprintf(&b, "p%d(X, Y) :- p%d(X, Z), edge(Z, Y).\n", i, j)
+			default:
+				fmt.Fprintf(&b, "p%d(X, Y) :- p%d(X, Z), p%d(Z, Y).\n", i, j, r.Intn(k))
+			}
+		}
+	}
+	b.WriteString("end_module.\n")
+	return b.String()
+}
+
 // ShortestPathModule is the paper's Figure 3 program (both aggregate
 // selections) with the given annotations added.
 func ShortestPathModule(ann string) string {

@@ -87,8 +87,7 @@ func (r *Relation) MakeIndex(positions ...int) error {
 	if !ok {
 		return fmt.Errorf("coral: %s is not an in-memory hash relation", r.rel.Name())
 	}
-	hr.MakeIndex(positions...)
-	return nil
+	return hr.MakeIndex(positions...)
 }
 
 // MakePatternIndex creates a pattern-form index (paper §3.3, §5.5.1). The
@@ -107,6 +106,5 @@ func (r *Relation) MakePatternIndex(pattern string, keys ...string) error {
 	if !ok || f.Sym != r.rel.Name() || len(f.Args) != r.rel.Arity() {
 		return fmt.Errorf("coral: pattern %q does not match %s/%d", pattern, r.rel.Name(), r.rel.Arity())
 	}
-	hr.MakePatternIndex(f.Args, keys)
-	return nil
+	return hr.MakePatternIndex(f.Args, keys)
 }
