@@ -68,6 +68,7 @@ func BenchmarkE01NaiveVsSeminaive(b *testing.B) {
 		{"seminaive", "@rewrite none."},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := benchSystem(b, facts+workload.TCModule(mode.ann))
 				benchCall(b, sys, "tc", term.NewVar("X"), term.NewVar("Y"))
@@ -83,6 +84,7 @@ func BenchmarkE02BSNvsPSN(b *testing.B) {
 		{"psn", "@psn.\n@rewrite none."},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := benchSystem(b, facts+workload.MutualRecursion(6, mode.ann))
 				benchCall(b, sys, "p0", term.NewVar("X"), term.NewVar("Y"))
@@ -101,6 +103,7 @@ func BenchmarkE03MagicVariants(b *testing.B) {
 		{"supmagic", ""},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := benchSystem(b, facts+workload.TCModule(mode.ann))
 				benchCall(b, sys, "tc", term.Int(int64(deepNode)), term.NewVar("Y"))
@@ -122,6 +125,7 @@ func BenchmarkE04PipelineVsMaterialize(b *testing.B) {
 		{"materialized", ""},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := benchSystem(b, src+workload.TCModule(mode.ann))
 				benchCall(b, sys, "tc", term.Int(0), term.Int(3*k))
@@ -134,6 +138,7 @@ func BenchmarkE05ShortestPath(b *testing.B) {
 	for _, V := range []int{24, 48} {
 		facts := workload.WeightedGraph(V, 4*V, 10, int64(V))
 		b.Run(fmt.Sprintf("V=%d", V), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := benchSystem(b, facts+workload.ShortestPathModule("@ordered_search."))
 				benchCall(b, sys, "s_p", term.Int(0), term.NewVar("Y"), term.NewVar("P"), term.NewVar("C"))
@@ -160,6 +165,7 @@ func BenchmarkE05Par(b *testing.B) {
 			{"par", 0},
 		} {
 			b.Run(fmt.Sprintf("V=%d/%s", V, mode.name), func(b *testing.B) {
+				b.ReportAllocs()
 				sys := benchSystem(b, facts+workload.ReachModule("@rewrite none."))
 				sys.Parallelism = mode.par
 				b.ResetTimer()
@@ -178,6 +184,7 @@ func BenchmarkE06IndexVsScan(b *testing.B) {
 		{"scan", "@rewrite none.\n@no_indexing."},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := benchSystem(b, facts+workload.TCModule(mode.ann))
 				benchCall(b, sys, "tc", term.Int(0), term.NewVar("Y"))
@@ -206,6 +213,7 @@ func BenchmarkE07PatternIndex(b *testing.B) {
 		}
 	}
 	b.Run("patternindex", func(b *testing.B) {
+		b.ReportAllocs()
 		sys := benchSystem(b, src)
 		rel := benchBase(b, sys, "emp", 2)
 		rel.MakePatternIndex([]term.Term{term.NewVar("Name"),
@@ -214,6 +222,7 @@ func BenchmarkE07PatternIndex(b *testing.B) {
 		run(b, rel)
 	})
 	b.Run("scan", func(b *testing.B) {
+		b.ReportAllocs()
 		sys := benchSystem(b, src)
 		run(b, benchBase(b, sys, "emp", 2))
 	})
@@ -226,6 +235,7 @@ func BenchmarkE08HashConsing(b *testing.B) {
 	term.GroundID(deep2.(*term.Functor))
 	var tr term.Trail
 	b.Run("hashconsed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if !term.Unify(deep, nil, deep2, nil, &tr) {
 				b.Fatal("unify failed")
@@ -233,6 +243,7 @@ func BenchmarkE08HashConsing(b *testing.B) {
 		}
 	})
 	b.Run("structural", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if !term.UnifyStructural(deep, nil, deep2, nil, &tr) {
 				b.Fatal("unify failed")
@@ -248,6 +259,7 @@ func BenchmarkE09SaveModule(b *testing.B) {
 		{"save", "@save_module."},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			sys := benchSystem(b, facts+workload.TCModule(mode.ann))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -260,6 +272,7 @@ func BenchmarkE09SaveModule(b *testing.B) {
 func BenchmarkE10OrderedSearch(b *testing.B) {
 	moves := workload.WinGameMoves(60, 3, 4, 60)
 	b.Run("orderedsearch", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sys := benchSystem(b, moves+workload.WinModule("@ordered_search."))
 			stats, err := sys.MeasureCall(ast.PredKey{Name: "win", Arity: 1}, []term.Term{term.Atom("p0")})
@@ -270,6 +283,7 @@ func BenchmarkE10OrderedSearch(b *testing.B) {
 		}
 	})
 	b.Run("pipelined", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sys := benchSystem(b, moves+workload.WinModule("@pipelining."))
 			if _, err := sys.MeasureCall(ast.PredKey{Name: "win", Arity: 1}, []term.Term{term.Atom("p0")}); err != nil {
@@ -282,12 +296,14 @@ func BenchmarkE10OrderedSearch(b *testing.B) {
 func BenchmarkE11Existential(b *testing.B) {
 	facts := workload.RandomGraph(80, 400, 3)
 	b.Run("observed", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sys := benchSystem(b, facts+workload.TCModule(""))
 			benchCall(b, sys, "tc", term.Int(0), term.NewVar("Y"))
 		}
 	})
 	b.Run("existential", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sys := benchSystem(b, facts+workload.TCModule(""))
 			benchCall(b, sys, "tc", term.Int(0), term.NewVar(""))
@@ -302,6 +318,7 @@ func BenchmarkE12LazyEval(b *testing.B) {
 		{"eager", "@eager."},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := benchSystem(b, facts+workload.TCModule(mode.ann))
 				if _, err := sys.MeasureFirstAnswer(ast.PredKey{Name: "tc", Arity: 2},
@@ -320,6 +337,7 @@ func BenchmarkE13Factoring(b *testing.B) {
 		{"factoring", "@rewrite factoring."},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := benchSystem(b, facts+workload.RightLinearTC(mode.ann))
 				benchCall(b, sys, "tc", term.Int(0), term.NewVar("Y"))
@@ -339,6 +357,7 @@ func BenchmarkE14Multiset(b *testing.B) {
 		{"multiset", "@multiset hop2."},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := benchSystem(b, facts+mod(mode.ann))
 				benchCall(b, sys, "hop2", term.NewVar("X"), term.NewVar("Z"))
@@ -350,6 +369,7 @@ func BenchmarkE14Multiset(b *testing.B) {
 func BenchmarkE15Persistent(b *testing.B) {
 	for _, frames := range []int{8, 256} {
 		b.Run(fmt.Sprintf("frames=%d", frames), func(b *testing.B) {
+			b.ReportAllocs()
 			db, err := storage.Open(filepath.Join(b.TempDir(), "bench.cdb"), frames)
 			if err != nil {
 				b.Fatal(err)
@@ -379,6 +399,7 @@ func BenchmarkE15Persistent(b *testing.B) {
 func BenchmarkE16ConsultAndRun(b *testing.B) {
 	src := workload.Chain(60) + workload.TCModule("")
 	b.Run("consult", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			u, err := parser.Parse(src)
 			if err != nil {
@@ -396,12 +417,52 @@ func BenchmarkE16ConsultAndRun(b *testing.B) {
 		}
 	})
 	b.Run("evaluate", func(b *testing.B) {
+		b.ReportAllocs()
 		sys := benchSystem(b, src)
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			benchCall(b, sys, "tc", term.Int(0), term.NewVar("Y"))
 		}
 	})
+}
+
+// BenchmarkE17JoinPlan measures the cost-based join planner (DESIGN.md
+// §5.10) on a cross-product-prone 3-literal rule: the written order joins
+// big1 × big2 (quadratic) before link constrains anything; the planned
+// order drives the join through link (linear). "off" is the pre-planner
+// written-order behavior, "on" the default.
+func BenchmarkE17JoinPlan(b *testing.B) {
+	var facts string
+	n := 180
+	for i := 0; i < n; i++ {
+		facts += fmt.Sprintf("big1(a%d, b%d).\nbig2(c%d, v%d).\n", i, i, i, i%4)
+	}
+	for i := 0; i < n; i += 8 {
+		facts += fmt.Sprintf("link(b%d, c%d).\n", i, i)
+	}
+	mod := `
+module m.
+export q(ff).
+@rewrite none.
+q(X, W) :- big1(X, Y), big2(Z, W), link(Y, Z).
+end_module.
+`
+	for _, mode := range []struct {
+		name     string
+		planning bool
+	}{
+		{"off", false},
+		{"on", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+mod)
+				sys.JoinPlanning = mode.planning
+				benchCall(b, sys, "q", term.NewVar("X"), term.NewVar("W"))
+			}
+		})
+	}
 }
 
 // --- Ablation benchmarks: the design choices DESIGN.md calls out ---
@@ -424,6 +485,7 @@ end_module.
 		{"chronological", "@chronological_backtracking."},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := benchSystem(b, facts+mod(mode.ann))
 				if _, err := sys.MeasureCall(ast.PredKey{Name: "q", Arity: 2},
@@ -453,6 +515,7 @@ end_module.
 		{"reorder", "@reorder."},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := benchSystem(b, facts+mod(mode.ann))
 				if _, err := sys.MeasureCall(ast.PredKey{Name: "q", Arity: 1},
@@ -473,6 +536,7 @@ func BenchmarkAblationSupplementary(b *testing.B) {
 		{"supmagic", ""},
 	} {
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sys := benchSystem(b, facts+workload.TCModule(mode.ann))
 				benchCall(b, sys, "tc", term.Int(0), term.NewVar("Y"))
@@ -486,6 +550,7 @@ func BenchmarkAblationSupplementary(b *testing.B) {
 func BenchmarkAblationDuplicateCheck(b *testing.B) {
 	n := 20000
 	b.Run("set", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rel := relation.NewHashRelation("p", 2)
 			for j := 0; j < n; j++ {
@@ -494,6 +559,7 @@ func BenchmarkAblationDuplicateCheck(b *testing.B) {
 		}
 	})
 	b.Run("multiset", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			rel := relation.NewHashRelation("p", 2)
 			rel.Multiset = true

@@ -58,6 +58,15 @@ func New() *System {
 // sequential evaluation produce identical answers in identical order.
 func (s *System) SetParallelism(n int) { s.eng.Parallelism = n }
 
+// SetJoinPlanning toggles the cost-based join planner (on by default): per
+// rule version the engine reorders body literals greedily by estimated
+// intermediate size, using live relation statistics, while builtins and
+// negation stay at the earliest position where their arguments are bound.
+// Off, every rule body is evaluated in its written order — today's
+// pre-planner behavior, byte for byte. Planner on and off produce the same
+// answer sets; the enumeration order of answers may differ.
+func (s *System) SetJoinPlanning(on bool) { s.eng.JoinPlanning = on }
+
 // Consult loads a program text: base facts outside modules are inserted
 // into base relations, modules are optimized and installed for their
 // declared query forms, @make_index annotations are applied, and inline

@@ -96,6 +96,7 @@ func (a *analyzer) analyzeModule(m *ast.Module) {
 	for _, r := range m.Rules {
 		a.checkRuleSafety(m, r)
 		a.checkBuiltinBindings(m, r)
+		a.checkCrossProduct(m, r)
 		a.checkSingletons(m, r)
 		if !a.opt.AssumeDefined {
 			a.checkUndefined(m, r, heads)

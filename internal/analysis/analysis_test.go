@@ -282,6 +282,63 @@ end_module.
 `,
 			check: CheckUnstratified, sev: Error, count: 1, line: 4,
 		},
+		{
+			name: "cross product in written order",
+			src: `module m.
+export q(ff).
+q(X, W) :- big1(X, Y), big2(Z, W), link(Y, Z).
+big1(a, b).
+big2(c, d).
+link(b, c).
+end_module.
+`,
+			check: CheckCrossProduct, sev: Warning, count: 1, line: 3,
+		},
+		{
+			name: "connected body is not a cross product",
+			src: `module m.
+export q(ff).
+q(X, W) :- big1(X, Y), link(Y, Z), big2(Z, W).
+big1(a, b).
+big2(c, d).
+link(b, c).
+end_module.
+`,
+			check: CheckCrossProduct, sev: Warning, count: 0,
+		},
+		{
+			name: "bound head argument connects the body",
+			src: `module m.
+export q(bf).
+q(X, Y) :- big1(X), big2(X, Y).
+big1(a).
+big2(a, b).
+end_module.
+`,
+			check: CheckCrossProduct, sev: Warning, count: 0,
+		},
+		{
+			name: "equality builtin connects the body",
+			src: `module m.
+export q(ff).
+q(X, Y) :- big1(X), X = Z, big2(Z, Y).
+big1(a).
+big2(a, b).
+end_module.
+`,
+			check: CheckCrossProduct, sev: Warning, count: 0,
+		},
+		{
+			name: "ground literal is not flagged",
+			src: `module m.
+export q(f).
+q(X) :- big1(X), big2(a, b).
+big1(a).
+big2(a, b).
+end_module.
+`,
+			check: CheckCrossProduct, sev: Warning, count: 0,
+		},
 	}
 
 	for _, tc := range cases {

@@ -81,6 +81,12 @@ const (
 	// CheckUnstratified: negation or aggregation stays inside one
 	// recursive component and the module does not use @ordered_search.
 	CheckUnstratified = "unstratified"
+	// CheckCrossProduct: a positive body literal shares no variables with
+	// the literals before it, so the written order joins a full cross
+	// product. The runtime join planner reorders it away, but the written
+	// order is what every planner-off path (tracing, Ordered Search,
+	// SetJoinPlanning(false)) evaluates.
+	CheckCrossProduct = "cross-product"
 )
 
 // Diagnostic is one finding of the analysis pass.

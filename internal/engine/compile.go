@@ -46,6 +46,17 @@ type CItem struct {
 	// its variables), for intelligent backtracking (paper §4.2). -1 means
 	// fail the rule.
 	BacktrackTo int
+	// OrigPos is this item's position in the rule as written. The
+	// semi-naive range discipline assigns scan ranges by occurrence — the
+	// delta literal is a particular written occurrence, not a schedule
+	// slot — so ruleRanges.DeltaPos is compared against OrigPos, which
+	// keeps the discipline intact when the join planner permutes the body
+	// (plan.go). In an unplanned rule OrigPos equals the body index.
+	OrigPos int
+	// ArgsGround marks items whose arguments are all compile-time ground:
+	// a candidate ground fact then matches iff the argument lists are
+	// equal, which hash-consing decides without touching environments.
+	ArgsGround bool
 }
 
 // CAgg is a compiled head aggregation.
@@ -149,7 +160,7 @@ func CompileRule(r *ast.Rule, recursive func(ast.PredKey) bool) (*Compiled, erro
 	}
 	for i := range r.Body {
 		l := &r.Body[i]
-		item := CItem{Args: c.rebuildArgs(l.Args)}
+		item := CItem{Args: c.rebuildArgs(l.Args), OrigPos: i}
 		switch {
 		case l.Builtin():
 			item.Kind = ItemBuiltin
@@ -171,6 +182,16 @@ func CompileRule(r *ast.Rule, recursive func(ast.PredKey) bool) (*Compiled, erro
 				if coveredBy(a, boundVars) {
 					item.BoundPos = append(item.BoundPos, pos)
 				}
+			}
+			item.ArgsGround = true
+			for _, a := range item.Args {
+				if !term.IsGround(a) {
+					item.ArgsGround = false
+					break
+				}
+				// Prime the hash-cons memo so the run-time equality check
+				// is an identifier comparison.
+				term.GroundID(a)
 			}
 		}
 		out.Body = append(out.Body, item)

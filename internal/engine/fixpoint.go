@@ -38,6 +38,11 @@ type matEval struct {
 	parallelism int
 	parSafe     map[*Stratum]bool
 
+	// planning enables the cost-based join planner (plan.go); plans caches
+	// fitted schedules per rule version.
+	planning bool
+	plans    map[planKey]*cachedPlan
+
 	// Iterations counts fixpoint iterations (reported by benchmarks).
 	Iterations int
 	// ParRounds counts the BSN rounds that actually ran on the worker pool.
@@ -49,6 +54,7 @@ func newMatEval(prog *Program, external func(ast.PredKey) (Source, error)) *matE
 	me := &matEval{
 		prog:      prog,
 		lastMarks: make(map[*Compiled]map[ast.PredKey]relation.Mark),
+		planning:  true,
 	}
 	me.st = newStore(external, prog.configureRelation)
 	me.st.isLocal = func(k ast.PredKey) bool { return prog.LocalPreds[k] }
@@ -105,6 +111,21 @@ func (me *matEval) insert(pred ast.PredKey, f Fact) bool {
 		return false // availability is deferred to the context
 	}
 	return me.st.rel(pred).Insert(f)
+}
+
+// dupRel returns the relation the evaluator's duplicate probe should
+// consult for rules deriving pred, or nil when skipping duplicate emits
+// could be observed: Ordered Search defers availability to the context,
+// tracing records one justification per derivation, and multisets admit
+// duplicates.
+func (me *matEval) dupRel(pred ast.PredKey) *relation.HashRelation {
+	if me.ctx != nil || me.ev.trace != nil {
+		return nil
+	}
+	if hr := me.st.rel(pred); hr != nil && !hr.Multiset {
+		return hr
+	}
+	return nil
 }
 
 // currentCaller identifies the subgoal whose rule instantiation is emitting
@@ -211,7 +232,10 @@ func (me *matEval) initStratum(st *Stratum) {
 		return func(f Fact) bool { me.insert(c.HeadPred, f); return true }
 	}
 	for _, c := range st.ExitRules {
-		if err := me.ev.evalRule(c, fullRanges, emitFor(c)); err != nil {
+		me.ev.headDup = me.dupRel(c.HeadPred)
+		err := me.ev.evalRule(me.planFor(c, -1), fullRanges, emitFor(c))
+		me.ev.headDup = nil
+		if err != nil {
 			me.fail(err)
 			return
 		}
@@ -261,12 +285,15 @@ func (me *matEval) applyRecursive(c *Compiled, now map[ast.PredKey]relation.Mark
 		me.insert(c.HeadPred, f)
 		return true
 	}
+	me.ev.headDup = me.dupRel(c.HeadPred)
 	for _, pos := range c.RecPositions {
 		rr := ruleRanges{DeltaPos: pos, Last: last, Now: now}
-		if err := me.ev.evalRule(c, rr, emit); err != nil {
+		if err := me.ev.evalRule(me.planFor(c, pos), rr, emit); err != nil {
+			me.ev.headDup = nil
 			return err
 		}
 	}
+	me.ev.headDup = nil
 	for pred, mk := range now {
 		last[pred] = mk
 	}
@@ -334,7 +361,10 @@ func (me *matEval) naiveIteration(st *Stratum) bool {
 		return func(f Fact) bool { me.insert(c.HeadPred, f); return true }
 	}
 	for _, c := range st.RecRules {
-		if err := me.ev.evalRule(c, fullRanges, emitFor(c)); err != nil {
+		me.ev.headDup = me.dupRel(c.HeadPred)
+		err := me.ev.evalRule(me.planFor(c, -1), fullRanges, emitFor(c))
+		me.ev.headDup = nil
+		if err != nil {
 			me.fail(err)
 			return false
 		}

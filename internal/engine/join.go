@@ -11,15 +11,17 @@ import (
 // join considers the next tuple in any loop (paper §5.3).
 
 // ruleRanges configures one semi-naive rule version (paper §5.3): the
-// recursive item at DeltaPos scans [Last, Now) of its relation; recursive
-// items before it scan [0, Last); recursive items after it scan [0, Now).
-// DeltaPos < 0 evaluates the rule against full extents (non-recursive
-// rules, or naive evaluation).
+// recursive item written at DeltaPos scans [Last, Now) of its relation;
+// recursive items written before it scan [0, Last); recursive items written
+// after it scan [0, Now). Positions are compared against CItem.OrigPos —
+// the discipline is tied to the written occurrence, so it survives the join
+// planner's body permutations (plan.go). DeltaPos < 0 evaluates the rule
+// against full extents (non-recursive rules, or naive evaluation).
 //
-// Split, when non-nil, further restricts the relation item at Split.Pos to
-// the ordinal range [Split.From, Split.To) — the parallel round's work
-// partitioning (see parallel.go). The range must be a subrange of whatever
-// the discipline above would give that position.
+// Split, when non-nil, further restricts the relation item at the schedule
+// position Split.Pos to the ordinal range [Split.From, Split.To) — the
+// parallel round's work partitioning (see parallel.go). The range must be a
+// subrange of whatever the discipline above would give that item.
 type ruleRanges struct {
 	DeltaPos int
 	Last     map[ast.PredKey]relation.Mark
@@ -35,6 +37,42 @@ type splitRange struct {
 
 var fullRanges = ruleRanges{DeltaPos: -1}
 
+// frame is one nested-loops position: its open scan plus the pooled
+// environment candidate facts are unified in. The fact environment is
+// reusable because every binding into it is trailed — undoing to the
+// frame's mark restores it to fully unbound.
+type frame struct {
+	iter relation.Iterator // nil for builtins/negation (single-shot)
+	fenv *term.Env         // pooled fact env for this position's candidates
+	mark int               // trail mark before this item's bindings
+	done bool              // single-shot item already satisfied
+	any  bool              // this activation yielded at least one tuple
+}
+
+// enter (re)initializes the frame for a new activation, keeping the pooled
+// fact environment.
+func (fr *frame) enter(mark int) {
+	fr.iter = nil
+	fr.mark = mark
+	fr.done = false
+	fr.any = false
+}
+
+// factEnv returns an environment for a candidate fact: the shared empty
+// environment for ground facts (the common case — never a Bind target), or
+// the frame's pooled environment grown to the fact's variable count.
+func (fr *frame) factEnv(nvars int) *term.Env {
+	if nvars == 0 {
+		return term.EmptyEnv()
+	}
+	if fr.fenv == nil {
+		fr.fenv = term.NewEnv(nvars)
+	} else {
+		fr.fenv.EnsureSlots(nvars)
+	}
+	return fr.fenv
+}
+
 // evaluator runs compiled rules against a store.
 type evaluator struct {
 	st *store
@@ -49,6 +87,23 @@ type evaluator struct {
 	// calling subgoal.
 	curRule *Compiled
 	curEnv  *term.Env
+	// Pooled per-activation state, reused across evalRule calls: the rule
+	// environment, the trail, the loop frames (with their fact envs), and
+	// the negation scratch env. busy guards against reentrant evalRule
+	// (e.g. through an emit callback), which falls back to fresh
+	// allocations.
+	env    *term.Env
+	tr     *term.Trail
+	frames []frame
+	negEnv *term.Env
+	busy   bool
+	// headDup, when non-nil, is the relation the current rule's head facts
+	// are inserted into: derivations it already contains are skipped before
+	// the head fact is materialized (Insert would reject them as duplicates
+	// anyway). Callers set it only when the skip is unobservable — not under
+	// Ordered Search (availability is deferred to the context), tracing
+	// (justifications are recorded per derivation), or multisets.
+	headDup *relation.HashRelation
 	// stats
 	Derivations int // successful head instantiations
 	Attempts    int // tuples considered across all loops
@@ -61,19 +116,44 @@ type emitFunc func(Fact) bool
 // evalRule evaluates one rule version, calling emit for every derivation.
 func (ev *evaluator) evalRule(c *Compiled, rr ruleRanges, emit emitFunc) error {
 	var err error
+	env, tr, frames, pooled := ev.acquire(c)
 	func() {
 		defer recoverEval(&err)
-		env := term.NewEnv(c.NVars)
-		tr := &term.Trail{}
-		ev.run(c, rr, env, tr, emit)
+		ev.run(c, rr, env, tr, frames, emit)
 	}()
+	if pooled {
+		// Every binding — including into pooled fact envs — is trailed, so
+		// one undo returns all pooled environments to fully unbound, even
+		// when a throw unwound the join mid-flight.
+		tr.Undo(0)
+		ev.busy = false
+	}
 	return err
+}
+
+// acquire returns the per-activation state for one rule evaluation,
+// preferring the evaluator's pooled state.
+func (ev *evaluator) acquire(c *Compiled) (*term.Env, *term.Trail, []frame, bool) {
+	if ev.busy {
+		return term.NewEnv(c.NVars), &term.Trail{}, make([]frame, len(c.Body)), false
+	}
+	ev.busy = true
+	if ev.env == nil {
+		ev.env = term.NewEnv(c.NVars)
+		ev.tr = &term.Trail{}
+	} else {
+		ev.env.EnsureSlots(c.NVars)
+	}
+	for len(ev.frames) < len(c.Body) {
+		ev.frames = append(ev.frames, frame{})
+	}
+	return ev.env, ev.tr, ev.frames[:len(c.Body)], true
 }
 
 // run drives the nested-loops join. It uses explicit iterator frames so
 // intelligent backtracking can jump over positions that cannot change a
 // failed literal's bindings.
-func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Trail, emit emitFunc) {
+func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Trail, frames []frame, emit emitFunc) {
 	ev.curRule, ev.curEnv = c, env
 	defer func() { ev.curRule, ev.curEnv = nil, nil }()
 	n := len(c.Body)
@@ -86,15 +166,8 @@ func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Tra
 		emit(head)
 		return
 	}
-	type frame struct {
-		iter relation.Iterator // nil for builtins/negation (single-shot)
-		mark int               // trail mark before this item's bindings
-		done bool              // single-shot item already satisfied
-		any  bool              // this activation yielded at least one tuple
-	}
-	frames := make([]frame, n)
 	i := 0
-	frames[0] = frame{mark: tr.Mark()}
+	frames[0].enter(tr.Mark())
 
 	// backtrack moves control left from a failed position. Backjumping to
 	// the precomputed point is only sound when the activation produced no
@@ -112,6 +185,11 @@ func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Tra
 	for i >= 0 {
 		if i == n {
 			ev.Derivations++
+			if ev.headDup != nil && ev.headDup.ContainsResolved(c.HeadArgs, env) {
+				// Known duplicate: skip materializing the head fact.
+				i = n - 1
+				continue
+			}
 			head := relation.NewFact(c.HeadArgs, env)
 			if ev.trace != nil {
 				ev.capture(c, head, env)
@@ -139,7 +217,7 @@ func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Tra
 				fr.done = true
 				i++
 				if i < n {
-					frames[i] = frame{mark: tr.Mark()}
+					frames[i].enter(tr.Mark())
 				}
 				continue
 			}
@@ -157,7 +235,7 @@ func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Tra
 				fr.done = true
 				i++
 				if i < n {
-					frames[i] = frame{mark: tr.Mark()}
+					frames[i].enter(tr.Mark())
 				}
 				continue
 			}
@@ -175,8 +253,16 @@ func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Tra
 					break
 				}
 				ev.Attempts++
-				fenv := term.NewEnv(f.NVars)
-				if term.UnifyArgs(it.Args, env, f.Args, fenv, tr) {
+				if it.ArgsGround && f.NVars == 0 {
+					// Ground vs ground: equality, decided on hash-cons
+					// identifiers, with no environments touched.
+					if term.EqualArgs(it.Args, f.Args) {
+						advanced = true
+						break
+					}
+					continue
+				}
+				if term.UnifyArgs(it.Args, env, f.Args, fr.factEnv(f.NVars), tr) {
 					advanced = true
 					break
 				}
@@ -186,7 +272,7 @@ func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Tra
 				fr.any = true
 				i++
 				if i < n {
-					frames[i] = frame{mark: tr.Mark()}
+					frames[i].enter(tr.Mark())
 				}
 				continue
 			}
@@ -197,8 +283,10 @@ func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Tra
 	}
 }
 
-// lookupFor opens the scan for the relation item at body position pos,
-// applying the semi-naive range discipline for recursive items.
+// lookupFor opens the scan for the relation item scheduled at body position
+// pos, applying the semi-naive range discipline for recursive items. The
+// discipline keys on the item's written position (OrigPos), so a planned
+// schedule reads exactly the ranges the written rule would.
 func (ev *evaluator) lookupFor(it *CItem, pos int, rr ruleRanges, env *term.Env) relation.Iterator {
 	src, err := ev.st.source(it.Pred)
 	if err != nil {
@@ -213,9 +301,9 @@ func (ev *evaluator) lookupFor(it *CItem, pos int, rr ruleRanges, env *term.Env)
 	last := rr.Last[it.Pred]
 	now := rr.Now[it.Pred]
 	switch {
-	case pos == rr.DeltaPos:
+	case it.OrigPos == rr.DeltaPos:
 		return src.LookupRange(it.Args, env, last, now)
-	case pos < rr.DeltaPos:
+	case it.OrigPos < rr.DeltaPos:
 		return src.LookupRange(it.Args, env, 0, last)
 	default:
 		return src.LookupRange(it.Args, env, 0, now)
@@ -242,7 +330,15 @@ func (ev *evaluator) hasMatch(it *CItem, env *term.Env, tr *term.Trail) bool {
 		if !ok {
 			return false
 		}
-		fenv := term.NewEnv(f.NVars)
+		fenv := term.EmptyEnv()
+		if f.NVars > 0 {
+			if ev.negEnv == nil {
+				ev.negEnv = term.NewEnv(f.NVars)
+			} else {
+				ev.negEnv.EnsureSlots(f.NVars)
+			}
+			fenv = ev.negEnv
+		}
 		matched := term.UnifyArgs(it.Args, env, f.Args, fenv, tr)
 		tr.Undo(m)
 		if matched {

@@ -161,7 +161,10 @@ func (me *matEval) bsnParallel(st *Stratum, workers int) bool {
 		head := me.st.rel(c.HeadPred)
 		for _, pos := range c.RecPositions {
 			rr := ruleRanges{DeltaPos: pos, Last: last, Now: ruleNow}
-			for _, t := range me.splitVersion(c, rr, workers) {
+			// Plan on the writer goroutine before workers exist: workers
+			// receive the already-fitted schedule, and the split position
+			// follows the delta literal to its planned slot.
+			for _, t := range me.splitVersion(me.planFor(c, pos), rr, workers) {
 				t.head = head
 				t.headSnap = headSnap[c.HeadPred]
 				t.filter = !head.Multiset
@@ -194,6 +197,12 @@ func (me *matEval) bsnParallel(st *Stratum, workers int) bool {
 				ev := &evs[i]
 				ev.st = me.st
 				ev.IntelligentBacktracking = me.ev.IntelligentBacktracking
+				if t.filter {
+					// The head relation is frozen during the worker phase
+					// (single-writer merge happens after the barrier), so the
+					// probe sees exactly the facts DuplicateWithin would.
+					ev.headDup = t.head
+				}
 				errs[i] = ev.evalRule(t.c, t.rr, func(f Fact) bool {
 					if t.filter && t.head.DuplicateWithin(f, t.headSnap) {
 						return true // merge would reject it; drop in parallel
@@ -248,10 +257,13 @@ func (me *matEval) splitVersion(c *Compiled, rr ruleRanges, workers int) []parTa
 	it := &c.Body[pos]
 	var from, to relation.Mark
 	if it.Recursive {
+		// Range assignment follows the written occurrence (OrigPos), as in
+		// lookupFor: the planner may have moved the item, but its
+		// semi-naive range is fixed by where it was written.
 		switch {
-		case pos == rr.DeltaPos:
+		case it.OrigPos == rr.DeltaPos:
 			from, to = rr.Last[it.Pred], rr.Now[it.Pred]
-		case pos < rr.DeltaPos:
+		case it.OrigPos < rr.DeltaPos:
 			from, to = 0, rr.Last[it.Pred]
 		default:
 			from, to = 0, rr.Now[it.Pred]

@@ -26,6 +26,11 @@ type System struct {
 	// Search, tracing, aggregate selections, module-call or computed body
 	// sources — ignore the setting and run sequentially either way.
 	Parallelism int
+	// JoinPlanning enables the cost-based join planner (plan.go), on by
+	// default. When false every rule body is evaluated in its written
+	// order, preserving the pre-planner behavior byte for byte. Ordered
+	// Search and traced evaluations always use the written order.
+	JoinPlanning bool
 }
 
 // NewSystem creates an empty system.
@@ -35,6 +40,7 @@ func NewSystem() *System {
 		exports:        make(map[ast.PredKey]*ModuleDef),
 		modules:        make(map[string]*ModuleDef),
 		AutoDefineBase: true,
+		JoinPlanning:   true,
 	}
 }
 
@@ -251,6 +257,7 @@ func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (r
 	}
 	// Re-applied on every call so saved evaluations follow later changes.
 	me.parallelism = def.sys.fixpointWorkers()
+	me.planning = def.sys.JoinPlanning
 	me.addSeed(args, env)
 	pat, nvars := term.ResolveArgs(args, env)
 	if prog.KeepPositions != nil {
@@ -378,6 +385,11 @@ type answerScan struct {
 	cur      relation.Iterator
 	curEnd   relation.Mark
 	tr       term.Trail
+	// penv/fenv are the pattern-match scratch environments, pooled across
+	// answers (matches undoes every binding through the trail, so reuse is
+	// safe; one scan has a single consumer).
+	penv *term.Env
+	fenv *term.Env
 	// keep/fullArity describe an existential projection: stored answers
 	// have len(keep) arguments; returned facts are widened to fullArity
 	// with fresh variables at the dropped (unobserved) positions.
@@ -408,10 +420,20 @@ func (s *answerScan) widen(f Fact) Fact {
 
 // matches checks the fact against the call pattern.
 func (s *answerScan) matches(f Fact) bool {
-	penv := term.NewEnv(s.patVars)
-	fenv := term.NewEnv(f.NVars)
+	if s.penv == nil {
+		s.penv = term.NewEnv(s.patVars)
+	}
+	fenv := term.EmptyEnv()
+	if f.NVars > 0 {
+		if s.fenv == nil {
+			s.fenv = term.NewEnv(f.NVars)
+		} else {
+			s.fenv.EnsureSlots(f.NVars)
+		}
+		fenv = s.fenv
+	}
 	m := s.tr.Mark()
-	ok := term.UnifyArgs(s.pattern, penv, f.Args, fenv, &s.tr)
+	ok := term.UnifyArgs(s.pattern, s.penv, f.Args, fenv, &s.tr)
 	s.tr.Undo(m)
 	return ok
 }

@@ -57,6 +57,10 @@ type HashRelation struct {
 
 	inserted int // total insert attempts, for statistics
 
+	// colSketch holds one distinct-value sketch per argument position,
+	// feeding Stats() for the cost-based join planner (see stats.go).
+	colSketch []distinctSketch
+
 	// deadAtCompact is the tombstone count at the last posting compaction;
 	// compaction triggers on tombstones added since (see maybeCompact).
 	deadAtCompact int
@@ -120,6 +124,7 @@ func (r *HashRelation) append(f Fact) int32 {
 	ord := int32(len(r.facts))
 	r.facts = append(r.facts, storedFact{fact: f})
 	r.live++
+	r.noteStats(f)
 	if !r.Multiset {
 		h := term.HashArgs(f.Args)
 		r.dedup[h] = append(r.dedup[h], ord)
@@ -138,6 +143,34 @@ func (r *HashRelation) append(f Fact) int32 {
 
 // isDuplicate reports whether f is a variant of an existing live fact or
 // subsumed by an existing non-ground fact.
+// ContainsResolved reports whether the relation already holds a live
+// ground fact equal to args as they would resolve under env, without
+// materializing the resolved fact — the join loop's zero-allocation
+// duplicate probe. A true result means Insert of the resolved fact would
+// certainly be rejected as a duplicate. A false result promises nothing
+// (unbound or constructed arguments, multiset semantics, and subsumption
+// by non-ground facts all fall through) — callers must then take the
+// ordinary materialize-and-Insert path.
+func (r *HashRelation) ContainsResolved(args []term.Term, env *term.Env) bool {
+	if r.Multiset {
+		return false
+	}
+	h, ok := term.HashArgsResolved(args, env)
+	if !ok {
+		return false
+	}
+	for _, ord := range r.dedup[h] {
+		sf := &r.facts[ord]
+		if sf.dead || sf.fact.NVars != 0 {
+			continue
+		}
+		if term.EqualArgsResolved(args, env, sf.fact.Args) {
+			return true
+		}
+	}
+	return false
+}
+
 func (r *HashRelation) isDuplicate(f Fact) bool {
 	h := term.HashArgs(f.Args)
 	for _, ord := range r.dedup[h] {
@@ -312,6 +345,9 @@ func (r *HashRelation) Clear() {
 	r.nonground = nil
 	r.inserted = 0
 	r.deadAtCompact = 0
+	for i := range r.colSketch {
+		r.colSketch[i].reset()
+	}
 	for _, ix := range r.indexes {
 		ix.clear()
 	}

@@ -1,0 +1,87 @@
+package relation
+
+import (
+	"math"
+
+	"coral/internal/term"
+)
+
+// Per-relation statistics for the cost-based join planner (engine/plan.go).
+// A HashRelation maintains them incrementally: cardinality is the live fact
+// count it already tracks, and each argument position carries a linear
+// counting sketch of the distinct values inserted there. The sketch costs a
+// single hash and a bit set per argument per insert, and a popcount-style
+// scan only when Stats is asked for — cheap enough to leave always on.
+//
+// Deletes do not decrement the sketches (a value may occur in several
+// facts), so distinct counts are estimates of values *ever inserted*; for
+// the planner's purpose — ranking join orders — that bias is harmless, and
+// Clear resets the sketches along with the facts.
+
+// Stats summarizes a relation for cost-based planning.
+type Stats struct {
+	// Rows is the live fact count.
+	Rows int
+	// Distinct estimates the number of distinct values per argument
+	// position (values ever inserted; never decremented by deletes).
+	Distinct []int
+}
+
+// sketchBits is the bitmap size of one distinct-value sketch. Linear
+// counting stays within a few percent up to roughly the bitmap size, which
+// comfortably covers the cardinalities where join order matters most;
+// beyond saturation the estimate is clamped (see estimate).
+const sketchBits = 2048
+
+// distinctSketch is a linear counting sketch: hash each value to one of m
+// bits; with z zero bits remaining, the distinct count is ≈ m·ln(m/z).
+type distinctSketch struct {
+	bits [sketchBits / 64]uint64
+	set  int // bits currently set, to make estimate O(1)
+}
+
+func (s *distinctSketch) add(h uint64) {
+	i := h % sketchBits
+	w, b := i/64, uint64(1)<<(i%64)
+	if s.bits[w]&b == 0 {
+		s.bits[w] |= b
+		s.set++
+	}
+}
+
+func (s *distinctSketch) estimate() int {
+	z := sketchBits - s.set
+	if z == 0 {
+		// Saturated: report the cap; the planner only needs "many".
+		return sketchBits * 8
+	}
+	return int(math.Round(sketchBits * math.Log(float64(sketchBits)/float64(z))))
+}
+
+func (s *distinctSketch) reset() { *s = distinctSketch{} }
+
+// noteStats updates the per-argument sketches for an accepted insert.
+func (r *HashRelation) noteStats(f Fact) {
+	if r.colSketch == nil {
+		r.colSketch = make([]distinctSketch, r.arity)
+	}
+	for i, a := range f.Args {
+		r.colSketch[i].add(term.Hash(a))
+	}
+}
+
+// Stats returns the relation's planner statistics. The receiver may be nil
+// (a zero Stats means "unknown"). Stats is read-only and, like every other
+// read, safe under the single-writer contract.
+func (r *HashRelation) Stats() Stats {
+	if r == nil {
+		return Stats{}
+	}
+	st := Stats{Rows: r.live, Distinct: make([]int, r.arity)}
+	for i := range st.Distinct {
+		if r.colSketch != nil {
+			st.Distinct[i] = r.colSketch[i].estimate()
+		}
+	}
+	return st
+}

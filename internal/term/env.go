@@ -31,12 +31,32 @@ func NewEnv(n int) *Env {
 // Size returns the number of slots.
 func (e *Env) Size() int { return len(e.slots) }
 
-// grow ensures slot i exists.
+// grow ensures slot i exists, extending in a single append.
 func (e *Env) grow(i int) {
-	for len(e.slots) <= i {
-		e.slots = append(e.slots, Binding{})
+	if n := i + 1 - len(e.slots); n > 0 {
+		e.slots = append(e.slots, make([]Binding, n)...)
 	}
 }
+
+// EnsureSlots guarantees at least n unbound-capable slots, reusing the
+// backing array when possible. Callers pooling environments across rule
+// activations use it instead of allocating a fresh Env; slots must already
+// be unbound (every Bind is trailed, so a full trail undo restores that).
+func (e *Env) EnsureSlots(n int) {
+	if n > 0 {
+		e.grow(n - 1)
+	}
+}
+
+// emptyEnv is the canonical environment for ground facts (NVars == 0). A
+// ground fact has no variables, so unification never binds into its
+// environment and a single shared read-only instance serves every such
+// fact — including concurrently, across the parallel round's workers.
+var emptyEnv = &Env{}
+
+// EmptyEnv returns the shared environment for terms with no variables.
+// It must never be a Bind target.
+func EmptyEnv() *Env { return emptyEnv }
 
 // Lookup returns the binding of slot i (zero Binding if out of range or
 // unbound).

@@ -66,6 +66,23 @@ func functorEqual(x, y *Functor, eq func(a, b Term) bool) bool {
 	return true
 }
 
+// EqualArgsResolved reports whether args, resolved under env, equal the
+// stored environment-free argument list — without materializing the
+// resolved form. The caller must have established via HashArgsResolved
+// that every argument dereferences to a resolution-stable ground term.
+func EqualArgsResolved(args []Term, env *Env, stored []Term) bool {
+	if len(args) != len(stored) {
+		return false
+	}
+	for i, a := range args {
+		t, _ := Deref(a, env)
+		if !Equal(t, stored[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // EqualArgs reports element-wise Equal over two argument lists.
 func EqualArgs(a, b []Term) bool {
 	if len(a) != len(b) {

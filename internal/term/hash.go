@@ -110,6 +110,30 @@ func HashArgs(args []Term) uint64 {
 	return h
 }
 
+// HashArgsResolved hashes args exactly as HashArgs would hash their
+// ResolveArgs-resolved form, without materializing it. It succeeds only
+// when every argument dereferences to a term that resolution would return
+// unchanged — ground, needing no construction. An unbound variable, or a
+// functor with variables inside (even bound ones: resolving it would build
+// a new term), returns ok=false; callers fall back to the allocating path.
+func HashArgsResolved(args []Term, env *Env) (uint64, bool) {
+	h := uint64(fnvOffset)
+	h = hashCombine(h, uint64(len(args)))
+	for _, a := range args {
+		t, _ := Deref(a, env)
+		switch x := t.(type) {
+		case *Var:
+			return 0, false
+		case *Functor:
+			if MaxVar(x) != -1 {
+				return 0, false
+			}
+		}
+		h = hashTerm(h, t)
+	}
+	return h, true
+}
+
 // HashBound hashes the terms at the given positions of args after
 // dereferencing under env; it is used by argument-form hash indexes. The
 // caller guarantees the dereferenced terms are ground; non-ground terms
