@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"path/filepath"
 	"testing"
+	"time"
 
 	"coral/internal/ast"
 	"coral/internal/engine"
@@ -174,6 +175,33 @@ func BenchmarkE05Par(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkE18BudgetOverhead measures the cost of budget/cancellation
+// checks on the E05 shortest-path workload: the off arm runs with the zero
+// Budget (no guard installed, today's fast path), the on arm with limits
+// high enough never to trip, so every amortized check in the join loop and
+// every round-barrier check executes. The acceptance bar is <2% ns/op and
+// an identical allocs/op count.
+func BenchmarkE18BudgetOverhead(b *testing.B) {
+	const V = 48
+	facts := workload.WeightedGraph(V, 4*V, 10, int64(V))
+	for _, mode := range []struct {
+		name   string
+		budget engine.Budget
+	}{
+		{"off", engine.Budget{}},
+		{"on", engine.Budget{Timeout: time.Hour, MaxFacts: 1 << 40, MaxIterations: 1 << 30}},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+workload.ShortestPathModule("@ordered_search."))
+				sys.Budget = mode.budget
+				benchCall(b, sys, "s_p", term.Int(0), term.NewVar("Y"), term.NewVar("P"), term.NewVar("C"))
+			}
+		})
 	}
 }
 

@@ -11,13 +11,20 @@
 //
 // Files named on the command line are consulted before the prompt appears;
 // with -q the process exits after consulting (batch mode).
+//
+// Runtime controls: -timeout, -max-facts and -max-iters set the initial
+// evaluation budget (adjustable at the prompt with ":budget"), and Ctrl-C
+// during an evaluation cancels that evaluation — partial work is rolled
+// back and the session keeps running — rather than killing the process.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	coral "coral"
 	"coral/internal/repl"
@@ -27,9 +34,13 @@ func main() {
 	batch := flag.Bool("q", false, "consult the named files and exit")
 	dbPath := flag.String("db", "", "attach a persistent database file")
 	frames := flag.Int("frames", 256, "buffer pool size in 8KiB pages (with -db)")
+	timeout := flag.Duration("timeout", 0, "wall-clock deadline per evaluation (0 = unlimited)")
+	maxFacts := flag.Int("max-facts", 0, "max derived facts per evaluation (0 = unlimited)")
+	maxIters := flag.Int("max-iters", 0, "max fixpoint iterations per evaluation (0 = unlimited)")
 	flag.Parse()
 
 	sys := coral.New()
+	sys.SetBudget(coral.Budget{Timeout: *timeout, MaxFacts: *maxFacts, MaxIterations: *maxIters})
 	if *dbPath != "" {
 		if err := sys.AttachStorage(*dbPath, *frames); err != nil {
 			fmt.Fprintln(os.Stderr, "coral:", err)
@@ -37,10 +48,24 @@ func main() {
 		}
 		defer sys.Close()
 	}
+	// interruptible runs f with a per-evaluation context canceled by Ctrl-C,
+	// so an interrupt aborts the running query (gracefully, through the
+	// engine's cancellation checks) instead of killing the session. The
+	// context is re-armed per input — once canceled it stays canceled — and
+	// an idle prompt keeps the default kill-on-interrupt behavior.
+	interruptible := func(f func()) {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		sys.WithContext(ctx)
+		f()
+		sys.WithContext(nil)
+		stop()
+	}
 	session := repl.NewSession(sys)
 	for _, path := range flag.Args() {
-		out, _ := session.Execute(fmt.Sprintf("consult(%q).", path))
-		fmt.Print(out)
+		interruptible(func() {
+			out, _ := session.Execute(fmt.Sprintf("consult(%q).", path))
+			fmt.Print(out)
+		})
 		fmt.Printf("%% consulted %s\n", path)
 	}
 	if *batch {
@@ -51,7 +76,9 @@ func main() {
 	in.Buffer(make([]byte, 1<<20), 1<<20)
 	fmt.Print("coral> ")
 	for in.Scan() {
-		out, done, needMore := session.Feed(in.Text())
+		var out string
+		var done, needMore bool
+		interruptible(func() { out, done, needMore = session.Feed(in.Text()) })
 		fmt.Print(out)
 		if done {
 			return

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"coral/internal/ast"
 	"coral/internal/engine"
@@ -28,6 +29,7 @@ import (
 func main() {
 	vet := flag.Bool("vet", false, "run static analysis instead of printing rewritten programs")
 	werror := flag.Bool("Werror", false, "with -vet, treat warnings as errors")
+	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = unlimited)")
 	flag.Usage = func() {
 		fmt.Fprintln(os.Stderr, "usage: coralc [-vet [-Werror]] <program.crl> ...")
 		flag.PrintDefaults()
@@ -36,6 +38,15 @@ func main() {
 	if flag.NArg() == 0 || (!*vet && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *timeout > 0 {
+		// Rewriting and vetting have no evaluation fixpoint to budget, so
+		// the deadline is a whole-process watchdog: batch pipelines get a
+		// bounded worst case even on adversarial inputs.
+		time.AfterFunc(*timeout, func() {
+			fmt.Fprintf(os.Stderr, "coralc: deadline of %s exceeded\n", *timeout)
+			os.Exit(1)
+		})
 	}
 	if *vet {
 		code := 0

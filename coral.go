@@ -27,6 +27,7 @@
 package coral
 
 import (
+	"context"
 	"fmt"
 	"os"
 
@@ -66,6 +67,31 @@ func (s *System) SetParallelism(n int) { s.eng.Parallelism = n }
 // pre-planner behavior, byte for byte. Planner on and off produce the same
 // answer sets; the enumeration order of answers may differ.
 func (s *System) SetJoinPlanning(on bool) { s.eng.JoinPlanning = on }
+
+// Budget bounds one evaluation: wall-clock deadline, derived-fact count,
+// and fixpoint iterations. The zero value means unlimited. See SetBudget.
+type Budget = engine.Budget
+
+// AbortError reports an evaluation stopped by a Budget or a canceled
+// context: which limit tripped, and the statistics accumulated up to the
+// abort. Unwrap yields context.Canceled or context.DeadlineExceeded where
+// applicable, so errors.Is works as usual.
+type AbortError = engine.AbortError
+
+// SetBudget bounds every subsequent evaluation (queries, inline consult
+// queries, pipelined scans). Deadlines anchor when each evaluation starts,
+// not when SetBudget is called. A tripped budget surfaces as *AbortError;
+// the System stays consistent and answers follow-up queries correctly.
+// Pass the zero Budget to remove limits.
+func (s *System) SetBudget(b Budget) { s.eng.Budget = b }
+
+// Budget returns the currently configured evaluation budget.
+func (s *System) Budget() Budget { return s.eng.Budget }
+
+// WithContext attaches ctx to every subsequent evaluation: cancellation is
+// observed at fixpoint round barriers and amortized inside join scans, and
+// surfaces as *AbortError wrapping ctx.Err(). Pass nil to detach.
+func (s *System) WithContext(ctx context.Context) { s.eng.Ctx = ctx }
 
 // Consult loads a program text: base facts outside modules are inserted
 // into base relations, modules are optimized and installed for their

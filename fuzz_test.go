@@ -1,0 +1,61 @@
+package coral
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// FuzzEval consults arbitrary program text on a System running under a
+// tight Budget. The contract under fuzz: evaluation either completes or
+// aborts with a typed error — it never panics and never hangs, whatever
+// the program does (unbounded recursion, negation, aggregate selections,
+// arithmetic on garbage). The budget is what turns "never hangs" into a
+// testable property: an infinite fixpoint must trip MaxFacts,
+// MaxIterations or the deadline.
+func FuzzEval(f *testing.F) {
+	seeds := []string{
+		// Unbounded arithmetic recursion: must trip the budget.
+		"module inf.\nexport num(f).\nnum(0).\nnum(X) :- num(Y), X = Y + 1.\nend_module.\n?- num(X).",
+		// Terminating transitive closure with an inline query.
+		"edge(a, b). edge(b, c). edge(c, a).\nmodule m.\nexport tc(ff).\ntc(X, Y) :- edge(X, Y).\ntc(X, Y) :- edge(X, Z), tc(Z, Y).\nend_module.\n?- tc(a, X).",
+		// Stratified negation under Ordered Search.
+		"move(a, b). move(b, c).\nmodule g.\nexport win(b).\n@ordered_search.\nwin(X) :- move(X, Y), not win(Y).\nend_module.\n?- win(a).",
+		// Aggregate selection (shortest paths) with a cycle.
+		"edge(a, b, 1). edge(b, c, 2). edge(c, a, 3).\nmodule sp.\nexport p(bfff).\n@aggregate_selection p(X, Y, P, C) (X, Y) min(C).\np(X, Y, [e(X, Y)], C) :- edge(X, Y, C).\np(X, Y, [e(Z, Y)|P], C1) :- p(X, Z, P, C), edge(Z, Y, EC), C1 = C + EC.\nend_module.\n?- p(a, Y, P, C).",
+		// Pipelined evaluation.
+		"e(1, 2). e(2, 3).\nmodule p.\nexport q(ff).\n@pipelining.\nq(X, Y) :- e(X, Y).\nq(X, Y) :- e(X, Z), q(Z, Y).\nend_module.\n?- q(1, X).",
+		// Head aggregation and set grouping.
+		"s(a, 1). s(a, 2). s(b, 3).\nmodule a.\nexport t(ff).\nt(X, sum(Y)) :- s(X, Y).\nend_module.\n?- t(X, S).",
+		// Runtime type error paths.
+		"v(a, x).\nmodule m.\nexport b(ff).\nb(X, Y) :- v(X, V), Y < V + 1.\nend_module.\n?- b(X, Y).",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		sys := New()
+		sys.SetBudget(Budget{
+			Timeout:       200 * time.Millisecond,
+			MaxFacts:      5000,
+			MaxIterations: 500,
+		})
+		start := time.Now()
+		_, err := sys.Consult(src)
+		if el := time.Since(start); el > 5*time.Second {
+			t.Fatalf("consult ran %v under a 200ms budget", el)
+		}
+		if err != nil {
+			var ab *AbortError
+			if errors.As(err, &ab) && ab.Tripped == "" {
+				t.Fatalf("abort without a tripped reason: %v", err)
+			}
+			return
+		}
+		// A clean consult leaves a usable system: follow-up query on a
+		// trivial base relation must not be poisoned by prior evaluation.
+		if _, err := sys.Consult("zfuzz(ok).\n?- zfuzz(X)."); err != nil {
+			t.Fatalf("follow-up consult failed: %v", err)
+		}
+	})
+}

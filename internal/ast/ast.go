@@ -183,7 +183,10 @@ func (l Literal) write(b *strings.Builder) {
 		b.WriteString(l.Args[1].String())
 		return
 	}
-	b.WriteString(l.Pred)
+	// Quote predicate names the parser would not read back bare (operator
+	// symbols and other non-identifiers reach here via the expression
+	// grammar, e.g. the literal */2 from "a :- 0*0").
+	b.WriteString(term.QuoteAtom(l.Pred))
 	if len(l.Args) == 0 {
 		return
 	}

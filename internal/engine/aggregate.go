@@ -22,7 +22,10 @@ import (
 // evalAggRule runs one aggregate rule to completion and inserts the grouped
 // results. The caller guarantees the body's derived predicates are complete
 // (stratified order, or Ordered Search done guards inside the body).
-func (me *matEval) evalAggRule(c *Compiled) error {
+func (me *matEval) evalAggRule(c *Compiled) (err error) {
+	// The grouped-result inserts below run outside evalRule's recover;
+	// catch budget throws from me.insert here so they return as errors.
+	defer recoverEval(&err)
 	var groupPos []int
 	aggOf := make(map[int]*CAgg, len(c.Aggs))
 	for i := range c.Aggs {
@@ -51,7 +54,7 @@ func (me *matEval) evalAggRule(c *Compiled) error {
 		Line:     c.Line,
 	}
 	tuples := relation.NewHashRelation("$agg", len(synthArgs))
-	err := me.ev.evalRule(synth, fullRanges, func(f Fact) bool {
+	err = me.ev.evalRule(synth, fullRanges, func(f Fact) bool {
 		tuples.Insert(f)
 		return true
 	})

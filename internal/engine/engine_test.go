@@ -669,7 +669,7 @@ func TestNoTypeCheckingSymbolicArith(t *testing.T) {
 	// The paper concedes CORAL does no type checking and type mismatches
 	// surface at run time (§9). Our "=" evaluates arithmetic only when
 	// both operands are numeric; otherwise it unifies structurally, so an
-	// atom flows through as the symbolic term +(x, 1).
+	// atom flows through as the symbolic term (x + 1).
 	src := `
 val(a, 1). val(b, x).
 module m.
@@ -679,7 +679,7 @@ end_module.
 `
 	sys := buildSystem(t, src)
 	got := ask(t, sys, "inc(X, Y)")
-	want := []string{"(a, 2)", "(b, +(x, 1))"}
+	want := []string{"(a, 2)", "(b, (x + 1))"}
 	if strings.Join(got, ";") != strings.Join(want, ";") {
 		t.Fatalf("inc: %v", got)
 	}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"coral/internal/ast"
@@ -43,6 +44,12 @@ type matEval struct {
 	planning bool
 	plans    map[planKey]*cachedPlan
 
+	// guard enforces the call's context and Budget (budget.go). Embedded
+	// by value so an unbudgeted call allocates nothing extra; setGuard
+	// refreshes it per call (save-module evaluations get a fresh deadline
+	// each call).
+	guard budgetGuard
+
 	// Iterations counts fixpoint iterations (reported by benchmarks).
 	Iterations int
 	// ParRounds counts the BSN rounds that actually ran on the worker pool.
@@ -68,9 +75,33 @@ func newMatEval(prog *Program, external func(ast.PredKey) (Source, error)) *matE
 // Err returns the evaluation error, if any.
 func (me *matEval) Err() error { return me.err }
 
-// fail records an error and stops the evaluation.
+// setGuard installs the per-call budget guard and points the evaluator's
+// amortized poll at it (nil when no bound is in force, so the join loop
+// pays a single nil check per tuple).
+func (me *matEval) setGuard(g budgetGuard) {
+	me.guard = g
+	if me.guard.active() {
+		me.ev.guard = &me.guard
+	} else {
+		me.ev.guard = nil
+	}
+}
+
+// fail records an error and stops the evaluation. A budget abort is
+// annotated with the partial RunStats accumulated so far — the "how far did
+// it get" report AbortError carries.
 func (me *matEval) fail(err error) {
 	if me.err == nil {
+		var ab *AbortError
+		if errors.As(err, &ab) && ab.Stats == (RunStats{}) {
+			ab.Stats.Derivations = me.ev.Derivations
+			ab.Stats.Attempts = me.ev.Attempts
+			ab.Stats.Iterations = me.Iterations
+			ab.Stats.ParallelRounds = me.ParRounds
+			for _, rel := range me.st.local {
+				ab.Stats.FactsStored += rel.Len()
+			}
+		}
 		me.err = err
 	}
 	me.finished = true
@@ -110,7 +141,14 @@ func (me *matEval) insert(pred ast.PredKey, f Fact) bool {
 		me.ctx.offer(pred, f, me.currentCaller())
 		return false // availability is deferred to the context
 	}
-	return me.st.rel(pred).Insert(f)
+	if !me.st.rel(pred).Insert(f) {
+		return false
+	}
+	// Charge the fact budget for the accepted insert. A trip throws through
+	// the panic channel; every path into insert is recovered (evalRule,
+	// evalAggRule, ModuleDef.Call).
+	me.guard.noteFact()
+	return true
 }
 
 // dupRel returns the relation the evaluator's duplicate probe should
@@ -175,6 +213,15 @@ func (me *matEval) step() {
 	me.inStep = true
 	defer func() { me.inStep = false }()
 
+	// Round barrier: the cheapest place to notice cancellation, an expired
+	// deadline, or an exhausted iteration budget. Between barriers the join
+	// loop polls amortized (every budgetCheckEvery tuples), so a single
+	// runaway rule application is bounded too.
+	if err := me.guard.checkRound(me.Iterations); err != nil {
+		me.fail(err)
+		return
+	}
+
 	if me.ctx != nil {
 		me.osStep()
 		return
@@ -228,6 +275,7 @@ func (me *matEval) initStratum(st *Stratum) {
 		return
 	}
 	me.exitDone[st] = true
+	heads := me.headMarks(st.ExitRules, st.AggRules)
 	emitFor := func(c *Compiled) emitFunc {
 		return func(f Fact) bool { me.insert(c.HeadPred, f); return true }
 	}
@@ -236,15 +284,50 @@ func (me *matEval) initStratum(st *Stratum) {
 		err := me.ev.evalRule(me.planFor(c, -1), fullRanges, emitFor(c))
 		me.ev.headDup = nil
 		if err != nil {
+			me.rollbackTo(heads)
 			me.fail(err)
 			return
 		}
 	}
 	for _, c := range st.AggRules {
 		if err := me.evalAggRule(c); err != nil {
+			me.rollbackTo(heads)
 			me.fail(err)
 			return
 		}
+	}
+}
+
+// headMarks snapshots the head relations of the given rule sets at a round
+// boundary; rollbackTo undoes the round's inserts on a failed round. It is
+// computed whether or not a budget is in force, so budgeted and unbudgeted
+// runs allocate identically (the E18 overhead criterion).
+func (me *matEval) headMarks(ruleSets ...[]*Compiled) map[ast.PredKey]relation.Mark {
+	marks := make(map[ast.PredKey]relation.Mark)
+	for _, rules := range ruleSets {
+		for _, c := range rules {
+			if _, ok := marks[c.HeadPred]; !ok {
+				marks[c.HeadPred] = me.st.rel(c.HeadPred).Snapshot()
+			}
+		}
+	}
+	return marks
+}
+
+// rollbackTo truncates each head relation to its round-start mark, making a
+// failed or aborted round atomic: a later reader (a lazy answer scan, a
+// follow-up call on a save-module) never observes a torn round. Relations
+// under aggregate selections are skipped — a displacing insert tombstones
+// the displaced fact, and truncation cannot resurrect it (see
+// relation.TruncateTo); their evaluations are invalidated wholesale instead
+// (ModuleDef.Call drops aborted save-module state).
+func (me *matEval) rollbackTo(marks map[ast.PredKey]relation.Mark) {
+	for pred, mk := range marks {
+		r := me.st.rel(pred)
+		if len(r.AggSels()) > 0 {
+			continue
+		}
+		r.TruncateTo(mk)
 	}
 }
 
@@ -317,6 +400,7 @@ func (me *matEval) bsnIteration(st *Stratum) bool {
 			}
 		}
 	}
+	heads := me.headMarks(st.RecRules)
 	before := me.totalFacts(st)
 	for _, c := range st.RecRules {
 		ruleNow := make(map[ast.PredKey]relation.Mark)
@@ -324,6 +408,7 @@ func (me *matEval) bsnIteration(st *Stratum) bool {
 			ruleNow[c.Body[pos].Pred] = now[c.Body[pos].Pred]
 		}
 		if err := me.applyRecursive(c, ruleNow); err != nil {
+			me.rollbackTo(heads)
 			me.fail(err)
 			return false
 		}
@@ -337,6 +422,7 @@ func (me *matEval) bsnIteration(st *Stratum) bool {
 // (paper §4.2; [22]). This typically reaches the fixpoint in fewer rounds
 // for programs with many mutually recursive predicates.
 func (me *matEval) psnIteration(st *Stratum) bool {
+	heads := me.headMarks(st.RecRules)
 	before := me.totalFacts(st)
 	for _, pred := range st.Preds {
 		for _, c := range st.RecRules {
@@ -344,6 +430,7 @@ func (me *matEval) psnIteration(st *Stratum) bool {
 				continue
 			}
 			if err := me.applyRecursive(c, me.snapshotNow(c)); err != nil {
+				me.rollbackTo(heads)
 				me.fail(err)
 				return false
 			}
@@ -356,6 +443,7 @@ func (me *matEval) psnIteration(st *Stratum) bool {
 // semi-naive is measured against (experiment E01). Duplicate checking in
 // the relations provides termination.
 func (me *matEval) naiveIteration(st *Stratum) bool {
+	heads := me.headMarks(st.RecRules)
 	before := me.totalFacts(st)
 	emitFor := func(c *Compiled) emitFunc {
 		return func(f Fact) bool { me.insert(c.HeadPred, f); return true }
@@ -365,6 +453,7 @@ func (me *matEval) naiveIteration(st *Stratum) bool {
 		err := me.ev.evalRule(me.planFor(c, -1), fullRanges, emitFor(c))
 		me.ev.headDup = nil
 		if err != nil {
+			me.rollbackTo(heads)
 			me.fail(err)
 			return false
 		}

@@ -104,6 +104,11 @@ type evaluator struct {
 	// Ordered Search (availability is deferred to the context), tracing
 	// (justifications are recorded per derivation), or multisets.
 	headDup *relation.HashRelation
+	// guard, when non-nil, is polled amortized — once per budgetCheckEvery
+	// tuples considered — so a long scan notices cancellation and deadlines
+	// between round barriers. nil costs one branch per tuple.
+	guard      *budgetGuard
+	budgetTick int
 	// stats
 	Derivations int // successful head instantiations
 	Attempts    int // tuples considered across all loops
@@ -112,6 +117,19 @@ type evaluator struct {
 // emitFunc receives each derived head fact; returning false stops the rule
 // evaluation early (used by lazy scans and existence checks).
 type emitFunc func(Fact) bool
+
+// pollBudget is the amortized in-scan budget check: every budgetCheckEvery
+// tuples it consults the guard, which throws an *AbortError through the
+// panic channel on a tripped budget (recovered in evalRule).
+func (ev *evaluator) pollBudget() {
+	if ev.guard == nil {
+		return
+	}
+	if ev.budgetTick++; ev.budgetTick >= budgetCheckEvery {
+		ev.budgetTick = 0
+		ev.guard.poll()
+	}
+}
 
 // evalRule evaluates one rule version, calling emit for every derivation.
 func (ev *evaluator) evalRule(c *Compiled, rr ruleRanges, emit emitFunc) error {
@@ -213,6 +231,7 @@ func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Tra
 				continue
 			}
 			ev.Attempts++
+			ev.pollBudget()
 			if evalBuiltin(it.Op, it.Args, env, tr) {
 				fr.done = true
 				i++
@@ -231,6 +250,7 @@ func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Tra
 				continue
 			}
 			ev.Attempts++
+			ev.pollBudget()
 			if !ev.hasMatch(it, env, tr) {
 				fr.done = true
 				i++
@@ -253,6 +273,7 @@ func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Tra
 					break
 				}
 				ev.Attempts++
+				ev.pollBudget()
 				if it.ArgsGround && f.NVars == 0 {
 					// Ground vs ground: equality, decided on hash-cons
 					// identifiers, with no environments touched.

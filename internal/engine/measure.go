@@ -40,9 +40,9 @@ func (sys *System) MeasureCall(pred ast.PredKey, args []term.Term) (RunStats, er
 	}
 	var stats RunStats
 	err = drainCounting(it, &stats)
-	if err != nil {
-		return stats, err
-	}
+	// Fill the engine counters even when the drain aborted: the partial
+	// stats are exactly what AbortError reports, and callers measuring a
+	// budgeted run want them either way.
 	if scan, isMat := it.(*answerScan); isMat {
 		stats.Derivations = scan.me.ev.Derivations
 		stats.Attempts = scan.me.ev.Attempts
@@ -52,7 +52,7 @@ func (sys *System) MeasureCall(pred ast.PredKey, args []term.Term) (RunStats, er
 			stats.FactsStored += rel.Len()
 		}
 	}
-	return stats, nil
+	return stats, err
 }
 
 // MeasureFirstAnswer times the latency to the first answer of a call —

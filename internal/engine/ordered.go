@@ -186,7 +186,14 @@ func (me *matEval) osStep() {
 		if !top.retiring {
 			if sg := top.nextUnavailable(); sg != nil {
 				sg.available = true
-				me.st.rel(sg.pred).Insert(sg.fact)
+				if me.st.rel(sg.pred).Insert(sg.fact) {
+					// Magic facts bypass me.insert when offered to the
+					// context (availability is deferred); charge the fact
+					// budget when one actually becomes available.
+					if err := me.guard.addFact(); err != nil {
+						me.fail(err)
+					}
+				}
 				return
 			}
 			top.retiring = true

@@ -184,6 +184,16 @@ func (me *matEval) bsnParallel(st *Stratum, workers int) bool {
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+	// Workers share the call's budget guard: each polls the context and
+	// deadline amortized through its private evaluator, and buffered emits
+	// are charged against the shared atomic fact counter — so a round that
+	// would buffer far past MaxFacts stops in the worker phase, not at the
+	// merge. Emits the merge later rejects as duplicates stay charged (a
+	// small overshoot; workers pre-filter most duplicates anyway).
+	var guard *budgetGuard
+	if me.guard.active() {
+		guard = &me.guard
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -197,35 +207,59 @@ func (me *matEval) bsnParallel(st *Stratum, workers int) bool {
 				ev := &evs[i]
 				ev.st = me.st
 				ev.IntelligentBacktracking = me.ev.IntelligentBacktracking
+				ev.guard = guard
 				if t.filter {
 					// The head relation is frozen during the worker phase
 					// (single-writer merge happens after the barrier), so the
 					// probe sees exactly the facts DuplicateWithin would.
 					ev.headDup = t.head
 				}
-				errs[i] = ev.evalRule(t.c, t.rr, func(f Fact) bool {
+				var emitErr error
+				err := ev.evalRule(t.c, t.rr, func(f Fact) bool {
 					if t.filter && t.head.DuplicateWithin(f, t.headSnap) {
 						return true // merge would reject it; drop in parallel
+					}
+					if emitErr = guard.addFact(); emitErr != nil {
+						return false // budget tripped: stop this task cleanly
 					}
 					results[i] = append(results[i], f)
 					return true
 				})
+				if err == nil {
+					err = emitErr
+				}
+				errs[i] = err
 			}
 		}()
 	}
+	// The barrier always joins every worker — also on abort, so no
+	// goroutine outlives the round (workers notice a tripped budget at
+	// their next amortized poll or emit and drain quickly).
 	wg.Wait()
 	me.ParRounds++
 
-	// Single-writer merge in task order == sequential emission order.
+	for i := range tasks {
+		me.ev.Derivations += evs[i].Derivations
+		me.ev.Attempts += evs[i].Attempts
+	}
+	// A failed round merges nothing: the head relations still hold exactly
+	// their round-start prefixes, so the abort leaves no torn round and the
+	// buffered results are simply discarded.
 	for i := range tasks {
 		if errs[i] != nil {
 			me.fail(errs[i])
 			return false
 		}
-		me.ev.Derivations += evs[i].Derivations
-		me.ev.Attempts += evs[i].Attempts
+	}
+
+	// Single-writer merge in task order == sequential emission order. The
+	// inserts bypass me.insert: parallel rounds never run under Ordered
+	// Search (workersFor), and the workers already charged these facts
+	// against the budget, so counting them again would double-bill.
+	for i := range tasks {
+		head := me.st.rel(tasks[i].c.HeadPred)
 		for _, f := range results[i] {
-			me.insert(tasks[i].c.HeadPred, f)
+			head.Insert(f)
 		}
 	}
 	for ri, c := range st.RecRules {

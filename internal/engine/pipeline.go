@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 
 	"coral/internal/ast"
@@ -62,6 +63,32 @@ type pipeEval struct {
 	pp  *pipeProgram
 	sys *System
 	tr  *term.Trail
+	// guard enforces the call's context and Budget; tick amortizes the
+	// polls to one per budgetCheckEvery solver steps. Pipelining has no
+	// round barriers — the iterator tree itself is the evaluation — so
+	// these per-step polls are the only cancellation points.
+	guard budgetGuard
+	tick  int
+}
+
+// poll is the pipelined evaluator's amortized budget check; a tripped
+// budget throws and is recovered in pipeScan.Next.
+func (ev *pipeEval) poll() {
+	if !ev.guard.active() {
+		return
+	}
+	if ev.tick++; ev.tick >= budgetCheckEvery {
+		ev.tick = 0
+		ev.guard.poll()
+	}
+}
+
+// noteSolution charges one rule solution against the fact budget: derived
+// tuples are never stored under pipelining, so solutions are the analog of
+// derived facts (MaxFacts bounds an infinite top-down recursion even
+// without a deadline).
+func (ev *pipeEval) noteSolution() {
+	ev.guard.noteFact()
 }
 
 // call sets up a pipelined evaluation of pred(args) and returns its answer
@@ -75,6 +102,7 @@ func (pp *pipeProgram) call(sys *System, pred ast.PredKey, args []term.Term, env
 	callArgs, nvars := term.ResolveArgs(args, env)
 	callEnv := term.NewEnv(nvars)
 	ev := &pipeEval{pp: pp, sys: sys, tr: &term.Trail{}}
+	ev.guard = sys.newGuard()
 	return &pipeScan{
 		ev:       ev,
 		root:     ev.newGoal(pred, callArgs, callEnv),
@@ -89,6 +117,7 @@ type pipeScan struct {
 	root     solIter
 	callArgs []term.Term
 	callEnv  *term.Env
+	answers  int
 	done     bool
 }
 
@@ -104,12 +133,20 @@ func (s *pipeScan) Next() (f Fact, ok bool) {
 	}()
 	if err != nil {
 		s.done = true
-		throwf("%v", err)
+		// A pipelined abort reports the answers streamed so far (the only
+		// stat a strategy that stores nothing can have); re-throw the error
+		// value itself so the typed *AbortError survives.
+		var ab *AbortError
+		if errors.As(err, &ab) && ab.Stats == (RunStats{}) {
+			ab.Stats.Answers = s.answers
+		}
+		Throw(err)
 	}
 	if !ok {
 		s.done = true
 		return Fact{}, false
 	}
+	s.answers++
 	return relation.NewFact(s.callArgs, s.callEnv), true
 }
 
@@ -142,6 +179,7 @@ type goalIter struct {
 
 func (g *goalIter) next() bool {
 	for {
+		g.ev.poll()
 		if g.cur != nil {
 			if g.cur.next() {
 				return true
@@ -194,9 +232,13 @@ func (r *ruleSol) next() bool {
 		r.pos = n - 1
 	}
 	for r.pos >= 0 {
+		r.ev.poll()
 		if r.iters[r.pos].next() {
 			r.pos++
 			if r.pos == n {
+				// A completed rule solution is the pipelined analog of a
+				// derived fact; charge it against the fact budget.
+				r.ev.noteSolution()
 				return true
 			}
 			r.iters[r.pos] = r.makeIter(r.pos)
@@ -309,6 +351,7 @@ func (f *factIter) next() bool {
 		f.iter = src.Lookup(f.args, f.env)
 	}
 	for {
+		f.ev.poll()
 		f.ev.tr.Undo(f.mark)
 		fact, ok := f.iter.Next()
 		if !ok {

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -31,6 +32,15 @@ type System struct {
 	// order, preserving the pre-planner behavior byte for byte. Ordered
 	// Search and traced evaluations always use the written order.
 	JoinPlanning bool
+	// Ctx, when non-nil, is polled during evaluation; cancellation aborts
+	// the running call with an *AbortError. The single-user interactive
+	// system makes a stored context the natural shape: the REPL arms it
+	// per input line (Ctrl-C interrupts the query, not the process).
+	Ctx context.Context
+	// Budget bounds each evaluated call (see Budget); the zero value is
+	// unlimited. The deadline is anchored when a call starts, so a
+	// save-module evaluation gets a fresh deadline per call.
+	Budget Budget
 }
 
 // NewSystem creates an empty system.
@@ -213,7 +223,10 @@ type moduleCallSource struct {
 func (s *moduleCallSource) Lookup(pattern []term.Term, env *term.Env) relation.Iterator {
 	it, err := s.def.Call(s.pred, pattern, env)
 	if err != nil {
-		throwf("%v", err)
+		// Re-throw the error value itself (not a reformatted copy) so a
+		// typed *AbortError from the callee survives to the caller's
+		// evaluation boundary.
+		Throw(err)
 	}
 	return it
 }
@@ -233,7 +246,10 @@ func (s *moduleCallSource) Snapshot() relation.Mark { return 0 }
 // pattern (under env) supplies the bindings; the best matching declared
 // query form is chosen. Answers stream through the returned iterator;
 // callers unify each fact against their pattern.
-func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (relation.Iterator, error) {
+func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (it relation.Iterator, err error) {
+	// Budget aborts travel the panic channel (Throw); recover here so a
+	// trip during seeding or an eager run surfaces as the call's error.
+	defer recoverEval(&err)
 	if def.pipe != nil {
 		return def.pipe.call(def.sys, pred, args, env)
 	}
@@ -248,7 +264,11 @@ func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (r
 	var me *matEval
 	if prog.SaveModule {
 		me = def.saved[formKey(pred.Name, form)]
-		if me == nil {
+		if me == nil || me.err != nil {
+			// No saved state yet — or the previous call aborted, leaving
+			// relations that may be missing derivations (or, mid-round,
+			// partial ones): the state is invalid and a fresh evaluation
+			// replaces it, so a follow-up call sees no torn state.
 			me = newMatEval(prog, def.sys.external)
 			def.saved[formKey(pred.Name, form)] = me
 		}
@@ -258,6 +278,7 @@ func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (r
 	// Re-applied on every call so saved evaluations follow later changes.
 	me.parallelism = def.sys.fixpointWorkers()
 	me.planning = def.sys.JoinPlanning
+	me.setGuard(def.sys.newGuard())
 	me.addSeed(args, env)
 	pat, nvars := term.ResolveArgs(args, env)
 	if prog.KeepPositions != nil {
@@ -462,13 +483,13 @@ func (s *answerScan) Next() (Fact, bool) {
 		}
 		if s.me.finished {
 			if s.me.err != nil {
-				throwf("%v", s.me.err)
+				Throw(s.me.err) // preserve typed errors (*AbortError)
 			}
 			return Fact{}, false
 		}
 		s.me.step()
 		if s.me.err != nil {
-			throwf("%v", s.me.err)
+			Throw(s.me.err)
 		}
 	}
 }
@@ -517,10 +538,15 @@ func (sys *System) Query(body []ast.Literal) (vars []string, facts []Fact, err e
 		return nil, nil, err
 	}
 	st := newStore(sys.external, nil)
+	guard := sys.newGuard()
 	ev := &evaluator{st: st, IntelligentBacktracking: true}
+	if guard.active() {
+		ev.guard = &guard
+	}
 	dedup := relation.NewHashRelation("$query", len(headArgs))
 	err = ev.evalRule(c, fullRanges, func(f Fact) bool {
 		if dedup.Insert(f) {
+			guard.noteFact()
 			facts = append(facts, f)
 		}
 		return true

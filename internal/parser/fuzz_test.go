@@ -1,0 +1,109 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"coral/internal/ast"
+)
+
+// printUnit renders a parsed unit back to source syntax using the ast
+// printers (the same ones the optimizer uses to write rewritten programs).
+func printUnit(u *ast.Unit) string {
+	var b strings.Builder
+	for _, f := range u.Facts {
+		b.WriteString(f.String())
+		b.WriteString(".\n")
+	}
+	for _, ix := range u.Indexes {
+		b.WriteString("@make_index " + ix.Pred + "(")
+		for i, p := range ix.Pattern {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(p.String())
+		}
+		b.WriteString(") (" + strings.Join(ix.KeyVars, ", ") + ").\n")
+	}
+	for _, m := range u.Modules {
+		b.WriteString(m.String())
+	}
+	for _, q := range u.Queries {
+		b.WriteString(q.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// checkPositions asserts every parser-reported source position lands
+// inside the input: lines in [1, #lines], columns >= 1. (Rewriter-made
+// nodes carry zero positions; the parser must never emit them.)
+func checkPositions(t *testing.T, src string, u *ast.Unit) {
+	t.Helper()
+	lines := strings.Count(src, "\n") + 1
+	check := func(what string, line, col int) {
+		if line < 1 || line > lines || col < 1 {
+			t.Errorf("%s position %d:%d outside input (%d lines)", what, line, col, lines)
+		}
+	}
+	for i := range u.Facts {
+		check("fact", u.Facts[i].Line, u.Facts[i].Col)
+	}
+	for _, m := range u.Modules {
+		check("module", m.Line, m.Col)
+		for _, e := range m.Exports {
+			check("export", e.Line, e.Col)
+		}
+		for _, r := range m.Rules {
+			check("rule", r.Line, r.Col)
+			check("head", r.Head.Line, r.Head.Col)
+			for i := range r.Body {
+				check("literal", r.Body[i].Line, r.Body[i].Col)
+			}
+		}
+	}
+	for _, q := range u.Queries {
+		for i := range q.Body {
+			check("query literal", q.Body[i].Line, q.Body[i].Col)
+		}
+	}
+}
+
+// FuzzParse asserts three parser properties on arbitrary input: it never
+// panics, every reported position lies inside the input, and accepted
+// programs round-trip — printing the unit yields source the parser accepts
+// again, and printing that second unit reproduces the first print byte for
+// byte (print∘parse is a fixpoint on printed programs).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"edge(a, b).\nedge(b, c).",
+		"module m.\nexport p(bf, ff).\np(X, Y) :- edge(X, Y).\np(X, Y) :- edge(X, Z), p(Z, Y).\nend_module.",
+		"module m.\nexport win(b).\n@ordered_search.\nwin(X) :- move(X, Y), not win(Y).\nend_module.",
+		"module sp.\nexport s_p(bfff).\n@aggregate_selection p(X, Y, P, C) (X, Y) min(C).\n" +
+			"s_p_length(X, Y, min(C)) :- p(X, Y, P, C).\np(X, Y, [e(X, Y)], C) :- edge(X, Y, C).\nend_module.",
+		"module a.\nexport n(f).\n@rewrite none.\n@psn.\nn(0).\nn(X) :- n(Y), X = Y + 1, Y < 10.\nend_module.\n?- n(X).",
+		"@make_index emp(Name, addr(Street, City)) (Name, City).\nemp(ann, addr(main, here)).",
+		"module q.\nexport all(fff).\n@pipelining.\nall(X, Y, s(X, [Y|T])) :- e(X, Y), f([a, b|T]).\nend_module.",
+		"p(\"a string\", 'quoted atom', -42, 3.5).\n?- p(X, Y, Z, W).",
+		"module m.\nexport c(f).\nc(count(X)) :- e(X).\nc2(set(X)) :- e(X).\nend_module.",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		u, err := Parse(src)
+		if err != nil {
+			return // rejected input is fine; panics and bad positions are not
+		}
+		checkPositions(t, src, u)
+		printed := printUnit(u)
+		u2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("printed program rejected: %v\ninput: %q\nprinted: %q", err, src, printed)
+		}
+		printed2 := printUnit(u2)
+		if printed2 != printed {
+			t.Fatalf("print is not a fixpoint:\nfirst:  %q\nsecond: %q\ninput: %q", printed, printed2, src)
+		}
+	})
+}

@@ -7,6 +7,7 @@ package parser
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 )
 
@@ -243,19 +244,20 @@ func (lx *lexer) lexQuoted(quote byte, kind tokKind) (token, error) {
 			return token{kind: kind, text: b.String(), line: line, col: col}, nil
 		}
 		if c == '\\' && lx.pos+1 < len(lx.src) {
-			lx.pos++
-			e := lx.src[lx.pos]
-			switch e {
-			case 'n':
-				b.WriteByte('\n')
-			case 't':
-				b.WriteByte('\t')
-			case '\\', '\'', '"':
-				b.WriteByte(e)
-			default:
-				return token{}, lx.errorf("unknown escape \\%c", e)
+			// Accept the full Go escape set (\n, \t, \xHH, \uHHHH, ...):
+			// the term printer quotes strings with strconv.Quote, so the
+			// lexer must read back everything it can emit. A non-multibyte
+			// value is a raw byte (\xFF in a non-UTF-8 string), not a rune.
+			r, mb, tail, err := strconv.UnquoteChar(lx.src[lx.pos:], quote)
+			if err != nil {
+				return token{}, lx.errorf("unknown escape \\%c", lx.src[lx.pos+1])
 			}
-			lx.pos++
+			if mb {
+				b.WriteRune(r)
+			} else {
+				b.WriteByte(byte(r))
+			}
+			lx.pos += len(lx.src) - lx.pos - len(tail)
 			continue
 		}
 		if c == '\n' {

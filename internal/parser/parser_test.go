@@ -256,21 +256,21 @@ func TestParseArithPrecedence(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.String() != "-(+(1, *(2, 3)), 4)" {
+	if got.String() != "((1 + (2 * 3)) - 4)" {
 		t.Errorf("precedence tree: %v", got)
 	}
 	got, err = ParseTerm("(1 + 2) * 3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.String() != "*(+(1, 2), 3)" {
+	if got.String() != "((1 + 2) * 3)" {
 		t.Errorf("paren tree: %v", got)
 	}
 	got, err = ParseTerm("10 mod 3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.String() != "mod(10, 3)" {
+	if got.String() != "(10 mod 3)" {
 		t.Errorf("mod tree: %v", got)
 	}
 }

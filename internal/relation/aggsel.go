@@ -82,6 +82,24 @@ func (r *HashRelation) AggSels() []*AggSel { return r.aggSels }
 
 func (s *AggSel) clear() { s.groups = make(map[uint64]*aggGroup) }
 
+// truncate rebuilds the group state after the relation was cut back to
+// limit ordinals: groups must not hold rolled-back ordinals, and best
+// values must reflect only surviving facts. Replaying commit over the
+// surviving live facts is sound because the live set is already
+// selection-consistent — every live fact in a group carries the group's
+// best value (worse facts were rejected, bettered facts are dead), so the
+// replay never displaces anything. Facts tombstoned before the truncation
+// point stay dead: truncate restores insertions, not deletions.
+func (s *AggSel) truncate(r *HashRelation, limit int32) {
+	s.groups = make(map[uint64]*aggGroup)
+	for ord := int32(0); ord < limit; ord++ {
+		if r.facts[ord].dead {
+			continue
+		}
+		s.commit(r, r.facts[ord].fact, ord)
+	}
+}
+
 // groupFor returns the group of f, creating it if asked. A fact with
 // non-ground group values falls outside the selection (nil group): the
 // selection does not constrain it.

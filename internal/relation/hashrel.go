@@ -337,6 +337,99 @@ func (r *HashRelation) liveOnly(l []int32) []int32 {
 	return nl
 }
 
+// TruncateTo rolls the relation back to a previous Snapshot: every fact
+// with ordinal >= mark is removed as if never inserted. The engine uses it
+// to make an aborted fixpoint round atomic (DESIGN.md §5.11).
+//
+// All derived structures are restored to a consistent state: dedup,
+// non-ground and index postings are cut back so nothing points at a
+// rolled-back ordinal (postings are ordinal-sorted, so the cut is a binary
+// search per list); the per-column distinct sketches are rebuilt from the
+// surviving facts (linear counting cannot forget); the compaction trigger
+// is re-clamped so posting compaction keeps firing at the intended churn
+// threshold; and aggregate-selection group state is rebuilt so no group
+// holds a rolled-back ordinal.
+//
+// Two contractual limits. First, TruncateTo rolls back insertions, not
+// deletions: a fact below mark that was tombstoned (Delete, or displaced by
+// an aggregate selection) stays dead — callers that need delete-exact
+// rollback must not use TruncateTo on relations with aggregate selections
+// (the engine invalidates those evaluations wholesale instead). Second,
+// unlike appends and posting compaction, truncation invalidates iterators
+// whose range extends past mark; the single-writer contract's writer must
+// only truncate marks no live reader has been handed.
+func (r *HashRelation) TruncateTo(mark Mark) {
+	m := int(mark)
+	if m < 0 {
+		m = 0
+	}
+	if m >= len(r.facts) {
+		return
+	}
+	removed := 0
+	for ord := m; ord < len(r.facts); ord++ {
+		if !r.facts[ord].dead {
+			r.live--
+		}
+		removed++
+	}
+	r.facts = r.facts[:m]
+	if r.inserted > removed {
+		r.inserted -= removed
+	} else {
+		r.inserted = 0
+	}
+	limit := int32(m)
+	cut := func(l []int32) []int32 { return l[:lowerBound(l, limit)] }
+	for h, l := range r.dedup {
+		if nl := cut(l); len(nl) == 0 {
+			delete(r.dedup, h)
+		} else {
+			r.dedup[h] = nl
+		}
+	}
+	r.nonground = cut(r.nonground)
+	for _, ix := range r.indexes {
+		for h, l := range ix.buckets {
+			if nl := cut(l); len(nl) == 0 {
+				delete(ix.buckets, h)
+			} else {
+				ix.buckets[h] = nl
+			}
+		}
+		ix.varBucket = cut(ix.varBucket)
+	}
+	for _, ix := range r.patIndexes {
+		for h, l := range ix.buckets {
+			if nl := cut(l); len(nl) == 0 {
+				delete(ix.buckets, h)
+			} else {
+				ix.buckets[h] = nl
+			}
+		}
+		ix.overflow = cut(ix.overflow)
+	}
+	// Truncation can only shrink the tombstone count; clamp the compaction
+	// baseline so maybeCompact's "tombstones since last compaction" stays
+	// non-negative and the next churn still triggers on schedule.
+	if dead := len(r.facts) - r.live; r.deadAtCompact > dead {
+		r.deadAtCompact = dead
+	}
+	// Linear-counting sketches cannot remove values; rebuild them from the
+	// surviving live facts so the planner's estimates track reality.
+	for i := range r.colSketch {
+		r.colSketch[i].reset()
+	}
+	for ord := range r.facts {
+		if !r.facts[ord].dead {
+			r.noteStats(r.facts[ord].fact)
+		}
+	}
+	for _, s := range r.aggSels {
+		s.truncate(r, limit)
+	}
+}
+
 // Clear removes all facts but keeps index definitions.
 func (r *HashRelation) Clear() {
 	r.facts = nil

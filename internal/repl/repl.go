@@ -5,7 +5,9 @@ package repl
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
+	"time"
 
 	coral "coral"
 )
@@ -19,6 +21,9 @@ const HelpText = `Commands (all end with a period):
   rewritten(mod, p, "bf").  show the optimizer's rewritten program
   save("file", pred/2).     write a base relation as a consultable file
   :vet "file".              run static analysis over a program file without loading it
+  :budget timeout=2s facts=100000 iters=1000.
+                            bound every evaluation; ":budget off." clears,
+                            bare ":budget." shows the current limits
   help.                     this text
   halt.                     exit`
 
@@ -62,6 +67,9 @@ func (s *Session) Execute(text string) (output string, done bool) {
 	}
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(body), ":vet"); ok {
 		return s.vet(rest), false
+	}
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(body), ":budget"); ok {
+		return s.budget(rest), false
 	}
 	if arg, ok := command(body, "consult"); ok {
 		results, err := s.Sys.ConsultFile(strings.Trim(strings.TrimSpace(arg), `"'`))
@@ -159,6 +167,72 @@ func (s *Session) vet(arg string) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// budget sets, clears or shows the evaluation budget. Accepted forms:
+//
+//	:budget.                                   show current limits
+//	:budget off.                               clear all limits
+//	:budget timeout=2s facts=100000 iters=50.  set any subset (replaces all)
+func (s *Session) budget(arg string) string {
+	arg = strings.TrimSpace(arg)
+	if arg == "" {
+		return renderBudget(s.Sys.Budget())
+	}
+	if arg == "off" {
+		s.Sys.SetBudget(coral.Budget{})
+		return "budget cleared.\n"
+	}
+	var b coral.Budget
+	for _, tok := range strings.Fields(arg) {
+		key, val, ok := strings.Cut(tok, "=")
+		if !ok {
+			return fmt.Sprintf("error: bad budget setting %q (want key=value)\n%s", tok, budgetUsage)
+		}
+		switch key {
+		case "timeout":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return fmt.Sprintf("error: bad timeout %q (want a positive duration like 2s)\n", val)
+			}
+			b.Timeout = d
+		case "facts":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return fmt.Sprintf("error: bad facts limit %q (want a positive integer)\n", val)
+			}
+			b.MaxFacts = n
+		case "iters":
+			n, err := strconv.Atoi(val)
+			if err != nil || n <= 0 {
+				return fmt.Sprintf("error: bad iters limit %q (want a positive integer)\n", val)
+			}
+			b.MaxIterations = n
+		default:
+			return fmt.Sprintf("error: unknown budget key %q\n%s", key, budgetUsage)
+		}
+	}
+	s.Sys.SetBudget(b)
+	return renderBudget(b)
+}
+
+const budgetUsage = "usage: :budget timeout=2s facts=100000 iters=50.  (any subset; \":budget off.\" clears)\n"
+
+func renderBudget(b coral.Budget) string {
+	var parts []string
+	if b.Timeout > 0 {
+		parts = append(parts, "timeout="+b.Timeout.String())
+	}
+	if b.MaxFacts > 0 {
+		parts = append(parts, fmt.Sprintf("facts=%d", b.MaxFacts))
+	}
+	if b.MaxIterations > 0 {
+		parts = append(parts, fmt.Sprintf("iters=%d", b.MaxIterations))
+	}
+	if len(parts) == 0 {
+		return "budget: unlimited.\n"
+	}
+	return "budget: " + strings.Join(parts, " ") + "\n"
 }
 
 // assertable reports whether the input is a single positive ground literal

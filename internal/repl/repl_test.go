@@ -224,3 +224,54 @@ end_module.
 		t.Fatalf("bare :vet: %q", out)
 	}
 }
+
+func TestBudgetCommand(t *testing.T) {
+	s := session(t)
+	out, _ := s.Execute(":budget.")
+	if out != "budget: unlimited.\n" {
+		t.Fatalf("initial: %q", out)
+	}
+	out, _ = s.Execute(":budget timeout=2s facts=100 iters=7.")
+	if out != "budget: timeout=2s facts=100 iters=7\n" {
+		t.Fatalf("set: %q", out)
+	}
+	b := s.Sys.Budget()
+	if b.Timeout.String() != "2s" || b.MaxFacts != 100 || b.MaxIterations != 7 {
+		t.Fatalf("budget not applied: %+v", b)
+	}
+	out, _ = s.Execute(":budget.")
+	if out != "budget: timeout=2s facts=100 iters=7\n" {
+		t.Fatalf("show: %q", out)
+	}
+	// A budgeted runaway query aborts with an error instead of hanging,
+	// and the session keeps answering afterwards.
+	s.Execute(":budget iters=5.")
+	s.Execute("num(0).")
+	s.Execute(`module n.
+export up(f).
+@rewrite none.
+up(X) :- num(X).
+up(Y) :- up(X), Y = X + 1.
+end_module.`)
+	out, _ = s.Execute("up(X).")
+	if !strings.Contains(out, "error") || !strings.Contains(out, "iteration") {
+		t.Fatalf("runaway query under budget: %q", out)
+	}
+	out, _ = s.Execute(":budget off.")
+	if out != "budget cleared.\n" {
+		t.Fatalf("clear: %q", out)
+	}
+	if b := s.Sys.Budget(); b != (coral.Budget{}) {
+		t.Fatalf("budget not cleared: %+v", b)
+	}
+	out, _ = s.Execute("num(X).")
+	if !strings.Contains(out, "X = 0") {
+		t.Fatalf("follow-up query after abort: %q", out)
+	}
+	// Errors: bad token, bad value, unknown key.
+	for _, bad := range []string{":budget 2s.", ":budget timeout=nope.", ":budget fuel=3."} {
+		if out, _ := s.Execute(bad); !strings.Contains(out, "error") {
+			t.Fatalf("%s: want error, got %q", bad, out)
+		}
+	}
+}

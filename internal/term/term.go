@@ -310,6 +310,22 @@ func writeFunctor(b *strings.Builder, f *Functor) {
 		writeList(b, f)
 		return
 	}
+	// Binary arithmetic prints infix and parenthesized, which the parser's
+	// expression grammar reparses to the identical tree; the prefix form
+	// +(Y, 1) would not be accepted back.
+	if len(f.Args) == 2 {
+		switch f.Sym {
+		case "+", "-", "*", "/", "mod":
+			b.WriteByte('(')
+			b.WriteString(f.Args[0].String())
+			b.WriteByte(' ')
+			b.WriteString(f.Sym)
+			b.WriteByte(' ')
+			b.WriteString(f.Args[1].String())
+			b.WriteByte(')')
+			return
+		}
+	}
 	writeAtomName(b, f.Sym)
 	if len(f.Args) == 0 {
 		return
@@ -347,6 +363,16 @@ func writeList(b *strings.Builder, f *Functor) {
 	b.WriteByte(']')
 }
 
+// QuoteAtom renders sym the way the parser reads it back: bare when it is
+// a plain identifier, quoted otherwise. The ast printers use it for
+// predicate names that are not plain identifiers (e.g. a literal whose
+// predicate is an operator symbol).
+func QuoteAtom(sym string) string {
+	var b strings.Builder
+	writeAtomName(&b, sym)
+	return b.String()
+}
+
 // writeAtomName writes sym, quoting it if it is not a plain identifier.
 func writeAtomName(b *strings.Builder, sym string) {
 	if isPlainAtom(sym) {
@@ -367,9 +393,12 @@ func isPlainAtom(sym string) bool {
 	if sym == "" {
 		return false
 	}
-	// Operators and bracket atoms print bare.
+	// The nil atom prints bare ([] reparses as itself). Operator symbols do
+	// not: outside the infix arithmetic form (writeFunctor) the parser only
+	// accepts them in term position when quoted. "mod" is alphabetic and
+	// falls through to the identifier rule below.
 	switch sym {
-	case NilSym, ListSym, "+", "-", "*", "/", "mod", "=", "<", ">", ">=", "=<", "!=", "==":
+	case NilSym:
 		return true
 	}
 	for i, r := range sym {

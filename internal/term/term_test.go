@@ -324,13 +324,22 @@ func TestUnifyGroundFastPath(t *testing.T) {
 }
 
 func TestOccursCheck(t *testing.T) {
+	defer func(old bool) { OccursCheck = old }(OccursCheck)
 	OccursCheck = true
-	defer func() { OccursCheck = false }()
 	var tr Trail
 	env := NewEnv(1)
 	x := &Var{Name: "X", Index: 0}
 	if Unify(x, env, NewFunctor("f", x), env, &tr) {
 		t.Error("occurs check failed to reject X = f(X)")
+	}
+	// The check prunes through a ground spine: X against f(g(a), X) must
+	// still be rejected even though g(a) is ground and skipped.
+	if Unify(x, env, NewFunctor("f", NewFunctor("g", Atom("a")), x), env, &tr) {
+		t.Error("occurs check missed a variable behind a ground sibling")
+	}
+	// And a genuinely ground term must still bind.
+	if !Unify(x, env, NewFunctor("f", Atom("a")), env, &tr) {
+		t.Error("occurs check rejected a ground binding")
 	}
 }
 

@@ -6,9 +6,15 @@ package term
 // patterns against tuples, and undoes the bindings via the trail on
 // backtracking.
 
-// OccursCheck enables the occurs check in Unify. CORAL, like Prolog
-// implementations, runs without it by default.
-var OccursCheck = false
+// OccursCheck enables the occurs check in Unify. It is on by default:
+// without it, X = f(X) builds a cyclic term and every subsequent deep
+// operation (resolution, hashing, printing, further unification) recurses
+// until the stack dies — found by FuzzEval, which requires evaluation to
+// abort or terminate but never crash. The check is cheap because occurs()
+// prunes syntactically ground subtrees via the memoized MaxVar, so only
+// the variable-carrying spine is walked. Experiments may switch it off to
+// measure the paper's unchecked behavior.
+var OccursCheck = true
 
 // Unify attempts to unify a (in env ae) with b (in env be), recording new
 // bindings on tr. It returns true on success; on failure the caller must
@@ -103,8 +109,15 @@ func occurs(v *Var, venv *Env, t Term, te *Env) bool {
 	t, te = Deref(t, te)
 	switch x := t.(type) {
 	case *Var:
-		return x == v && te == venv || (x.Index == v.Index && te == venv)
+		if te != venv {
+			return false
+		}
+		// Unnumbered variables (Index < 0) only have pointer identity.
+		return x == v || (x.Index >= 0 && x.Index == v.Index)
 	case *Functor:
+		if MaxVar(x) == -1 {
+			return false // syntactically ground: no variable occurs inside
+		}
 		for _, a := range x.Args {
 			if occurs(v, venv, a, te) {
 				return true

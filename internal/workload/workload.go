@@ -183,26 +183,58 @@ end_module.
 // (e.g. "@rewrite none.") to pick the evaluation strategy. The property
 // test in internal/engine runs these under BSN, PSN, naive and parallel
 // evaluation and requires identical answer sets.
+//
+// Seed-dependently, the module grows two extra layers above the recursive
+// core: a stratified negation layer (q0, exported when present) whose
+// negated literal is fully bound by the positive part, and an
+// @aggregate_selection layer (agg0, exported when present) using min — a
+// deterministic selection whose surviving set is independent of derivation
+// order, unlike any. The draws come after the p-layer's, so a given seed
+// produces the same recursive core it always did; aggregate selections
+// disable parallel rounds wholesale, which is why agg emission must not be
+// unconditional — seeds without it keep parallel differential coverage.
 func RandomDatalogModule(seed int64, ann string) string {
 	r := rand.New(rand.NewSource(seed))
 	k := 2 + r.Intn(3)
-	var b strings.Builder
-	b.WriteString("module rnd.\nexport p0(ff).\n")
-	b.WriteString(ann)
+	var rules strings.Builder
 	for i := 0; i < k; i++ {
-		fmt.Fprintf(&b, "p%d(X, Y) :- edge(X, Y).\n", i)
-		rules := 1 + r.Intn(3)
-		for n := 0; n < rules; n++ {
+		fmt.Fprintf(&rules, "p%d(X, Y) :- edge(X, Y).\n", i)
+		n := 1 + r.Intn(3)
+		for ; n > 0; n-- {
 			j := r.Intn(k)
 			switch r.Intn(3) {
 			case 0:
-				fmt.Fprintf(&b, "p%d(X, Y) :- edge(X, Z), p%d(Z, Y).\n", i, j)
+				fmt.Fprintf(&rules, "p%d(X, Y) :- edge(X, Z), p%d(Z, Y).\n", i, j)
 			case 1:
-				fmt.Fprintf(&b, "p%d(X, Y) :- p%d(X, Z), edge(Z, Y).\n", i, j)
+				fmt.Fprintf(&rules, "p%d(X, Y) :- p%d(X, Z), edge(Z, Y).\n", i, j)
 			default:
-				fmt.Fprintf(&b, "p%d(X, Y) :- p%d(X, Z), p%d(Z, Y).\n", i, j, r.Intn(k))
+				fmt.Fprintf(&rules, "p%d(X, Y) :- p%d(X, Z), p%d(Z, Y).\n", i, j, r.Intn(k))
 			}
 		}
+	}
+	hasNeg := r.Intn(2) == 0
+	hasAgg := r.Intn(3) == 0
+	var b strings.Builder
+	b.WriteString("module rnd.\nexport p0(ff).\n")
+	if hasNeg {
+		b.WriteString("export q0(ff).\n")
+	}
+	if hasAgg {
+		b.WriteString("export agg0(ff).\n")
+	}
+	b.WriteString(ann)
+	if hasAgg {
+		b.WriteString("@aggregate_selection agg0(X, Y) (X) min(Y).\n")
+	}
+	b.WriteString(rules.String())
+	if hasNeg {
+		// Stratified by construction: q0 sits strictly above the p-layer
+		// and the negated literal's variables are bound by the positive one.
+		fmt.Fprintf(&b, "q0(X, Y) :- p0(X, Y), not p%d(Y, X).\n", r.Intn(k))
+	}
+	if hasAgg {
+		// A non-recursive sink: min keeps, per X, only the smallest Y.
+		b.WriteString("agg0(X, Y) :- p0(X, Y).\n")
 	}
 	b.WriteString("end_module.\n")
 	return b.String()
