@@ -597,3 +597,53 @@ func BenchmarkAblationDuplicateCheck(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkE19FlowOptimization prices the whole-program flow analysis'
+// optimizations on an all-free transitive closure (DESIGN.md §5.12): with
+// the analysis on, every reachable context calls tc free-free, so magic
+// rewriting is skipped and the pruned original rules evaluate directly;
+// off reproduces the pre-analysis compilation (magic filter admitting
+// everything). The module also carries a dead mutual-recursion cycle the
+// analysis prunes.
+func BenchmarkE19FlowOptimization(b *testing.B) {
+	facts := workload.RandomGraph(96, 240, 1)
+	mod := `
+module m.
+export tc(ff).
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- tc(X, Z), edge(Z, Y).
+dead(X, Y) :- deader(X, Y), tc(X, Y).
+deader(X, Y) :- dead(X, Y).
+end_module.
+`
+	u, err := parser.Parse(facts + mod)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mode := range []struct {
+		name string
+		flow bool
+	}{
+		{"off", false},
+		{"on", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				// FlowOptimization must be set before AddModule: the
+				// per-form programs are compiled and cached there.
+				sys := engine.NewSystem()
+				sys.FlowOptimization = mode.flow
+				for _, f := range u.Facts {
+					benchBase(b, sys, f.Pred, len(f.Args)).Insert(relation.NewFact(f.Args, nil))
+				}
+				for _, m := range u.Modules {
+					if err := sys.AddModule(m); err != nil {
+						b.Fatal(err)
+					}
+				}
+				benchCall(b, sys, "tc", term.NewVar("X"), term.NewVar("Y"))
+			}
+		})
+	}
+}

@@ -29,13 +29,14 @@ import (
 func main() {
 	vet := flag.Bool("vet", false, "run static analysis instead of printing rewritten programs")
 	werror := flag.Bool("Werror", false, "with -vet, treat warnings as errors")
+	analyze := flag.Bool("analyze", false, "print the whole-program flow analysis (bindings, groundness, types) instead of rewritten programs")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = unlimited)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: coralc [-vet [-Werror]] <program.crl> ...")
+		fmt.Fprintln(os.Stderr, "usage: coralc [-vet [-Werror] | -analyze] <program.crl> ...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() == 0 || (!*vet && flag.NArg() != 1) {
+	if flag.NArg() == 0 || (!*vet && !*analyze && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -48,14 +49,20 @@ func main() {
 			os.Exit(1)
 		})
 	}
-	if *vet {
+	if *vet || *analyze {
 		code := 0
 		for _, path := range flag.Args() {
 			src, err := os.ReadFile(path)
 			if err != nil {
 				fatal(err)
 			}
-			if c := runVet(path, string(src), *werror, os.Stdout); c > code {
+			c := 0
+			if *vet {
+				c = runVet(path, string(src), *werror, os.Stdout)
+			} else {
+				c = runAnalyze(path, string(src), os.Stdout)
+			}
+			if c > code {
 				code = c
 			}
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"coral/internal/analysis"
+	"coral/internal/analysis/flow"
 	"coral/internal/parser"
 )
 
@@ -18,7 +19,7 @@ func runVet(name, src string, werror bool, w io.Writer) int {
 		fmt.Fprintf(w, "%s: %v\n", name, err)
 		return 2
 	}
-	diags := analysis.AnalyzeUnit(u, analysis.Options{})
+	diags := analysis.AnalyzeUnit(u, analysis.Options{Src: src})
 	for _, d := range diags {
 		fmt.Fprintf(w, "%s:%s\n", name, d)
 	}
@@ -27,6 +28,30 @@ func runVet(name, src string, werror bool, w io.Writer) int {
 	}
 	if werror && len(diags) > 0 {
 		return 1
+	}
+	return 0
+}
+
+// runAnalyze prints the raw flow-analysis report for every module of one
+// program source: per derived predicate, the reachable (predicate,
+// adornment) contexts with inferred call bindings, fact groundness, and
+// type/shape summaries. It returns the exit code (2 on a parse error).
+func runAnalyze(name, src string, w io.Writer) int {
+	u, err := parser.Parse(src)
+	if err != nil {
+		fmt.Fprintf(w, "%s: %v\n", name, err)
+		return 2
+	}
+	if len(u.Modules) == 0 {
+		fmt.Fprintf(w, "%s: no modules in input\n", name)
+		return 2
+	}
+	for i, m := range u.Modules {
+		if i > 0 {
+			fmt.Fprintln(w)
+		}
+		res := flow.Analyze(m, flow.Options{NegFree: !m.Ann.OrderedSearch})
+		fmt.Fprint(w, res.Report())
 	}
 	return 0
 }

@@ -107,3 +107,36 @@ func TestRunVetExampleFiles(t *testing.T) {
 		}
 	}
 }
+
+// TestRunAnalyze covers the -analyze mode: the flow report must list each
+// derived predicate's reachable adornments with call bindings, fact
+// groundness, and type summaries.
+func TestRunAnalyze(t *testing.T) {
+	src := `edge(a, b).
+module paths.
+export path(bf).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.
+`
+	var out strings.Builder
+	if code := runAnalyze("paths.crl", src, &out); code != 0 {
+		t.Fatalf("exit %d, output:\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"flow analysis: module paths",
+		"path_bf",
+		"call=(g,f)",
+		"facts=(g,g)",
+		"types:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("missing %q in report:\n%s", want, out.String())
+		}
+	}
+
+	var bad strings.Builder
+	if code := runAnalyze("x.crl", "module m", &bad); code != 2 {
+		t.Fatalf("parse error must exit 2, got %d", code)
+	}
+}

@@ -68,6 +68,15 @@ func (s *System) SetParallelism(n int) { s.eng.Parallelism = n }
 // answer sets; the enumeration order of answers may differ.
 func (s *System) SetJoinPlanning(on bool) { s.eng.JoinPlanning = on }
 
+// SetFlowOptimization toggles the flow-analysis-driven optimizations (on
+// by default): rules unreachable from the query form are pruned before
+// compilation, magic rewriting is skipped when every reachable context
+// calls with all arguments free (the magic filter would admit everything),
+// and the join planner seeds rule bodies at their magic literal. On and
+// off produce the same answer sets; off reproduces the pre-analysis
+// compilation byte for byte.
+func (s *System) SetFlowOptimization(on bool) { s.eng.FlowOptimization = on }
+
 // Budget bounds one evaluation: wall-clock deadline, derived-fact count,
 // and fixpoint iterations. The zero value means unlimited. See SetBudget.
 type Budget = engine.Budget

@@ -19,6 +19,10 @@ type Options struct {
 	// visible (the engine's per-module compile gate) so that references
 	// to not-yet-seen base relations do not misfire.
 	AssumeDefined bool
+	// Src is the raw consulted source. When non-empty, "% coral:nolint"
+	// comments in it suppress diagnostics (nolint.go); the lexer discards
+	// comments, so the analysis needs the original text.
+	Src string
 }
 
 // AnalyzeUnit runs the whole check catalogue over one consulted unit:
@@ -35,6 +39,9 @@ func AnalyzeUnit(u *ast.Unit, opt Options) []Diagnostic {
 	}
 	a.checkQueries(u)
 	sortDiags(a.diags)
+	if opt.Src != "" {
+		return filterSuppressed(a.diags, opt.Src)
+	}
 	return a.diags
 }
 
@@ -47,6 +54,9 @@ func AnalyzeModule(m *ast.Module, opt Options) []Diagnostic {
 	a := &analyzer{opt: opt}
 	a.analyzeModule(m)
 	sortDiags(a.diags)
+	if opt.Src != "" {
+		return filterSuppressed(a.diags, opt.Src)
+	}
 	return a.diags
 }
 
@@ -107,6 +117,7 @@ func (a *analyzer) analyzeModule(m *ast.Module) {
 	a.checkExports(m, heads)
 	a.checkFunctorGrowth(m, graph)
 	a.checkStratification(m, graph)
+	a.checkFlow(m)
 }
 
 // --- shared term helpers ---

@@ -77,6 +77,7 @@ func vetExample(t *testing.T, name, src string, opt Options) {
 	if err != nil {
 		t.Fatalf("%s: parse: %v", name, err)
 	}
+	opt.Src = src // honor % coral:nolint comments, as the CLI does
 	diags := AnalyzeUnit(u, opt)
 	if len(diags) != 0 {
 		t.Errorf("%s: expected a vet-clean program, got:\n%s", name, Render(diags))

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"coral/internal/analysis/flow"
+	"coral/internal/ast"
+)
+
+// Interprocedural checks powered by the whole-program flow analysis
+// (analysis/flow): a fixpoint abstract interpretation over the predicate
+// dependency graph, rooted at every exported query form, inferring per
+// reachable (predicate, adornment) context the call bindings, the
+// groundness of stored facts, and a type/shape summary per argument. The
+// per-rule checks above see one rule at a time; these see what actually
+// flows into it across the module.
+
+// checkFlow runs the flow analysis and the checks reading it. Modules
+// without exports have nothing to root the analysis at — every rule would
+// be trivially "unreachable" — so they are skipped.
+func (a *analyzer) checkFlow(m *ast.Module) {
+	if len(m.Exports) == 0 {
+		return
+	}
+	res := flow.Analyze(m, flow.Options{NegFree: !m.Ann.OrderedSearch})
+	if len(res.Order) == 0 {
+		return // no export form seeded a context (exports are all base)
+	}
+	a.checkUnreachableRules(m, res)
+	a.checkUnsatisfiableCalls(m, res)
+	a.checkFlowNegation(m, res)
+	a.checkNongroundStored(m, res)
+}
+
+// checkUnreachableRules flags predicates whose rules no exported query form
+// can reach. unused-pred already covers predicates referenced nowhere; this
+// check adds the interprocedural cases it cannot see — above all dead
+// mutual-recursion cycles, where every member is referenced by another.
+func (a *analyzer) checkUnreachableRules(m *ast.Module, res *flow.Result) {
+	used := make(map[ast.PredKey]bool)
+	for _, r := range m.Rules {
+		for i := range r.Body {
+			used[r.Body[i].Key()] = true
+		}
+	}
+	exported := make(map[ast.PredKey]bool)
+	for _, e := range m.Exports {
+		exported[ast.PredKey{Name: e.Pred, Arity: e.Arity}] = true
+	}
+	seen := make(map[ast.PredKey]bool)
+	for _, r := range m.Rules {
+		k := r.Head.Key()
+		if seen[k] || res.Reachable[k] {
+			continue
+		}
+		seen[k] = true
+		if !used[k] && !exported[k] {
+			continue // unused-pred reports these
+		}
+		a.add(Diagnostic{
+			Sev: Warning, Check: CheckUnreachableRule, Module: m.Name,
+			Line: r.Head.Line, Col: r.Head.Col,
+			Message: fmt.Sprintf("%s is referenced only from rules that are themselves unreachable from any exported query form",
+				k),
+			Suggestion: "export a query form that reaches it, or delete the dead rules",
+		})
+	}
+}
+
+// checkUnsatisfiableCalls flags body calls whose inferred argument types
+// cannot overlap anything the callee's rules store: the call never
+// succeeds, so the rule never fires. Both sides must be concretely known
+// (neither bottom nor any) before a mismatch is claimed.
+func (a *analyzer) checkUnsatisfiableCalls(m *ast.Module, res *flow.Result) {
+	for _, r := range m.Rules {
+		ri := res.Rules[r]
+		if ri == nil {
+			continue // rule unreachable; reported above
+		}
+		for i := range r.Body {
+			l := &r.Body[i]
+			if l.Builtin() || l.Neg || !res.Derived[l.Key()] {
+				continue
+			}
+			stored := res.StandaloneShapes[l.Key()]
+			if stored == nil {
+				continue
+			}
+			for j := range l.Args {
+				cs, ss := ri.Shapes[i][j], stored[j]
+				if cs.IsAny() || cs.IsBottom() || ss.IsAny() || ss.IsBottom() || cs.Overlaps(ss) {
+					continue
+				}
+				a.add(Diagnostic{
+					Sev: Warning, Check: CheckUnsatisfiableCall, Module: m.Name,
+					Line: l.Line, Col: l.Col,
+					Message: fmt.Sprintf("call to %s can never succeed: argument %d is inferred %s, but its rules only store %s",
+						l.Key(), j+1, cs, ss),
+					Suggestion: "the argument types never overlap; fix the call or the callee's rules",
+				})
+				break // one finding per call site is enough
+			}
+		}
+	}
+}
+
+// checkFlowNegation flags negated and aggregated arguments that may be
+// unbound at evaluation time under some reachable query form. The per-rule
+// unsafe-negation / unsafe-aggregation checks fire when no positive body
+// literal binds the variable at all; this check covers the interprocedural
+// residue — the variable is bound by a literal whose matched facts may
+// themselves be non-ground (paper §3.1), so the binding evaporates.
+func (a *analyzer) checkFlowNegation(m *ast.Module, res *flow.Result) {
+	for _, r := range m.Rules {
+		ri := res.Rules[r]
+		if ri == nil {
+			continue
+		}
+		bound := bodyBound(r)
+		for i := range r.Body {
+			l := &r.Body[i]
+			if !l.Neg {
+				continue
+			}
+			for j, arg := range l.Args {
+				if ri.Vals[i][j] != flow.Free {
+					continue
+				}
+				if !covered(arg, bound) {
+					continue // unsafe-negation already reported it
+				}
+				a.add(Diagnostic{
+					Sev: Warning, Check: CheckFlowNegation, Module: m.Name,
+					Line: l.Line, Col: l.Col,
+					Message: fmt.Sprintf("argument %d of \"not %s\" may be unbound when evaluated under query form %s: its binding comes from possibly non-ground facts",
+						j+1, l.Key(), witness(ri, i, j)),
+					Suggestion: "ground the variable before the negation (e.g. match it against a base relation)",
+				})
+				break
+			}
+		}
+		if len(ri.AggFree) == 0 {
+			continue
+		}
+		positions := make([]int, 0, len(ri.AggFree))
+		for pos := range ri.AggFree {
+			positions = append(positions, pos)
+		}
+		sort.Ints(positions)
+		for _, pos := range positions {
+			var ag *ast.HeadAgg
+			for ai := range r.Aggs {
+				if r.Aggs[ai].Pos == pos {
+					ag = &r.Aggs[ai]
+				}
+			}
+			if ag == nil || !covered(ag.Arg, bound) {
+				continue // unsafe-aggregation already reported it
+			}
+			a.add(Diagnostic{
+				Sev: Warning, Check: CheckFlowNegation, Module: m.Name,
+				Line: r.Head.Line, Col: r.Head.Col,
+				Message: fmt.Sprintf("aggregation %s in %s may see an unbound value under query form %s: its binding comes from possibly non-ground facts",
+					ag.Op, r.Head.Key(), ri.AggFree[pos]),
+				Suggestion: "ground the aggregated variable before the head computes",
+			})
+		}
+	}
+}
+
+// witness renders the adornment under which a body argument was first seen
+// possibly unbound.
+func witness(ri *flow.RuleInfo, i, j int) string {
+	if w := ri.Witness[i][j]; w != "" {
+		return w
+	}
+	return "?"
+}
+
+// checkNongroundStored flags predicates that store a possibly non-ground
+// argument even though every reachable call supplies a ground value there:
+// the universal quantification never does any work, which usually means a
+// head variable was meant to be bound by the body. Positioned at the rule
+// that stores the non-ground value.
+func (a *analyzer) checkNongroundStored(m *ast.Module, res *flow.Result) {
+	ctxsOf := make(map[ast.PredKey][]flow.Context)
+	for _, c := range res.Order {
+		ctxsOf[c.Pred] = append(ctxsOf[c.Pred], c)
+	}
+	reported := make(map[ast.PredKey]map[int]bool)
+	for _, r := range m.Rules {
+		k := r.Head.Key()
+		heads := res.StandaloneRule[r]
+		ctxs := ctxsOf[k]
+		if heads == nil || len(ctxs) == 0 {
+			continue
+		}
+		bound := bodyBound(r)
+		callB := alwaysBoundPositions(m, k)
+		for j, v := range heads {
+			if v != flow.Bound || reported[k][j] {
+				continue
+			}
+			if callB[j] {
+				// A position every export form adorns 'b' is a call
+				// parameter: magic rewriting grounds it before the fact is
+				// stored, so the standalone non-groundness never happens.
+				continue
+			}
+			if !r.IsFact() && !covered(r.Head.Args[j], bound) {
+				continue // range-restriction already warned about this rule
+			}
+			allGround := true
+			for _, c := range ctxs {
+				if res.Contexts[c].Call[j] != flow.Ground {
+					allGround = false
+					break
+				}
+			}
+			if !allGround {
+				continue
+			}
+			if reported[k] == nil {
+				reported[k] = make(map[int]bool)
+			}
+			reported[k][j] = true
+			a.add(Diagnostic{
+				Sev: Warning, Check: CheckNongroundStored, Module: m.Name,
+				Line: r.Head.Line, Col: r.Head.Col,
+				Message: fmt.Sprintf("%s stores a possibly non-ground value at argument %d, but every reachable call supplies a ground value there",
+					k, j+1),
+				Suggestion: "bind the argument in the rule body, or drop the generality if it is never needed",
+			})
+		}
+	}
+}

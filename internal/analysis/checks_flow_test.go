@@ -1,0 +1,170 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFlowChecks exercises the interprocedural checks driven by the flow
+// analysis, with exact source positions.
+func TestFlowChecks(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		check string
+		count int
+		line  int // expected position of the first diagnostic (0 = don't care)
+		col   int
+	}{
+		{
+			name: "dead mutual recursion cycle is unreachable",
+			src: `module m.
+export p(bf).
+p(X, Y) :- e(X, Y).
+dead(X) :- deader(X).
+deader(X) :- dead(X).
+end_module.
+`,
+			// unused-pred cannot see this: each member of the cycle is
+			// referenced by the other. Both rules are flagged.
+			check: CheckUnreachableRule, count: 2, line: 4, col: 1,
+		},
+		{
+			name: "reachable recursion is not flagged",
+			src: `module m.
+export p(bf).
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(X, Z), p(Z, Y).
+end_module.
+`,
+			check: CheckUnreachableRule, count: 0,
+		},
+		{
+			name: "call with disjoint argument types never succeeds",
+			src: `module m.
+export p(f).
+p(X) :- q(X), r(X).
+q(1).
+q(2).
+r(a).
+r(b).
+end_module.
+`,
+			// q stores ints, r stores atoms: r(X) can never match.
+			check: CheckUnsatisfiableCall, count: 1, line: 3, col: 15,
+		},
+		{
+			name: "overlapping argument types are not flagged",
+			src: `module m.
+export p(f).
+p(X) :- q(X), r(X).
+q(1).
+r(1).
+r(a).
+end_module.
+`,
+			check: CheckUnsatisfiableCall, count: 0,
+		},
+		{
+			name: "negation over binding from non-ground facts",
+			src: `module m.
+export p(b).
+p(X) :- g(X, Y), not r(Y).
+g(a, Z).
+r(b).
+end_module.
+`,
+			// Y is bound by g/2 syntactically (so unsafe-negation stays
+			// quiet), but g stores a non-ground fact: at run time Y may be an
+			// unbound variable when the negation evaluates.
+			check: CheckFlowNegation, count: 1, line: 3,
+		},
+		{
+			name: "negation over ground binding is not flagged",
+			src: `module m.
+export p(b).
+p(X) :- g(X, Y), not r(Y).
+g(a, b).
+r(b).
+end_module.
+`,
+			check: CheckFlowNegation, count: 0,
+		},
+		{
+			name: "non-ground fact only ever queried ground",
+			src: `module m.
+export top(b).
+top(X) :- h(X, a).
+h(a, Z).
+end_module.
+`,
+			// h stores Z unbound, but its only call site grounds both
+			// arguments: the universal quantification never does any work.
+			check: CheckNongroundStored, count: 1, line: 4, col: 1,
+		},
+		{
+			name: "declared bound positions are call parameters, not flagged",
+			src: `module m.
+export aff(bf).
+aff(L, I) :- price(I, P), P =< L.
+end_module.
+`,
+			// L is ground on every call because the only export form adorns
+			// it 'b'; magic grounds it before any fact is stored.
+			check: CheckNongroundStored, count: 0,
+		},
+		{
+			name: "non-ground fact queried free is intended generality",
+			src: `module m.
+export top(f).
+top(X) :- h(a, X).
+h(a, Z).
+end_module.
+`,
+			// The free query form reaches the non-ground position free, so
+			// matching against non-ground facts is the §3.1 idiom at work.
+			check: CheckNongroundStored, count: 0,
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			u := mustParse(t, tc.src)
+			got := diagsFor(AnalyzeUnit(u, Options{AssumeDefined: true}), tc.check)
+			if len(got) != tc.count {
+				t.Fatalf("want %d %s diagnostics, got %d:\n%s",
+					tc.count, tc.check, len(got), Render(got))
+			}
+			if tc.count == 0 {
+				return
+			}
+			d := got[0]
+			if d.Sev != Warning {
+				t.Errorf("severity = %s, want warning (%s)", d.Sev, d)
+			}
+			if tc.line != 0 && d.Line != tc.line {
+				t.Errorf("line = %d, want %d (%s)", d.Line, tc.line, d)
+			}
+			if tc.col != 0 && d.Col != tc.col {
+				t.Errorf("col = %d, want %d (%s)", d.Col, tc.col, d)
+			}
+		})
+	}
+}
+
+// TestFlowChecksSkipModulesWithoutExports: nothing roots the analysis, so
+// no rule can be called "unreachable".
+func TestFlowChecksSkipModulesWithoutExports(t *testing.T) {
+	u := mustParse(t, `module m.
+p(X) :- q(X).
+q(a).
+end_module.
+`)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true})
+	for _, d := range diags {
+		if strings.HasPrefix(d.Check, "flow-") || d.Check == CheckUnreachableRule ||
+			d.Check == CheckUnsatisfiableCall || d.Check == CheckNongroundStored {
+			t.Fatalf("flow check fired without exports: %s", d)
+		}
+	}
+}

@@ -87,6 +87,27 @@ const (
 	// order is what every planner-off path (tracing, Ordered Search,
 	// SetJoinPlanning(false)) evaluates.
 	CheckCrossProduct = "cross-product"
+	// CheckUnreachableRule (interprocedural, analysis/flow): a predicate is
+	// defined and referenced, but no exported query form reaches it — its
+	// rules are dead code the optimizer will prune. Complements unused-pred,
+	// which only sees predicates referenced nowhere (a dead mutual-recursion
+	// cycle references all of its members).
+	CheckUnreachableRule = "unreachable-rule"
+	// CheckUnsatisfiableCall (interprocedural): a call site's inferred
+	// argument types cannot overlap anything the callee's rules can store,
+	// so the call never succeeds and the rule never fires.
+	CheckUnsatisfiableCall = "unsatisfiable-call"
+	// CheckFlowNegation (interprocedural): a negated or aggregated argument
+	// may be unbound at evaluation time under some reachable query form —
+	// the binding flows through the call graph, so the per-rule safety
+	// checks cannot see it (e.g. the variable is bound by a literal whose
+	// facts may themselves be non-ground, paper §3.1).
+	CheckFlowNegation = "flow-unsafe-negation"
+	// CheckNongroundStored (interprocedural): a predicate stores a possibly
+	// non-ground argument, yet every reachable call supplies a ground value
+	// there — the universal quantification is dead generality (usually an
+	// unbound head variable that was meant to be bound).
+	CheckNongroundStored = "nonground-stored"
 )
 
 // Diagnostic is one finding of the analysis pass.

@@ -1,0 +1,640 @@
+package flow
+
+import (
+	"coral/internal/ast"
+	"coral/internal/term"
+)
+
+// Options tunes the abstract interpretation.
+type Options struct {
+	// Depth is the functor-shape widening depth k (default 3).
+	Depth int
+	// Breadth caps distinct constants / functor skeletons per position
+	// before widening (default 4).
+	Breadth int
+	// NegFree models negated derived calls as all-free, matching the
+	// stratified rewriter. Ordered Search modules keep bound adornments
+	// on negated calls.
+	NegFree bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Depth <= 0 {
+		o.Depth = 3
+	}
+	if o.Breadth <= 0 {
+		o.Breadth = 4
+	}
+	return o
+}
+
+// Summary is the inferred abstract state of one context.
+type Summary struct {
+	// Call holds the binding value per argument at call sites, joined
+	// over every reachable call (export forms seed 'b' positions Ground:
+	// the engine requires ground bindings at bound form positions).
+	Call []BindVal
+	// CallShapes are the shapes passed at call sites, joined.
+	CallShapes []Shape
+	// Facts holds the groundness of stored facts per position: Ground, or
+	// Bound when a fact may be or contain an unbound variable (§3.1).
+	// Unreached until a rule head has been computed.
+	Facts []BindVal
+	// Shapes are the shapes of stored facts per position.
+	Shapes []Shape
+}
+
+// RuleInfo is the per-rule record the vet checks read: the binding value
+// and shape of every body-literal argument at its call point, joined over
+// every context the rule is reachable in.
+type RuleInfo struct {
+	// Contexts lists the adornments the rule was analyzed under, in
+	// discovery order.
+	Contexts []string
+	// Vals[i][j] is the joined binding value of body literal i's argument
+	// j at call time (written order).
+	Vals [][]BindVal
+	// Shapes[i][j] is the joined shape of that argument.
+	Shapes [][]Shape
+	// Witness[i][j] names the first context adornment under which the
+	// argument was Free ("" when never free) — for diagnostics.
+	Witness [][]string
+	// AggFree maps an aggregated head position to the first context
+	// adornment under which the aggregated value may be unbound at rule
+	// end.
+	AggFree map[int]string
+}
+
+// Result is the whole-module analysis result.
+type Result struct {
+	Module string
+	// Order lists reachable contexts in deterministic discovery order.
+	Order []Context
+	// Contexts holds the per-context summaries.
+	Contexts map[Context]*Summary
+	// Rules holds per-rule call information for every reachable rule
+	// (rules of unreachable predicates have no entry).
+	Rules map[*ast.Rule]*RuleInfo
+	// Derived is the set of predicates defined by the module's rules.
+	Derived map[ast.PredKey]bool
+	// Reachable marks predicates reachable from any exported query form.
+	Reachable map[ast.PredKey]bool
+	// Standalone holds fact groundness per derived predicate computed
+	// context-insensitively (no call bindings): what the rules can store
+	// on their own, e.g. under @rewrite none or an all-free call.
+	Standalone map[ast.PredKey][]BindVal
+	// StandaloneShapes are the matching fact shapes.
+	StandaloneShapes map[ast.PredKey][]Shape
+	// StandaloneRule records per rule the standalone groundness of its
+	// own head arguments (which rule stores the non-ground fact).
+	StandaloneRule map[*ast.Rule][]BindVal
+
+	opts     Options
+	rulesFor map[ast.PredKey][]*ast.Rule
+	aggPos   map[ast.PredKey]map[int]bool
+	exports  []ast.Export
+}
+
+// Analyze runs the fixpoint abstract interpretation over one module,
+// rooted at every exported query form.
+func Analyze(m *ast.Module, opts Options) *Result {
+	res := &Result{
+		Module:           m.Name,
+		Contexts:         make(map[Context]*Summary),
+		Rules:            make(map[*ast.Rule]*RuleInfo),
+		Derived:          make(map[ast.PredKey]bool),
+		Reachable:        make(map[ast.PredKey]bool),
+		Standalone:       make(map[ast.PredKey][]BindVal),
+		StandaloneShapes: make(map[ast.PredKey][]Shape),
+		StandaloneRule:   make(map[*ast.Rule][]BindVal),
+		opts:             opts.withDefaults(),
+		rulesFor:         make(map[ast.PredKey][]*ast.Rule),
+		aggPos:           aggPositions(m.Rules),
+		exports:          m.Exports,
+	}
+	for _, r := range m.Rules {
+		k := r.Head.Key()
+		res.Derived[k] = true
+		res.rulesFor[k] = append(res.rulesFor[k], r)
+	}
+	an := &interp{res: res, inQueue: make(map[Context]bool), deps: make(map[Context][]Context), depSeen: make(map[Context]map[Context]bool)}
+	an.standalonePass(m.Rules)
+	an.contextPass()
+	return res
+}
+
+// interp is the worklist state of one analysis run.
+type interp struct {
+	res     *Result
+	queue   []Context
+	inQueue map[Context]bool
+	// deps maps a callee context to the callers reading its facts, in
+	// deterministic registration order.
+	deps    map[Context][]Context
+	depSeen map[Context]map[Context]bool
+}
+
+// --- context-insensitive standalone pass ---
+
+// standalonePass iterates all rules with no call bindings until fact
+// groundness and shapes stabilize: the most general thing each predicate
+// can store.
+func (an *interp) standalonePass(rules []*ast.Rule) {
+	res := an.res
+	for changed := true; changed; {
+		changed = false
+		for _, r := range rules {
+			k := r.Head.Key()
+			ev := &ruleEval{
+				res: res,
+				factsOf: func(pred ast.PredKey, _ []BindVal, _ []Shape, _ bool) ([]BindVal, []Shape) {
+					if !res.Derived[pred] {
+						return nil, nil // base: ground facts, any shape
+					}
+					if sh, ok := res.StandaloneShapes[pred]; ok {
+						return res.Standalone[pred], sh
+					}
+					// Derived but not yet evaluated: optimistic ⊥ (Unreached
+					// values, bottom shapes) — the outer loop re-runs until
+					// nothing weakens, so early optimism is repaired.
+					return make([]BindVal, pred.Arity), make([]Shape, pred.Arity)
+				},
+			}
+			heads, shapes := ev.run(r, AllFree(k.Arity), nil, nil)
+			res.StandaloneRule[r] = heads
+			if joinVals(&res.Standalone, k, heads) {
+				changed = true
+			}
+			if joinShapes(&res.StandaloneShapes, k, shapes, res.opts) {
+				changed = true
+			}
+		}
+	}
+}
+
+func joinVals(m *map[ast.PredKey][]BindVal, k ast.PredKey, vals []BindVal) bool {
+	cur, ok := (*m)[k]
+	if !ok {
+		cur = make([]BindVal, len(vals))
+		(*m)[k] = cur
+	}
+	changed := false
+	for i, v := range vals {
+		if nv := cur[i].Join(v); nv != cur[i] {
+			cur[i] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+func joinShapes(m *map[ast.PredKey][]Shape, k ast.PredKey, shapes []Shape, opts Options) bool {
+	cur, ok := (*m)[k]
+	if !ok {
+		cur = make([]Shape, len(shapes))
+		(*m)[k] = cur
+	}
+	changed := false
+	for i, s := range shapes {
+		if ns := cur[i].Join(s, opts.Breadth).Widen(opts.Depth); !ns.Equal(cur[i]) {
+			cur[i] = ns
+			changed = true
+		}
+	}
+	return changed
+}
+
+// --- context-sensitive pass ---
+
+// contextPass seeds a context per exported query form and runs the
+// worklist to fixpoint. Termination: contexts are finite (adornment
+// strings per predicate), Call/Facts only move up a finite lattice, and
+// shapes are finite under the depth/breadth widening; a context is only
+// re-queued when something joined strictly upward.
+func (an *interp) contextPass() {
+	res := an.res
+	for _, e := range res.exports {
+		key := ast.PredKey{Name: e.Pred, Arity: e.Arity}
+		if !res.Derived[key] {
+			continue
+		}
+		for _, form := range e.Forms {
+			if len(form) != e.Arity {
+				continue
+			}
+			ctx := Context{Pred: key, Adorn: normalizeAdorn(res.aggPos[key], form)}
+			s := an.summary(ctx)
+			changed := false
+			for i := 0; i < e.Arity; i++ {
+				// The engine requires ground terms at bound form
+				// positions (selectForm), so 'b' seeds Ground.
+				v := Free
+				if ctx.Adorn[i] == 'b' {
+					v = Ground
+				}
+				if nv := s.Call[i].Join(v); nv != s.Call[i] {
+					s.Call[i] = nv
+					changed = true
+				}
+				s.CallShapes[i] = AnyShape()
+			}
+			if changed || !an.inQueue[ctx] {
+				an.enqueue(ctx)
+			}
+		}
+	}
+	for len(an.queue) > 0 {
+		ctx := an.queue[0]
+		an.queue = an.queue[1:]
+		an.inQueue[ctx] = false
+		an.process(ctx)
+	}
+}
+
+// summary returns (creating and recording if needed) the context summary.
+func (an *interp) summary(ctx Context) *Summary {
+	res := an.res
+	if s, ok := res.Contexts[ctx]; ok {
+		return s
+	}
+	n := ctx.Pred.Arity
+	s := &Summary{
+		Call:       make([]BindVal, n),
+		CallShapes: make([]Shape, n),
+		Facts:      make([]BindVal, n),
+		Shapes:     make([]Shape, n),
+	}
+	res.Contexts[ctx] = s
+	res.Order = append(res.Order, ctx)
+	res.Reachable[ctx.Pred] = true
+	return s
+}
+
+func (an *interp) enqueue(ctx Context) {
+	if an.inQueue[ctx] {
+		return
+	}
+	an.inQueue[ctx] = true
+	an.queue = append(an.queue, ctx)
+}
+
+// ruleInfo returns (creating if needed) the per-rule record.
+func (an *interp) ruleInfo(r *ast.Rule) *RuleInfo {
+	if ri, ok := an.res.Rules[r]; ok {
+		return ri
+	}
+	ri := &RuleInfo{
+		Vals:    make([][]BindVal, len(r.Body)),
+		Shapes:  make([][]Shape, len(r.Body)),
+		Witness: make([][]string, len(r.Body)),
+		AggFree: make(map[int]string),
+	}
+	for i := range r.Body {
+		n := len(r.Body[i].Args)
+		ri.Vals[i] = make([]BindVal, n)
+		ri.Shapes[i] = make([]Shape, n)
+		ri.Witness[i] = make([]string, n)
+	}
+	an.res.Rules[r] = ri
+	return ri
+}
+
+// process re-analyzes every rule of a context against its current call
+// summary, joining head results into the context's fact summary and
+// re-queuing dependents on change.
+func (an *interp) process(ctx Context) {
+	res := an.res
+	s := res.Contexts[ctx]
+	factsChanged := false
+	for _, r := range res.rulesFor[ctx.Pred] {
+		ri := an.ruleInfo(r)
+		seen := false
+		for _, c := range ri.Contexts {
+			if c == ctx.Adorn {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			ri.Contexts = append(ri.Contexts, ctx.Adorn)
+		}
+		ev := &ruleEval{res: res, info: ri, ctxAdorn: ctx.Adorn, factsOf: an.callSite(ctx)}
+		heads, shapes := ev.run(r, ctx.Adorn, s.Call, s.CallShapes)
+		for i, v := range heads {
+			if nv := s.Facts[i].Join(v); nv != s.Facts[i] {
+				s.Facts[i] = nv
+				factsChanged = true
+			}
+			if ns := s.Shapes[i].Join(shapes[i], res.opts.Breadth).Widen(res.opts.Depth); !ns.Equal(s.Shapes[i]) {
+				s.Shapes[i] = ns
+				factsChanged = true
+			}
+		}
+	}
+	if factsChanged {
+		for _, caller := range an.deps[ctx] {
+			an.enqueue(caller)
+		}
+	}
+}
+
+// callSite builds the transfer callback for body calls made while
+// analyzing under caller: it resolves the callee context from the call
+// values, joins the call pattern into it, registers the dependency, and
+// returns the callee's current fact summary.
+func (an *interp) callSite(caller Context) func(ast.PredKey, []BindVal, []Shape, bool) ([]BindVal, []Shape) {
+	res := an.res
+	return func(pred ast.PredKey, vals []BindVal, shapes []Shape, neg bool) ([]BindVal, []Shape) {
+		if !res.Derived[pred] {
+			return nil, nil // base or imported: ground facts, any shape
+		}
+		ad := make([]byte, len(vals))
+		for i, v := range vals {
+			ad[i] = v.Letter()
+		}
+		if neg && res.opts.NegFree {
+			ad = []byte(AllFree(len(vals)))
+		}
+		callee := Context{Pred: pred, Adorn: normalizeAdorn(res.aggPos[pred], string(ad))}
+		cs := an.summary(callee)
+		changed := false
+		for i := range vals {
+			v := vals[i]
+			sh := shapes[i]
+			if callee.Adorn[i] == 'f' {
+				// The callee sees a forced-free position unbound even if
+				// the caller happens to have a value (NegFree, aggregated
+				// positions).
+				v = Free
+				sh = AnyShape()
+			}
+			if nv := cs.Call[i].Join(v); nv != cs.Call[i] {
+				cs.Call[i] = nv
+				changed = true
+			}
+			if ns := cs.CallShapes[i].Join(sh, res.opts.Breadth).Widen(res.opts.Depth); !ns.Equal(cs.CallShapes[i]) {
+				cs.CallShapes[i] = ns
+				changed = true
+			}
+		}
+		if changed {
+			an.enqueue(callee)
+		}
+		if an.depSeen[callee] == nil {
+			an.depSeen[callee] = make(map[Context]bool)
+		}
+		if !an.depSeen[callee][caller] {
+			an.depSeen[callee][caller] = true
+			an.deps[callee] = append(an.deps[callee], caller)
+		}
+		return cs.Facts, cs.Shapes
+	}
+}
+
+// --- the rule transfer function ---
+
+// varAbs is the abstract state of one rule variable.
+type varAbs struct {
+	val   BindVal
+	shape Shape
+}
+
+// ruleEval evaluates one rule abstractly. factsOf resolves a body call:
+// nil results mean a base relation (ground facts, unknown shapes). info,
+// when non-nil, accumulates per-literal call values for the vet checks.
+type ruleEval struct {
+	res      *Result
+	info     *RuleInfo
+	ctxAdorn string
+	factsOf  func(pred ast.PredKey, vals []BindVal, shapes []Shape, neg bool) ([]BindVal, []Shape)
+}
+
+// run interprets r under a head adornment and call summary (nil call
+// means all-free / standalone). It returns the groundness and shape of
+// the stored head per position. The transfer is monotone: weakening the
+// call summary can only weaken the results (binding events use Meet,
+// reads use Join, and every propagation step is monotone in both).
+func (ev *ruleEval) run(r *ast.Rule, adorn string, call []BindVal, callShapes []Shape) ([]BindVal, []Shape) {
+	vars := make(map[*term.Var]*varAbs)
+	at := func(v *term.Var) *varAbs {
+		a, ok := vars[v]
+		if !ok {
+			a = &varAbs{val: Free, shape: AnyShape()}
+			vars[v] = a
+		}
+		return a
+	}
+	varShape := func(v *term.Var) Shape { return at(v).shape }
+	strengthen := func(v *term.Var, val BindVal, sh Shape) {
+		a := at(v)
+		a.val = a.val.Meet(val)
+		// A bottom sh is kept: it means the binding source has not produced
+		// anything yet (optimistic ⊥), and the fixpoint re-runs the rule as
+		// the source's summary grows.
+		if a.shape.IsAny() {
+			a.shape = sh
+		}
+	}
+	// valOf: Free when any variable may be unbound, Bound when any
+	// variable is bound to possibly-non-ground data, Ground otherwise.
+	valOf := func(t term.Term) BindVal {
+		out := Ground
+		walkVars(t, func(v *term.Var) {
+			out = out.Join(at(v).val)
+		})
+		return out
+	}
+
+	// Head bindings from the call pattern.
+	for i, arg := range r.Head.Args {
+		if i >= len(adorn) || adorn[i] != 'b' {
+			continue
+		}
+		cv := Ground
+		var csh Shape = AnyShape()
+		if call != nil {
+			cv = call[i]
+			if cv == Unreached {
+				cv = Ground // optimistic ⊥: callers re-run on weakening
+			}
+			if callShapes != nil {
+				csh = callShapes[i]
+			}
+		}
+		if v, ok := arg.(*term.Var); ok {
+			// A 'b' position is at least bound to a term; a Ground call
+			// makes the variable ground.
+			nv := Bound
+			if cv == Ground {
+				nv = Ground
+			}
+			strengthen(v, nv, csh)
+		} else if cv == Ground {
+			// A ground call term unifying with a head pattern grounds
+			// every pattern variable.
+			walkVars(arg, func(v *term.Var) { strengthen(v, Ground, AnyShape()) })
+		}
+		// A non-ground bound call term against a head pattern may leave
+		// pattern variables unbound: no strengthening.
+	}
+
+	// Body walk, written order (the default SIP; the reorderer runs
+	// before adornment, so written order is what the engine evaluates
+	// under every planner-off path).
+	for i := range r.Body {
+		l := &r.Body[i]
+		vals := make([]BindVal, len(l.Args))
+		shapes := make([]Shape, len(l.Args))
+		for j, arg := range l.Args {
+			vals[j] = valOf(arg)
+			shapes[j] = abstractTerm(arg, varShape, ev.res.opts.Depth)
+		}
+		ev.record(i, vals, shapes)
+		if l.Builtin() {
+			ev.applyBuiltin(l, valOf, varShape, strengthen)
+			continue
+		}
+		facts, factShapes := ev.factsOf(l.Key(), vals, shapes, l.Neg)
+		if l.Neg {
+			continue // negation binds nothing
+		}
+		for j, arg := range l.Args {
+			fv := Ground
+			if facts != nil {
+				fv = facts[j]
+				if fv == Unreached {
+					fv = Ground
+				}
+			}
+			var fsh Shape = AnyShape()
+			if factShapes != nil {
+				// May be bottom: the callee summary is still ⊥. Recording
+				// bottom here keeps the per-literal shape joins increasing
+				// across fixpoint rounds — substituting any would poison
+				// them at the first round and never recover.
+				fsh = factShapes[j]
+			}
+			if v, ok := arg.(*term.Var); ok {
+				if fv == Ground {
+					strengthen(v, Ground, fsh)
+				}
+				// fv == Bound: the matched fact argument may itself be an
+				// unbound variable — the caller's variable stays as it is.
+				if a := at(v); a.shape.IsAny() && !fsh.IsAny() {
+					a.shape = fsh
+				}
+			} else if fv == Ground {
+				walkVars(arg, func(v *term.Var) { strengthen(v, Ground, AnyShape()) })
+			}
+		}
+	}
+
+	// Head facts: a position is ground iff every variable in it is
+	// ground; aggregated positions compute ground values.
+	aggAt := make(map[int]*ast.HeadAgg)
+	for ai := range r.Aggs {
+		aggAt[r.Aggs[ai].Pos] = &r.Aggs[ai]
+	}
+	heads := make([]BindVal, len(r.Head.Args))
+	shapes := make([]Shape, len(r.Head.Args))
+	for i, arg := range r.Head.Args {
+		if ag, ok := aggAt[i]; ok {
+			heads[i] = Ground
+			shapes[i] = aggShape(ag, varShape, ev.res.opts.Depth)
+			if ev.info != nil && valOf(ag.Arg) == Free {
+				if _, have := ev.info.AggFree[i]; !have {
+					ev.info.AggFree[i] = ev.ctxAdorn
+				}
+			}
+			continue
+		}
+		if valOf(arg) == Ground {
+			heads[i] = Ground
+		} else {
+			heads[i] = Bound
+		}
+		shapes[i] = abstractTerm(arg, varShape, ev.res.opts.Depth)
+	}
+	return heads, shapes
+}
+
+// record joins one body literal's call values into the rule info.
+func (ev *ruleEval) record(i int, vals []BindVal, shapes []Shape) {
+	if ev.info == nil {
+		return
+	}
+	for j, v := range vals {
+		ev.info.Vals[i][j] = ev.info.Vals[i][j].Join(v)
+		ev.info.Shapes[i][j] = ev.info.Shapes[i][j].Join(shapes[j], ev.res.opts.Breadth).Widen(ev.res.opts.Depth)
+		if v == Free && ev.info.Witness[i][j] == "" {
+			ev.info.Witness[i][j] = ev.ctxAdorn
+		}
+	}
+}
+
+// applyBuiltin is the abstract transfer of builtins: "=" binds across
+// when one side is covered (ground side grounds, non-ground side binds),
+// "is" grounds its result to a number, comparisons bind nothing. Call
+// values were already recorded by the caller.
+func (ev *ruleEval) applyBuiltin(l *ast.Literal, valOf func(term.Term) BindVal, varShape func(*term.Var) Shape, strengthen func(*term.Var, BindVal, Shape)) {
+	switch {
+	case l.Pred == "is" && len(l.Args) == 2:
+		walkVars(l.Args[0], func(v *term.Var) { strengthen(v, Ground, numShape()) })
+	case l.Pred == "=" && len(l.Args) == 2:
+		left, right := l.Args[0], l.Args[1]
+		lv, rv := valOf(left), valOf(right)
+		bindAcross := func(from term.Term, fromVal BindVal, to term.Term) {
+			nv := Bound
+			sh := AnyShape()
+			if fromVal == Ground {
+				nv = Ground
+			}
+			if isArithShaped(from) {
+				nv = Ground
+				sh = numShape()
+			} else if _, isVar := to.(*term.Var); isVar {
+				sh = abstractTerm(from, varShape, ev.res.opts.Depth)
+			}
+			if v, ok := to.(*term.Var); ok {
+				strengthen(v, nv, sh)
+				return
+			}
+			if nv == Ground {
+				walkVars(to, func(v *term.Var) { strengthen(v, Ground, AnyShape()) })
+			}
+		}
+		switch {
+		case lv != Free && rv == Free:
+			bindAcross(left, lv, right)
+		case rv != Free && lv == Free:
+			bindAcross(right, rv, left)
+		}
+	}
+}
+
+// aggShape is the shape of an aggregated head value.
+func aggShape(ag *ast.HeadAgg, varShape func(*term.Var) Shape, depth int) Shape {
+	switch ag.Op {
+	case "count", "sum", "avg":
+		return numShape()
+	case "min", "max", "any":
+		return abstractTerm(ag.Arg, varShape, depth)
+	default:
+		return AnyShape() // set grouping and anything else
+	}
+}
+
+// isArithShaped mirrors the evaluator's arithmetic shape test
+// (engine/builtins.go arithOps): an interpreted function symbol at the
+// root makes a "=" side evaluable, yielding a ground number.
+func isArithShaped(t term.Term) bool {
+	f, ok := t.(*term.Functor)
+	if !ok || len(f.Args) < 1 || len(f.Args) > 2 {
+		return false
+	}
+	switch f.Sym {
+	case "+", "-", "*", "/", "mod", "abs":
+		return true
+	}
+	return false
+}

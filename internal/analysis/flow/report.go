@@ -1,0 +1,92 @@
+package flow
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"coral/internal/ast"
+)
+
+// Report renders the analysis human-readably — the artifact coralc
+// -analyze and the REPL :analyze print. Per derived predicate it lists
+// every reachable adornment with the joined call pattern and the
+// groundness of stored facts, plus the standalone type/shape summary.
+//
+// Letters: g = ground, b = bound but possibly non-ground, f = possibly
+// unbound, . = never reached.
+func (res *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% flow analysis: module %s\n", res.Module)
+	fmt.Fprintf(&b, "%% letters: g=ground  b=bound, possibly non-ground  f=free  .=unreached\n")
+
+	preds := make([]ast.PredKey, 0, len(res.Derived))
+	for k := range res.Derived {
+		preds = append(preds, k)
+	}
+	sort.Slice(preds, func(i, j int) bool {
+		if preds[i].Name != preds[j].Name {
+			return preds[i].Name < preds[j].Name
+		}
+		return preds[i].Arity < preds[j].Arity
+	})
+
+	byPred := make(map[ast.PredKey][]Context)
+	for _, c := range res.Order {
+		byPred[c.Pred] = append(byPred[c.Pred], c)
+	}
+
+	for _, k := range preds {
+		ctxs := byPred[k]
+		sort.Slice(ctxs, func(i, j int) bool { return ctxs[i].Adorn < ctxs[j].Adorn })
+		fmt.Fprintf(&b, "%s:\n", k)
+		if len(ctxs) == 0 {
+			b.WriteString("  unreachable from any exported query form\n")
+		}
+		for _, c := range ctxs {
+			s := res.Contexts[c]
+			fmt.Fprintf(&b, "  %s  call=(%s)  facts=(%s)\n",
+				c, valString(s.Call), factString(s.Facts))
+		}
+		if sa, ok := res.Standalone[k]; ok {
+			fmt.Fprintf(&b, "  stored (no call bindings): facts=(%s)\n", factString(sa))
+		}
+		if shapes, ok := res.StandaloneShapes[k]; ok {
+			fmt.Fprintf(&b, "  types: (%s)\n", shapeString(shapes))
+		}
+	}
+	return b.String()
+}
+
+func valString(vals []BindVal) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		parts[i] = v.String()
+	}
+	return strings.Join(parts, ",")
+}
+
+// factString renders fact groundness: stored facts are either ground or
+// possibly non-ground ("b"), never free.
+func factString(vals []BindVal) string {
+	parts := make([]string, len(vals))
+	for i, v := range vals {
+		switch v {
+		case Ground:
+			parts[i] = "g"
+		case Unreached:
+			parts[i] = "."
+		default:
+			parts[i] = "b"
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func shapeString(shapes []Shape) string {
+	parts := make([]string, len(shapes))
+	for i, s := range shapes {
+		parts[i] = s.String()
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,293 @@
+package flow
+
+import (
+	"sort"
+	"strings"
+
+	"coral/internal/term"
+)
+
+// Shape is the type/shape abstraction of one argument position: the sets
+// of constant sorts, individual constants, and functor skeletons a term
+// may take. The domain is finite under two widenings: functor skeletons
+// are cut off at depth k (arguments below become any), and each position
+// keeps at most breadth distinct constants (overflow collapses them into
+// their sort) and at most breadth distinct skeletons (overflow collapses
+// to any). The zero Shape is ⊥ (no term observed).
+type Shape struct {
+	any    bool
+	sorts  uint8
+	consts []constShape // sorted by rendering, deduplicated
+	fns    []*fnShape   // sorted by sym/arity, deduplicated
+}
+
+// Sort bits.
+const (
+	sortInt uint8 = 1 << iota
+	sortFloat
+	sortString
+	sortBig
+	sortAtom
+)
+
+var sortNames = []struct {
+	bit  uint8
+	name string
+}{
+	{sortInt, "int"},
+	{sortFloat, "float"},
+	{sortString, "string"},
+	{sortBig, "bigint"},
+	{sortAtom, "atom"},
+}
+
+// constShape is one concrete constant (scalar or atom).
+type constShape struct {
+	sort uint8
+	text string // rendered form, the dedup key
+}
+
+// fnShape is a functor skeleton: symbol, arity, and per-argument shapes.
+type fnShape struct {
+	sym  string
+	args []Shape
+}
+
+// AnyShape is ⊤: any term.
+func AnyShape() Shape { return Shape{any: true} }
+
+// IsAny reports ⊤.
+func (s Shape) IsAny() bool { return s.any }
+
+// IsBottom reports ⊥ (no term observed).
+func (s Shape) IsBottom() bool {
+	return !s.any && s.sorts == 0 && len(s.consts) == 0 && len(s.fns) == 0
+}
+
+func sortOf(t term.Term) (uint8, bool) {
+	switch t.(type) {
+	case term.Int:
+		return sortInt, true
+	case term.Float:
+		return sortFloat, true
+	case term.Str:
+		return sortString, true
+	case term.Big:
+		return sortBig, true
+	}
+	return 0, false
+}
+
+// abstractTerm computes the shape of a term under per-variable shapes,
+// widening functor arguments at depth (depth 0 yields any).
+func abstractTerm(t term.Term, varShape func(*term.Var) Shape, depth int) Shape {
+	switch x := t.(type) {
+	case *term.Var:
+		if varShape == nil {
+			return AnyShape()
+		}
+		return varShape(x)
+	case *term.Functor:
+		if len(x.Args) == 0 {
+			return Shape{consts: []constShape{{sort: sortAtom, text: x.Sym}}}
+		}
+		if depth <= 0 {
+			return AnyShape()
+		}
+		fs := &fnShape{sym: x.Sym, args: make([]Shape, len(x.Args))}
+		for i, a := range x.Args {
+			fs.args[i] = abstractTerm(a, varShape, depth-1)
+		}
+		return Shape{fns: []*fnShape{fs}}
+	default:
+		if bit, ok := sortOf(t); ok {
+			return Shape{consts: []constShape{{sort: bit, text: t.String()}}}
+		}
+		return AnyShape() // externals and anything unforeseen
+	}
+}
+
+// numShape is the shape of an arithmetic result.
+func numShape() Shape { return Shape{sorts: sortInt | sortFloat | sortBig} }
+
+// Join returns the least upper bound, applying the breadth widening.
+func (s Shape) Join(o Shape, breadth int) Shape {
+	if s.any || o.any {
+		return AnyShape()
+	}
+	out := Shape{sorts: s.sorts | o.sorts}
+	// Constants: union, dedup, widen to sorts past the breadth cap.
+	out.consts = append(out.consts, s.consts...)
+	for _, c := range o.consts {
+		dup := false
+		for _, have := range out.consts {
+			if have.text == c.text && have.sort == c.sort {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out.consts = append(out.consts, c)
+		}
+	}
+	sort.Slice(out.consts, func(i, j int) bool {
+		if out.consts[i].sort != out.consts[j].sort {
+			return out.consts[i].sort < out.consts[j].sort
+		}
+		return out.consts[i].text < out.consts[j].text
+	})
+	if len(out.consts) > breadth {
+		for _, c := range out.consts {
+			out.sorts |= c.sort
+		}
+		out.consts = nil
+	}
+	// Drop constants already absorbed by their sort.
+	if out.sorts != 0 && len(out.consts) > 0 {
+		kept := out.consts[:0]
+		for _, c := range out.consts {
+			if out.sorts&c.sort == 0 {
+				kept = append(kept, c)
+			}
+		}
+		out.consts = kept
+	}
+	// Functor skeletons: merge same sym/arity pointwise, widen to any past
+	// the breadth cap.
+	for _, f := range append(append([]*fnShape(nil), s.fns...), o.fns...) {
+		merged := false
+		for _, have := range out.fns {
+			if have.sym == f.sym && len(have.args) == len(f.args) {
+				for i := range have.args {
+					have.args[i] = have.args[i].Join(f.args[i], breadth)
+				}
+				merged = true
+				break
+			}
+		}
+		if !merged {
+			cp := &fnShape{sym: f.sym, args: append([]Shape(nil), f.args...)}
+			out.fns = append(out.fns, cp)
+		}
+	}
+	sort.Slice(out.fns, func(i, j int) bool {
+		if out.fns[i].sym != out.fns[j].sym {
+			return out.fns[i].sym < out.fns[j].sym
+		}
+		return len(out.fns[i].args) < len(out.fns[j].args)
+	})
+	if len(out.fns) > breadth {
+		return AnyShape()
+	}
+	return out
+}
+
+// Widen truncates functor skeletons at depth: below it a skeleton becomes
+// any. Every join into a stored summary widens (analyze.go) — abstractTerm
+// substitutes full variable shapes, so one rule evaluation can deepen a
+// skeleton, and recursive rules would otherwise deepen it every round
+// (p([X|L]) :- p(L) builds an ever-taller cons tower). Widened shapes over
+// a program's finite function symbols form a finite domain, which is what
+// terminates the fixpoint.
+func (s Shape) Widen(depth int) Shape {
+	if s.any || len(s.fns) == 0 {
+		return s
+	}
+	if depth <= 0 {
+		return AnyShape()
+	}
+	out := Shape{sorts: s.sorts, consts: s.consts}
+	out.fns = make([]*fnShape, len(s.fns))
+	for i, f := range s.fns {
+		nf := &fnShape{sym: f.sym, args: make([]Shape, len(f.args))}
+		for j, a := range f.args {
+			nf.args[j] = a.Widen(depth - 1)
+		}
+		out.fns[i] = nf
+	}
+	return out
+}
+
+// Equal reports structural equality (both sides are kept sorted, so the
+// rendering is a faithful identity).
+func (s Shape) Equal(o Shape) bool { return s.String() == o.String() }
+
+// Overlaps reports whether the two shapes can describe a common term.
+// ⊤ overlaps everything; ⊥ overlaps nothing. Functor skeletons are
+// compared by symbol and arity only (no recursion) — Overlaps answers
+// "can a match be ruled out", so staying conservative is safe.
+func (s Shape) Overlaps(o Shape) bool {
+	if s.IsBottom() || o.IsBottom() {
+		return false
+	}
+	if s.any || o.any {
+		return true
+	}
+	if s.sorts&o.sorts != 0 {
+		return true
+	}
+	for _, c := range s.consts {
+		if o.sorts&c.sort != 0 {
+			return true
+		}
+		for _, d := range o.consts {
+			if c.sort == d.sort && c.text == d.text {
+				return true
+			}
+		}
+	}
+	for _, d := range o.consts {
+		if s.sorts&d.sort != 0 {
+			return true
+		}
+	}
+	for _, f := range s.fns {
+		for _, g := range o.fns {
+			if f.sym == g.sym && len(f.args) == len(g.args) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// String renders the shape: alternatives joined with "|", e.g.
+// "madison|milwaukee", "int", "e(atom, int)", "[any|any]", "any", "none".
+func (s Shape) String() string {
+	if s.any {
+		return "any"
+	}
+	if s.IsBottom() {
+		return "none"
+	}
+	var parts []string
+	for _, sn := range sortNames {
+		if s.sorts&sn.bit != 0 {
+			parts = append(parts, sn.name)
+		}
+	}
+	for _, c := range s.consts {
+		parts = append(parts, c.text)
+	}
+	for _, f := range s.fns {
+		parts = append(parts, f.String())
+	}
+	return strings.Join(parts, "|")
+}
+
+func (f *fnShape) String() string {
+	if f.sym == term.ListSym && len(f.args) == 2 {
+		return "[" + f.args[0].String() + "|" + f.args[1].String() + "]"
+	}
+	var b strings.Builder
+	b.WriteString(f.sym)
+	b.WriteByte('(')
+	for i, a := range f.args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(a.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}

@@ -1,0 +1,103 @@
+package analysis
+
+import "strings"
+
+// Inline suppression: a "% coral:nolint" comment silences diagnostics.
+// Written after code it suppresses findings on its own line; written on a
+// line of its own it suppresses findings on the next line. A bare
+// "coral:nolint" suppresses every check; "coral:nolint check-id ..."
+// suppresses only the named checks.
+//
+// The lexer discards comments, so suppressions are parsed from the raw
+// consulted source (Options.Src) in a separate scan.
+
+// suppression is the set of checks silenced on one line.
+type suppression struct {
+	all    bool
+	checks map[string]bool
+}
+
+func (s suppression) covers(check string) bool { return s.all || s.checks[check] }
+
+// parseSuppressions scans raw source for nolint comments and returns the
+// suppressed checks per 1-based target line.
+func parseSuppressions(src string) map[int]suppression {
+	var out map[int]suppression
+	for n, line := range strings.Split(src, "\n") {
+		code, comment, ok := splitComment(line)
+		if !ok {
+			continue
+		}
+		rest, ok := strings.CutPrefix(strings.TrimSpace(comment), "coral:nolint")
+		if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+			continue
+		}
+		target := n + 1 // this line (lines are 1-based)
+		if strings.TrimSpace(code) == "" {
+			target = n + 2 // standalone comment: the next line
+		}
+		s := suppression{checks: make(map[string]bool)}
+		ids := strings.Fields(rest)
+		if len(ids) == 0 {
+			s.all = true
+		}
+		for _, id := range ids {
+			s.checks[id] = true
+		}
+		if out == nil {
+			out = make(map[int]suppression)
+		}
+		if have, dup := out[target]; dup {
+			// Two comments targeting one line merge.
+			s.all = s.all || have.all
+			for id := range have.checks {
+				s.checks[id] = true
+			}
+		}
+		out[target] = s
+	}
+	return out
+}
+
+// splitComment finds the first % outside quoted literals. ok is false when
+// the line has no comment.
+func splitComment(line string) (code, comment string, ok bool) {
+	inD, inS := false, false
+	for i := 0; i < len(line); i++ {
+		switch line[i] {
+		case '\\':
+			if inD || inS {
+				i++ // skip the escaped character
+			}
+		case '"':
+			if !inS {
+				inD = !inD
+			}
+		case '\'':
+			if !inD {
+				inS = !inS
+			}
+		case '%':
+			if !inD && !inS {
+				return line[:i], line[i+1:], true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// filterSuppressed drops diagnostics targeted by nolint comments in src.
+func filterSuppressed(diags []Diagnostic, src string) []Diagnostic {
+	sup := parseSuppressions(src)
+	if len(sup) == 0 {
+		return diags
+	}
+	out := make([]Diagnostic, 0, len(diags))
+	for _, d := range diags {
+		if s, ok := sup[d.Line]; ok && s.covers(d.Check) {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,66 @@
+package analysis
+
+import "testing"
+
+func TestParseSuppressions(t *testing.T) {
+	src := `module m.
+p(X, Y) :- q(X). % coral:nolint range-restriction
+% coral:nolint
+q(a, b, c).
+r(X) :- s("100% real"), t(X). % coral:nolint
+% coral:nolint cross-product singleton-var
+u(X) :- v(Y), w(Z).
+x(1). % coral:nolintish
+end_module.
+`
+	sup := parseSuppressions(src)
+	if s := sup[2]; !s.covers(CheckRangeRestriction) || s.covers(CheckSingletonVar) {
+		t.Errorf("line 2: want only range-restriction, got %+v", s)
+	}
+	if s := sup[4]; !s.all {
+		t.Errorf("line 4: standalone bare nolint must suppress all, got %+v", s)
+	}
+	// The % inside the string literal is not a comment delimiter.
+	if s := sup[5]; !s.all {
+		t.Errorf("line 5: nolint after a %%-containing string, got %+v", s)
+	}
+	if s := sup[7]; !s.covers(CheckCrossProduct) || !s.covers(CheckSingletonVar) || s.all {
+		t.Errorf("line 7: want cross-product+singleton-var, got %+v", s)
+	}
+	if _, ok := sup[8]; ok {
+		t.Error("line 8: coral:nolintish must not parse as a suppression")
+	}
+}
+
+func TestNolintFiltersDiagnostics(t *testing.T) {
+	src := `module m.
+export p(ff).
+p(X, Y) :- q(X). % coral:nolint range-restriction
+q(a).
+end_module.
+`
+	u := mustParse(t, src)
+	with := AnalyzeUnit(u, Options{AssumeDefined: true, Src: src})
+	if got := diagsFor(with, CheckRangeRestriction); len(got) != 0 {
+		t.Fatalf("suppressed diagnostic still reported:\n%s", Render(got))
+	}
+	// Without Src the comment is invisible and the warning comes back.
+	without := AnalyzeUnit(u, Options{AssumeDefined: true})
+	if got := diagsFor(without, CheckRangeRestriction); len(got) != 1 {
+		t.Fatalf("want 1 diagnostic without Src, got:\n%s", Render(without))
+	}
+}
+
+func TestNolintWrongIDKeepsDiagnostic(t *testing.T) {
+	src := `module m.
+export p(ff).
+p(X, Y) :- q(X). % coral:nolint singleton-var
+q(a).
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true, Src: src})
+	if got := diagsFor(diags, CheckRangeRestriction); len(got) != 1 {
+		t.Fatalf("nolint with a different ID must not suppress:\n%s", Render(diags))
+	}
+}

@@ -219,7 +219,9 @@ end_module.
 	var rule *Compiled
 	for _, st := range prog.Strata {
 		for _, c := range st.ExitRules {
-			if c.HeadPred.Name == "q_fff" {
+			// All-free query forms skip magic rewriting, so the rule keeps
+			// its original head name.
+			if c.HeadPred.Name == "q" || c.HeadPred.Name == "q_fff" {
 				rule = c
 			}
 		}
@@ -227,7 +229,7 @@ end_module.
 	if rule == nil {
 		t.Fatal("rule not found")
 	}
-	// Locate the a and c literals (the magic guard occupies position 0).
+	// Locate the a and c literals.
 	aPos, cPos := -1, -1
 	for i := range rule.Body {
 		switch rule.Body[i].Pred.Name {

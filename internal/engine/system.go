@@ -32,6 +32,13 @@ type System struct {
 	// order, preserving the pre-planner behavior byte for byte. Ordered
 	// Search and traced evaluations always use the written order.
 	JoinPlanning bool
+	// FlowOptimization enables the optimizations fed by the whole-program
+	// flow analysis (analysis/flow), on by default: pruning rules
+	// unreachable from the query form, skipping magic rewriting when every
+	// reachable context is all-free, and seeding the join planner from
+	// magic literals (the carriers of inferred call bindings). When false
+	// programs are built exactly as before the analysis existed.
+	FlowOptimization bool
 	// Ctx, when non-nil, is polled during evaluation; cancellation aborts
 	// the running call with an *AbortError. The single-user interactive
 	// system makes a stored context the natural shape: the REPL arms it
@@ -49,8 +56,9 @@ func NewSystem() *System {
 		base:           make(map[ast.PredKey]relation.Relation),
 		exports:        make(map[ast.PredKey]*ModuleDef),
 		modules:        make(map[string]*ModuleDef),
-		AutoDefineBase: true,
-		JoinPlanning:   true,
+		AutoDefineBase:   true,
+		JoinPlanning:     true,
+		FlowOptimization: true,
 	}
 }
 
@@ -138,7 +146,7 @@ func (sys *System) AddModule(m *ast.Module) error {
 				if _, ok := def.progs[formKey(e.Pred, form)]; ok {
 					continue
 				}
-				prog, err := BuildProgram(m, key, form)
+				prog, err := buildProgram(m, key, form, nil, sys.FlowOptimization)
 				if err != nil {
 					return fmt.Errorf("module %s, query form %s(%s): %w", m.Name, e.Pred, form, err)
 				}
@@ -336,7 +344,7 @@ func (def *ModuleDef) progForCall(pred ast.PredKey, form string, args []term.Ter
 	if p, ok := def.progs[key]; ok {
 		return p, nil
 	}
-	p, err := BuildProgramMasked(def.Src, pred, form, mask)
+	p, err := buildProgram(def.Src, pred, form, mask, def.sys.FlowOptimization)
 	if err != nil {
 		// Projection is an optimization; fall back to the base program.
 		return base, nil

@@ -67,10 +67,12 @@ type aggGroup struct {
 func (r *HashRelation) AddAggSel(sel *AggSel) {
 	for _, p := range sel.GroupPos {
 		if p < 0 || p >= r.arity {
+			// lint:allow panic — compiler-checked positions; reaching this is a bug, not a bad query
 			panic("relation: aggregate selection group position out of range")
 		}
 	}
 	if sel.Op != AggAny && (sel.ValuePos < 0 || sel.ValuePos >= r.arity) {
+		// lint:allow panic — compiler-checked positions; reaching this is a bug, not a bad query
 		panic("relation: aggregate selection value position out of range")
 	}
 	sel.groups = make(map[uint64]*aggGroup)

@@ -38,6 +38,7 @@ func (r *Computed) Len() int { return 0 }
 // Insert implements Relation. Computed relations are read-only; inserting
 // is a program error.
 func (r *Computed) Insert(Fact) bool {
+	// lint:allow panic — the compiler never targets a computed relation; this is a bug, not a bad query
 	panic("relation: insert into computed relation " + r.name)
 }
 

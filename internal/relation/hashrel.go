@@ -100,6 +100,7 @@ func (r *HashRelation) InsertAttempts() int { return r.inserted }
 // Insert implements Relation. f must be canonical (see Fact).
 func (r *HashRelation) Insert(f Fact) bool {
 	if len(f.Args) != r.arity {
+		// lint:allow panic — arity is fixed at compile time; a mismatch is a bug, not a bad query
 		panic("relation: arity mismatch inserting into " + r.name)
 	}
 	r.inserted++

@@ -36,6 +36,7 @@ func (r *ListRelation) Len() int { return r.live }
 // point of this representation is its simplicity, not its speed.
 func (r *ListRelation) Insert(f Fact) bool {
 	if len(f.Args) != r.arity {
+		// lint:allow panic — arity is fixed at compile time; a mismatch is a bug, not a bad query
 		panic("relation: arity mismatch inserting into " + r.name)
 	}
 	if !r.Multiset {

@@ -21,6 +21,7 @@ const HelpText = `Commands (all end with a period):
   rewritten(mod, p, "bf").  show the optimizer's rewritten program
   save("file", pred/2).     write a base relation as a consultable file
   :vet "file".              run static analysis over a program file without loading it
+  :analyze "file".          print the flow analysis (bindings, groundness, types) of a program file
   :budget timeout=2s facts=100000 iters=1000.
                             bound every evaluation; ":budget off." clears,
                             bare ":budget." shows the current limits
@@ -67,6 +68,9 @@ func (s *Session) Execute(text string) (output string, done bool) {
 	}
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(body), ":vet"); ok {
 		return s.vet(rest), false
+	}
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(body), ":analyze"); ok {
+		return s.analyze(rest), false
 	}
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(body), ":budget"); ok {
 		return s.budget(rest), false
@@ -167,6 +171,21 @@ func (s *Session) vet(arg string) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
+}
+
+// analyze prints the whole-program flow analysis of a program file: the
+// reachable (predicate, adornment) contexts with inferred call bindings,
+// fact groundness, and type/shape summaries.
+func (s *Session) analyze(arg string) string {
+	arg = strings.Trim(strings.TrimSpace(arg), `"'`)
+	if arg == "" {
+		return "usage: :analyze \"file.crl\".\n"
+	}
+	out, err := s.Sys.AnalyzeFile(arg)
+	if err != nil {
+		return "error: " + err.Error() + "\n"
+	}
+	return out
 }
 
 // budget sets, clears or shows the evaluation budget. Accepted forms:

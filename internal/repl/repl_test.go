@@ -275,3 +275,37 @@ end_module.`)
 		}
 	}
 }
+
+func TestAnalyzeCommand(t *testing.T) {
+	s := session(t)
+	path := filepath.Join(t.TempDir(), "paths.crl")
+	src := `edge(a, b).
+module paths.
+export path(bf).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, done := s.Execute(fmt.Sprintf(":analyze %q.", path))
+	if done {
+		t.Fatal(":analyze ended the session")
+	}
+	if !strings.Contains(out, "flow analysis: module paths") ||
+		!strings.Contains(out, "path_bf") ||
+		!strings.Contains(out, "call=(g,f)") {
+		t.Fatalf("analyze output: %q", out)
+	}
+
+	out, _ = s.Execute(":analyze.")
+	if !strings.Contains(out, "usage") {
+		t.Fatalf("bare :analyze: %q", out)
+	}
+
+	out, _ = s.Execute(fmt.Sprintf(":analyze %q.", filepath.Join(t.TempDir(), "missing.crl")))
+	if !strings.Contains(out, "error") {
+		t.Fatalf("missing file: %q", out)
+	}
+}

@@ -1,9 +1,9 @@
 package rewrite
 
 import (
-	"fmt"
 	"sort"
 
+	"coral/internal/analysis/flow"
 	"coral/internal/ast"
 	"coral/internal/term"
 )
@@ -14,8 +14,11 @@ import (
 // subgoals left to right (CORAL's default sideways information passing
 // strategy).
 //
-// Adorned predicates are named orig_adornment (e.g. ancestor_bf); base and
-// imported predicates are never adorned.
+// The reachability walk itself lives in analysis/flow.Reach — shared with
+// the abstract interpreter and the engine's rule pruning — and Adorn is a
+// renaming pass over its result: each reachable (predicate, adornment)
+// context becomes a predicate named orig_adornment (e.g. ancestor_bf); base
+// and imported predicates are never adorned.
 
 // AdornedPred records what an adorned predicate name stands for.
 type AdornedPred struct {
@@ -39,13 +42,7 @@ type Adorned struct {
 func AdornedName(pred, adorn string) string { return pred + "_" + adorn }
 
 // AllFree returns the all-free adornment for the given arity.
-func AllFree(arity int) string {
-	b := make([]byte, arity)
-	for i := range b {
-		b[i] = 'f'
-	}
-	return string(b)
-}
+func AllFree(arity int) string { return flow.AllFree(arity) }
 
 // AllBound returns the all-bound adornment for the given arity.
 func AllBound(arity int) string {
@@ -70,79 +67,58 @@ type AdornOptions struct {
 	Reorder bool
 }
 
+// ReachOpts translates adornment options for flow.Reach, wiring in the
+// rewriter's join order selection when Reorder is set.
+func ReachOpts(opts AdornOptions) flow.ReachOpts {
+	ro := flow.ReachOpts{NegFree: opts.NegFree}
+	if opts.Reorder {
+		ro.Reorder = func(body []ast.Literal, bound map[*term.Var]bool) []ast.Literal {
+			return reorderBody(body, varSet(bound))
+		}
+	}
+	return ro
+}
+
 // Adorn specializes rules for query form (query, adorn). Aggregated head
 // positions are forced free: the aggregate's value cannot be propagated
 // into the body as a binding.
 func Adorn(rules []*ast.Rule, query ast.PredKey, adorn string, opts AdornOptions) (*Adorned, error) {
-	if len(adorn) != query.Arity {
-		return nil, fmt.Errorf("rewrite: adornment %q has wrong length for %s", adorn, query)
+	rb, err := flow.Reach(rules, query, adorn, ReachOpts(opts))
+	if err != nil {
+		return nil, err
 	}
+	return AdornFromReach(rb), nil
+}
+
+// AdornFromReach renames an already-computed reachability result into the
+// adorned program, letting callers that also need the raw traversal (the
+// engine's rule pruning, the flow analyzer) run it once.
+func AdornFromReach(rb *flow.Reachable) *Adorned {
 	a := &Adorned{
-		Preds:   make(map[string]AdornedPred),
-		Derived: make(map[ast.PredKey]bool),
+		Preds:     make(map[string]AdornedPred, len(rb.Order)),
+		Derived:   rb.Derived,
+		QueryName: AdornedName(rb.Query.Pred.Name, rb.Query.Adorn),
 	}
-	rulesFor := make(map[ast.PredKey][]*ast.Rule)
-	aggPositions := make(map[ast.PredKey]map[int]bool)
-	for _, r := range rules {
-		k := r.Head.Key()
-		a.Derived[k] = true
-		rulesFor[k] = append(rulesFor[k], r)
-		for _, ag := range r.Aggs {
-			if aggPositions[k] == nil {
-				aggPositions[k] = make(map[int]bool)
+	for _, ctx := range rb.Order {
+		name := AdornedName(ctx.Pred.Name, ctx.Adorn)
+		a.Preds[name] = AdornedPred{Orig: ctx.Pred, Adorn: ctx.Adorn}
+		for _, rf := range rb.Rules[ctx] {
+			ar := &ast.Rule{
+				Head: ast.Literal{Pred: name, Args: rf.Rule.Head.Args},
+				Body: make([]ast.Literal, len(rf.Body)),
+				Aggs: rf.Rule.Aggs,
+				Line: rf.Rule.Line,
 			}
-			aggPositions[k][ag.Pos] = true
-		}
-	}
-	if !a.Derived[query] {
-		return nil, fmt.Errorf("rewrite: query predicate %s is not defined by the module", query)
-	}
-
-	// normalize demotes bound adornment letters at aggregated positions.
-	normalize := func(p ast.PredKey, ad string) string {
-		aggs := aggPositions[p]
-		if len(aggs) == 0 {
-			return ad
-		}
-		b := []byte(ad)
-		for pos := range aggs {
-			b[pos] = 'f'
-		}
-		return string(b)
-	}
-
-	type job struct {
-		pred  ast.PredKey
-		adorn string
-	}
-	seen := make(map[string]bool)
-	queue := []job{{query, normalize(query, adorn)}}
-	a.QueryName = AdornedName(query.Name, normalize(query, adorn))
-	seen[a.QueryName] = true
-	a.Preds[a.QueryName] = AdornedPred{Orig: query, Adorn: normalize(query, adorn)}
-
-	for len(queue) > 0 {
-		j := queue[0]
-		queue = queue[1:]
-		name := AdornedName(j.pred.Name, j.adorn)
-		for _, r := range rulesFor[j.pred] {
-			ar, calls, err := adornRule(r, j.adorn, a.Derived, normalize, opts)
-			if err != nil {
-				return nil, err
-			}
-			ar.Head.Pred = name
-			a.Rules = append(a.Rules, ar)
-			for _, c := range calls {
-				cn := AdornedName(c.pred.Name, c.adorn)
-				if !seen[cn] {
-					seen[cn] = true
-					a.Preds[cn] = AdornedPred{Orig: c.pred, Adorn: c.adorn}
-					queue = append(queue, job{pred: c.pred, adorn: c.adorn})
+			for i, l := range rf.Body {
+				if call := rf.Calls[i]; call.Pred.Name != "" {
+					l.Pred = AdornedName(call.Pred.Name, call.Adorn)
 				}
+				ar.Body[i] = l
 			}
+			a.Rules = append(a.Rules, ar)
 		}
 	}
-	return a, nil
+	return a
 }
 
 // varSet tracks bound variables by object identity.
@@ -185,86 +161,6 @@ func VarsOf(ts []term.Term) varSet {
 		s.addVars(t)
 	}
 	return s
-}
-
-type adornCall struct {
-	pred  ast.PredKey
-	adorn string
-}
-
-// adornRule adorns one rule given the head adornment, returning the
-// adorned copy and the derived calls it makes.
-func adornRule(r *ast.Rule, headAdorn string, derived map[ast.PredKey]bool, normalize func(ast.PredKey, string) string, opts AdornOptions) (*ast.Rule, []adornCall, error) {
-	bound := make(varSet)
-	for i, arg := range r.Head.Args {
-		if headAdorn[i] == 'b' {
-			bound.addVars(arg)
-		}
-	}
-	body := r.Body
-	if opts.Reorder {
-		body = reorderBody(body, bound)
-	}
-	out := &ast.Rule{
-		Head: ast.Literal{Pred: r.Head.Pred, Args: r.Head.Args},
-		Aggs: r.Aggs,
-		Line: r.Line,
-	}
-	var calls []adornCall
-	for i := range body {
-		l := body[i]
-		switch {
-		case l.Builtin():
-			applyBuiltinBindings(&l, bound)
-		case derived[l.Key()]:
-			orig := l.Key()
-			ad := make([]byte, len(l.Args))
-			for ai, arg := range l.Args {
-				if bound.covers(arg) {
-					ad[ai] = 'b'
-				} else {
-					ad[ai] = 'f'
-				}
-			}
-			if l.Neg && opts.NegFree {
-				ad = []byte(AllFree(len(l.Args)))
-			}
-			adStr := normalize(orig, string(ad))
-			l.Pred = AdornedName(orig.Name, adStr)
-			calls = append(calls, adornCall{pred: orig, adorn: adStr})
-			if !l.Neg {
-				for _, arg := range l.Args {
-					bound.addVars(arg)
-				}
-			}
-		default:
-			// Base or imported: not adorned; a positive occurrence binds
-			// its variables.
-			if !l.Neg {
-				for _, arg := range l.Args {
-					bound.addVars(arg)
-				}
-			}
-		}
-		out.Body = append(out.Body, l)
-	}
-	return out, calls, nil
-}
-
-// applyBuiltinBindings updates the bound set for a builtin literal: after
-// "X = expr" (or expr = X) with one side fully bound, the other side's
-// variables become bound. Comparisons bind nothing.
-func applyBuiltinBindings(l *ast.Literal, bound varSet) {
-	if l.Pred != "=" || len(l.Args) != 2 {
-		return
-	}
-	left, right := l.Args[0], l.Args[1]
-	switch {
-	case bound.covers(left):
-		bound.addVars(right)
-	case bound.covers(right):
-		bound.addVars(left)
-	}
 }
 
 // SortedPredNames returns the adorned predicate names in sorted order (for

@@ -1,0 +1,173 @@
+// Command lint enforces two repository-specific invariants the stock go
+// vet cannot express, over the packages named on the command line:
+//
+//	go run ./tools/lint ./internal/engine ./internal/relation
+//
+// Rule panic-outside-throw: the engine reports evaluation failures by
+// panicking with an evalError that recoverEval converts back into an
+// ordinary error at the evaluation boundary (builtins.go). Every other
+// panic would crash the whole process on a bad query, so panic calls are
+// forbidden except inside the designated throw helpers (Throw, throwf) or
+// on lines annotated "lint:allow panic — <reason>" for genuine
+// can-never-happen invariants.
+//
+// Rule errorf-wrap: an error value passed to fmt.Errorf must be wrapped
+// with %w, not flattened with %v/%s, so callers can errors.Is/As through
+// the engine and relation layers. Detected syntactically: any argument
+// whose identifier is (or ends in) "err" with a format string lacking %w.
+//
+// The tool is stdlib-only (go/parser + go/ast); test files are skipped.
+// Findings print as file:line:col: message and any finding exits 1.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: lint <package-dir> ...")
+		os.Exit(2)
+	}
+	bad := 0
+	for _, dir := range os.Args[1:] {
+		findings, err := lintDir(dir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+			os.Exit(2)
+		}
+		bad += len(findings)
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if bad > 0 {
+		os.Exit(1)
+	}
+}
+
+func lintDir(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []string
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		path := filepath.Join(dir, name)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, lintFile(fset, file)...)
+	}
+	sort.Strings(findings)
+	return findings, nil
+}
+
+// throwHelpers are the functions allowed to panic: they implement the
+// engine's throw/recover error channel.
+var throwHelpers = map[string]bool{"Throw": true, "throwf": true}
+
+func lintFile(fset *token.FileSet, file *ast.File) []string {
+	allowed := allowedLines(fset, file)
+	var findings []string
+	report := func(pos token.Pos, msg string) {
+		findings = append(findings, fmt.Sprintf("%s: %s", fset.Position(pos), msg))
+	}
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		inHelper := fn.Recv == nil && throwHelpers[fn.Name.Name]
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				line := fset.Position(call.Pos()).Line
+				if !inHelper && !allowed[line] {
+					report(call.Pos(), "panic outside Throw/throwf: use engine.Throw so the failure surfaces as an error (or annotate the invariant with \"lint:allow panic\")")
+				}
+			}
+			if isFmtErrorf(call) {
+				checkErrorfWrap(call, report)
+			}
+			return true
+		})
+	}
+	return findings
+}
+
+// allowedLines collects the lines covered by a "lint:allow panic"
+// annotation: the comment's own line (trailing form) and the line after it
+// (standalone form).
+func allowedLines(fset *token.FileSet, file *ast.File) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			if !strings.Contains(c.Text, "lint:allow panic") {
+				continue
+			}
+			line := fset.Position(c.Pos()).Line
+			out[line] = true
+			out[line+1] = true
+		}
+	}
+	return out
+}
+
+func isFmtErrorf(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "fmt"
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that flatten an error value. The
+// error-ness of an argument is judged by name: an identifier that is, or
+// ends in, "err" — the repository's universal error naming.
+func checkErrorfWrap(call *ast.CallExpr, report func(token.Pos, string)) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || strings.Contains(lit.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if name := rightmostIdent(arg); name != "" && strings.HasSuffix(strings.ToLower(name), "err") {
+			report(arg.Pos(), fmt.Sprintf("error value %s passed to fmt.Errorf without %%w: wrapping keeps errors.Is/As working through this layer", name))
+			return
+		}
+	}
+}
+
+// rightmostIdent returns the identifier an argument expression names:
+// err, e.err, ee.err(), pkg.Err. Composite expressions return "".
+func rightmostIdent(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.CallExpr:
+		return rightmostIdent(x.Fun)
+	}
+	return ""
+}

@@ -2,8 +2,10 @@ package coral
 
 import (
 	"os"
+	"strings"
 
 	"coral/internal/analysis"
+	"coral/internal/analysis/flow"
 	"coral/internal/ast"
 )
 
@@ -18,7 +20,7 @@ func (s *System) Vet(src string) ([]analysis.Diagnostic, error) {
 	if err != nil {
 		return nil, err
 	}
-	return analysis.AnalyzeUnit(u, analysis.Options{Known: s.knownPred}), nil
+	return analysis.AnalyzeUnit(u, analysis.Options{Known: s.knownPred, Src: src}), nil
 }
 
 // VetFile runs Vet over a program file.
@@ -28,6 +30,40 @@ func (s *System) VetFile(path string) ([]analysis.Diagnostic, error) {
 		return nil, err
 	}
 	return s.Vet(string(src))
+}
+
+// Analyze runs the whole-program flow analysis over program text without
+// loading it and returns the per-module reports: for every derived
+// predicate, the reachable (predicate, adornment) contexts with the
+// inferred call bindings, fact groundness, and type/shape summaries.
+// This is the raw data behind the interprocedural vet checks and the
+// optimizer's rule pruning.
+func (s *System) Analyze(src string) (string, error) {
+	u, err := s.ParseUnit(src)
+	if err != nil {
+		return "", err
+	}
+	if len(u.Modules) == 0 {
+		return "% no modules in input\n", nil
+	}
+	var b strings.Builder
+	for i, m := range u.Modules {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		res := flow.Analyze(m, flow.Options{NegFree: !m.Ann.OrderedSearch})
+		b.WriteString(res.Report())
+	}
+	return b.String(), nil
+}
+
+// AnalyzeFile runs Analyze over a program file.
+func (s *System) AnalyzeFile(path string) (string, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return s.Analyze(string(src))
 }
 
 // knownPred is the Known oracle for Vet: anything resolvable in the
