@@ -647,3 +647,50 @@ end_module.
 		})
 	}
 }
+
+// BenchmarkE20ColdStartPlan prices planner cold-start seeding (DESIGN.md
+// §5.13) on a rule whose only selective literal is a module-call export:
+// q joins two unrelated base relations with ok/2, a tiny export that
+// keeps no live statistics. The cold planner without seeding prices ok/2
+// at the unknown-source default (2^20 rows) and schedules it last — a
+// big1 × big2 cross product probed through the module boundary. Seeding
+// prices ok/2 from the callee's static estimate (an exact passthrough of
+// linkbase/2, whose live count is known), so the very first plan drives
+// the join from it.
+func BenchmarkE20ColdStartPlan(b *testing.B) {
+	var facts string
+	n := 180
+	for i := 0; i < n; i++ {
+		facts += fmt.Sprintf("big1(a%d, b%d).\nbig2(c%d, v%d).\n", i, i, i, i%4)
+	}
+	for i := 0; i < n; i += 8 {
+		facts += fmt.Sprintf("linkbase(b%d, c%d).\n", i, i)
+	}
+	mods := `
+module tiny.
+export ok(ff).
+ok(Y, Z) :- linkbase(Y, Z).
+end_module.
+module outer.
+export q(ff).
+@rewrite none.
+q(X, W) :- big1(X, Y), big2(Z, W), ok(Y, Z).
+end_module.
+`
+	for _, mode := range []struct {
+		name    string
+		seeding bool
+	}{
+		{"unseeded", false},
+		{"seeded", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sys := benchSystem(b, facts+mods)
+				sys.StaticSeeding = mode.seeding
+				benchCall(b, sys, "q", term.NewVar("X"), term.NewVar("W"))
+			}
+		})
+	}
+}

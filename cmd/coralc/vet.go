@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"coral/internal/analysis"
+	"coral/internal/analysis/card"
 	"coral/internal/analysis/flow"
 	"coral/internal/parser"
 )
@@ -32,10 +33,13 @@ func runVet(name, src string, werror bool, w io.Writer) int {
 	return 0
 }
 
-// runAnalyze prints the raw flow-analysis report for every module of one
-// program source: per derived predicate, the reachable (predicate,
-// adornment) contexts with inferred call bindings, fact groundness, and
-// type/shape summaries. It returns the exit code (2 on a parse error).
+// runAnalyze prints the raw static-analysis reports for every module of
+// one program source: the flow analysis (per derived predicate, the
+// reachable (predicate, adornment) contexts with inferred call bindings,
+// fact groundness, and type/shape summaries) followed by the cardinality &
+// termination analysis (row and domain bounds, termination verdicts, the
+// static fixpoint round bound). It returns the exit code (2 on a parse
+// error).
 func runAnalyze(name, src string, w io.Writer) int {
 	u, err := parser.Parse(src)
 	if err != nil {
@@ -52,6 +56,13 @@ func runAnalyze(name, src string, w io.Writer) int {
 		}
 		res := flow.Analyze(m, flow.Options{NegFree: !m.Ann.OrderedSearch})
 		fmt.Fprint(w, res.Report())
+		fmt.Fprintln(w)
+		selected := make(map[string]bool, len(m.Ann.AggSels))
+		for _, sel := range m.Ann.AggSels {
+			selected[sel.Pred] = true
+		}
+		cres := card.Analyze(m, card.Options{NegFree: !m.Ann.OrderedSearch, AggSelected: selected})
+		fmt.Fprint(w, cres.Report())
 	}
 	return 0
 }

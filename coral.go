@@ -77,6 +77,17 @@ func (s *System) SetJoinPlanning(on bool) { s.eng.JoinPlanning = on }
 // compilation byte for byte.
 func (s *System) SetFlowOptimization(on bool) { s.eng.FlowOptimization = on }
 
+// SetStaticSeeding toggles planner cold-start seeding from the
+// compile-time cardinality analysis (on by default): body sources without
+// live statistics — derived relations before their first fixpoint round,
+// module-call and computed sources — are priced from static row and
+// domain bounds instead of blind defaults, and iteration-budget aborts
+// report the statically proven round bound ("statically expected ≤ N
+// rounds"). Live statistics take over as relations fill. On and off
+// produce the same answer sets; the enumeration order of answers may
+// differ.
+func (s *System) SetStaticSeeding(on bool) { s.eng.StaticSeeding = on }
+
 // Budget bounds one evaluation: wall-clock deadline, derived-fact count,
 // and fixpoint iterations. The zero value means unlimited. See SetBudget.
 type Budget = engine.Budget

@@ -23,6 +23,14 @@ type Options struct {
 	// comments in it suppress diagnostics (nolint.go); the lexer discards
 	// comments, so the analysis needs the original text.
 	Src string
+	// BaseRows, when non-nil, resolves live statistics of consulted base
+	// relations for the cardinality analysis: exact counts sharpen the
+	// row estimates and iteration bounds. Nil means structure-only bounds.
+	BaseRows func(key ast.PredKey) (rows int, distinct []int, ok bool)
+	// BudgetIterations is the configured MaxIterations budget (0 = none);
+	// the insufficient-iter-budget check compares it against the proven
+	// fixpoint round bound.
+	BudgetIterations int
 }
 
 // AnalyzeUnit runs the whole check catalogue over one consulted unit:
@@ -113,11 +121,13 @@ func (a *analyzer) analyzeModule(m *ast.Module) {
 		}
 	}
 	a.checkDuplicates(m)
+	a.checkSubsumption(m)
 	a.checkUnused(m, heads)
 	a.checkExports(m, heads)
 	a.checkFunctorGrowth(m, graph)
 	a.checkStratification(m, graph)
 	a.checkFlow(m)
+	a.checkCard(m)
 }
 
 // --- shared term helpers ---

@@ -1,0 +1,605 @@
+package card
+
+import (
+	"math"
+	"sort"
+
+	"coral/internal/analysis/flow"
+	"coral/internal/ast"
+	"coral/internal/rewrite"
+	"coral/internal/term"
+)
+
+// Analyze runs the full analysis over a module: norm classification per
+// rule, growth findings refined per reachable adornment (flow.Reach from
+// every exported query form), and the cardinality fixpoint.
+func Analyze(m *ast.Module, opts Options) *Result {
+	res := analyzeRules(m.Rules, opts)
+	res.Module = m.Name
+	refineByAdornment(m, res, opts)
+	res.computeVerdicts()
+	return res
+}
+
+// EstimateRules runs the cardinality side alone over an arbitrary rule set
+// — the engine calls it on rewritten programs, where magic and
+// supplementary predicates are ordinary rules and the estimates price the
+// program that actually runs. Findings are computed (growth marks domains
+// unbounded) but not adornment-refined.
+func EstimateRules(rules []*ast.Rule, opts Options) *Result {
+	res := analyzeRules(rules, opts)
+	res.computeVerdicts()
+	return res
+}
+
+func analyzeRules(rules []*ast.Rule, opts Options) *Result {
+	g := rewrite.BuildDepGraph(rules)
+	e := &estimator{
+		g:     g,
+		base:  opts.BaseRows,
+		norms: make(map[*ast.Rule]*ruleNorm, len(rules)),
+		rulesFor: func() map[ast.PredKey][]*ast.Rule {
+			out := make(map[ast.PredKey][]*ast.Rule)
+			for _, r := range rules {
+				out[r.Head.Key()] = append(out[r.Head.Key()], r)
+			}
+			return out
+		}(),
+		aggPos: aggPositions(rules),
+		est: &Estimates{
+			Dom:   make(map[ast.PredKey][]float64),
+			Bound: make(map[ast.PredKey]float64),
+			Rows:  make(map[ast.PredKey]float64),
+			Exact: make(map[ast.PredKey]bool),
+		},
+	}
+	res := &Result{Graph: g, Est: e.est, Verdicts: make(map[ast.PredKey]Verdict)}
+	for _, scc := range g.SCCs {
+		inSCC := make(map[ast.PredKey]bool, len(scc.Preds))
+		for _, p := range scc.Preds {
+			inSCC[p] = true
+		}
+		rec := func(k ast.PredKey) bool { return scc.Recursive && inSCC[k] }
+		for _, p := range scc.Preds {
+			for _, r := range e.rulesFor[p] {
+				n := normRule(r, rec)
+				e.norms[r] = n
+				fs := n.findings(e.aggPos[p])
+				if opts.AggSelected[p.Name] || len(r.Aggs) > 0 {
+					// An aggregate selection prunes dominated facts every
+					// round (paper §5.5.2): the growth is bounded by the
+					// selection, exactly like a comparison guard.
+					for i := range fs {
+						fs[i].Guarded = true
+					}
+				}
+				res.Findings = append(res.Findings, fs...)
+			}
+		}
+		e.solveSCC(scc)
+		preds := append([]ast.PredKey(nil), scc.Preds...)
+		sort.Slice(preds, func(i, j int) bool {
+			if preds[i].Name != preds[j].Name {
+				return preds[i].Name < preds[j].Name
+			}
+			return preds[i].Arity < preds[j].Arity
+		})
+		res.Order = append(res.Order, preds...)
+	}
+	sortFindings(res.Findings)
+	res.IterBound = 1
+	for _, scc := range g.SCCs {
+		if !scc.Recursive {
+			continue
+		}
+		res.IterBound += e.est.RoundBound(scc.Preds)
+	}
+	if res.IterBound > maxF {
+		res.IterBound = math.Inf(1)
+	}
+	return res
+}
+
+// sortFindings orders findings by source position for stable output.
+func sortFindings(fs []Growth) {
+	sort.SliceStable(fs, func(i, j int) bool {
+		if fs[i].Rule.Line != fs[j].Rule.Line {
+			return fs[i].Rule.Line < fs[j].Rule.Line
+		}
+		if fs[i].Rule.Col != fs[j].Rule.Col {
+			return fs[i].Rule.Col < fs[j].Rule.Col
+		}
+		return fs[i].HeadPos < fs[j].HeadPos
+	})
+}
+
+// aggPositions maps each head predicate to its aggregated positions.
+func aggPositions(rules []*ast.Rule) map[ast.PredKey]map[int]bool {
+	out := make(map[ast.PredKey]map[int]bool)
+	for _, r := range rules {
+		for _, ag := range r.Aggs {
+			k := r.Head.Key()
+			if out[k] == nil {
+				out[k] = make(map[int]bool)
+			}
+			out[k][ag.Pos] = true
+		}
+	}
+	return out
+}
+
+// estimator runs the cardinality fixpoint: SCCs bottom-up; inside each
+// component, value domains solve a copy-propagation system (entries are
+// values generated outside the cycle, copies move them around it) whose
+// closure is computed directly on the small position graph. The maxF cap
+// is the widening: any bound past it is unbounded.
+type estimator struct {
+	g        *rewrite.DepGraph
+	base     BaseOracle
+	norms    map[*ast.Rule]*ruleNorm
+	rulesFor map[ast.PredKey][]*ast.Rule
+	aggPos   map[ast.PredKey]map[int]bool
+	est      *Estimates
+}
+
+// node is one argument position of an in-SCC predicate.
+type node struct {
+	key ast.PredKey
+	pos int
+}
+
+func (e *estimator) solveSCC(scc rewrite.SCC) {
+	inSCC := make(map[ast.PredKey]bool, len(scc.Preds))
+	for _, p := range scc.Preds {
+		inSCC[p] = true
+	}
+	entry := make(map[node]float64)
+	copyFrom := make(map[node][]node) // target -> sources feeding it by copy
+	for _, p := range scc.Preds {
+		for _, r := range e.rulesFor[p] {
+			n := e.norms[r]
+			for i, t := range r.Head.Args {
+				tgt := node{p, i}
+				add, srcs := e.headContribution(n, t, inSCC, scc.Recursive)
+				entry[tgt] += add
+				copyFrom[tgt] = append(copyFrom[tgt], srcs...)
+			}
+		}
+	}
+	// Close over copies: a position's domain is bounded by the sum of all
+	// entries that can reach it through the copy graph (its own included).
+	for _, p := range scc.Preds {
+		doms := make([]float64, p.Arity)
+		for i := range doms {
+			doms[i] = e.closeDomain(node{p, i}, entry, copyFrom)
+		}
+		e.est.Dom[p] = doms
+		bound := 1.0
+		for i, d := range doms {
+			if e.aggPos[p][i] {
+				continue // one fact per group: the position adds no factor
+			}
+			bound *= d
+		}
+		if bound > maxF || math.IsInf(bound, 1) {
+			bound = math.Inf(1)
+		}
+		e.est.Bound[p] = bound
+	}
+	// Row estimates: join-shaped for non-recursive predicates, the domain
+	// bound for recursive ones (their own rows feed their own joins).
+	for _, p := range scc.Preds {
+		if scc.Recursive {
+			e.est.Rows[p] = e.est.Bound[p]
+			continue
+		}
+		rows, exact := e.predRows(p)
+		if b := e.est.Bound[p]; rows > b {
+			rows = b
+		}
+		e.est.Rows[p] = rows
+		e.est.Exact[p] = exact
+	}
+}
+
+// closeDomain sums the entries of every node that reaches tgt through
+// copy edges, tgt included.
+func (e *estimator) closeDomain(tgt node, entry map[node]float64, copyFrom map[node][]node) float64 {
+	seen := map[node]bool{}
+	var visit func(nd node) float64
+	visit = func(nd node) float64 {
+		if seen[nd] {
+			return 0
+		}
+		seen[nd] = true
+		total := entry[nd]
+		for _, src := range copyFrom[nd] {
+			total += visit(src)
+		}
+		return total
+	}
+	d := visit(tgt)
+	if d > maxF {
+		return math.Inf(1)
+	}
+	if d == 0 {
+		d = 1 // a position that exists holds at least one value shape
+	}
+	return d
+}
+
+// headContribution computes one head argument's domain contribution under
+// one rule: new values entering the cycle (entry) plus copy edges from
+// in-SCC positions.
+func (e *estimator) headContribution(n *ruleNorm, t term.Term, inSCC map[ast.PredKey]bool, recursive bool) (float64, []node) {
+	switch x := t.(type) {
+	case *term.Var:
+		c := n.class[x]
+		if c == nil || c.kind == classUnknown {
+			return 1, nil // stored as a universally quantified variable
+		}
+		switch c.kind {
+		case classFinite:
+			return e.varDom(n, x, inSCC, 0), nil
+		case classRec:
+			for _, s := range c.srcs {
+				if inSCC[s.key] {
+					// One source suffices for an upper bound; joins over
+					// several only shrink the domain. Deconstructed
+					// subterms stay within the source's subterm universe —
+					// approximate it by the source domain itself (sound for
+					// copies; subterms of a finite set are finite).
+					if s.sub {
+						return math.Inf(1), nil
+					}
+					return 0, []node{{s.key, s.pos}}
+				}
+			}
+			return math.Inf(1), nil
+		default: // classArith, classFunctor: values generated on the cycle
+			return math.Inf(1), nil
+		}
+	case *term.Functor:
+		prod := 1.0
+		for _, v := range termVars(x) {
+			c := n.class[v]
+			if c != nil && c.kind >= classRec && recursive {
+				return math.Inf(1), nil // construction over the cycle
+			}
+			prod *= e.varDom(n, v, inSCC, 0)
+			if prod > maxF {
+				return math.Inf(1), nil
+			}
+		}
+		return prod, nil
+	default:
+		return 1, nil // a constant
+	}
+}
+
+// varDom bounds a finite variable's value domain: the tightest of its
+// binding sources, or the product of its generation inputs.
+func (e *estimator) varDom(n *ruleNorm, v *term.Var, inSCC map[ast.PredKey]bool, depth int) float64 {
+	c := n.class[v]
+	if c == nil || depth > 8 {
+		return math.Inf(1)
+	}
+	if c.constant {
+		return 1
+	}
+	best := math.Inf(1)
+	if c.gen != nil {
+		prod := 1.0
+		for _, in := range c.gen.inputs {
+			prod *= e.varDom(n, in, inSCC, depth+1)
+			if prod > maxF {
+				prod = math.Inf(1)
+				break
+			}
+		}
+		if prod < best {
+			best = prod
+		}
+	}
+	for _, s := range c.srcs {
+		if inSCC[s.key] {
+			continue // in-SCC sources are handled by the copy closure
+		}
+		if d := e.srcDom(s); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// srcDom bounds the values flowing out of one binding source position.
+func (e *estimator) srcDom(s srcRef) float64 {
+	if doms, ok := e.est.Dom[s.key]; ok {
+		if s.pos < len(doms) {
+			return doms[s.pos]
+		}
+		return math.Inf(1)
+	}
+	if e.g.Defined[s.key] {
+		return math.Inf(1) // same-SCC (handled elsewhere) or not yet solved
+	}
+	if e.base != nil {
+		if rows, distinct, ok := e.base(ast.PredKey{Name: s.key.Name, Arity: s.key.Arity}); ok {
+			if s.pos < len(distinct) && distinct[s.pos] > 0 {
+				return float64(distinct[s.pos])
+			}
+			if rows >= 0 {
+				return math.Max(1, float64(rows))
+			}
+		}
+	}
+	return math.Inf(1)
+}
+
+// predRows estimates a non-recursive predicate's rows as the sum of its
+// rules' join estimates. exact is true only for counts propagated
+// unchanged from exact base statistics (facts, or a pass-through rule).
+func (e *estimator) predRows(p ast.PredKey) (float64, bool) {
+	rules := e.rulesFor[p]
+	total := 0.0
+	exact := len(rules) > 0
+	factsOnly := true
+	for _, r := range rules {
+		if !r.IsFact() {
+			factsOnly = false
+			break
+		}
+	}
+	if factsOnly {
+		return float64(len(rules)), false // duplicates may collapse
+	}
+	for _, r := range rules {
+		if r.IsFact() {
+			total++
+			exact = false
+			continue
+		}
+		rows, ex := e.ruleRows(r)
+		total += rows
+		if !ex || len(rules) > 1 {
+			exact = false
+		}
+		if total > maxF {
+			return math.Inf(1), false
+		}
+	}
+	return total, exact
+}
+
+// ruleRows is the join-shaped row estimate of one rule body: scan rows of
+// each positive relation literal, divided by the distinct counts of
+// already-bound positions — the static twin of the planner's estCost.
+func (e *estimator) ruleRows(r *ast.Rule) (float64, bool) {
+	if passthrough(r) {
+		src := r.Body[0].Key()
+		rows, known := e.rowsOf(src)
+		if known {
+			return rows, e.exactOf(src)
+		}
+	}
+	est := 1.0
+	bound := map[*term.Var]bool{}
+	for i := range r.Body {
+		l := &r.Body[i]
+		if l.Builtin() || l.Neg {
+			continue
+		}
+		rows, known := e.rowsOf(l.Key())
+		if !known {
+			rows = defaultRows
+		}
+		sel := 1.0
+		for j, arg := range l.Args {
+			if termCovered(arg, bound) {
+				sel *= e.distinctOf(l.Key(), j)
+			}
+		}
+		if v := rows / sel; v > 1 {
+			est *= v
+		}
+		if est > maxF {
+			return math.Inf(1), false
+		}
+		walkVars2(l.Args, func(v *term.Var) { bound[v] = true })
+	}
+	return est, false
+}
+
+// passthrough recognizes p(X1..Xn) :- q(X1..Xn): head and single body
+// literal share the identical argument tuple, so rows carry over exactly.
+func passthrough(r *ast.Rule) bool {
+	if len(r.Body) != 1 || len(r.Aggs) != 0 || r.Body[0].Neg || r.Body[0].Builtin() {
+		return false
+	}
+	b := &r.Body[0]
+	if len(b.Args) != len(r.Head.Args) {
+		return false
+	}
+	seen := map[*term.Var]bool{}
+	for i, a := range r.Head.Args {
+		v, ok := a.(*term.Var)
+		bv, ok2 := b.Args[i].(*term.Var)
+		if !ok || !ok2 || v != bv || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+func (e *estimator) rowsOf(k ast.PredKey) (float64, bool) {
+	if rows, ok := e.est.Rows[k]; ok {
+		return rows, !math.IsInf(rows, 1)
+	}
+	if e.g.Defined[k] {
+		return math.Inf(1), false // same SCC: caller substitutes defaults
+	}
+	if e.base != nil {
+		if rows, _, ok := e.base(k); ok && rows >= 0 {
+			return float64(rows), true
+		}
+	}
+	return math.Inf(1), false
+}
+
+func (e *estimator) exactOf(k ast.PredKey) bool {
+	if e.g.Defined[k] {
+		return e.est.Exact[k]
+	}
+	if e.base != nil {
+		_, _, ok := e.base(k)
+		return ok
+	}
+	return false
+}
+
+func (e *estimator) distinctOf(k ast.PredKey, pos int) float64 {
+	if doms, ok := e.est.Dom[k]; ok && pos < len(doms) && !math.IsInf(doms[pos], 1) {
+		return doms[pos]
+	}
+	if !e.g.Defined[k] && e.base != nil {
+		if _, distinct, ok := e.base(k); ok && pos < len(distinct) && distinct[pos] > 0 {
+			return float64(distinct[pos])
+		}
+	}
+	return defaultDistinct
+}
+
+// termCovered reports whether a term is ground or all its variables are
+// already bound (the position acts as a join key, not a scan output).
+func termCovered(t term.Term, bound map[*term.Var]bool) bool {
+	ok := true
+	walkVars(t, func(v *term.Var) {
+		if !bound[v] {
+			ok = false
+		}
+	})
+	return ok
+}
+
+func walkVars2(args []term.Term, f func(*term.Var)) {
+	for _, a := range args {
+		walkVars(a, f)
+	}
+}
+
+// refineByAdornment deactivates growth findings that every reachable
+// adornment demand-bounds: the feeding recursive call runs with a bound
+// argument that is a strict subterm of a bound head argument, so the
+// magic-set subgoal tree descends a well-founded norm. Findings in rules
+// no exported form reaches are also deactivated (the flow checks already
+// report unreachable rules).
+func refineByAdornment(m *ast.Module, res *Result, opts Options) {
+	if len(m.Exports) == 0 || len(res.Findings) == 0 {
+		return
+	}
+	type ruleCtx struct {
+		headAdorn string
+		rf        flow.RuleFlow
+	}
+	byRule := make(map[*ast.Rule][]ruleCtx)
+	rooted := false
+	for _, ex := range m.Exports {
+		key := ast.PredKey{Name: ex.Pred, Arity: ex.Arity}
+		forms := ex.Forms
+		if len(forms) == 0 {
+			forms = []string{flow.AllFree(ex.Arity)}
+		}
+		for _, form := range forms {
+			rb, err := flow.Reach(m.Rules, key, form, flow.ReachOpts{NegFree: opts.NegFree})
+			if err != nil {
+				continue // undefined export: another check reports it
+			}
+			rooted = true
+			for _, ctx := range rb.Order {
+				for _, rf := range rb.Rules[ctx] {
+					byRule[rf.Rule] = append(byRule[rf.Rule], ruleCtx{ctx.Adorn, rf})
+				}
+			}
+		}
+	}
+	if !rooted {
+		return
+	}
+	for i := range res.Findings {
+		g := &res.Findings[i]
+		ctxs := byRule[g.Rule]
+		if len(ctxs) == 0 {
+			g.Active = false // unreachable rule
+			continue
+		}
+		g.Active = false
+		for _, rc := range ctxs {
+			if !demandBounded(g, rc.headAdorn, rc.rf) {
+				g.Active = true
+				g.Witness = rc.headAdorn
+				break
+			}
+		}
+	}
+}
+
+// demandBounded reports whether, under one head adornment, the growth's
+// feeding recursive call descends: some bound call argument is a strict
+// subterm of a bound head argument, so each subgoal is structurally
+// smaller than its parent and the subgoal tree is finite.
+func demandBounded(g *Growth, headAdorn string, rf flow.RuleFlow) bool {
+	if g.FeedIdx < 0 || g.FeedIdx >= len(rf.Body) {
+		return false
+	}
+	call := rf.Calls[g.FeedIdx]
+	if call.Pred.Name == "" {
+		return false
+	}
+	lit := &rf.Body[g.FeedIdx]
+	for j := 0; j < len(lit.Args) && j < len(call.Adorn); j++ {
+		if call.Adorn[j] != 'b' {
+			continue
+		}
+		for hi, harg := range rf.Rule.Head.Args {
+			if hi < len(headAdorn) && headAdorn[hi] == 'b' && strictSubterm(lit.Args[j], harg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// computeVerdicts folds findings into per-predicate summaries: predicates
+// of an SCC share a verdict, since any member's growth grows the whole
+// component's fixpoint.
+func (r *Result) computeVerdicts() {
+	for _, p := range r.Order {
+		r.Verdicts[p] = VerdictTerminates
+	}
+	worst := make(map[int]Verdict)
+	for _, g := range r.Findings {
+		comp, ok := r.Graph.CompOf[g.Pred]
+		if !ok {
+			continue
+		}
+		v := VerdictGuarded
+		if g.Active && !g.Guarded {
+			v = VerdictMayDiverge
+		} else if !g.Active && !g.Guarded {
+			// Demand-bounded under every reachable adornment: the magic
+			// subgoal tree is finite, but the value space is still open.
+			v = VerdictGuarded
+		}
+		if v > worst[comp] {
+			worst[comp] = v
+		}
+	}
+	for _, p := range r.Order {
+		if comp, ok := r.Graph.CompOf[p]; ok {
+			if v, ok := worst[comp]; ok && v > r.Verdicts[p] {
+				r.Verdicts[p] = v
+			}
+		}
+	}
+}

@@ -1,0 +1,226 @@
+// Package card implements compile-time cardinality and termination
+// analysis: the static analogue of the engine's live relation statistics.
+// A worklist fixpoint over the predicate dependency graph infers, per
+// derived predicate, (a) value-domain and row-count bounds propagated from
+// consulted base relations and rule structure, and (b) termination
+// verdicts from a norm-based argument-size analysis that separates
+// structural recursion over finite EDBs (always terminating, the Datalog
+// guarantee) from value-generating recursion through arithmetic and
+// functor construction (potentially diverging). Verdicts are refined per
+// reachable adornment by reusing flow.Reach: a growth that only runs under
+// bound call forms with a structurally descending argument is demand-
+// bounded and not reported.
+//
+// Consumers: the vet checks in analysis/checks_card.go, the planner's
+// cold-start seeding (engine/cardseed.go), and the budget iteration hints.
+package card
+
+import (
+	"math"
+
+	"coral/internal/ast"
+	"coral/internal/rewrite"
+	"coral/internal/term"
+)
+
+// maxF is the widening cap for domain and row bounds: any bound that
+// climbs past it is treated as unbounded. It keeps products from
+// overflowing and makes the in-SCC propagation trivially convergent.
+const maxF = 1e15
+
+// defaultRows prices a body source with no static information, mirroring
+// the planner's pessimism about unknown relations (engine unknownRows).
+const defaultRows = float64(1 << 20)
+
+// defaultDistinct estimates the distinct values of a position with no
+// sketch or domain information (the planner uses the same prior).
+const defaultDistinct = 10.0
+
+// BaseOracle resolves live statistics for a base (non-derived) predicate:
+// total rows and per-position distinct counts. distinct may be nil or
+// shorter than the arity; ok is false when nothing is known.
+type BaseOracle func(key ast.PredKey) (rows int, distinct []int, ok bool)
+
+// Options tunes the analysis.
+type Options struct {
+	// BaseRows resolves consulted base relation statistics; nil means no
+	// exact counts are available and only structural bounds are computed.
+	BaseRows BaseOracle
+	// NegFree mirrors the rewriter's treatment of negated calls during the
+	// reachability traversal (true for stratified evaluation).
+	NegFree bool
+	// AggSelected names predicates under an @aggregate_selection
+	// annotation: the selection prunes dominated facts each round, which is
+	// exactly how the paper bounds shortest-path on cyclic graphs (§5.5.2)
+	// — growth in such rules is treated as guarded.
+	AggSelected map[string]bool
+}
+
+// GrowthKind classifies how a recursive rule generates values that are not
+// copies of already-stored ones.
+type GrowthKind uint8
+
+const (
+	// GrowArith marks arithmetic value generation (X = Y+1, X is Y*2).
+	GrowArith GrowthKind = iota
+	// GrowFunctor marks functor construction over a recursive value.
+	GrowFunctor
+)
+
+func (k GrowthKind) String() string {
+	if k == GrowArith {
+		return "arithmetic"
+	}
+	return "functor construction"
+}
+
+// Growth is one value-generating site: a head position of a recursive rule
+// whose values are computed from, rather than copied from, the stored
+// values of its own SCC. The norm argument at that position strictly grows
+// along the cycle, so the fixpoint may not terminate.
+type Growth struct {
+	Rule    *ast.Rule
+	Pred    ast.PredKey
+	HeadPos int        // head argument position (0-based)
+	Kind    GrowthKind // arithmetic vs functor construction
+	Via     string     // rendering of the generating site, for messages
+	// Direct marks head-level functor construction (p(f(X)) :- p(X)),
+	// which the per-rule functor-growth check already reports.
+	Direct bool
+	// Guarded is true when a comparison against a finite value bounds the
+	// generated variable (or a generation input), making the recursion
+	// terminate even though values are being created.
+	Guarded bool
+	// FeedIdx/FeedPos locate the same-SCC body literal whose stored values
+	// feed the generation (for the structural-descent refinement).
+	FeedIdx int
+	FeedPos int
+	// Active is false when every reachable adornment of the rule drives
+	// the feeding recursive call with a structurally descending bound
+	// argument (demand-bounded top-down recursion), or when no exported
+	// query form reaches the rule at all.
+	Active bool
+	// Witness is a reachable head adornment under which the growth is not
+	// demand-bounded ("" when the module has no exports).
+	Witness string
+}
+
+// Verdict is the per-predicate termination/boundedness summary.
+type Verdict uint8
+
+const (
+	// VerdictTerminates: every value stored by the predicate's SCC is
+	// copied from a finite domain — the fixpoint is provably finite.
+	VerdictTerminates Verdict = iota
+	// VerdictGuarded: values are generated but every generation is bounded
+	// by a comparison guard; the fixpoint terminates but its size is not
+	// statically bounded.
+	VerdictGuarded
+	// VerdictMayDiverge: an unguarded value-generating recursion is
+	// reachable; the fixpoint may be infinite.
+	VerdictMayDiverge
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictTerminates:
+		return "terminates"
+	case VerdictGuarded:
+		return "terminates (guarded value generation; size unbounded)"
+	}
+	return "may diverge"
+}
+
+// Estimates holds the cardinality side of the analysis.
+type Estimates struct {
+	// Dom bounds the distinct values each argument position can hold
+	// (math.Inf(1) when unbounded or unknown).
+	Dom map[ast.PredKey][]float64
+	// Bound is the row-count bound: the product of position domains
+	// (aggregated positions contribute factor 1 — one fact per group).
+	Bound map[ast.PredKey]float64
+	// Rows is the estimated row count, at most Bound; join-shaped
+	// estimates for non-recursive predicates, the domain bound for
+	// recursive ones.
+	Rows map[ast.PredKey]float64
+	// Exact marks rows propagated unchanged from exact base counts.
+	Exact map[ast.PredKey]bool
+}
+
+// RoundBound returns an upper bound on the semi-naive iterations a
+// stratum over preds can run: every round but the last derives at least
+// one new fact, so rounds ≤ total distinct facts + 1. Infinite when any
+// member's row bound is unknown.
+func (e *Estimates) RoundBound(preds []ast.PredKey) float64 {
+	total := 1.0 // the closing round that derives nothing
+	for _, p := range preds {
+		b, ok := e.Bound[p]
+		if !ok {
+			return math.Inf(1)
+		}
+		total += b
+	}
+	if total > maxF {
+		return math.Inf(1)
+	}
+	return total
+}
+
+// Result is the full per-module analysis.
+type Result struct {
+	Module string
+	Graph  *rewrite.DepGraph
+	Est    *Estimates
+	// Findings lists every value-generating site, including guarded and
+	// demand-bounded ones (Active/Guarded distinguish them).
+	Findings []Growth
+	// Verdicts summarizes termination per derived predicate.
+	Verdicts map[ast.PredKey]Verdict
+	// IterBound bounds the total fixpoint rounds over all recursive SCCs
+	// (math.Inf(1) when any recursive SCC is unbounded).
+	IterBound float64
+	// Order lists derived predicates bottom-up (SCC topological order,
+	// name-sorted within a component) for deterministic reporting.
+	Order []ast.PredKey
+}
+
+// walkVars visits every variable of a term.
+func walkVars(t term.Term, f func(*term.Var)) {
+	switch x := t.(type) {
+	case *term.Var:
+		f(x)
+	case *term.Functor:
+		for _, a := range x.Args {
+			walkVars(a, f)
+		}
+	}
+}
+
+// termVars collects the distinct variables of a term in visit order.
+func termVars(t term.Term) []*term.Var {
+	var out []*term.Var
+	seen := map[*term.Var]bool{}
+	walkVars(t, func(v *term.Var) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	})
+	return out
+}
+
+// strictSubterm reports whether sub occurs strictly inside sup (at any
+// depth below the root). Variables compare by identity, constants by
+// term equality.
+func strictSubterm(sub, sup term.Term) bool {
+	f, ok := sup.(*term.Functor)
+	if !ok {
+		return false
+	}
+	for _, a := range f.Args {
+		if term.Equal(sub, a) || strictSubterm(sub, a) {
+			return true
+		}
+	}
+	return false
+}

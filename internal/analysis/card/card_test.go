@@ -1,0 +1,349 @@
+package card
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"coral/internal/ast"
+	"coral/internal/parser"
+)
+
+func parseModule(t *testing.T, src string) *ast.Module {
+	t.Helper()
+	u, err := parser.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if len(u.Modules) != 1 {
+		t.Fatalf("want 1 module, got %d", len(u.Modules))
+	}
+	return u.Modules[0]
+}
+
+// oracle builds a BaseOracle over a fixed table.
+func oracle(tbl map[string]struct {
+	rows     int
+	distinct []int
+}) BaseOracle {
+	return func(key ast.PredKey) (int, []int, bool) {
+		e, ok := tbl[key.String()]
+		if !ok {
+			return 0, nil, false
+		}
+		return e.rows, e.distinct, ok
+	}
+}
+
+func edgeOracle(rows, d0, d1 int) BaseOracle {
+	return oracle(map[string]struct {
+		rows     int
+		distinct []int
+	}{"edge/2": {rows, []int{d0, d1}}})
+}
+
+func TestTransitiveClosureTerminatesWithBound(t *testing.T) {
+	m := parseModule(t, `
+module tc.
+export path(ff).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.`)
+	res := Analyze(m, Options{BaseRows: edgeOracle(50, 20, 25), NegFree: true})
+	p := ast.PredKey{Name: "path", Arity: 2}
+	if res.Verdicts[p] != VerdictTerminates {
+		t.Fatalf("path verdict = %v, want terminates", res.Verdicts[p])
+	}
+	doms := res.Est.Dom[p]
+	// Position 0 copies from edge col 0 across both rules: 20 + 20.
+	if doms[0] != 40 {
+		t.Errorf("dom[0] = %v, want 40", doms[0])
+	}
+	// Position 1 copies edge col 1; the recursive self-copy is absorbed
+	// by the closure, not double-counted: 25.
+	if doms[1] != 25 {
+		t.Errorf("dom[1] = %v, want 25", doms[1])
+	}
+	if b := res.Est.Bound[p]; b != 40*25 {
+		t.Errorf("bound = %v, want 1000", b)
+	}
+	if math.IsInf(res.IterBound, 1) {
+		t.Error("iteration bound should be finite for Datalog recursion")
+	}
+	if res.IterBound < 5 {
+		t.Errorf("iteration bound %v implausibly small", res.IterBound)
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("no growth findings expected, got %v", res.Findings)
+	}
+}
+
+func TestArithmeticRecursionDiverges(t *testing.T) {
+	m := parseModule(t, `
+module counter.
+export count(f).
+count(0).
+count(X) :- count(Y), X = Y + 1.
+end_module.`)
+	res := Analyze(m, Options{NegFree: true})
+	p := ast.PredKey{Name: "count", Arity: 1}
+	if res.Verdicts[p] != VerdictMayDiverge {
+		t.Fatalf("count verdict = %v, want may-diverge", res.Verdicts[p])
+	}
+	if len(res.Findings) != 1 {
+		t.Fatalf("want 1 finding, got %d", len(res.Findings))
+	}
+	g := res.Findings[0]
+	if g.Kind != GrowArith || !g.Active || g.Guarded {
+		t.Errorf("finding = %+v, want active unguarded arithmetic", g)
+	}
+	if !math.IsInf(res.IterBound, 1) {
+		t.Errorf("iteration bound should be unbounded, got %v", res.IterBound)
+	}
+	if !math.IsInf(res.Est.Dom[p][0], 1) {
+		t.Error("domain should be unbounded")
+	}
+}
+
+func TestGuardedArithmeticTerminates(t *testing.T) {
+	m := parseModule(t, `
+module counter.
+export count(f).
+count(0).
+count(X) :- count(Y), Y < 100, X = Y + 1.
+end_module.`)
+	res := Analyze(m, Options{NegFree: true})
+	p := ast.PredKey{Name: "count", Arity: 1}
+	if res.Verdicts[p] != VerdictGuarded {
+		t.Fatalf("count verdict = %v, want guarded", res.Verdicts[p])
+	}
+	if len(res.Findings) != 1 || !res.Findings[0].Guarded {
+		t.Fatalf("want one guarded finding, got %+v", res.Findings)
+	}
+}
+
+func TestIsBuiltinRecursionDiverges(t *testing.T) {
+	m := parseModule(t, `
+module counter.
+export count(f).
+count(0).
+count(X) :- count(Y), X is Y * 2.
+end_module.`)
+	res := Analyze(m, Options{NegFree: true})
+	if len(res.Findings) != 1 || res.Findings[0].Kind != GrowArith || !res.Findings[0].Active {
+		t.Fatalf("want one active arithmetic finding, got %+v", res.Findings)
+	}
+}
+
+func TestBodyEquationFunctorGrowth(t *testing.T) {
+	m := parseModule(t, `
+module grow.
+export p(f).
+p(a).
+p(X) :- p(Y), X = f(Y).
+end_module.`)
+	res := Analyze(m, Options{NegFree: true})
+	if len(res.Findings) != 1 {
+		t.Fatalf("want 1 finding, got %+v", res.Findings)
+	}
+	g := res.Findings[0]
+	if g.Kind != GrowFunctor || g.Direct || !g.Active {
+		t.Errorf("finding = %+v, want active indirect functor growth", g)
+	}
+}
+
+func TestDeconstructionIsNotGrowth(t *testing.T) {
+	// Shrinking recursion: the head variable holds a strict subterm of a
+	// recursive value — the norm decreases, nothing is generated.
+	m := parseModule(t, `
+module shrink.
+export p(f).
+p(f(f(a))).
+p(X) :- p(f(X)).
+end_module.`)
+	res := Analyze(m, Options{NegFree: true})
+	if len(res.Findings) != 0 {
+		t.Fatalf("shrinking recursion must not be flagged, got %+v", res.Findings)
+	}
+}
+
+func TestArithmeticFromEDBIsFinite(t *testing.T) {
+	// Arithmetic over an EDB-bound variable creates finitely many values
+	// even inside a recursive rule: W ranges over edge's column.
+	m := parseModule(t, `
+module m.
+export p(ff).
+p(X, Y) :- edge(X, Y).
+p(X, Y) :- p(X, Z), edge(Z, W), Y = W + 1.
+end_module.`)
+	res := Analyze(m, Options{BaseRows: edgeOracle(30, 10, 12), NegFree: true})
+	if len(res.Findings) != 0 {
+		t.Fatalf("EDB-bound arithmetic must not be flagged, got %+v", res.Findings)
+	}
+	p := ast.PredKey{Name: "p", Arity: 2}
+	if res.Verdicts[p] != VerdictTerminates {
+		t.Errorf("verdict = %v, want terminates", res.Verdicts[p])
+	}
+	if math.IsInf(res.Est.Bound[p], 1) {
+		t.Error("bound should be finite")
+	}
+}
+
+func TestDemandBoundedDescentUnderBoundAdornment(t *testing.T) {
+	// List length: the head wraps a recursive value (s(N)), but the only
+	// exported form binds the list argument, and the recursive call
+	// descends on its strict subterm T — demand-bounded, not reported.
+	m := parseModule(t, `
+module listlen.
+export len(bf).
+len(nil, z).
+len(c(H, T), s(N)) :- len(T, N).
+end_module.`)
+	res := Analyze(m, Options{NegFree: true})
+	// Both head positions grow bottom-up (c(H,T) and s(N) wrap recursive
+	// values); both are demand-bounded under the bound call form.
+	if len(res.Findings) != 2 {
+		t.Fatalf("want both functor-growth findings recorded, got %+v", res.Findings)
+	}
+	for _, g := range res.Findings {
+		if g.Active {
+			t.Errorf("finding should be demand-bounded under len(bf): %+v", g)
+		}
+	}
+	p := ast.PredKey{Name: "len", Arity: 2}
+	if res.Verdicts[p] == VerdictMayDiverge {
+		t.Errorf("verdict = %v, want not-diverging", res.Verdicts[p])
+	}
+}
+
+func TestFreeAdornmentReactivatesDescent(t *testing.T) {
+	m := parseModule(t, `
+module listlen.
+export len(ff).
+len(nil, z).
+len(c(H, T), s(N)) :- len(T, N).
+end_module.`)
+	res := Analyze(m, Options{NegFree: true})
+	if len(res.Findings) != 2 {
+		t.Fatalf("want 2 findings, got %+v", res.Findings)
+	}
+	for _, g := range res.Findings {
+		if !g.Active {
+			t.Errorf("free call form cannot demand-bound the recursion: %+v", g)
+		}
+		if g.Witness != "ff" {
+			t.Errorf("witness = %q, want ff", g.Witness)
+		}
+	}
+}
+
+func TestExactPassthroughRows(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export view(ff).
+view(X, Y) :- edge(X, Y).
+end_module.`)
+	res := Analyze(m, Options{BaseRows: edgeOracle(77, 11, 13), NegFree: true})
+	p := ast.PredKey{Name: "view", Arity: 2}
+	if res.Est.Rows[p] != 77 || !res.Est.Exact[p] {
+		t.Errorf("rows = %v exact=%v, want exact 77", res.Est.Rows[p], res.Est.Exact[p])
+	}
+}
+
+func TestJoinEstimateUsesDistinct(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export two(ff).
+two(X, Z) :- edge(X, Y), edge(Y, Z).
+end_module.`)
+	res := Analyze(m, Options{BaseRows: edgeOracle(100, 20, 25), NegFree: true})
+	p := ast.PredKey{Name: "two", Arity: 2}
+	rows := res.Est.Rows[p]
+	// 100 * (100 / 20): the second scan's first position is a bound join key.
+	if rows != 500 {
+		t.Errorf("rows = %v, want 500", rows)
+	}
+	if res.Est.Exact[p] {
+		t.Error("join estimate must not claim exactness")
+	}
+}
+
+func TestNonRecursiveArithmeticNotFlagged(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export inc(ff).
+inc(X, Y) :- edge(X, Z), Y = Z + 1.
+end_module.`)
+	res := Analyze(m, Options{BaseRows: edgeOracle(10, 5, 5), NegFree: true})
+	if len(res.Findings) != 0 {
+		t.Fatalf("non-recursive arithmetic must not be flagged, got %+v", res.Findings)
+	}
+}
+
+func TestEstimateRulesWithoutModule(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export path(ff).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.`)
+	res := EstimateRules(m.Rules, Options{BaseRows: edgeOracle(50, 20, 25)})
+	p := ast.PredKey{Name: "path", Arity: 2}
+	if math.IsInf(res.Est.Bound[p], 1) {
+		t.Error("bound should be finite")
+	}
+	if math.IsInf(res.IterBound, 1) {
+		t.Error("iteration bound should be finite")
+	}
+	b := res.Est.RoundBound([]ast.PredKey{p})
+	if math.IsInf(b, 1) || b < 2 {
+		t.Errorf("round bound = %v", b)
+	}
+}
+
+func TestMutualRecursionSharesVerdict(t *testing.T) {
+	m := parseModule(t, `
+module m.
+export p(f).
+p(0).
+p(X) :- q(X).
+q(X) :- p(Y), X = Y + 1.
+end_module.`)
+	res := Analyze(m, Options{NegFree: true})
+	for _, name := range []string{"p", "q"} {
+		k := ast.PredKey{Name: name, Arity: 1}
+		if res.Verdicts[k] != VerdictMayDiverge {
+			t.Errorf("%s verdict = %v, want may-diverge", name, res.Verdicts[k])
+		}
+	}
+}
+
+func TestReportRenders(t *testing.T) {
+	m := parseModule(t, `
+module tc.
+export path(ff).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.`)
+	res := Analyze(m, Options{BaseRows: edgeOracle(50, 20, 25), NegFree: true})
+	rep := res.Report()
+	for _, want := range []string{"module tc", "path/2", "terminates", "fixpoint rounds"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestAggregatedPositionNoRowFactor(t *testing.T) {
+	m := parseModule(t, `
+module agg.
+export total(ff).
+total(X, sum(Y)) :- edge(X, Y).
+end_module.`)
+	res := Analyze(m, Options{BaseRows: edgeOracle(60, 6, 50), NegFree: true})
+	p := ast.PredKey{Name: "total", Arity: 2}
+	// One fact per group: the bound is the group-key domain alone.
+	if b := res.Est.Bound[p]; b != 6 {
+		t.Errorf("bound = %v, want 6", b)
+	}
+}

@@ -1,0 +1,455 @@
+package card
+
+import (
+	"fmt"
+
+	"coral/internal/ast"
+	"coral/internal/term"
+)
+
+// The norm analysis classifies, per rule, how each variable's values are
+// produced. The norm of a value is its term size; a recursion is safe when
+// every head position either copies values already stored somewhere in the
+// SCC (norm preserved) or draws them from a finite domain outside the SCC
+// (norm irrelevant). Arithmetic and functor construction over recursive
+// values strictly increase the norm along the cycle — those are the only
+// two ways a Datalog-with-functions fixpoint can generate infinitely many
+// facts, and they become Growth findings.
+
+// classKind orders variable classifications. Positive base/lower-stratum
+// literals restrict a domain, so classFinite wins over classRec on joins.
+type classKind uint8
+
+const (
+	classUnknown classKind = iota // never bound: a single non-ground value
+	classFinite                   // bound by a finite-domain source
+	classRec                      // copied from same-SCC stored values
+	classArith                    // arithmetic over recursive values
+	classFunctor                  // functor construction over recursive values
+)
+
+// srcRef locates a binding of a variable: body literal idx, predicate and
+// argument position. sub marks a binding through deconstruction — the
+// variable holds a strict subterm of the source value.
+type srcRef struct {
+	key ast.PredKey
+	pos int
+	idx int
+	sub bool
+}
+
+// genInfo records a value-generating builtin: the operator, whether it is
+// functor construction, and its input variables.
+type genInfo struct {
+	op      string
+	functor bool
+	inputs  []*term.Var
+	lit     *ast.Literal
+}
+
+type varClass struct {
+	kind     classKind
+	srcs     []srcRef
+	gen      *genInfo
+	constant bool // assigned a ground constant: domain 1
+	guarded  bool // a comparison against a finite value bounds it
+}
+
+// ruleNorm is the per-rule classification of every body/head variable.
+type ruleNorm struct {
+	rule  *ast.Rule
+	class map[*term.Var]*varClass
+}
+
+func (n *ruleNorm) classOf(v *term.Var) *varClass {
+	c := n.class[v]
+	if c == nil {
+		c = &varClass{}
+		n.class[v] = c
+	}
+	return c
+}
+
+// normRule classifies one rule's variables. rec reports whether a body
+// predicate belongs to the head's SCC. Builtins may depend on variables
+// bound later in the written order, so the scan iterates to a fixpoint.
+func normRule(r *ast.Rule, rec func(ast.PredKey) bool) *ruleNorm {
+	n := &ruleNorm{rule: r, class: map[*term.Var]*varClass{}}
+	for pass := 0; pass <= len(r.Body)+1; pass++ {
+		changed := false
+		for idx := range r.Body {
+			l := &r.Body[idx]
+			if l.Neg {
+				continue // negation binds nothing
+			}
+			if l.Builtin() {
+				if n.builtin(l, idx) {
+					changed = true
+				}
+				continue
+			}
+			isRec := rec(l.Key())
+			for j, arg := range l.Args {
+				walkVars(arg, func(v *term.Var) {
+					c := n.classOf(v)
+					_, isVar := arg.(*term.Var)
+					ref := srcRef{key: l.Key(), pos: j, idx: idx, sub: !isVar}
+					if isRec {
+						if c.kind == classUnknown {
+							c.kind = classRec
+							c.srcs = append(c.srcs, ref)
+							changed = true
+						}
+					} else if c.kind != classFinite {
+						// A positive finite-domain literal restricts the
+						// variable to its column even if a recursive literal
+						// bound it first (join = intersection).
+						c.kind = classFinite
+						c.gen = nil
+						c.srcs = append(c.srcs, ref)
+						changed = true
+					} else if !n.hasSrc(c, ref) {
+						c.srcs = append(c.srcs, ref)
+						changed = true
+					}
+				})
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	n.markGuards(r)
+	return n
+}
+
+func (n *ruleNorm) hasSrc(c *varClass, ref srcRef) bool {
+	for _, s := range c.srcs {
+		if s == ref {
+			return true
+		}
+	}
+	return false
+}
+
+// builtin interprets "=" and "is": the side whose variables are already
+// classified is the input, the other side receives. Comparisons classify
+// nothing (they guard; see markGuards).
+func (n *ruleNorm) builtin(l *ast.Literal, idx int) bool {
+	if len(l.Args) != 2 {
+		return false
+	}
+	switch l.Pred {
+	case "is":
+		if !n.allClassified(l.Args[1]) {
+			return false // inputs bind later in the written order; retry
+		}
+		return n.assign(l, l.Args[0], l.Args[1])
+	case "=":
+		left, right := l.Args[0], l.Args[1]
+		lc, rc := n.allClassified(left), n.allClassified(right)
+		switch {
+		case lc && rc:
+			return false // a test, not a binding
+		case lc:
+			return n.assign(l, right, left)
+		case rc:
+			return n.assign(l, left, right)
+		}
+	}
+	return false
+}
+
+// allClassified reports whether every variable of t has been classified
+// (constant-only terms trivially qualify).
+func (n *ruleNorm) allClassified(t term.Term) bool {
+	ok := true
+	walkVars(t, func(v *term.Var) {
+		if c := n.class[v]; c == nil || c.kind == classUnknown {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// assign propagates classification from the in side of a binding builtin
+// to the out side. Reports whether anything changed.
+func (n *ruleNorm) assign(l *ast.Literal, out, in term.Term) bool {
+	switch o := out.(type) {
+	case *term.Var:
+		c := n.classOf(o)
+		if c.kind != classUnknown {
+			return false // already classified: the builtin only tests
+		}
+		return n.assignVar(l, c, in)
+	case *term.Functor:
+		// Structure on the receiving side: either a pairwise decomposition
+		// (f(..) = f(..)) or a deconstruction of a classified variable's
+		// value into the structure's variables.
+		if f, ok := in.(*term.Functor); ok && f.Sym == o.Sym && len(f.Args) == len(o.Args) {
+			changed := false
+			for i := range o.Args {
+				if n.assign(l, o.Args[i], f.Args[i]) {
+					changed = true
+				}
+			}
+			return changed
+		}
+		if v, ok := in.(*term.Var); ok {
+			src := n.class[v]
+			if src == nil || src.kind == classUnknown {
+				return false
+			}
+			changed := false
+			walkVars(out, func(w *term.Var) {
+				c := n.classOf(w)
+				if c.kind != classUnknown {
+					return
+				}
+				// w holds a strict subterm of v's value: same domain bound,
+				// norm strictly smaller.
+				c.kind = src.kind
+				c.guarded = src.guarded
+				for _, s := range src.srcs {
+					s.sub = true
+					c.srcs = append(c.srcs, s)
+				}
+				changed = true
+			})
+			return changed
+		}
+	}
+	return false
+}
+
+// assignVar classifies a single receiving variable from the input term.
+func (n *ruleNorm) assignVar(l *ast.Literal, c *varClass, in term.Term) bool {
+	switch x := in.(type) {
+	case *term.Var:
+		src := n.class[x]
+		if src == nil || src.kind == classUnknown {
+			return false
+		}
+		*c = *src // plain alias: copy the classification
+		return true
+	case *term.Functor:
+		inputs := termVars(in)
+		fromRec := false
+		for _, v := range inputs {
+			if s := n.class[v]; s != nil && s.kind >= classRec {
+				fromRec = true
+			}
+		}
+		gen := &genInfo{op: x.Sym, functor: !isArithTerm(x), inputs: inputs, lit: l}
+		c.gen = gen
+		switch {
+		case !fromRec:
+			c.kind = classFinite // computed from finite inputs: finite domain
+		case gen.functor:
+			c.kind = classFunctor
+		default:
+			c.kind = classArith
+		}
+		return true
+	default:
+		c.kind = classFinite
+		c.constant = true
+		return true
+	}
+}
+
+// arithOps mirrors the evaluator's interpreted function symbols.
+var arithOps = map[string]bool{
+	"+": true, "-": true, "*": true, "/": true, "mod": true, "abs": true,
+}
+
+// isArithTerm reports whether every functor from the root down to the
+// variables is an interpreted arithmetic operator — the term is computed,
+// not constructed.
+func isArithTerm(t term.Term) bool {
+	f, ok := t.(*term.Functor)
+	if !ok {
+		return true
+	}
+	if !arithOps[f.Sym] || len(f.Args) < 1 || len(f.Args) > 2 {
+		return false
+	}
+	for _, a := range f.Args {
+		if !isArithTerm(a) {
+			return false
+		}
+	}
+	return true
+}
+
+// guardOps are the comparisons that bound a variable's range when the
+// other side is finite. "!=" excludes a single value and bounds nothing.
+var guardOps = map[string]bool{"<": true, ">": true, ">=": true, "=<": true, "==": true}
+
+// markGuards records range guards: a positive comparison between a
+// variable and a term whose variables are all finite bounds the variable,
+// which is what turns counting recursion into bounded counting recursion.
+func (n *ruleNorm) markGuards(r *ast.Rule) {
+	for i := range r.Body {
+		l := &r.Body[i]
+		if l.Neg || !guardOps[l.Pred] || len(l.Args) != 2 {
+			continue
+		}
+		n.guardSide(l.Args[0], l.Args[1])
+		n.guardSide(l.Args[1], l.Args[0])
+	}
+}
+
+func (n *ruleNorm) guardSide(x, other term.Term) {
+	v, ok := x.(*term.Var)
+	if !ok {
+		return
+	}
+	finite := true
+	walkVars(other, func(w *term.Var) {
+		if c := n.class[w]; c == nil || c.kind != classFinite {
+			finite = false
+		}
+	})
+	if !finite {
+		return
+	}
+	if c := n.class[v]; c != nil {
+		c.guarded = true
+	}
+}
+
+// guardedChain reports whether v or any generation input feeding it is
+// guarded (a bounded input bounds the computed value's range too).
+func (n *ruleNorm) guardedChain(v *term.Var, depth int) bool {
+	c := n.class[v]
+	if c == nil || depth > 8 {
+		return false
+	}
+	if c.guarded {
+		return true
+	}
+	if c.gen != nil {
+		for _, in := range c.gen.inputs {
+			if n.guardedChain(in, depth+1) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// feedSrc traces a generated variable back to the recursive binding that
+// feeds it: the body index and argument position of the first same-SCC
+// source reached through generation inputs and copies.
+func (n *ruleNorm) feedSrc(v *term.Var, depth int) (srcRef, bool) {
+	c := n.class[v]
+	if c == nil || depth > 8 {
+		return srcRef{}, false
+	}
+	if c.kind == classRec {
+		for _, s := range c.srcs {
+			return s, true
+		}
+	}
+	if c.gen != nil {
+		for _, in := range c.gen.inputs {
+			if s, ok := n.feedSrc(in, depth+1); ok {
+				return s, ok
+			}
+		}
+	}
+	// A copied classification keeps the original srcs.
+	for _, s := range c.srcs {
+		return s, true
+	}
+	return srcRef{}, false
+}
+
+// findings extracts the value-generating sites of one rule: head positions
+// whose values are arithmetic or functor products of recursive values.
+// aggPos excludes aggregated positions (one fact per group regardless).
+func (n *ruleNorm) findings(aggPos map[int]bool) []Growth {
+	r := n.rule
+	var out []Growth
+	for i, t := range r.Head.Args {
+		if aggPos[i] {
+			continue
+		}
+		switch x := t.(type) {
+		case *term.Var:
+			c := n.class[x]
+			if c == nil || c.kind < classArith || c.gen == nil {
+				continue
+			}
+			kind := GrowArith
+			if c.kind == classFunctor {
+				kind = GrowFunctor
+			}
+			g := Growth{
+				Rule: r, Pred: r.Head.Key(), HeadPos: i, Kind: kind,
+				Via:     renderGen(x, c.gen),
+				Guarded: n.guardedChain(x, 0),
+				Active:  true,
+			}
+			if s, ok := n.feedSrc(x, 0); ok {
+				g.FeedIdx, g.FeedPos = s.idx, s.pos
+			} else {
+				g.FeedIdx = -1
+			}
+			out = append(out, g)
+		case *term.Functor:
+			// Head-level construction over a recursion-tainted variable:
+			// p(f(X)) :- p(X). The per-rule functor-growth check reports
+			// the direct form; the finding still feeds the domain analysis
+			// and the adornment refinement.
+			var tainted *term.Var
+			guarded := true
+			walkVars(x, func(v *term.Var) {
+				if c := n.class[v]; c != nil && c.kind >= classRec {
+					if tainted == nil {
+						tainted = v
+					}
+					if !n.guardedChain(v, 0) {
+						guarded = false
+					}
+				}
+			})
+			if tainted == nil {
+				continue
+			}
+			g := Growth{
+				Rule: r, Pred: r.Head.Key(), HeadPos: i, Kind: GrowFunctor,
+				Via:     fmt.Sprintf("%s wraps %s", x.Sym, tainted.Name),
+				Direct:  true,
+				Guarded: guarded,
+				Active:  true,
+			}
+			if s, ok := n.feedSrc(tainted, 0); ok {
+				g.FeedIdx, g.FeedPos = s.idx, s.pos
+			} else {
+				g.FeedIdx = -1
+			}
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// renderGen renders a generating site for diagnostics: "X = Y + 1".
+func renderGen(v *term.Var, g *genInfo) string {
+	rhs := "?"
+	if g.lit != nil && len(g.lit.Args) == 2 {
+		if term.Equal(g.lit.Args[0], v) {
+			rhs = g.lit.Args[1].String()
+		} else {
+			rhs = g.lit.Args[0].String()
+		}
+		op := "="
+		if g.lit.Pred == "is" {
+			op = "is"
+		}
+		return fmt.Sprintf("%s %s %s", v.Name, op, rhs)
+	}
+	return fmt.Sprintf("%s = %s(...)", v.Name, g.op)
+}

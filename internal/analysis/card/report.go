@@ -1,0 +1,79 @@
+package card
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Report renders the analysis for coralc -analyze and the REPL's :analyze,
+// printed alongside the flow report: per derived predicate (bottom-up),
+// the row estimate and bound, the per-position value domains, and the
+// termination verdict; then the module's fixpoint-round bound and the
+// value-generating sites.
+func (r *Result) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%% cardinality & termination: module %s\n", r.Module)
+	if len(r.Order) == 0 {
+		b.WriteString("  (no derived predicates)\n")
+		return b.String()
+	}
+	for _, p := range r.Order {
+		fmt.Fprintf(&b, "%s:\n", p)
+		rows := r.Est.Rows[p]
+		bound := r.Est.Bound[p]
+		line := "  rows " + fmtEst(rows, r.Est.Exact[p])
+		if !math.IsInf(bound, 1) && bound != rows {
+			line += fmt.Sprintf(", bound \u2264 %s", fmtF(bound))
+		}
+		doms := r.Est.Dom[p]
+		if len(doms) > 0 {
+			parts := make([]string, len(doms))
+			for i, d := range doms {
+				parts[i] = fmtF(d)
+			}
+			line += ", domains (" + strings.Join(parts, ", ") + ")"
+		}
+		b.WriteString(line + "\n")
+		fmt.Fprintf(&b, "  termination: %s\n", r.Verdicts[p])
+	}
+	if math.IsInf(r.IterBound, 1) {
+		b.WriteString("fixpoint rounds: unbounded\n")
+	} else {
+		fmt.Fprintf(&b, "fixpoint rounds: \u2264 %s\n", fmtF(r.IterBound))
+	}
+	for _, g := range r.Findings {
+		state := "active"
+		switch {
+		case g.Guarded:
+			state = "guarded"
+		case !g.Active && g.Witness == "":
+			state = "demand-bounded"
+		case !g.Active:
+			state = "inactive"
+		}
+		fmt.Fprintf(&b, "growth: %s argument %d by %s (%s, %s)\n",
+			g.Pred, g.HeadPos+1, g.Kind, g.Via, state)
+	}
+	return b.String()
+}
+
+func fmtEst(v float64, exact bool) string {
+	if math.IsInf(v, 1) {
+		return "unknown"
+	}
+	if exact {
+		return "= " + fmtF(v)
+	}
+	return "\u2248 " + fmtF(v)
+}
+
+func fmtF(v float64) string {
+	if math.IsInf(v, 1) {
+		return "\u221e"
+	}
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}

@@ -1,0 +1,305 @@
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"coral/internal/analysis/card"
+	"coral/internal/ast"
+	"coral/internal/term"
+)
+
+// Checks powered by the cardinality & termination analysis (analysis/card)
+// plus the rule-redundancy pair (subsumption and alpha-equivalent
+// duplicates) that rides on the same PR: where the flow checks ask "what
+// binds", these ask "how much" and "does it stop".
+
+// checkCard runs the card analysis and reports unguarded value-generating
+// recursion: arithmetic counting loops and body-equation functor growth
+// (the head-level form is functor-growth's). When the caller configured an
+// iteration budget, the proven round bound also vets it.
+func (a *analyzer) checkCard(m *ast.Module) {
+	selected := make(map[string]bool, len(m.Ann.AggSels))
+	for _, s := range m.Ann.AggSels {
+		selected[s.Pred] = true
+	}
+	res := card.Analyze(m, card.Options{
+		BaseRows:    a.opt.BaseRows,
+		NegFree:     !m.Ann.OrderedSearch,
+		AggSelected: selected,
+	})
+	for _, g := range res.Findings {
+		if !g.Active || g.Guarded {
+			continue
+		}
+		switch {
+		case g.Kind == card.GrowArith:
+			a.add(Diagnostic{
+				Sev: Warning, Check: CheckArithRecursion, Module: m.Name,
+				Line: g.Rule.Line, Col: g.Rule.Col,
+				Message: fmt.Sprintf("recursive rule for %s computes unbounded new values at argument %d (%s)%s: the fixpoint may never close",
+					g.Pred, g.HeadPos+1, g.Via, witnessForm(g)),
+				Suggestion: "bound the generated value with a comparison guard, or draw it from a base relation",
+			})
+		case !g.Direct: // head-level construction is functor-growth's report
+			a.add(Diagnostic{
+				Sev: Warning, Check: CheckPossibleNontermination, Module: m.Name,
+				Line: g.Rule.Line, Col: g.Rule.Col,
+				Message: fmt.Sprintf("recursive rule for %s builds ever-larger terms at argument %d (%s)%s: bottom-up evaluation may not terminate",
+					g.Pred, g.HeadPos+1, g.Via, witnessForm(g)),
+				Suggestion: "recurse on subterms instead of constructing, or export only bound query forms that descend the structure",
+			})
+		}
+	}
+	a.checkIterBudget(m, res)
+}
+
+func witnessForm(g card.Growth) string {
+	if g.Witness == "" {
+		return ""
+	}
+	return fmt.Sprintf(" under query form %s", g.Witness)
+}
+
+// checkIterBudget compares a configured iteration budget against the
+// static round bound. A budget below the number of recursive components is
+// provably insufficient — every recursive stratum consumes at least one
+// round. A budget below the proven upper bound may be.
+func (a *analyzer) checkIterBudget(m *ast.Module, res *card.Result) {
+	budget := a.opt.BudgetIterations
+	if budget <= 0 {
+		return
+	}
+	recursive := 0
+	for _, scc := range res.Graph.SCCs {
+		if scc.Recursive {
+			recursive++
+		}
+	}
+	if recursive == 0 {
+		return // nothing iterates; no budget can trip
+	}
+	switch {
+	case budget < recursive:
+		a.add(Diagnostic{
+			Sev: Warning, Check: CheckInsufficientBudget, Module: m.Name,
+			Line: m.Line, Col: m.Col,
+			Message: fmt.Sprintf("iteration budget %d is provably insufficient: the module has %d recursive components and each needs at least one round",
+				budget, recursive),
+			Suggestion: "raise -max-iters (or the Budget.MaxIterations setting)",
+		})
+	case !math.IsInf(res.IterBound, 1) && float64(budget) < res.IterBound:
+		a.add(Diagnostic{
+			Sev: Warning, Check: CheckInsufficientBudget, Module: m.Name,
+			Line: m.Line, Col: m.Col,
+			Message: fmt.Sprintf("iteration budget %d may be insufficient: analysis bounds the fixpoint at ≤ %.0f rounds",
+				budget, res.IterBound),
+			Suggestion: "raise -max-iters, or ignore if the data keeps the fixpoint small",
+		})
+	}
+}
+
+// checkSubsumption reports rules made redundant by a more general rule of
+// the same predicate (θ-subsumption): a substitution maps the general
+// rule's head onto the specific one's and every general body literal onto
+// a specific body literal, so every instance the specific rule derives the
+// general one derives too. Aggregated rules are skipped (each rule feeds
+// its own groups) and so are @multiset predicates (duplicate derivations
+// are meaningful there).
+func (a *analyzer) checkSubsumption(m *ast.Module) {
+	multiset := make(map[string]bool, len(m.Ann.Multiset))
+	for _, p := range m.Ann.Multiset {
+		multiset[p] = true
+	}
+	byPred := make(map[ast.PredKey][]*ast.Rule)
+	for _, r := range m.Rules {
+		byPred[r.Head.Key()] = append(byPred[r.Head.Key()], r)
+	}
+	for key, rules := range byPred {
+		if multiset[key.Name] || len(rules) < 2 || len(rules) > 32 {
+			continue
+		}
+		reported := make(map[*ast.Rule]bool)
+		for _, gen := range rules {
+			if len(gen.Aggs) != 0 || len(gen.Body) > 8 {
+				continue
+			}
+			for _, spec := range rules {
+				if spec == gen || reported[spec] || len(spec.Aggs) != 0 {
+					continue
+				}
+				if canonicalRule(gen) == canonicalRule(spec) {
+					continue // alpha-equivalent: duplicate-rule reports it
+				}
+				if subsumes(gen, spec) {
+					reported[spec] = true
+					a.add(Diagnostic{
+						Sev: Warning, Check: CheckSubsumedRule, Module: m.Name,
+						Line: spec.Line, Col: spec.Col,
+						Message: fmt.Sprintf("rule is subsumed by the more general rule at line %d: every fact it derives is already derived there",
+							gen.Line),
+						Suggestion: "delete the subsumed rule; it only costs evaluation time",
+					})
+				}
+			}
+		}
+	}
+}
+
+// subsumes reports whether gen θ-subsumes spec: some substitution θ over
+// gen's variables maps gen's head to spec's head and every gen body
+// literal to some spec body literal (spec's variables act as constants).
+func subsumes(gen, spec *ast.Rule) bool {
+	if len(gen.Body) > len(spec.Body)+1 { // literals may share targets, but prune the hopeless
+		return false
+	}
+	theta := make(map[*term.Var]term.Term)
+	if !matchArgs(gen.Head.Args, spec.Head.Args, theta) {
+		return false
+	}
+	return matchBody(gen.Body, spec.Body, theta)
+}
+
+func matchBody(gens []ast.Literal, specs []ast.Literal, theta map[*term.Var]term.Term) bool {
+	if len(gens) == 0 {
+		return true
+	}
+	g := &gens[0]
+	for i := range specs {
+		s := &specs[i]
+		if s.Pred != g.Pred || s.Neg != g.Neg || len(s.Args) != len(g.Args) {
+			continue
+		}
+		var added []*term.Var
+		if matchArgsTrail(g.Args, s.Args, theta, &added) {
+			if matchBody(gens[1:], specs, theta) {
+				return true
+			}
+		}
+		for _, v := range added {
+			delete(theta, v)
+		}
+	}
+	return false
+}
+
+func matchArgs(pat, tgt []term.Term, theta map[*term.Var]term.Term) bool {
+	var added []*term.Var
+	if matchArgsTrail(pat, tgt, theta, &added) {
+		return true
+	}
+	for _, v := range added {
+		delete(theta, v)
+	}
+	return false
+}
+
+func matchArgsTrail(pat, tgt []term.Term, theta map[*term.Var]term.Term, added *[]*term.Var) bool {
+	if len(pat) != len(tgt) {
+		return false
+	}
+	for i := range pat {
+		if !matchTerm(pat[i], tgt[i], theta, added) {
+			return false
+		}
+	}
+	return true
+}
+
+// matchTerm one-way matches a pattern term against a target term: pattern
+// variables bind (consistently) to target subterms; target variables are
+// constants that only an identically-bound pattern variable can match.
+func matchTerm(pat, tgt term.Term, theta map[*term.Var]term.Term, added *[]*term.Var) bool {
+	if v, ok := pat.(*term.Var); ok {
+		if b, bound := theta[v]; bound {
+			return term.Equal(b, tgt)
+		}
+		theta[v] = tgt
+		*added = append(*added, v)
+		return true
+	}
+	pf, pok := pat.(*term.Functor)
+	tf, tok := tgt.(*term.Functor)
+	if pok && tok {
+		if pf.Sym != tf.Sym || len(pf.Args) != len(tf.Args) {
+			return false
+		}
+		for i := range pf.Args {
+			if !matchTerm(pf.Args[i], tf.Args[i], theta, added) {
+				return false
+			}
+		}
+		return true
+	}
+	if pok || tok {
+		return false
+	}
+	if _, ok := tgt.(*term.Var); ok {
+		return false // a pattern constant never matches a target variable
+	}
+	return term.Equal(pat, tgt)
+}
+
+// canonicalRule renders a rule with variables renamed V1..Vn in order of
+// first occurrence — the alpha-equivalence key the upgraded duplicate-rule
+// check compares (two rules that differ only in variable names derive
+// exactly the same facts).
+func canonicalRule(r *ast.Rule) string {
+	names := make(map[*term.Var]string)
+	var b strings.Builder
+	writeCanonLit := func(l *ast.Literal) {
+		if l.Neg {
+			b.WriteString("not ")
+		}
+		b.WriteString(l.Pred)
+		b.WriteByte('(')
+		for i, arg := range l.Args {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			writeCanonTerm(&b, arg, names)
+		}
+		b.WriteByte(')')
+	}
+	writeCanonLit(&r.Head)
+	for _, ag := range r.Aggs {
+		fmt.Fprintf(&b, "@%d=%s(", ag.Pos, ag.Op)
+		writeCanonTerm(&b, ag.Arg, names)
+		b.WriteByte(')')
+	}
+	b.WriteString(":-")
+	for i := range r.Body {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		writeCanonLit(&r.Body[i])
+	}
+	return b.String()
+}
+
+func writeCanonTerm(b *strings.Builder, t term.Term, names map[*term.Var]string) {
+	switch x := t.(type) {
+	case *term.Var:
+		n, ok := names[x]
+		if !ok {
+			n = "V" + itoa(len(names)+1)
+			names[x] = n
+		}
+		b.WriteString(n)
+	case *term.Functor:
+		b.WriteString(x.Sym)
+		if len(x.Args) > 0 {
+			b.WriteByte('(')
+			for i, arg := range x.Args {
+				if i > 0 {
+					b.WriteByte(',')
+				}
+				writeCanonTerm(b, arg, names)
+			}
+			b.WriteByte(')')
+		}
+	default:
+		b.WriteString(t.String())
+	}
+}

@@ -1,0 +1,380 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"coral/internal/ast"
+)
+
+// --- unbounded-arithmetic-recursion: true and false positives ---
+
+func TestArithRecursionTruePositive(t *testing.T) {
+	src := `module m.
+export count(f).
+count(0).
+count(X) :- count(Y), X = Y + 1.
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true})
+	got := diagsFor(diags, CheckArithRecursion)
+	if len(got) != 1 {
+		t.Fatalf("want 1 %s, got:\n%s", CheckArithRecursion, Render(diags))
+	}
+	if got[0].Line != 4 {
+		t.Errorf("line = %d, want 4", got[0].Line)
+	}
+}
+
+func TestArithRecursionGuardedNotFlagged(t *testing.T) {
+	src := `module m.
+export count(f).
+count(0).
+count(X) :- count(Y), Y < 100, X = Y + 1.
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true})
+	if got := diagsFor(diags, CheckArithRecursion); len(got) != 0 {
+		t.Fatalf("guarded counting must not be flagged:\n%s", Render(got))
+	}
+}
+
+func TestArithRecursionEDBBoundNotFlagged(t *testing.T) {
+	src := `module m.
+export p(ff).
+p(X, Y) :- edge(X, Y).
+p(X, Y) :- p(X, Z), edge(Z, W), Y = W + 1.
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true})
+	if got := diagsFor(diags, CheckArithRecursion); len(got) != 0 {
+		t.Fatalf("EDB-bound arithmetic must not be flagged:\n%s", Render(got))
+	}
+}
+
+// --- possible-nontermination: true and false positives ---
+
+func TestPossibleNonterminationTruePositive(t *testing.T) {
+	src := `module m.
+export p(f).
+p(a).
+p(X) :- p(Y), X = f(Y).
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true})
+	got := diagsFor(diags, CheckPossibleNontermination)
+	if len(got) != 1 {
+		t.Fatalf("want 1 %s, got:\n%s", CheckPossibleNontermination, Render(diags))
+	}
+	// The head-level form belongs to functor-growth, not this check.
+	if fg := diagsFor(diags, CheckFunctorGrowth); len(fg) != 0 {
+		t.Errorf("body-equation growth must not double-report as functor-growth:\n%s", Render(fg))
+	}
+}
+
+func TestPossibleNonterminationDemandBoundedNotFlagged(t *testing.T) {
+	// Only bound query forms are exported and the recursion descends the
+	// bound structure: the magic subgoal tree is finite.
+	src := `module m.
+export len(bf).
+len(nil, z).
+len(c(H, T), s(N)) :- len(T, N). % coral:nolint singleton-var functor-growth
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true, Src: src})
+	if got := diagsFor(diags, CheckPossibleNontermination); len(got) != 0 {
+		t.Fatalf("demand-bounded descent must not be flagged:\n%s", Render(got))
+	}
+}
+
+func TestPossibleNonterminationShrinkingNotFlagged(t *testing.T) {
+	src := `module m.
+export p(f).
+p(f(f(a))).
+p(X) :- p(f(X)).
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true})
+	if got := diagsFor(diags, CheckPossibleNontermination); len(got) != 0 {
+		t.Fatalf("shrinking recursion must not be flagged:\n%s", Render(got))
+	}
+}
+
+func TestAggregateSelectionExemptsGrowth(t *testing.T) {
+	// The paper's shortest-path shape: path-list and cost growth bounded
+	// by the min() aggregate selection (§5.5.2).
+	src := `module m.
+export p(bbff).
+@aggregate_selection p(X, Y, P, C) (X, Y) min(C).
+p(X, Y, e, C) :- edge(X, Y, C).
+p(X, Y, f(P), C1) :- p(X, Z, P, C), edge(Z, Y, EC), C1 = C + EC.
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true})
+	if got := diagsFor(diags, CheckArithRecursion); len(got) != 0 {
+		t.Fatalf("aggregate-selected arithmetic must not be flagged:\n%s", Render(got))
+	}
+	if got := diagsFor(diags, CheckPossibleNontermination); len(got) != 0 {
+		t.Fatalf("aggregate-selected growth must not be flagged:\n%s", Render(got))
+	}
+}
+
+// --- subsumed-rule: true and false positives ---
+
+func TestSubsumedRuleTruePositive(t *testing.T) {
+	src := `module m.
+export p(f).
+p(X) :- e(X, Y).
+p(X) :- e(X, Y), f(Y).
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true})
+	got := diagsFor(diags, CheckSubsumedRule)
+	if len(got) != 1 {
+		t.Fatalf("want 1 %s, got:\n%s", CheckSubsumedRule, Render(diags))
+	}
+	if got[0].Line != 4 {
+		t.Errorf("the specific rule (line 4) is the redundant one, got line %d", got[0].Line)
+	}
+	if !strings.Contains(got[0].Message, "line 3") {
+		t.Errorf("message should name the subsuming rule: %s", got[0].Message)
+	}
+}
+
+func TestSubsumedRuleVariableCollapse(t *testing.T) {
+	// θ may map two general variables onto one: p(X):-e(X,Y) subsumes
+	// p(X):-e(X,X).
+	src := `module m.
+export p(f).
+p(X) :- e(X, Y).
+p(X) :- e(X, X).
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true})
+	if got := diagsFor(diags, CheckSubsumedRule); len(got) != 1 {
+		t.Fatalf("want 1 subsumed-rule, got:\n%s", Render(diags))
+	}
+}
+
+func TestSubsumedRuleFalsePositives(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"different guards", `module m.
+export p(f).
+p(X) :- e(X, Y), Y > 3.
+p(X) :- e(X, Y), Y < 3.
+end_module.
+`},
+		{"permuted join variables", `module m.
+export p(ff).
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(Y, X).
+end_module.
+`},
+		{"multiset predicates keep duplicates", `module m.
+export p(f).
+@multiset p.
+p(X) :- e(X, Y).
+p(X) :- e(X, Y), f(Y).
+end_module.
+`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			u := mustParse(t, c.src)
+			diags := AnalyzeUnit(u, Options{AssumeDefined: true})
+			if got := diagsFor(diags, CheckSubsumedRule); len(got) != 0 {
+				t.Fatalf("must not be flagged:\n%s", Render(got))
+			}
+		})
+	}
+}
+
+// --- duplicate-rule: alpha-equivalence upgrade ---
+
+func TestDuplicateRuleAlphaEquivalent(t *testing.T) {
+	src := `module m.
+export p(ff).
+p(X, Y) :- e(X, Z), e(Z, Y).
+p(A, B) :- e(A, C), e(C, B).
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true})
+	got := diagsFor(diags, CheckDuplicateRule)
+	if len(got) != 1 {
+		t.Fatalf("alpha-equivalent rules must report duplicate-rule, got:\n%s", Render(diags))
+	}
+	// Alpha-duplicates are exactly duplicates, not subsumption findings.
+	if sub := diagsFor(diags, CheckSubsumedRule); len(sub) != 0 {
+		t.Errorf("alpha-duplicate must not double-report as subsumed:\n%s", Render(sub))
+	}
+}
+
+func TestDuplicateRuleDistinctStructureNotFlagged(t *testing.T) {
+	src := `module m.
+export p(ff).
+p(X, Y) :- e(X, Y).
+p(X, Y) :- e(Y, X).
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true})
+	if got := diagsFor(diags, CheckDuplicateRule); len(got) != 0 {
+		t.Fatalf("variable-permuted rules are different rules:\n%s", Render(got))
+	}
+}
+
+// --- insufficient-iter-budget ---
+
+func TestInsufficientBudgetProvable(t *testing.T) {
+	// Two recursive components need at least two rounds.
+	src := `module m.
+export p(ff).
+export q(ff).
+p(X, Y) :- e(X, Y).
+p(X, Y) :- p(X, Z), e(Z, Y).
+q(X, Y) :- p(X, Y).
+q(X, Y) :- q(X, Z), f(Z, Y).
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true, BudgetIterations: 1})
+	got := diagsFor(diags, CheckInsufficientBudget)
+	if len(got) != 1 {
+		t.Fatalf("want 1 %s, got:\n%s", CheckInsufficientBudget, Render(diags))
+	}
+	if !strings.Contains(got[0].Message, "provably insufficient") {
+		t.Errorf("message = %s", got[0].Message)
+	}
+}
+
+func TestInsufficientBudgetStaticBound(t *testing.T) {
+	src := `module m.
+export p(ff).
+p(X, Y) :- e(X, Y).
+p(X, Y) :- p(X, Z), e(Z, Y).
+end_module.
+`
+	u := mustParse(t, src)
+	oracle := func(key ast.PredKey) (int, []int, bool) {
+		if key.Name == "e" && key.Arity == 2 {
+			return 50, []int{20, 20}, true
+		}
+		return 0, nil, false
+	}
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true, BaseRows: oracle, BudgetIterations: 3})
+	got := diagsFor(diags, CheckInsufficientBudget)
+	if len(got) != 1 {
+		t.Fatalf("want 1 %s, got:\n%s", CheckInsufficientBudget, Render(diags))
+	}
+	if !strings.Contains(got[0].Message, "may be insufficient") {
+		t.Errorf("message = %s", got[0].Message)
+	}
+	// A generous budget draws no warning.
+	clean := AnalyzeUnit(u, Options{AssumeDefined: true, BaseRows: oracle, BudgetIterations: 100000})
+	if got := diagsFor(clean, CheckInsufficientBudget); len(got) != 0 {
+		t.Fatalf("generous budget flagged:\n%s", Render(got))
+	}
+	// So does an unbounded fixpoint (nothing finite to compare against).
+	noOracle := AnalyzeUnit(u, Options{AssumeDefined: true, BudgetIterations: 3})
+	if got := diagsFor(noOracle, CheckInsufficientBudget); len(got) != 0 {
+		t.Fatalf("unknown bound must not warn beyond the provable case:\n%s", Render(got))
+	}
+}
+
+// --- deterministic ordering (satellite): (line, col, check ID) ---
+
+func TestDiagnosticOrderingByCheckID(t *testing.T) {
+	// One rule triggers several checks at the same position; output must
+	// come back check-ID-sorted regardless of emission order.
+	src := `module m.
+export count(f).
+count(0).
+count(X) :- count(Y), X = Y + 1.
+count(X) :- count(Y), X = Y + 1.
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true})
+	for i := 1; i < len(diags); i++ {
+		a, b := diags[i-1], diags[i]
+		if a.Line > b.Line ||
+			(a.Line == b.Line && a.Col > b.Col) ||
+			(a.Line == b.Line && a.Col == b.Col && a.Check > b.Check) {
+			t.Fatalf("diagnostics out of (line, col, check) order at %d:\n%s", i, Render(diags))
+		}
+	}
+}
+
+// --- nolint interaction with the new check IDs (satellite) ---
+
+func TestNolintNewChecksTrailing(t *testing.T) {
+	src := `module m.
+export count(f).
+count(0).
+count(X) :- count(Y), X = Y + 1. % coral:nolint unbounded-arithmetic-recursion
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true, Src: src})
+	if got := diagsFor(diags, CheckArithRecursion); len(got) != 0 {
+		t.Fatalf("trailing nolint must suppress:\n%s", Render(got))
+	}
+}
+
+func TestNolintNewChecksNextLine(t *testing.T) {
+	src := `module m.
+export p(f).
+p(a).
+% coral:nolint possible-nontermination
+p(X) :- p(Y), X = f(Y).
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true, Src: src})
+	if got := diagsFor(diags, CheckPossibleNontermination); len(got) != 0 {
+		t.Fatalf("next-line nolint must suppress:\n%s", Render(got))
+	}
+}
+
+func TestNolintMultipleNewIDsOneLine(t *testing.T) {
+	src := `module m.
+export p(f).
+p(X) :- e(X, Y).
+p(X) :- e(X, Y), f(Y). % coral:nolint subsumed-rule cross-product
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true, Src: src})
+	if got := diagsFor(diags, CheckSubsumedRule); len(got) != 0 {
+		t.Fatalf("multi-ID nolint must suppress subsumed-rule:\n%s", Render(got))
+	}
+	if got := diagsFor(diags, CheckCrossProduct); len(got) != 0 {
+		t.Fatalf("multi-ID nolint must suppress cross-product:\n%s", Render(got))
+	}
+}
+
+func TestNolintInsideQuotedAtomDoesNotSuppress(t *testing.T) {
+	// The marker lives inside a string literal: it is data, not a comment,
+	// so the diagnostic on that line survives.
+	src := `module m.
+export count(f).
+count(0).
+count(X) :- count(Y), lbl("% coral:nolint unbounded-arithmetic-recursion"), X = Y + 1.
+end_module.
+`
+	u := mustParse(t, src)
+	diags := AnalyzeUnit(u, Options{AssumeDefined: true, Src: src})
+	if got := diagsFor(diags, CheckArithRecursion); len(got) != 1 {
+		t.Fatalf("quoted marker must not suppress, got:\n%s", Render(diags))
+	}
+}

@@ -108,6 +108,25 @@ const (
 	// there — the universal quantification is dead generality (usually an
 	// unbound head variable that was meant to be bound).
 	CheckNongroundStored = "nonground-stored"
+	// CheckPossibleNontermination (analysis/card): a recursive rule
+	// constructs ever-larger terms through a body equation (X = f(Y) with Y
+	// recursive), and some reachable query form cannot demand-bound the
+	// recursion — the fixpoint may be infinite. The head-level form
+	// (p(f(X)) :- p(X)) is reported by functor-growth instead.
+	CheckPossibleNontermination = "possible-nontermination"
+	// CheckArithRecursion (analysis/card): a recursive rule computes new
+	// values arithmetically from its own stored values (X = Y + 1) with no
+	// comparison guard bounding them — counting recursion that never
+	// closes.
+	CheckArithRecursion = "unbounded-arithmetic-recursion"
+	// CheckSubsumedRule: a rule is θ-subsumed by a more general rule of the
+	// same predicate — every fact it derives, the general rule derives too,
+	// so it only costs evaluation time.
+	CheckSubsumedRule = "subsumed-rule"
+	// CheckInsufficientBudget (analysis/card): a configured iteration
+	// budget is smaller than what the static analysis expects the fixpoint
+	// to need, so -max-iters would trip on a correct program.
+	CheckInsufficientBudget = "insufficient-iter-budget"
 )
 
 // Diagnostic is one finding of the analysis pass.
@@ -181,9 +200,10 @@ func Errors(diags []Diagnostic) []Diagnostic {
 	return out
 }
 
-// sortDiags orders diagnostics by source position, then severity
-// (errors first at equal positions), then check ID and message for
-// determinism.
+// sortDiags orders diagnostics deterministically by (line, col, check ID),
+// then severity and message as tie-breakers — the contract CI diffs and
+// -Werror runs rely on: two runs over the same source always print the
+// same sequence, regardless of which check emitted first.
 func sortDiags(diags []Diagnostic) {
 	sort.SliceStable(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -193,11 +213,11 @@ func sortDiags(diags []Diagnostic) {
 		if a.Col != b.Col {
 			return a.Col < b.Col
 		}
-		if a.Sev != b.Sev {
-			return a.Sev > b.Sev
-		}
 		if a.Check != b.Check {
 			return a.Check < b.Check
+		}
+		if a.Sev != b.Sev {
+			return a.Sev > b.Sev
 		}
 		return a.Message < b.Message
 	})

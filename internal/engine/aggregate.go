@@ -72,6 +72,8 @@ func (me *matEval) evalAggRule(c *Compiled) (err error) {
 	groups := make(map[uint64][]*group)
 	var order []*group
 	it := tuples.Scan()
+	// lint:allow scanloop — drains an already-materialized distinct-tuple
+	// relation, bounded by the fact budget that admitted it.
 	for {
 		f, ok := it.Next()
 		if !ok {

@@ -60,6 +60,11 @@ type AbortError struct {
 	Tripped string
 	// Stats is the work performed up to the abort.
 	Stats RunStats
+	// Hint carries static-analysis context for an iterations abort: when
+	// the cardinality analysis proved a finite fixpoint round bound, the
+	// message says how many rounds the evaluation was statically expected
+	// to need — a tripped budget below that is just set too low.
+	Hint  string
 	cause error
 }
 
@@ -73,7 +78,11 @@ func (e *AbortError) Error() string {
 	case AbortFacts:
 		return "engine: evaluation aborted: derived-fact budget exceeded"
 	case AbortIterations:
-		return "engine: evaluation aborted: iteration budget exceeded"
+		msg := "engine: evaluation aborted: iteration budget exceeded"
+		if e.Hint != "" {
+			msg += " (" + e.Hint + ")"
+		}
+		return msg
 	}
 	return "engine: evaluation aborted"
 }

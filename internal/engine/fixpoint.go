@@ -3,6 +3,7 @@ package engine
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"coral/internal/ast"
 	"coral/internal/relation"
@@ -43,6 +44,11 @@ type matEval struct {
 	// fitted schedules per rule version.
 	planning bool
 	plans    map[planKey]*cachedPlan
+
+	// seed supplies static cardinality estimates where live statistics are
+	// absent or cold, and the round-bound hint for iteration-budget aborts
+	// (cardseed.go); nil when System.StaticSeeding is off.
+	seed *staticSeeder
 
 	// guard enforces the call's context and Budget (budget.go). Embedded
 	// by value so an unbudgeted call allocates nothing extra; setGuard
@@ -218,7 +224,7 @@ func (me *matEval) step() {
 	// loop polls amortized (every budgetCheckEvery tuples), so a single
 	// runaway rule application is bounded too.
 	if err := me.guard.checkRound(me.Iterations); err != nil {
-		me.fail(err)
+		me.fail(me.annotateAbort(err))
 		return
 	}
 
@@ -253,6 +259,23 @@ func (me *matEval) step() {
 	if !grew {
 		me.advanceStratum()
 	}
+}
+
+// annotateAbort attaches the static round-bound hint to an iteration-budget
+// abort: when the analysis proved the fixpoint closes within N rounds, a
+// budget trip below that says so ("statically expected ≤ N rounds") —
+// usually meaning the budget is simply set too low. Ordered Search
+// interleaves subgoals through the context, so its iteration count is not
+// comparable to the semi-naive round bound and gets no hint.
+func (me *matEval) annotateAbort(err error) error {
+	var ab *AbortError
+	if !errors.As(err, &ab) || ab.Tripped != AbortIterations || ab.Hint != "" || me.ctx != nil {
+		return err
+	}
+	if b := me.seed.iterBound(); !math.IsInf(b, 1) {
+		ab.Hint = fmt.Sprintf("statically expected ≤ %.0f rounds", b)
+	}
+	return err
 }
 
 func (me *matEval) advanceStratum() {

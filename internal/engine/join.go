@@ -346,6 +346,8 @@ func (ev *evaluator) hasMatch(it *CItem, env *term.Env, tr *term.Trail) bool {
 	}
 	iter := src.Lookup(it.Args, env)
 	m := tr.Mark()
+	// lint:allow scanloop — negation probes one stored relation with ground
+	// arguments; the scan is bounded by that relation's size.
 	for {
 		f, ok := iter.Next()
 		if !ok {

@@ -82,6 +82,8 @@ func firstCounting(it relationIterator, stats *RunStats) (err error) {
 
 func drainCounting(it relationIterator, stats *RunStats) (err error) {
 	defer recoverEval(&err)
+	// lint:allow scanloop — measurement driver above the evaluation: the
+	// iterator it drains performs its own budget polling.
 	for {
 		_, ok := it.Next()
 		if !ok {

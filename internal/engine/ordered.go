@@ -109,6 +109,8 @@ func (c *osContext) offer(pred ast.PredKey, f Fact, caller *subgoal) {
 // relContains checks for a variant of f in rel.
 func relContains(rel *relation.HashRelation, f Fact) bool {
 	it := rel.Lookup(f.Args, term.NewEnv(f.NVars))
+	// lint:allow scanloop — variant check against one subgoal's stored
+	// answers; bounded by that relation's size.
 	for {
 		g, ok := it.Next()
 		if !ok {

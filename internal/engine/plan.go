@@ -108,8 +108,20 @@ func (me *matEval) bodyStats(c *Compiled) ([]relation.Stats, []int) {
 			continue
 		}
 		if st, ok := me.statsFor(it.Pred); ok {
+			rows[i] = st.Rows // drift tracks the live count, not the prior
+			if st.Rows == 0 {
+				// Cold start: a derived relation before its first round.
+				// Price it from the static estimate; once rows appear the
+				// drift check re-fits against live statistics.
+				if ss, sok := me.seed.stats(it.Pred); sok {
+					st = ss
+				}
+			}
 			stats[i] = st
-			rows[i] = st.Rows
+		} else if ss, sok := me.seed.stats(it.Pred); sok {
+			// Module-call and computed sources keep no statistics; the
+			// static estimate replaces the blind unknownRows price.
+			stats[i] = ss
 		} else {
 			stats[i] = relation.Stats{Rows: unknownRows}
 		}

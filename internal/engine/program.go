@@ -75,6 +75,11 @@ type Program struct {
 	// RewrittenText is the rewritten program as text — the paper stores it
 	// in a file as a debugging aid (§2).
 	RewrittenText string
+	// RewrittenRules is the rewritten rule set itself, retained for the
+	// static cardinality analysis (cardseed.go): estimates computed over
+	// these rules price the program that actually runs, magic and
+	// supplementary predicates included.
+	RewrittenRules []*ast.Rule
 }
 
 // Stratum is one SCC of the rewritten program together with its rules.
@@ -425,6 +430,7 @@ func buildProgram(mod *ast.Module, query ast.PredKey, adorn string, mask []bool,
 
 	p.planIndexes()
 	p.RewrittenText = renderRules(mod.Name, rules)
+	p.RewrittenRules = rules
 	return p, nil
 }
 

@@ -39,6 +39,15 @@ type System struct {
 	// magic literals (the carriers of inferred call bindings). When false
 	// programs are built exactly as before the analysis existed.
 	FlowOptimization bool
+	// StaticSeeding feeds the join planner compile-time cardinality
+	// estimates (analysis/card) as a prior, on by default: body sources
+	// whose live statistics are absent (module calls, computed relations)
+	// or still empty (derived relations before their first fixpoint round)
+	// are priced from static bounds instead of blind defaults, and
+	// iteration-budget aborts carry the statically proven round bound as a
+	// hint. Live statistics take over as relations fill (plan drift
+	// invalidation). On and off produce identical answer sets.
+	StaticSeeding bool
 	// Ctx, when non-nil, is polled during evaluation; cancellation aborts
 	// the running call with an *AbortError. The single-user interactive
 	// system makes a stored context the natural shape: the REPL arms it
@@ -59,6 +68,7 @@ func NewSystem() *System {
 		AutoDefineBase:   true,
 		JoinPlanning:     true,
 		FlowOptimization: true,
+		StaticSeeding:    true,
 	}
 }
 
@@ -108,6 +118,13 @@ type ModuleDef struct {
 	progs map[string]*Program // by adornment
 	saved map[string]*matEval // save-module state, by adornment
 	pipe  *pipeProgram        // pipelined modules
+
+	// staticEst caches the module's compile-time cardinality estimate over
+	// its source rules — the price tag callers' planners put on this
+	// module's exports (cardseed.go). inStaticEst breaks inter-module
+	// estimate cycles.
+	staticEst   *cardResult
+	inStaticEst bool
 }
 
 // AddModule validates and installs a module, preparing a program for each
@@ -286,6 +303,7 @@ func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (i
 	// Re-applied on every call so saved evaluations follow later changes.
 	me.parallelism = def.sys.fixpointWorkers()
 	me.planning = def.sys.JoinPlanning
+	me.seed = def.sys.seederFor(prog)
 	me.setGuard(def.sys.newGuard())
 	me.addSeed(args, env)
 	pat, nvars := term.ResolveArgs(args, env)
@@ -471,6 +489,8 @@ func (s *answerScan) matches(f Fact) bool {
 func (s *answerScan) Next() (Fact, bool) {
 	for {
 		if s.cur != nil {
+			// lint:allow scanloop — replays a snapshot of the materialized
+			// answer relation; growth was already budget-checked at insert.
 			for {
 				f, ok := s.cur.Next()
 				if !ok {

@@ -174,6 +174,8 @@ func (def *ModuleDef) ExplainCall(pred ast.PredKey, args []term.Term) (string, e
 	var tr term.Trail
 	it := me.answers().Scan()
 	count := 0
+	// lint:allow scanloop — proof rendering over the completed evaluation's
+	// materialized answers; bounded by the budget that admitted them.
 	for {
 		f, ok := it.Next()
 		if !ok {

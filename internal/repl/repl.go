@@ -21,7 +21,8 @@ const HelpText = `Commands (all end with a period):
   rewritten(mod, p, "bf").  show the optimizer's rewritten program
   save("file", pred/2).     write a base relation as a consultable file
   :vet "file".              run static analysis over a program file without loading it
-  :analyze "file".          print the flow analysis (bindings, groundness, types) of a program file
+  :analyze "file".          print the static analyses of a program file (flow: bindings,
+                            groundness, types; cardinality: row bounds, termination verdicts)
   :budget timeout=2s facts=100000 iters=1000.
                             bound every evaluation; ":budget off." clears,
                             bare ":budget." shows the current limits
@@ -173,9 +174,11 @@ func (s *Session) vet(arg string) string {
 	return b.String()
 }
 
-// analyze prints the whole-program flow analysis of a program file: the
-// reachable (predicate, adornment) contexts with inferred call bindings,
-// fact groundness, and type/shape summaries.
+// analyze prints the whole-program static analyses of a program file: the
+// flow analysis (reachable (predicate, adornment) contexts with inferred
+// call bindings, fact groundness, and type/shape summaries) followed by
+// the cardinality & termination analysis (row and domain bounds,
+// termination verdicts, the static fixpoint round bound).
 func (s *Session) analyze(arg string) string {
 	arg = strings.Trim(strings.TrimSpace(arg), `"'`)
 	if arg == "" {

@@ -1,0 +1,76 @@
+// Package analysis is a minimal, dependency-free stand-in for the
+// golang.org/x/tools/go/analysis framework: the same Analyzer / Pass /
+// Diagnostic vocabulary, narrowed to what this repository's linters need.
+// The repository is deliberately stdlib-only, so the real module cannot
+// be vendored; keeping the shapes identical means the analyzers in
+// tools/lint would compile against the real framework with only the
+// import path and the Pkg field (a name string here, a *types.Package
+// there) changing.
+//
+// Differences from the real framework, all deliberate:
+//
+//   - Pass.Pkg is the package name, not a *types.Package: the driver
+//     parses with go/parser only and never type-checks, so analyzers are
+//     purely syntactic (exactly as the pre-framework linter was).
+//   - No Requires/ResultOf plumbing — none of the analyzers here feed
+//     another.
+//   - No SuggestedFixes, facts, or analyzer flags.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+)
+
+// An Analyzer describes one self-contained analysis: a name used in
+// output and sorting, user-facing documentation, and the Run function
+// applied once per package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and must be a valid
+	// identifier (it doubles as a command-line handle in the real
+	// framework).
+	Name string
+
+	// Doc is the analyzer's documentation: a one-line summary, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a package. It reports findings through
+	// pass.Report/Reportf; the result value is unused here (the real
+	// framework forwards it to dependent analyzers).
+	Run func(*Pass) (interface{}, error)
+}
+
+// A Pass provides one analyzer run with a single package's syntax and a
+// sink for its diagnostics. Pass methods must only be called during Run.
+type Pass struct {
+	// Analyzer is the analyzer being applied.
+	Analyzer *Analyzer
+
+	// Fset maps token positions to file positions for Files.
+	Fset *token.FileSet
+
+	// Files holds the package's parsed syntax trees, comments included.
+	Files []*ast.File
+
+	// Pkg is the package's name (shim divergence: the real framework
+	// supplies the type-checked *types.Package).
+	Pkg string
+
+	// Report delivers one diagnostic to the driver.
+	Report func(Diagnostic)
+}
+
+// Reportf formats a message and reports it at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.Report(Diagnostic{Pos: pos, Category: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding tied to a source position. Category
+// defaults to the reporting analyzer's name.
+type Diagnostic struct {
+	Pos      token.Pos
+	Category string
+	Message  string
+}

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"coral/tools/lint/analysis"
+)
+
+// errwrapAnalyzer enforces errorf-wrap: an error value passed to
+// fmt.Errorf must be wrapped with %w, not flattened with %v/%s, so
+// callers can errors.Is/As through the engine and relation layers.
+// Detected syntactically: any argument whose identifier is (or ends in)
+// "err" with a format string lacking %w.
+var errwrapAnalyzer = &analysis.Analyzer{
+	Name: "errwrap",
+	Doc: `require %w when fmt.Errorf consumes an error value
+
+Flattening an error with %v/%s severs the errors.Is/As chain callers rely
+on to detect budget aborts and typed engine failures. Judged by name: an
+argument identifier that is, or ends in, "err".`,
+	Run: runErrwrap,
+}
+
+func runErrwrap(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isFmtErrorf(call) {
+				checkErrorfWrap(pass, call)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func isFmtErrorf(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Errorf" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "fmt"
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that flatten an error value. The
+// error-ness of an argument is judged by name: an identifier that is, or
+// ends in, "err" — the repository's universal error naming.
+func checkErrorfWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING || strings.Contains(lit.Value, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		if name := rightmostIdent(arg); name != "" && strings.HasSuffix(strings.ToLower(name), "err") {
+			pass.Reportf(arg.Pos(), "error value %s passed to fmt.Errorf without %%w: wrapping keeps errors.Is/As working through this layer", name)
+			return
+		}
+	}
+}
+
+// rightmostIdent returns the identifier an argument expression names:
+// err, e.err, ee.err(), pkg.Err. Composite expressions return "".
+func rightmostIdent(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.CallExpr:
+		return rightmostIdent(x.Fun)
+	}
+	return ""
+}

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+// lintOut runs the multichecker over dirs and returns the exit code and
+// finding lines.
+func lintOut(t *testing.T, dirs ...string) (int, []string) {
+	t.Helper()
+	var out, errw strings.Builder
+	code := run(dirs, &out, &errw)
+	if errw.Len() > 0 && code != 2 {
+		t.Fatalf("unexpected stderr: %s", errw.String())
+	}
+	var lines []string
+	for _, l := range strings.Split(out.String(), "\n") {
+		if strings.TrimSpace(l) != "" {
+			lines = append(lines, l)
+		}
+	}
+	return code, lines
+}
+
+// TestBudgetpollSeededViolation: the fixture's one unpolled scan loop is
+// flagged; the polled, annotated, single-shot and closure shapes are not.
+func TestBudgetpollSeededViolation(t *testing.T) {
+	code, lines := lintOut(t, "testdata/src/budgetpoll")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings)", code)
+	}
+	if len(lines) != 1 {
+		t.Fatalf("want exactly the seeded violation, got:\n%s", strings.Join(lines, "\n"))
+	}
+	f := lines[0]
+	if !strings.Contains(f, "[budgetpoll]") || !strings.Contains(f, "budget poll") {
+		t.Errorf("finding lacks analyzer tag or message: %s", f)
+	}
+	if !strings.Contains(f, "bad.go:19:") {
+		t.Errorf("finding not at the seeded loop (bad.go:19): %s", f)
+	}
+}
+
+// TestPaniccheckFixture: one bare panic flagged; helper and both
+// annotation forms exempt.
+func TestPaniccheckFixture(t *testing.T) {
+	code, lines := lintOut(t, "testdata/src/paniccheck")
+	if code != 1 || len(lines) != 1 {
+		t.Fatalf("exit %d, findings:\n%s", code, strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[0], "[paniccheck]") || !strings.Contains(lines[0], "panic outside Throw/throwf") {
+		t.Errorf("unexpected finding: %s", lines[0])
+	}
+}
+
+// TestErrwrapFixture: one flattened error flagged.
+func TestErrwrapFixture(t *testing.T) {
+	code, lines := lintOut(t, "testdata/src/errwrap")
+	if code != 1 || len(lines) != 1 {
+		t.Fatalf("exit %d, findings:\n%s", code, strings.Join(lines, "\n"))
+	}
+	if !strings.Contains(lines[0], "[errwrap]") || !strings.Contains(lines[0], "%w") {
+		t.Errorf("unexpected finding: %s", lines[0])
+	}
+}
+
+// TestFindingsSorted: a multi-directory run comes back ordered by
+// (file, line, column, analyzer).
+func TestFindingsSorted(t *testing.T) {
+	code, lines := lintOut(t, "testdata/src/paniccheck", "testdata/src/errwrap", "testdata/src/budgetpoll")
+	if code != 1 || len(lines) != 3 {
+		t.Fatalf("exit %d, findings:\n%s", code, strings.Join(lines, "\n"))
+	}
+	if !sort.StringsAreSorted(lines) {
+		t.Errorf("findings not sorted:\n%s", strings.Join(lines, "\n"))
+	}
+}
+
+// TestRealPackagesClean: the suite the CI runs must pass over the
+// packages it guards — including budgetpoll over the engine, whose
+// bounded scans carry lint:allow scanloop annotations.
+func TestRealPackagesClean(t *testing.T) {
+	code, lines := lintOut(t, "../../internal/engine", "../../internal/relation")
+	if code != 0 {
+		t.Fatalf("exit = %d, findings:\n%s", code, strings.Join(lines, "\n"))
+	}
+}
+
+// TestExitCodes: no arguments and unreadable directories are load errors
+// (2), distinct from findings (1).
+func TestExitCodes(t *testing.T) {
+	if code, _ := lintOut(t, ""); code != 2 {
+		t.Errorf("empty dir name: exit %d, want 2", code)
+	}
+	var out, errw strings.Builder
+	if code := run(nil, &out, &errw); code != 2 {
+		t.Errorf("no args: exit %d, want 2", code)
+	}
+	if code, _ := lintOut(t, "testdata/no-such-dir"); code != 2 {
+		t.Errorf("missing dir: exit %d, want 2", code)
+	}
+}

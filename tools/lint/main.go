@@ -1,23 +1,21 @@
-// Command lint enforces two repository-specific invariants the stock go
-// vet cannot express, over the packages named on the command line:
+// Command lint is a multichecker enforcing repository-specific invariants
+// the stock go vet cannot express, over the packages named on the command
+// line:
 //
 //	go run ./tools/lint ./internal/engine ./internal/relation
 //
-// Rule panic-outside-throw: the engine reports evaluation failures by
-// panicking with an evalError that recoverEval converts back into an
-// ordinary error at the evaluation boundary (builtins.go). Every other
-// panic would crash the whole process on a bad query, so panic calls are
-// forbidden except inside the designated throw helpers (Throw, throwf) or
-// on lines annotated "lint:allow panic — <reason>" for genuine
-// can-never-happen invariants.
+// The analyzers — each a tools/lint/analysis.Analyzer in the style of
+// golang.org/x/tools/go/analysis, declared in its own file:
 //
-// Rule errorf-wrap: an error value passed to fmt.Errorf must be wrapped
-// with %w, not flattened with %v/%s, so callers can errors.Is/As through
-// the engine and relation layers. Detected syntactically: any argument
-// whose identifier is (or ends in) "err" with a format string lacking %w.
+//	paniccheck   panic outside the engine's Throw/throwf helpers
+//	errwrap      fmt.Errorf flattening an error value without %w
+//	budgetpoll   engine iterator-scan loop lacking an amortized
+//	             budgetGuard poll
 //
-// The tool is stdlib-only (go/parser + go/ast); test files are skipped.
-// Findings print as file:line:col: message and any finding exits 1.
+// The tool is stdlib-only (go/parser + go/ast; the framework package is a
+// local shim); test files are skipped. Findings print as
+// file:line:col: message [analyzer], sorted by (file, line, column,
+// analyzer). Any finding exits 1; a load error exits 2.
 package main
 
 import (
@@ -25,149 +23,113 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+
+	"coral/tools/lint/analysis"
 )
 
+// analyzers is the multichecker's fixed suite.
+var analyzers = []*analysis.Analyzer{panicAnalyzer, errwrapAnalyzer, budgetpollAnalyzer}
+
 func main() {
-	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "usage: lint <package-dir> ...")
-		os.Exit(2)
-	}
-	bad := 0
-	for _, dir := range os.Args[1:] {
-		findings, err := lintDir(dir)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "lint:", err)
-			os.Exit(2)
-		}
-		bad += len(findings)
-		for _, f := range findings {
-			fmt.Println(f)
-		}
-	}
-	if bad > 0 {
-		os.Exit(1)
-	}
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func lintDir(dir string) ([]string, error) {
+// A finding is one diagnostic resolved to a file position, carrying the
+// analyzer name for output and for the (file, line, col, analyzer) sort.
+type finding struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
+func (f finding) String() string {
+	return fmt.Sprintf("%s: %s [%s]", f.pos, f.message, f.analyzer)
+}
+
+// run drives every analyzer over every named package directory, printing
+// sorted findings to out. Exit status: 0 clean, 1 findings, 2 usage or
+// load error.
+func run(dirs []string, out, errw io.Writer) int {
+	if len(dirs) == 0 {
+		fmt.Fprintln(errw, "usage: lint <package-dir> ...")
+		return 2
+	}
+	var findings []finding
+	for _, dir := range dirs {
+		fset, files, pkg, err := loadDir(dir)
+		if err != nil {
+			fmt.Fprintln(errw, "lint:", err)
+			return 2
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer: a,
+				Fset:     fset,
+				Files:    files,
+				Pkg:      pkg,
+				Report: func(d analysis.Diagnostic) {
+					findings = append(findings, finding{
+						pos:      fset.Position(d.Pos),
+						analyzer: d.Category,
+						message:  d.Message,
+					})
+				},
+			}
+			if _, err := a.Run(pass); err != nil {
+				fmt.Fprintf(errw, "lint: %s: %v\n", a.Name, err)
+				return 2
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		if a.pos.Column != b.pos.Column {
+			return a.pos.Column < b.pos.Column
+		}
+		return a.analyzer < b.analyzer
+	})
+	for _, f := range findings {
+		fmt.Fprintln(out, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// loadDir parses the non-test Go files of one package directory with
+// comments retained, returning the file set, syntax trees, and package
+// name.
+func loadDir(dir string) (*token.FileSet, []*ast.File, string, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
-		return nil, err
+		return nil, nil, "", err
 	}
-	var findings []string
 	fset := token.NewFileSet()
+	var files []*ast.File
+	pkg := ""
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		path := filepath.Join(dir, name)
-		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			return nil, nil, "", err
 		}
-		findings = append(findings, lintFile(fset, file)...)
+		files = append(files, file)
+		pkg = file.Name.Name
 	}
-	sort.Strings(findings)
-	return findings, nil
-}
-
-// throwHelpers are the functions allowed to panic: they implement the
-// engine's throw/recover error channel.
-var throwHelpers = map[string]bool{"Throw": true, "throwf": true}
-
-func lintFile(fset *token.FileSet, file *ast.File) []string {
-	allowed := allowedLines(fset, file)
-	var findings []string
-	report := func(pos token.Pos, msg string) {
-		findings = append(findings, fmt.Sprintf("%s: %s", fset.Position(pos), msg))
-	}
-	for _, decl := range file.Decls {
-		fn, ok := decl.(*ast.FuncDecl)
-		if !ok || fn.Body == nil {
-			continue
-		}
-		inHelper := fn.Recv == nil && throwHelpers[fn.Name.Name]
-		ast.Inspect(fn.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
-				line := fset.Position(call.Pos()).Line
-				if !inHelper && !allowed[line] {
-					report(call.Pos(), "panic outside Throw/throwf: use engine.Throw so the failure surfaces as an error (or annotate the invariant with \"lint:allow panic\")")
-				}
-			}
-			if isFmtErrorf(call) {
-				checkErrorfWrap(call, report)
-			}
-			return true
-		})
-	}
-	return findings
-}
-
-// allowedLines collects the lines covered by a "lint:allow panic"
-// annotation: the comment's own line (trailing form) and the line after it
-// (standalone form).
-func allowedLines(fset *token.FileSet, file *ast.File) map[int]bool {
-	out := map[int]bool{}
-	for _, cg := range file.Comments {
-		for _, c := range cg.List {
-			if !strings.Contains(c.Text, "lint:allow panic") {
-				continue
-			}
-			line := fset.Position(c.Pos()).Line
-			out[line] = true
-			out[line+1] = true
-		}
-	}
-	return out
-}
-
-func isFmtErrorf(call *ast.CallExpr) bool {
-	sel, ok := call.Fun.(*ast.SelectorExpr)
-	if !ok || sel.Sel.Name != "Errorf" {
-		return false
-	}
-	pkg, ok := sel.X.(*ast.Ident)
-	return ok && pkg.Name == "fmt"
-}
-
-// checkErrorfWrap flags fmt.Errorf calls that flatten an error value. The
-// error-ness of an argument is judged by name: an identifier that is, or
-// ends in, "err" — the repository's universal error naming.
-func checkErrorfWrap(call *ast.CallExpr, report func(token.Pos, string)) {
-	if len(call.Args) < 2 {
-		return
-	}
-	lit, ok := call.Args[0].(*ast.BasicLit)
-	if !ok || lit.Kind != token.STRING || strings.Contains(lit.Value, "%w") {
-		return
-	}
-	for _, arg := range call.Args[1:] {
-		if name := rightmostIdent(arg); name != "" && strings.HasSuffix(strings.ToLower(name), "err") {
-			report(arg.Pos(), fmt.Sprintf("error value %s passed to fmt.Errorf without %%w: wrapping keeps errors.Is/As working through this layer", name))
-			return
-		}
-	}
-}
-
-// rightmostIdent returns the identifier an argument expression names:
-// err, e.err, ee.err(), pkg.Err. Composite expressions return "".
-func rightmostIdent(e ast.Expr) string {
-	switch x := e.(type) {
-	case *ast.Ident:
-		return x.Name
-	case *ast.SelectorExpr:
-		return x.Sel.Name
-	case *ast.CallExpr:
-		return rightmostIdent(x.Fun)
-	}
-	return ""
+	return fset, files, pkg, nil
 }

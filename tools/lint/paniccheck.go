@@ -1,0 +1,82 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"coral/tools/lint/analysis"
+)
+
+// panicAnalyzer enforces panic-outside-throw: the engine reports
+// evaluation failures by panicking with an evalError that recoverEval
+// converts back into an ordinary error at the evaluation boundary
+// (builtins.go). Every other panic would crash the whole process on a bad
+// query, so panic calls are forbidden except inside the designated throw
+// helpers (Throw, throwf) or on lines annotated
+// "lint:allow panic — <reason>" for genuine can-never-happen invariants.
+var panicAnalyzer = &analysis.Analyzer{
+	Name: "paniccheck",
+	Doc: `forbid panic outside the engine's throw helpers
+
+The engine's only sanctioned panic channel is Throw/throwf, recovered at
+the evaluation boundary. Any other panic is a process crash waiting for a
+bad query. Annotate true invariants with "lint:allow panic — <reason>".`,
+	Run: runPaniccheck,
+}
+
+// throwHelpers are the functions allowed to panic: they implement the
+// engine's throw/recover error channel.
+var throwHelpers = map[string]bool{"Throw": true, "throwf": true}
+
+func runPaniccheck(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		allowed := allowedLines(pass.Fset, file, "lint:allow panic")
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			inHelper := fn.Recv == nil && throwHelpers[fn.Name.Name]
+			if inHelper {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "panic" {
+					if !allowed[pass.Fset.Position(call.Pos()).Line] {
+						pass.Reportf(call.Pos(), "panic outside Throw/throwf: use engine.Throw so the failure surfaces as an error (or annotate the invariant with \"lint:allow panic\")")
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// allowedLines collects the lines covered by a lint annotation marker:
+// every line of the comment group containing it (trailing form; wrapped
+// multi-line reasons) and the line after the group (standalone form).
+func allowedLines(fset *token.FileSet, file *ast.File, marker string) map[int]bool {
+	out := map[int]bool{}
+	for _, cg := range file.Comments {
+		found := false
+		for _, c := range cg.List {
+			if strings.Contains(c.Text, marker) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			continue
+		}
+		for l := fset.Position(cg.Pos()).Line; l <= fset.Position(cg.End()).Line+1; l++ {
+			out[l] = true
+		}
+	}
+	return out
+}

@@ -1,0 +1,24 @@
+// Package engine is a lint fixture for the errwrap analyzer: one
+// flattened error (flagged) and the accepted shapes.
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+func flattened(err error) error {
+	return fmt.Errorf("load failed: %v", err) // flagged: %v severs errors.Is/As
+}
+
+func wrapped(err error) error {
+	return fmt.Errorf("load failed: %w", err)
+}
+
+func notAnError(n int) error {
+	return fmt.Errorf("bad count: %d", n)
+}
+
+func noVerbNeeded() error {
+	return errors.New("plain")
+}

@@ -1,0 +1,25 @@
+// Package engine is a lint fixture for the paniccheck analyzer: one bare
+// panic (flagged), the throw helper (exempt), and both annotation forms.
+package engine
+
+// throwf is the sanctioned panic channel in this fixture.
+func throwf(format string, args ...interface{}) {
+	panic(format)
+}
+
+func barePanic() {
+	panic("boom") // flagged: panic outside Throw/throwf
+}
+
+func annotatedTrailing() {
+	panic("invariant") // lint:allow panic — fixture: trailing form
+}
+
+func annotatedStandalone() {
+	// lint:allow panic — fixture: standalone form covers the next line
+	panic("invariant")
+}
+
+func viaHelper() {
+	throwf("engine: %s", "failure")
+}

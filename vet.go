@@ -5,22 +5,32 @@ import (
 	"strings"
 
 	"coral/internal/analysis"
+	"coral/internal/analysis/card"
 	"coral/internal/analysis/flow"
 	"coral/internal/ast"
+	"coral/internal/relation"
 )
 
 // Vet runs the static analysis pass over program text without loading it.
 // Predicates already present in the system — base relations, registered Go
 // predicates, and exports of installed modules — count as defined, so
 // vetting a program against a populated system reports only genuine
-// problems. Diagnostics come back sorted by source position; use
-// analysis.Render / analysis.HasErrors to present them.
+// problems. Live statistics of loaded base relations sharpen the
+// cardinality checks, and a configured iteration budget is vetted against
+// the statically proven fixpoint round bound. Diagnostics come back sorted
+// by source position; use analysis.Render / analysis.HasErrors to present
+// them.
 func (s *System) Vet(src string) ([]analysis.Diagnostic, error) {
 	u, err := s.ParseUnit(src)
 	if err != nil {
 		return nil, err
 	}
-	return analysis.AnalyzeUnit(u, analysis.Options{Known: s.knownPred, Src: src}), nil
+	return analysis.AnalyzeUnit(u, analysis.Options{
+		Known:            s.knownPred,
+		Src:              src,
+		BaseRows:         s.baseStats,
+		BudgetIterations: s.eng.Budget.MaxIterations,
+	}), nil
 }
 
 // VetFile runs Vet over a program file.
@@ -32,12 +42,14 @@ func (s *System) VetFile(path string) ([]analysis.Diagnostic, error) {
 	return s.Vet(string(src))
 }
 
-// Analyze runs the whole-program flow analysis over program text without
-// loading it and returns the per-module reports: for every derived
-// predicate, the reachable (predicate, adornment) contexts with the
-// inferred call bindings, fact groundness, and type/shape summaries.
-// This is the raw data behind the interprocedural vet checks and the
-// optimizer's rule pruning.
+// Analyze runs the whole-program static analyses over program text without
+// loading it and returns the per-module reports: the flow analysis (for
+// every derived predicate, the reachable (predicate, adornment) contexts
+// with the inferred call bindings, fact groundness, and type/shape
+// summaries) followed by the cardinality & termination analysis (row and
+// domain bounds, termination verdicts, and the static fixpoint round
+// bound). This is the raw data behind the interprocedural vet checks, the
+// optimizer's rule pruning, and the planner's cold-start seeding.
 func (s *System) Analyze(src string) (string, error) {
 	u, err := s.ParseUnit(src)
 	if err != nil {
@@ -53,6 +65,17 @@ func (s *System) Analyze(src string) (string, error) {
 		}
 		res := flow.Analyze(m, flow.Options{NegFree: !m.Ann.OrderedSearch})
 		b.WriteString(res.Report())
+		b.WriteByte('\n')
+		selected := make(map[string]bool, len(m.Ann.AggSels))
+		for _, sel := range m.Ann.AggSels {
+			selected[sel.Pred] = true
+		}
+		cres := card.Analyze(m, card.Options{
+			BaseRows:    s.baseStats,
+			NegFree:     !m.Ann.OrderedSearch,
+			AggSelected: selected,
+		})
+		b.WriteString(cres.Report())
 	}
 	return b.String(), nil
 }
@@ -74,4 +97,20 @@ func (s *System) knownPred(key ast.PredKey) bool {
 	}
 	_, ok := s.eng.Export(key)
 	return ok
+}
+
+// baseStats is the BaseRows oracle for the static analyses: live counts
+// and per-position distinct estimates of in-memory base relations already
+// loaded into the system.
+func (s *System) baseStats(key ast.PredKey) (rows int, distinct []int, ok bool) {
+	r, found := s.eng.Relation(key)
+	if !found {
+		return 0, nil, false
+	}
+	hr, isHash := r.(*relation.HashRelation)
+	if !isHash {
+		return 0, nil, false
+	}
+	st := hr.Stats()
+	return st.Rows, st.Distinct, true
 }
