@@ -694,3 +694,56 @@ end_module.
 		})
 	}
 }
+
+// BenchmarkE21HashJoin compares nested-loops and hash access paths on
+// transitive closures dense enough for the planner to adopt the hash mark
+// (the deterministic gate is engine.TestPlannerPicksHashJoin). The
+// right-linear rule exercises the generic build/probe path through
+// lookupFor — every delta tuple probes the full base relation; the
+// doubly recursive rule routes through the symmetric delta fast path.
+// @no_indexing isolates the comparison: without it the optimizer plants a
+// persistent argIndex and both paths enumerate the same candidates.
+func BenchmarkE21HashJoin(b *testing.B) {
+	facts := workload.RandomGraph(48, 320, 11)
+	linear := `
+module m.
+export tc(ff).
+@rewrite none.
+@no_indexing.
+tc(X, Y) :- edge(X, Y).
+tc(X, Y) :- tc(X, Z), edge(Z, Y).
+end_module.
+`
+	sym := `
+module m.
+export p(ff).
+@rewrite none.
+@no_indexing.
+p(X, Y) :- edge(X, Y).
+p(X, Y) :- p(X, Z), p(Z, Y).
+end_module.
+`
+	for _, w := range []struct {
+		name, mod, pred string
+	}{
+		{"linear", linear, "tc"},
+		{"sym", sym, "p"},
+	} {
+		for _, mode := range []struct {
+			name string
+			hash bool
+		}{
+			{"nestedloops", false},
+			{"hash", true},
+		} {
+			b.Run(w.name+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sys := benchSystem(b, facts+w.mod)
+					sys.HashJoins = mode.hash
+					benchCall(b, sys, w.pred, term.NewVar("X"), term.NewVar("Y"))
+				}
+			})
+		}
+	}
+}

@@ -68,6 +68,17 @@ func (s *System) SetParallelism(n int) { s.eng.Parallelism = n }
 // answer sets; the enumeration order of answers may differ.
 func (s *System) SetJoinPlanning(on bool) { s.eng.JoinPlanning = on }
 
+// SetHashJoins toggles hash-join access paths (on by default): when the
+// join planner estimates that a body literal will be probed many times, the
+// literal's scan range is loaded once into a transient hash table pre-sized
+// from live statistics and every probe becomes a bucket lookup, replacing
+// per-probe index searches; two-literal recursive rules additionally take a
+// symmetric fast path whose semi-naive delta versions probe build tables
+// over each other's ranges. The classic build/probe form requires
+// SetJoinPlanning on (the planner places the marks). On and off produce
+// identical answer sets in identical order.
+func (s *System) SetHashJoins(on bool) { s.eng.HashJoins = on }
+
 // SetFlowOptimization toggles the flow-analysis-driven optimizations (on
 // by default): rules unreachable from the query form are pruned before
 // compilation, magic rewriting is skipped when every reachable context

@@ -171,6 +171,31 @@ func TestBuiltinUnifyAndAssign(t *testing.T) {
 	if ok {
 		t.Error("2+2 = 5 succeeded")
 	}
+
+	// A failing "=" may bind subterms before failing, and the join loop
+	// relies on exactly one undo to the pre-call mark cleaning that up (the
+	// failure path in run() carries no undo of its own; the next frame's
+	// entry undo — at an earlier-or-equal mark — is the one that runs).
+	env3 := term.NewEnv(1)
+	z := &term.Var{Name: "Z", Index: 0}
+	tr := &term.Trail{}
+	m := tr.Mark()
+	ok = evalBuiltin("=",
+		[]term.Term{term.NewFunctor("f", z, term.Int(1)), term.NewFunctor("f", term.Int(7), term.Int(2))},
+		env3, tr)
+	if ok {
+		t.Fatal("f(Z,1) = f(7,2) succeeded")
+	}
+	if tr.Mark() == m {
+		t.Fatal("failed unification left no partial binding; trail assertion is vacuous")
+	}
+	tr.Undo(m)
+	if tr.Mark() != m {
+		t.Fatalf("trail length %d after one undo, want %d", tr.Mark(), m)
+	}
+	if term.GroundUnder(z, env3) {
+		t.Fatal("Z still bound after undo to the pre-call mark")
+	}
 }
 
 func TestBuiltinComparisons(t *testing.T) {

@@ -57,6 +57,15 @@ type CItem struct {
 	// a candidate ground fact then matches iff the argument lists are
 	// equal, which hash-consing decides without touching environments.
 	ArgsGround bool
+	// HashKeyPos, when non-nil, marks this item for hash-join access: the
+	// scan is served by a transient build table (relation.JoinTable) keyed
+	// on these argument positions instead of the relation's own lookup
+	// path. Set only by the join planner (plan.go) on planned clones —
+	// the positions are bound by items scheduled earlier, so a probe
+	// selects one bucket. Never set on a schedule's first relation item
+	// (nothing is bound there, and the parallel round splits that item's
+	// ordinal range across tasks).
+	HashKeyPos []int
 }
 
 // CAgg is a compiled head aggregation.

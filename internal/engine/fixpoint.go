@@ -45,6 +45,11 @@ type matEval struct {
 	planning bool
 	plans    map[planKey]*cachedPlan
 
+	// hashing enables hash-join access paths (hashjoin.go): the planner's
+	// build/probe marking and the symmetric positional fast path. On and
+	// off produce identical answer sets.
+	hashing bool
+
 	// seed supplies static cardinality estimates where live statistics are
 	// absent or cold, and the round-bound hint for iteration-budget aborts
 	// (cardseed.go); nil when System.StaticSeeding is off.
@@ -68,6 +73,7 @@ func newMatEval(prog *Program, external func(ast.PredKey) (Source, error)) *matE
 		prog:      prog,
 		lastMarks: make(map[*Compiled]map[ast.PredKey]relation.Mark),
 		planning:  true,
+		hashing:   true,
 	}
 	me.st = newStore(external, prog.configureRelation)
 	me.st.isLocal = func(k ast.PredKey) bool { return prog.LocalPreds[k] }
@@ -385,6 +391,17 @@ func (me *matEval) applyRecursive(c *Compiled, now map[ast.PredKey]relation.Mark
 		pred := c.Body[pos].Pred
 		if _, ok := last[pred]; !ok {
 			last[pred] = 0
+		}
+	}
+	if me.symEligible(c) {
+		if handled, err := me.evalSymDelta(c, last, now); handled {
+			if err != nil {
+				return err
+			}
+			for pred, mk := range now {
+				last[pred] = mk
+			}
+			return nil
 		}
 	}
 	emit := func(f Fact) bool {

@@ -1,0 +1,353 @@
+package engine
+
+import (
+	"coral/internal/ast"
+	"coral/internal/relation"
+	"coral/internal/term"
+)
+
+// Hash-join execution (paper §5.3 extends naturally: the optimizer's access
+// annotations here include a build/probe access path, not only indexes).
+//
+// The planner (plan.go) marks a scheduled body item with HashKeyPos when the
+// estimated flow of partial bindings reaching it amortizes building a
+// transient hash table over the item's scan range. lookupFor then serves the
+// item's scans from that table: the build costs one ordered pass over the
+// range, pre-sized from live statistics, and every subsequent probe is a
+// bucket lookup with zero allocations (the probe cursor lives in the join
+// frame). Within one rule application lookupFor reopens the item's scan once
+// per outer tuple, so the table is built once and probed many times; across
+// rounds the cache revalidates by range and by the relation's mutation
+// counter, rebuilding only when the semi-naive marks have moved.
+//
+// Candidate order is preserved exactly: a JoinTable probe yields entries in
+// ascending insertion order over the same ordinal range a nested-loops scan
+// would walk, so the accepted-candidate sequence — and therefore every
+// emission, duplicate decision, and the parallel round's merge order — is
+// byte-identical with hash joins on or off.
+//
+// Two-literal recursive rules additionally take a symmetric positional fast
+// path (evalSymDelta): per semi-naive round, each delta version streams one
+// side while probing a table over the other side's range, the two versions
+// together forming a symmetric hash join of the round. Facts flow as ground
+// positional tuples through composed operators (operator.go) without
+// touching environments or the trail.
+
+// tableCacheMax bounds the build-table cache; past it the cache is evicted
+// wholesale (entries are tied to plan versions, so steady-state evaluations
+// hold a handful).
+const tableCacheMax = 256
+
+// builtTable is one cached build table plus the coordinates it is valid
+// for: the exact ordinal range it was loaded from and the relation's
+// mutation counter at build time. Appends beyond the range do not
+// invalidate; any delete, truncation, or clear does.
+type builtTable struct {
+	from, to relation.Mark
+	muts     int
+	tab      *relation.JoinTable
+}
+
+// hashRelOf unwraps a Source down to its plain *HashRelation, or nil when
+// the source is anything else (module calls, computed, list relations).
+func hashRelOf(src Source) *relation.HashRelation {
+	switch s := src.(type) {
+	case *relation.HashRelation:
+		return s
+	case relSource:
+		hr, _ := s.r.(*relation.HashRelation)
+		return hr
+	}
+	return nil
+}
+
+// scanBounds returns the ordinal range the semi-naive discipline assigns to
+// relation item it under rr — the same switch lookupFor's ranged paths
+// apply, keyed on the written occurrence (OrigPos).
+func scanBounds(it *CItem, rr ruleRanges, src Source) (relation.Mark, relation.Mark) {
+	if !it.Recursive || rr.DeltaPos < 0 {
+		return 0, src.Snapshot()
+	}
+	switch {
+	case it.OrigPos == rr.DeltaPos:
+		return rr.Last[it.Pred], rr.Now[it.Pred]
+	case it.OrigPos < rr.DeltaPos:
+		return 0, rr.Last[it.Pred]
+	default:
+		return 0, rr.Now[it.Pred]
+	}
+}
+
+// tableFor returns a valid build table for the hash-marked item over
+// [from, to) of hr, building one on a miss. Read-only evaluators — the
+// parallel round's workers, which share the writer's cache — return nil on
+// a miss instead, and the caller falls back to the nested-loops path.
+func (ev *evaluator) tableFor(it *CItem, hr *relation.HashRelation, from, to relation.Mark) *builtTable {
+	bt := ev.tables[it]
+	if bt != nil && bt.from == from && bt.to == to &&
+		bt.muts == hr.Mutations() && hr.Snapshot() >= to {
+		return bt
+	}
+	if ev.tablesRO {
+		return nil
+	}
+	return ev.buildTable(it, hr, from, to)
+}
+
+// buildTable loads [from, to) into a fresh table keyed on it.HashKeyPos and
+// caches it under the item. Runs only on the evaluation's writer goroutine
+// (like planFor); the build loop polls the budget, so it may throw.
+func (ev *evaluator) buildTable(it *CItem, hr *relation.HashRelation, from, to relation.Mark) *builtTable {
+	if ev.tables == nil {
+		ev.tables = make(map[*CItem]*builtTable)
+	} else if len(ev.tables) >= tableCacheMax {
+		for k := range ev.tables {
+			delete(ev.tables, k)
+		}
+	}
+	bt := &builtTable{from: from, to: to, muts: hr.Mutations(),
+		tab: ev.loadJoinTable(hr, from, to, it.HashKeyPos)}
+	ev.tables[it] = bt
+	return bt
+}
+
+// loadJoinTable builds a JoinTable over [from, to) of hr keyed on keyPos,
+// pre-sized from the relation's live statistics: the fact slice to the
+// range's row count and the bucket map to the key's estimated distinct
+// count (a multi-position key has at least as many distinct values as its
+// most selective position).
+func (ev *evaluator) loadJoinTable(hr *relation.HashRelation, from, to relation.Mark, keyPos []int) *relation.JoinTable {
+	st := hr.Stats()
+	rows := int(to - from)
+	if rows > st.Rows {
+		rows = st.Rows // tombstones: the range holds at most the live count
+	}
+	distinct := 0
+	for _, p := range keyPos {
+		if p < len(st.Distinct) && st.Distinct[p] > distinct {
+			distinct = st.Distinct[p]
+		}
+	}
+	if distinct == 0 || distinct > rows {
+		distinct = rows
+	}
+	tab := relation.NewJoinTable(keyPos, rows, distinct)
+	sc := hr.ScanRange(from, to)
+	for {
+		f, ok := sc.Next()
+		if !ok {
+			break
+		}
+		ev.pollBudget()
+		tab.Add(f)
+	}
+	ev.HashBuilds++
+	return tab
+}
+
+// prebuildTables builds, on the writer goroutine, every build table a
+// planned rule version will want, so the parallel round's workers can probe
+// the shared cache read-only. A source that fails to resolve is skipped —
+// the evaluation itself surfaces that error. The builds poll the budget, so
+// a trip is returned as the round's error.
+func (me *matEval) prebuildTables(c *Compiled, rr ruleRanges) (err error) {
+	defer recoverEval(&err)
+	for i := range c.Body {
+		it := &c.Body[i]
+		if it.HashKeyPos == nil {
+			continue
+		}
+		src, serr := me.st.source(it.Pred)
+		if serr != nil {
+			continue
+		}
+		hr := hashRelOf(src)
+		if hr == nil {
+			continue
+		}
+		from, to := scanBounds(it, rr, src)
+		me.ev.tableFor(it, hr, from, to)
+	}
+	return nil
+}
+
+// symEligible reports whether the two-literal recursive rule c may take the
+// symmetric positional fast path (evalSymDelta). The static conditions:
+// exactly two body items, both positive recursive relation literals over
+// plain hash relations without aggregate selections, every argument a
+// distinct variable within its item, at least one variable shared between
+// the items (the join key), every head argument a body variable, no head
+// aggregation, and no aggregate selections anywhere in the program (a
+// displacing insert mid-round would be visible to nested-loops scans but
+// not to tables built at version start). Ordered Search and tracing read
+// rule instantiations and environments, so both disqualify.
+func (me *matEval) symEligible(c *Compiled) bool {
+	if !me.hashing || me.ctx != nil || me.ev.trace != nil {
+		return false
+	}
+	if len(c.Body) != 2 || len(c.Aggs) != 0 || len(c.RecPositions) != 2 {
+		return false
+	}
+	if len(me.prog.AggSels) > 0 {
+		return false
+	}
+	var seen [2]map[int]bool
+	for bi := range c.Body {
+		it := &c.Body[bi]
+		if it.Kind != ItemRel || !it.Recursive {
+			return false
+		}
+		slots := make(map[int]bool, len(it.Args))
+		for _, a := range it.Args {
+			v, ok := a.(*term.Var)
+			if !ok || slots[v.Index] {
+				return false // a constant, functor, or repeated variable
+			}
+			slots[v.Index] = true
+		}
+		seen[bi] = slots
+		src, err := me.st.source(it.Pred)
+		if err != nil {
+			return false
+		}
+		hr := hashRelOf(src)
+		if hr == nil || len(hr.AggSels()) > 0 {
+			return false
+		}
+	}
+	shared := false
+	for s := range seen[0] {
+		if seen[1][s] {
+			shared = true
+			break
+		}
+	}
+	if !shared {
+		return false
+	}
+	for _, a := range c.HeadArgs {
+		v, ok := a.(*term.Var)
+		if !ok || (!seen[0][v.Index] && !seen[1][v.Index]) {
+			return false
+		}
+	}
+	return true
+}
+
+// symVersion is one prepared delta version of the fast path: the planned
+// orientation (outer streams, inner is tabled), the discipline ranges, the
+// aligned key positions, and the head projection over the concatenated
+// (outer ++ inner) tuple.
+type symVersion struct {
+	outer, inner *CItem
+	hrOut, hrIn  *relation.HashRelation
+	oFrom, oTo   relation.Mark
+	iFrom, iTo   relation.Mark
+	outerKey     []int
+	innerKey     []int
+	headCols     []int
+}
+
+// evalSymDelta evaluates every delta version of a symEligible rule
+// positionally. Per version the planner fixes the orientation; the outer
+// side streams its discipline range in ordinal order while the inner side
+// is loaded into a join table keyed on the shared variable positions. The
+// two (or more) versions of a round together form the round's symmetric
+// hash join: each side's delta probes a table over the other side.
+//
+// Tuples flow through composed operators (operator.go) — scan, hash-probe,
+// project — without environments or the trail: eligibility guarantees
+// distinct-variable arguments, and a runtime pre-check rejects ranges
+// holding non-ground facts, so candidate verification is plain term
+// equality on the key positions, which coincides with unification. The
+// emission sequence is byte-identical to the generic per-version loop
+// (ascending outer ordinals, probe candidates in ascending entry order),
+// so duplicate decisions, relation contents, and the parallel round's
+// byte-for-byte contract are all preserved.
+//
+// handled is false when a runtime precondition fails — the caller then runs
+// the generic loop; nothing has been inserted yet in that case.
+func (me *matEval) evalSymDelta(c *Compiled, last, now map[ast.PredKey]relation.Mark) (handled bool, err error) {
+	versions := make([]symVersion, 0, len(c.RecPositions))
+	for _, pos := range c.RecPositions {
+		rr := ruleRanges{DeltaPos: pos, Last: last, Now: now}
+		pc := me.planFor(c, pos)
+		if len(pc.Body) != 2 || pc.Body[0].Kind != ItemRel || pc.Body[1].Kind != ItemRel {
+			return false, nil
+		}
+		v := symVersion{outer: &pc.Body[0], inner: &pc.Body[1]}
+		srcO, errO := me.st.source(v.outer.Pred)
+		srcI, errI := me.st.source(v.inner.Pred)
+		if errO != nil || errI != nil {
+			return false, nil // let the generic path surface the error
+		}
+		v.hrOut, v.hrIn = hashRelOf(srcO), hashRelOf(srcI)
+		if v.hrOut == nil || v.hrIn == nil {
+			return false, nil
+		}
+		v.oFrom, v.oTo = scanBounds(v.outer, rr, srcO)
+		v.iFrom, v.iTo = scanBounds(v.inner, rr, srcI)
+		if v.hrOut.NonGroundWithin(v.oFrom, v.oTo) || v.hrIn.NonGroundWithin(v.iFrom, v.iTo) {
+			return false, nil
+		}
+		// Align the key: for every inner position whose variable also
+		// occurs in the outer item, record both positions. symEligible
+		// vetted the argument shapes (distinct plain variables per item).
+		outerSlot := make(map[int]int, len(v.outer.Args))
+		for p, a := range v.outer.Args {
+			outerSlot[a.(*term.Var).Index] = p
+		}
+		innerSlot := make(map[int]int, len(v.inner.Args))
+		for p, a := range v.inner.Args {
+			vr := a.(*term.Var)
+			innerSlot[vr.Index] = p
+			if op, ok := outerSlot[vr.Index]; ok {
+				v.outerKey = append(v.outerKey, op)
+				v.innerKey = append(v.innerKey, p)
+			}
+		}
+		if len(v.innerKey) == 0 {
+			return false, nil
+		}
+		v.headCols = make([]int, len(pc.HeadArgs))
+		for i, a := range pc.HeadArgs {
+			vr := a.(*term.Var)
+			if p, ok := outerSlot[vr.Index]; ok {
+				v.headCols[i] = p
+			} else if p, ok := innerSlot[vr.Index]; ok {
+				v.headCols[i] = len(v.outer.Args) + p
+			} else {
+				return false, nil
+			}
+		}
+		versions = append(versions, v)
+	}
+
+	// Execution. From here the path commits: inserts happen, and a budget
+	// throw (fact counter, amortized poll) unwinds through this recover to
+	// the caller, which rolls the round back like any other rule failure.
+	defer recoverEval(&err)
+	for i := range versions {
+		v := &versions[i]
+		// Sym tables are rebuilt per version rather than cached: every
+		// version's range moves each round, so cross-round reuse would
+		// never hit.
+		tab := me.ev.loadJoinTable(v.hrIn, v.iFrom, v.iTo, v.innerKey)
+		scan := &scanOp{it: v.hrOut.ScanRange(v.oFrom, v.oTo), poll: me.ev.pollBudget}
+		join := newHashJoinOp(scan, tab, v.outerKey, me.ev.pollBudget)
+		proj := &projectOp{in: join, cols: v.headCols}
+		me.ev.HashProbes++
+		for {
+			t, ok := proj.Next()
+			if !ok {
+				break
+			}
+			me.ev.Derivations++
+			me.insert(c.HeadPred, relation.GroundFact(append([]term.Term(nil), t...)...))
+		}
+		// Mirror the nested-loops counters: one attempt per outer tuple
+		// considered plus one per probe candidate inspected.
+		me.ev.Attempts += scan.Count + join.Considered
+	}
+	return true, nil
+}

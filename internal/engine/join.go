@@ -47,6 +47,11 @@ type frame struct {
 	mark int               // trail mark before this item's bindings
 	done bool              // single-shot item already satisfied
 	any  bool              // this activation yielded at least one tuple
+	// probe is the pooled hash-join cursor: lookupFor resets it in place
+	// for hash-marked items, so reopening the scan per outer tuple
+	// allocates nothing (living in the frame keeps reentrant evaluations
+	// safe, unlike an evaluator-level pool would).
+	probe relation.JoinProbe
 }
 
 // enter (re)initializes the frame for a new activation, keeping the pooled
@@ -109,9 +114,17 @@ type evaluator struct {
 	// between round barriers. nil costs one branch per tuple.
 	guard      *budgetGuard
 	budgetTick int
+	// tables is the build-table cache for hash-marked items (hashjoin.go),
+	// keyed by planned item identity. tablesRO marks worker evaluators,
+	// which share the writer's cache read-only and fall back to nested
+	// loops on a miss.
+	tables   map[*CItem]*builtTable
+	tablesRO bool
 	// stats
 	Derivations int // successful head instantiations
 	Attempts    int // tuples considered across all loops
+	HashBuilds  int // join build tables constructed
+	HashProbes  int // scans served from a build table
 }
 
 // emitFunc receives each derived head fact; returning false stops the rule
@@ -240,7 +253,11 @@ func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Tra
 				}
 				continue
 			}
-			tr.Undo(fr.mark)
+			// A failed builtin may leave partial bindings (a "=" unifies
+			// some subterms before failing); no undo here, because every
+			// continuation re-enters through one — each case above starts
+			// with an undo to its own frame's (earlier or equal) mark, and
+			// rule exit unwinds the trail to its start.
 			i = backtrack(i, false)
 		case ItemNegRel:
 			tr.Undo(fr.mark)
@@ -262,7 +279,7 @@ func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Tra
 			i = backtrack(i, false)
 		case ItemRel:
 			if fr.iter == nil {
-				fr.iter = ev.lookupFor(it, i, rr, env)
+				fr.iter = ev.lookupFor(it, i, rr, env, fr)
 				fr.any = false
 			}
 			tr.Undo(fr.mark)
@@ -307,14 +324,27 @@ func (ev *evaluator) run(c *Compiled, rr ruleRanges, env *term.Env, tr *term.Tra
 // lookupFor opens the scan for the relation item scheduled at body position
 // pos, applying the semi-naive range discipline for recursive items. The
 // discipline keys on the item's written position (OrigPos), so a planned
-// schedule reads exactly the ranges the written rule would.
-func (ev *evaluator) lookupFor(it *CItem, pos int, rr ruleRanges, env *term.Env) relation.Iterator {
+// schedule reads exactly the ranges the written rule would. Items the
+// planner hash-marked are served from a build table instead (hashjoin.go),
+// resetting the frame's pooled probe cursor; a worker-side cache miss falls
+// through to the ordinary lookup path.
+func (ev *evaluator) lookupFor(it *CItem, pos int, rr ruleRanges, env *term.Env, fr *frame) relation.Iterator {
 	src, err := ev.st.source(it.Pred)
 	if err != nil {
 		throwf("%v", err)
 	}
 	if sp := rr.Split; sp != nil && pos == sp.Pos {
 		return src.LookupRange(it.Args, env, sp.From, sp.To)
+	}
+	if it.HashKeyPos != nil {
+		if hr := hashRelOf(src); hr != nil {
+			from, to := scanBounds(it, rr, src)
+			if bt := ev.tableFor(it, hr, from, to); bt != nil {
+				ev.HashProbes++
+				bt.tab.Probe(it.Args, env, &fr.probe)
+				return &fr.probe
+			}
+		}
 	}
 	if !it.Recursive || rr.DeltaPos < 0 {
 		return src.Lookup(it.Args, env)

@@ -24,6 +24,12 @@ type RunStats struct {
 	// FactsStored sums the sizes of the evaluation's derived relations
 	// (including magic and supplementary predicates).
 	FactsStored int
+	// HashJoinBuilds counts transient join build tables constructed, and
+	// HashJoinProbes the scans served from one (hash-join access paths,
+	// hashjoin.go). Both are 0 when HashJoins is off or the planner never
+	// found a profitable mark.
+	HashJoinBuilds int
+	HashJoinProbes int
 }
 
 // MeasureCall evaluates pred(args) to completion and reports statistics.
@@ -48,6 +54,8 @@ func (sys *System) MeasureCall(pred ast.PredKey, args []term.Term) (RunStats, er
 		stats.Attempts = scan.me.ev.Attempts
 		stats.Iterations = scan.me.Iterations
 		stats.ParallelRounds = scan.me.ParRounds
+		stats.HashJoinBuilds = scan.me.ev.HashBuilds
+		stats.HashJoinProbes = scan.me.ev.HashProbes
 		for _, rel := range scan.me.st.local {
 			stats.FactsStored += rel.Len()
 		}

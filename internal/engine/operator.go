@@ -1,0 +1,271 @@
+package engine
+
+import (
+	"coral/internal/relation"
+	"coral/internal/term"
+)
+
+// Volcano-style composed operators over ground positional tuples (paper §2:
+// everything is consumed through get-next-tuple interfaces; here the tuples
+// are bare argument slices, so a pipeline never touches environments or the
+// trail). The symmetric fast path (hashjoin.go) composes scan → hash-probe
+// → project per delta version; the operators are also usable standalone for
+// stream-shaped computations outside the fixpoint.
+//
+// Contract shared by all operators: tuples are ground, a returned slice is
+// valid only until the next Next call (operators reuse their output
+// scratch), and budget polling rides on the source operators' poll hooks —
+// every tuple entering a pipeline has passed a poll, so downstream
+// operators, which only transform what they pull, need none of their own.
+
+// tupleIter is the operator interface: a stream of positional tuples.
+type tupleIter interface {
+	Next() ([]term.Term, bool)
+}
+
+// scanOp adapts a relation iterator to a tuple stream, polling the supplied
+// budget hook per fact. Count reports the tuples yielded (the per-position
+// "attempts" the nested-loops counters track).
+type scanOp struct {
+	it    relation.Iterator
+	poll  func()
+	Count int
+}
+
+func (s *scanOp) Next() ([]term.Term, bool) {
+	f, ok := s.it.Next()
+	if !ok {
+		return nil, false
+	}
+	if s.poll != nil {
+		s.poll()
+	}
+	s.Count++
+	return f.Args, true
+}
+
+// filterOp passes through the tuples keep accepts.
+type filterOp struct {
+	in   tupleIter
+	keep func([]term.Term) bool
+}
+
+func (f *filterOp) Next() ([]term.Term, bool) {
+	// lint:allow scanloop — pulls from an upstream operator whose source
+	// polls the budget per tuple (see the package contract above).
+	for {
+		t, ok := f.in.Next()
+		if !ok {
+			return nil, false
+		}
+		if f.keep(t) {
+			return t, true
+		}
+	}
+}
+
+// projectOp maps each input tuple to the columns listed in cols.
+type projectOp struct {
+	in   tupleIter
+	cols []int
+	out  []term.Term
+}
+
+func (p *projectOp) Next() ([]term.Term, bool) {
+	t, ok := p.in.Next()
+	if !ok {
+		return nil, false
+	}
+	if p.out == nil {
+		p.out = make([]term.Term, len(p.cols))
+	}
+	for i, c := range p.cols {
+		p.out[i] = t[c]
+	}
+	return p.out, true
+}
+
+// hashJoinOp is the classic build/probe join with the build side already
+// loaded into a JoinTable: for each left (probe-side) tuple it emits one
+// concatenated tuple — left ++ build-fact args — per table entry whose key
+// values equal the left tuple's values at leftKey (aligned with the table's
+// KeyPos). Probe candidates arrive in build insertion order, so with an
+// ordinal-ordered build scan the output order matches the equivalent
+// nested-loops join exactly. Considered counts candidates inspected,
+// matching or not (bucket collisions are filtered by term equality).
+type hashJoinOp struct {
+	left    tupleIter
+	tab     *relation.JoinTable
+	leftKey []int
+	poll    func()
+
+	cur        []term.Term
+	probe      relation.JoinProbe
+	keys       []term.Term
+	out        []term.Term
+	Considered int
+}
+
+func newHashJoinOp(left tupleIter, tab *relation.JoinTable, leftKey []int, poll func()) *hashJoinOp {
+	return &hashJoinOp{left: left, tab: tab, leftKey: leftKey, poll: poll,
+		keys: make([]term.Term, len(leftKey))}
+}
+
+func (j *hashJoinOp) Next() ([]term.Term, bool) {
+	// lint:allow scanloop — advances the probe-side operator, whose source
+	// polls per tuple; candidate inspection polls through j.poll below.
+	for {
+		if j.cur == nil {
+			t, ok := j.left.Next()
+			if !ok {
+				return nil, false
+			}
+			j.cur = t
+			for i, p := range j.leftKey {
+				j.keys[i] = t[p]
+			}
+			j.tab.ProbeValues(j.keys, &j.probe)
+		}
+		f, ok := j.probe.Next()
+		if !ok {
+			j.cur = nil
+			continue
+		}
+		j.Considered++
+		if j.poll != nil {
+			j.poll()
+		}
+		if !keysEqual(j.keys, j.tab.KeyPos(), f.Args) {
+			continue
+		}
+		j.out = j.out[:0]
+		j.out = append(j.out, j.cur...)
+		j.out = append(j.out, f.Args...)
+		return j.out, true
+	}
+}
+
+// keysEqual verifies a probe candidate: the tuple's key values must equal
+// the fact's arguments at the table's key positions (hash buckets can hold
+// collisions).
+func keysEqual(keys []term.Term, pos []int, args []term.Term) bool {
+	for i, p := range pos {
+		if !term.Equal(keys[i], args[p]) {
+			return false
+		}
+	}
+	return true
+}
+
+// symJoinOp is the streaming symmetric hash join: it alternates pulling one
+// tuple from each input, inserts the tuple into that side's table, and
+// probes the other side's table, emitting every match already seen. A join
+// result appears as soon as both of its tuples have arrived — neither input
+// needs to be exhausted first, which is the stream-to-stream shape the
+// classic build/probe form cannot serve. Output tuples are always
+// left ++ right, whichever side completed the pair.
+//
+// The fixpoint's symmetric path (evalSymDelta) deliberately uses the
+// per-version build/probe variant instead: the interleaved emission order
+// here, while deterministic, differs from the nested-loops order the
+// engine's byte-for-byte contracts pin down.
+type symJoinOp struct {
+	left, right       tupleIter
+	leftKey, rightKey []int
+	ltab, rtab        *relation.JoinTable
+	poll              func()
+
+	side      int // side to pull next: 0 left, 1 right
+	leftDone  bool
+	rightDone bool
+	pending   []term.Term // tuple just inserted, its probe still draining
+	fromLeft  bool
+	probe     relation.JoinProbe
+	keys      []term.Term
+	out       []term.Term
+	Considered int
+}
+
+func newSymJoinOp(left, right tupleIter, leftKey, rightKey []int, poll func()) *symJoinOp {
+	return &symJoinOp{
+		left: left, right: right, leftKey: leftKey, rightKey: rightKey,
+		ltab: relation.NewJoinTable(leftKey, 0, 0),
+		rtab: relation.NewJoinTable(rightKey, 0, 0),
+		poll: poll,
+		keys: make([]term.Term, len(leftKey)),
+	}
+}
+
+func (j *symJoinOp) Next() ([]term.Term, bool) {
+	// lint:allow scanloop — both inputs are operators whose sources poll
+	// per tuple; candidate inspection polls through j.poll below.
+	for {
+		if j.pending != nil {
+			f, ok := j.probe.Next()
+			if !ok {
+				j.pending = nil
+				continue
+			}
+			j.Considered++
+			if j.poll != nil {
+				j.poll()
+			}
+			other := j.ltab
+			if j.fromLeft {
+				other = j.rtab
+			}
+			if !keysEqual(j.keys, other.KeyPos(), f.Args) {
+				continue
+			}
+			j.out = j.out[:0]
+			if j.fromLeft {
+				j.out = append(j.out, j.pending...)
+				j.out = append(j.out, f.Args...)
+			} else {
+				j.out = append(j.out, f.Args...)
+				j.out = append(j.out, j.pending...)
+			}
+			return j.out, true
+		}
+		if j.leftDone && j.rightDone {
+			return nil, false
+		}
+		pullLeft := j.side == 0
+		if pullLeft && j.leftDone {
+			pullLeft = false
+		} else if !pullLeft && j.rightDone {
+			pullLeft = true
+		}
+		j.side = 1 - j.side
+		if pullLeft {
+			t, ok := j.left.Next()
+			if !ok {
+				j.leftDone = true
+				continue
+			}
+			// The pending tuple must survive until its probe drains, and
+			// inputs may reuse their output scratch: copy once. The copy is
+			// also what the table retains.
+			j.pending = append([]term.Term(nil), t...)
+			j.fromLeft = true
+			j.ltab.Add(relation.GroundFact(j.pending...))
+			for i, p := range j.leftKey {
+				j.keys[i] = j.pending[p]
+			}
+			j.rtab.ProbeValues(j.keys, &j.probe)
+		} else {
+			t, ok := j.right.Next()
+			if !ok {
+				j.rightDone = true
+				continue
+			}
+			j.pending = append([]term.Term(nil), t...)
+			j.fromLeft = false
+			j.rtab.Add(relation.GroundFact(j.pending...))
+			for i, p := range j.rightKey {
+				j.keys[i] = j.pending[p]
+			}
+			j.ltab.ProbeValues(j.keys, &j.probe)
+		}
+	}
+}

@@ -1,0 +1,186 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"coral/internal/relation"
+	"coral/internal/term"
+)
+
+// sliceIter feeds a fixed tuple list into a pipeline, optionally reusing
+// one scratch slice per Next like real operators do — tests that consumers
+// copy what they must retain.
+type sliceIter struct {
+	tuples  [][]term.Term
+	i       int
+	reuse   bool
+	scratch []term.Term
+}
+
+func (s *sliceIter) Next() ([]term.Term, bool) {
+	if s.i >= len(s.tuples) {
+		return nil, false
+	}
+	t := s.tuples[s.i]
+	s.i++
+	if s.reuse {
+		s.scratch = append(s.scratch[:0], t...)
+		return s.scratch, true
+	}
+	return t, true
+}
+
+func atoms(names ...string) []term.Term {
+	out := make([]term.Term, len(names))
+	for i, n := range names {
+		out[i] = term.Atom(n)
+	}
+	return out
+}
+
+// drainTuples pulls a pipeline dry, copying each tuple (the operator
+// contract says a returned slice is only valid until the next Next).
+func drainTuples(it tupleIter) []string {
+	var out []string
+	for {
+		t, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, fmt.Sprint(t))
+	}
+}
+
+func TestScanOpCountsAndPolls(t *testing.T) {
+	r := relation.NewHashRelation("r", 2)
+	r.Insert(relation.GroundFact(atoms("a", "b")...))
+	r.Insert(relation.GroundFact(atoms("c", "d")...))
+	polls := 0
+	s := &scanOp{it: r.ScanRange(0, r.Snapshot()), poll: func() { polls++ }}
+	got := drainTuples(s)
+	want := []string{fmt.Sprint(atoms("a", "b")), fmt.Sprint(atoms("c", "d"))}
+	if !sameStrings(got, want) {
+		t.Errorf("scan yielded %v, want %v", got, want)
+	}
+	if s.Count != 2 || polls != 2 {
+		t.Errorf("Count = %d, polls = %d, want 2 and 2", s.Count, polls)
+	}
+}
+
+func TestFilterProjectCompose(t *testing.T) {
+	src := &sliceIter{tuples: [][]term.Term{
+		atoms("a", "x"), atoms("b", "y"), atoms("a", "z"),
+	}, reuse: true}
+	f := &filterOp{in: src, keep: func(t []term.Term) bool {
+		return term.Equal(t[0], term.Atom("a"))
+	}}
+	p := &projectOp{in: f, cols: []int{1}}
+	got := drainTuples(p)
+	want := []string{fmt.Sprint(atoms("x")), fmt.Sprint(atoms("z"))}
+	if !sameStrings(got, want) {
+		t.Errorf("pipeline yielded %v, want %v", got, want)
+	}
+}
+
+// TestHashJoinOpMatchesAndOrder: one probe tuple joining several build
+// facts must emit left ++ build-args in build insertion order — the
+// property the fixpoint's byte-for-byte contract leans on — and count
+// every inspected candidate.
+func TestHashJoinOpMatchesAndOrder(t *testing.T) {
+	tab := relation.NewJoinTable([]int{0}, 0, 0)
+	tab.Add(relation.GroundFact(atoms("k", "1")...))
+	tab.Add(relation.GroundFact(atoms("m", "2")...))
+	tab.Add(relation.GroundFact(atoms("k", "3")...))
+	left := &sliceIter{tuples: [][]term.Term{
+		atoms("u", "k"), atoms("v", "q"), atoms("w", "m"),
+	}, reuse: true}
+	polls := 0
+	j := newHashJoinOp(left, tab, []int{1}, func() { polls++ })
+	got := drainTuples(j)
+	want := []string{
+		fmt.Sprint(atoms("u", "k", "k", "1")),
+		fmt.Sprint(atoms("u", "k", "k", "3")),
+		fmt.Sprint(atoms("w", "m", "m", "2")),
+	}
+	if !sameStrings(got, want) {
+		t.Errorf("join yielded %v, want %v", got, want)
+	}
+	if j.Considered < 3 {
+		t.Errorf("Considered = %d, want >= 3", j.Considered)
+	}
+	if polls != j.Considered {
+		t.Errorf("polls = %d, want one per candidate (%d)", polls, j.Considered)
+	}
+}
+
+// TestHashJoinOpFiltersCandidates: a non-ground key value degrades
+// ProbeValues to a full-table candidate scan, so the join must re-verify
+// every candidate with term equality rather than trust the bucket. An
+// unbound variable equals nothing structurally, so nothing joins — but
+// both facts must have been inspected (and counted) on the way.
+func TestHashJoinOpFiltersCandidates(t *testing.T) {
+	tab := relation.NewJoinTable([]int{0}, 0, 0)
+	tab.Add(relation.GroundFact(atoms("k", "1")...))
+	tab.Add(relation.GroundFact(atoms("m", "2")...))
+	left := &sliceIter{tuples: [][]term.Term{
+		{term.NewVar("X"), term.Atom("pay")},
+	}}
+	j := newHashJoinOp(left, tab, []int{0}, nil)
+	if got := drainTuples(j); len(got) != 0 {
+		t.Errorf("non-ground key joined: %v", got)
+	}
+	if j.Considered != 2 {
+		t.Errorf("Considered = %d, want the full-scan fallback to inspect both facts", j.Considered)
+	}
+}
+
+// TestSymJoinOpStreams: the symmetric join emits each pair as soon as both
+// halves have arrived, always oriented left ++ right, deterministically.
+func TestSymJoinOpStreams(t *testing.T) {
+	left := &sliceIter{tuples: [][]term.Term{
+		atoms("a", "k"), atoms("b", "m"),
+	}, reuse: true}
+	right := &sliceIter{tuples: [][]term.Term{
+		atoms("m", "1"), atoms("k", "2"),
+	}, reuse: true}
+	j := newSymJoinOp(left, right, []int{1}, []int{0}, nil)
+	got := drainTuples(j)
+	// Pull order alternates L(a,k) R(m,1) L(b,m) R(k,2): (b,m)-(m,1)
+	// completes on the left pull, (a,k)-(k,2) on the right pull — and both
+	// come out left ++ right regardless of which side closed the pair.
+	want := []string{
+		fmt.Sprint(atoms("b", "m", "m", "1")),
+		fmt.Sprint(atoms("a", "k", "k", "2")),
+	}
+	if len(got) != len(want) {
+		t.Fatalf("sym join yielded %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tuple %d: got %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestSymJoinOpUnevenInputs: one side much longer than the other — the
+// join must drain the survivor after the short side ends and still find
+// every pair exactly once.
+func TestSymJoinOpUnevenInputs(t *testing.T) {
+	var lt [][]term.Term
+	for i := 0; i < 6; i++ {
+		lt = append(lt, atoms("x", fmt.Sprintf("k%d", i%2)))
+	}
+	left := &sliceIter{tuples: lt, reuse: true}
+	right := &sliceIter{tuples: [][]term.Term{atoms("k0", "r")}, reuse: true}
+	j := newSymJoinOp(left, right, []int{1}, []int{0}, nil)
+	got := drainTuples(j)
+	if len(got) != 3 {
+		t.Fatalf("want 3 pairs (k0 matches), got %v", got)
+	}
+	for _, g := range got {
+		if g != fmt.Sprint(atoms("x", "k0", "k0", "r")) {
+			t.Errorf("unexpected pair %s", g)
+		}
+	}
+}

@@ -163,8 +163,14 @@ func (me *matEval) bsnParallel(st *Stratum, workers int) bool {
 			rr := ruleRanges{DeltaPos: pos, Last: last, Now: ruleNow}
 			// Plan on the writer goroutine before workers exist: workers
 			// receive the already-fitted schedule, and the split position
-			// follows the delta literal to its planned slot.
-			for _, t := range me.splitVersion(me.planFor(c, pos), rr, workers) {
+			// follows the delta literal to its planned slot. Build tables
+			// the same way — workers probe the shared cache read-only.
+			pc := me.planFor(c, pos)
+			if err := me.prebuildTables(pc, rr); err != nil {
+				me.fail(err)
+				return false
+			}
+			for _, t := range me.splitVersion(pc, rr, workers) {
 				t.head = head
 				t.headSnap = headSnap[c.HeadPred]
 				t.filter = !head.Multiset
@@ -208,6 +214,11 @@ func (me *matEval) bsnParallel(st *Stratum, workers int) bool {
 				ev.st = me.st
 				ev.IntelligentBacktracking = me.ev.IntelligentBacktracking
 				ev.guard = guard
+				// Prebuilt on the writer; a miss (an item the prebuild
+				// skipped) falls back to nested loops rather than building
+				// into the shared map from a worker.
+				ev.tables = me.ev.tables
+				ev.tablesRO = true
 				if t.filter {
 					// The head relation is frozen during the worker phase
 					// (single-writer merge happens after the barrier), so the
@@ -241,6 +252,7 @@ func (me *matEval) bsnParallel(st *Stratum, workers int) bool {
 	for i := range tasks {
 		me.ev.Derivations += evs[i].Derivations
 		me.ev.Attempts += evs[i].Attempts
+		me.ev.HashProbes += evs[i].HashProbes
 	}
 	// A failed round merges nothing: the head relations still hold exactly
 	// their round-start prefixes, so the abort leaves no torn round and the
@@ -289,26 +301,14 @@ func (me *matEval) splitVersion(c *Compiled, rr ruleRanges, workers int) []parTa
 		return []parTask{{c: c, rr: rr}}
 	}
 	it := &c.Body[pos]
-	var from, to relation.Mark
-	if it.Recursive {
-		// Range assignment follows the written occurrence (OrigPos), as in
-		// lookupFor: the planner may have moved the item, but its
-		// semi-naive range is fixed by where it was written.
-		switch {
-		case it.OrigPos == rr.DeltaPos:
-			from, to = rr.Last[it.Pred], rr.Now[it.Pred]
-		case it.OrigPos < rr.DeltaPos:
-			from, to = 0, rr.Last[it.Pred]
-		default:
-			from, to = 0, rr.Now[it.Pred]
-		}
-	} else {
-		src, err := me.st.source(it.Pred)
-		if err != nil {
-			return []parTask{{c: c, rr: rr}}
-		}
-		from, to = 0, src.Snapshot()
+	src, err := me.st.source(it.Pred)
+	if err != nil {
+		return []parTask{{c: c, rr: rr}}
 	}
+	// Range assignment follows the written occurrence (OrigPos), as in
+	// lookupFor: the planner may have moved the item, but its semi-naive
+	// range is fixed by where it was written (scanBounds, hashjoin.go).
+	from, to := scanBounds(it, rr, src)
 	size := int(to - from)
 	chunks := workers
 	if max := size / parMinChunk; chunks > max {

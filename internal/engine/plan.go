@@ -70,6 +70,16 @@ const (
 	// encodes locality the model cannot see (e.g. a delta-seeded schedule
 	// performs more small indexed probes than the written linear rule).
 	planGainMargin = 1.25
+	// Hash-join adoption (hashjoin.go): a non-leading relation item is
+	// served from a transient build table when the flow of partial bindings
+	// reaching it is large enough to amortize the build. With at least
+	// hashMinProbes expected probes, the table is adopted when the probe
+	// work saved (hashProbeGain per probe, against a per-probe index lookup
+	// that allocates an iterator and binary-searches postings) covers the
+	// build cost (hashBuildPerRow per row of the item's scan range).
+	hashMinProbes   = 8
+	hashBuildPerRow = 0.5
+	hashProbeGain   = 1.0
 )
 
 // planFor returns the rule to evaluate for version (c, delta): a planned
@@ -276,19 +286,84 @@ func (me *matEval) fitPlan(c *Compiled, delta int, stats []relation.Stats) *Comp
 			break
 		}
 	}
-	if identity {
-		return c
-	}
 	written := make([]int, n)
 	for i := range written {
 		written[i] = i
 	}
-	if orderCost(c, order, stats)*planGainMargin >= orderCost(c, written, stats) {
-		return c
+	reordered := !identity &&
+		orderCost(c, order, stats)*planGainMargin < orderCost(c, written, stats)
+	sched := written
+	if reordered {
+		sched = order
 	}
-	nc := buildPlanned(c, order)
+	// Build the scheduled clone even for the written order: hash marks go on
+	// the clone, never on the shared compiled rule, so each cached version
+	// keys the engine's build-table cache with its own item identities.
+	nc := buildPlanned(c, sched)
+	if !me.markHashItems(nc, sched, stats) && !reordered {
+		return c // no reorder and no hash marks: the written rule serves as-is
+	}
 	me.ensurePlanIndexes(nc)
 	return nc
+}
+
+// markHashItems walks the schedule the way orderCost does — tracking the
+// estimated flow of partial bindings into each position — and marks every
+// relation item for which a build table beats per-probe lookups
+// (hashEligible). The leading relation item is never marked: nothing is
+// bound when it is reached, and the parallel round partitions work by
+// splitting exactly that item's ordinal range (splitVersion). Reports
+// whether any item was marked.
+func (me *matEval) markHashItems(nc *Compiled, sched []int, stats []relation.Stats) bool {
+	if !me.hashing {
+		return false
+	}
+	marked := false
+	bound := make(map[int]bool)
+	size := 1.0
+	firstRel := true
+	for i := range nc.Body {
+		it := &nc.Body[i]
+		if it.Kind != ItemRel {
+			bindSlots(it, bound)
+			continue
+		}
+		st := stats[sched[i]]
+		if !firstRel && me.hashEligible(it, st, size) {
+			it.HashKeyPos = append([]int(nil), it.BoundPos...)
+			marked = true
+		}
+		firstRel = false
+		scan := estCost(it, st, bound)
+		size *= scan
+		if size < 1 {
+			size = 1
+		}
+		bindSlots(it, bound)
+	}
+	return marked
+}
+
+// hashEligible decides hash-join access for one scheduled item reached by
+// an estimated probes-many partial bindings. The source must be a plain
+// hash relation — and one without aggregate selections: a displacing insert
+// tombstones mid-round, which nested-loops scans observe at Next time but a
+// table built earlier would not. At least one bound position is required
+// (the build key), and the probe volume must amortize the build (see the
+// hashMinProbes/hashBuildPerRow/hashProbeGain constants).
+func (me *matEval) hashEligible(it *CItem, st relation.Stats, probes float64) bool {
+	if len(it.BoundPos) == 0 {
+		return false
+	}
+	src, err := me.st.source(it.Pred)
+	if err != nil {
+		return false
+	}
+	hr := hashRelOf(src)
+	if hr == nil || len(hr.AggSels()) > 0 {
+		return false
+	}
+	return probes >= hashMinProbes && probes*hashProbeGain >= float64(st.Rows)*hashBuildPerRow
 }
 
 // orderCost estimates the tuples a schedule considers end to end: walking
@@ -452,18 +527,17 @@ func (me *matEval) ensurePlanIndexes(c *Compiled) {
 		if it.Kind != ItemRel || len(it.BoundPos) == 0 {
 			continue
 		}
+		if it.HashKeyPos != nil {
+			// Hash-marked items are served by transient build tables;
+			// skipping the persistent index (and its per-insert maintenance
+			// from here on) is part of the hash join's win.
+			continue
+		}
 		src, err := me.st.source(it.Pred)
 		if err != nil {
 			continue
 		}
-		var hr *relation.HashRelation
-		switch s := src.(type) {
-		case *relation.HashRelation:
-			hr = s
-		case relSource:
-			hr, _ = s.r.(*relation.HashRelation)
-		}
-		if hr != nil {
+		if hr := hashRelOf(src); hr != nil {
 			_ = hr.MakeIndex(it.BoundPos...)
 		}
 	}

@@ -32,6 +32,15 @@ type System struct {
 	// order, preserving the pre-planner behavior byte for byte. Ordered
 	// Search and traced evaluations always use the written order.
 	JoinPlanning bool
+	// HashJoins enables hash-join access paths (hashjoin.go), on by
+	// default: the planner serves repeated probes of a body literal from a
+	// transient build table pre-sized from live statistics instead of
+	// per-probe index lookups, and two-literal recursive rules take a
+	// symmetric positional fast path whose delta versions probe build
+	// tables over each other's ranges. The classic build/probe form
+	// additionally requires JoinPlanning (the planner places the marks).
+	// On and off produce identical answer sets, byte for byte.
+	HashJoins bool
 	// FlowOptimization enables the optimizations fed by the whole-program
 	// flow analysis (analysis/flow), on by default: pruning rules
 	// unreachable from the query form, skipping magic rewriting when every
@@ -67,6 +76,7 @@ func NewSystem() *System {
 		modules:        make(map[string]*ModuleDef),
 		AutoDefineBase:   true,
 		JoinPlanning:     true,
+		HashJoins:        true,
 		FlowOptimization: true,
 		StaticSeeding:    true,
 	}
@@ -303,6 +313,7 @@ func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (i
 	// Re-applied on every call so saved evaluations follow later changes.
 	me.parallelism = def.sys.fixpointWorkers()
 	me.planning = def.sys.JoinPlanning
+	me.hashing = def.sys.HashJoins
 	me.seed = def.sys.seederFor(prog)
 	me.setGuard(def.sys.newGuard())
 	me.addSeed(args, env)

@@ -64,6 +64,12 @@ type HashRelation struct {
 	// deadAtCompact is the tombstone count at the last posting compaction;
 	// compaction triggers on tombstones added since (see maybeCompact).
 	deadAtCompact int
+
+	// mutations counts destructive changes — deletes, truncations, clears.
+	// Appends never bump it: a derived structure built over a mark-bounded
+	// prefix (the engine's join build tables) stays valid across appends,
+	// and checks this counter to detect everything else.
+	mutations int
 }
 
 // compactMinDead is the minimum number of new tombstones before a posting
@@ -266,6 +272,7 @@ func (r *HashRelation) deleteOrd(ord int32) {
 	}
 	sf.dead = true
 	r.live--
+	r.mutations++
 	// dedup postings and index postings keep the ordinal until enough
 	// tombstones accumulate; iterators skip dead facts either way. Heavy
 	// @aggregate_selection churn would otherwise leave lookups scanning
@@ -367,6 +374,7 @@ func (r *HashRelation) TruncateTo(mark Mark) {
 	if m >= len(r.facts) {
 		return
 	}
+	r.mutations++
 	removed := 0
 	for ord := m; ord < len(r.facts); ord++ {
 		if !r.facts[ord].dead {
@@ -431,8 +439,23 @@ func (r *HashRelation) TruncateTo(mark Mark) {
 	}
 }
 
+// Mutations returns the destructive-change counter: it advances on every
+// delete, truncation, or clear, and never on appends. Equal counters before
+// and after mean every ordinal below an unchanged Snapshot still holds the
+// same live fact.
+func (r *HashRelation) Mutations() int { return r.mutations }
+
+// NonGroundWithin reports whether any fact with ordinal in [from, to) was
+// inserted non-ground. The answer may be conservatively true for a
+// tombstoned non-ground fact whose posting has not been compacted yet.
+func (r *HashRelation) NonGroundWithin(from, to Mark) bool {
+	i := lowerBound(r.nonground, int32(from))
+	return i < len(r.nonground) && r.nonground[i] < int32(to)
+}
+
 // Clear removes all facts but keeps index definitions.
 func (r *HashRelation) Clear() {
+	r.mutations++
 	r.facts = nil
 	r.live = 0
 	r.dedup = make(map[uint64][]int32)

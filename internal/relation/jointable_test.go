@@ -1,0 +1,143 @@
+package relation
+
+import (
+	"testing"
+
+	"coral/internal/term"
+)
+
+func drainProbe(p *JoinProbe) []string {
+	var out []string
+	for {
+		f, ok := p.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, f.String())
+	}
+}
+
+func TestJoinTableGroundProbe(t *testing.T) {
+	jt := NewJoinTable([]int{0}, 8, 4)
+	for i := int64(0); i < 8; i++ {
+		jt.Add(GroundFact(term.Int(i%4), term.Int(i)))
+	}
+	if jt.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", jt.Len())
+	}
+	var p JoinProbe
+	jt.Probe([]term.Term{term.Int(2), term.NewVar("X")}, nil, &p)
+	got := drainProbe(&p)
+	want := []string{"(2, 2)", "(2, 6)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("probe(2) = %v, want %v", got, want)
+	}
+	// A reused probe must reset cleanly.
+	jt.Probe([]term.Term{term.Int(7), term.NewVar("X")}, nil, &p)
+	if got := drainProbe(&p); len(got) != 0 {
+		t.Fatalf("probe(7) = %v, want empty", got)
+	}
+}
+
+// TestJoinTableEntryOrder pins the candidate-order contract: a probe
+// enumerates candidates in insertion (ordinal) order, merging its hash
+// bucket with the overflow entries — the same order the nested-loops scan
+// it replaces would consider the matching facts in.
+func TestJoinTableEntryOrder(t *testing.T) {
+	jt := NewJoinTable([]int{0}, 0, 0)
+	jt.Add(GroundFact(term.Int(1), term.Int(10)))
+	// Non-ground key: lands in overflow, returned on every probe.
+	jt.Add(NewFact([]term.Term{term.NewVar("Y"), term.Int(11)}, term.NewEnv(1)))
+	jt.Add(GroundFact(term.Int(1), term.Int(12)))
+	jt.Add(GroundFact(term.Int(2), term.Int(13)))
+
+	var p JoinProbe
+	jt.Probe([]term.Term{term.Int(1), term.NewVar("X")}, nil, &p)
+	got := drainProbe(&p)
+	want := []string{"(1, 10)", "(Y, 11)", "(1, 12)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("probe(1) = %v, want %v (entry order with overflow merged)", got, want)
+	}
+}
+
+// TestJoinTableNonGroundProbe: an unbound probe key degrades to scanning
+// every entry, again in insertion order.
+func TestJoinTableNonGroundProbe(t *testing.T) {
+	jt := NewJoinTable([]int{0}, 2, 2)
+	jt.Add(GroundFact(term.Int(1), term.Int(10)))
+	jt.Add(GroundFact(term.Int(2), term.Int(20)))
+	var p JoinProbe
+	jt.Probe([]term.Term{term.NewVar("K"), term.NewVar("X")}, nil, &p)
+	got := drainProbe(&p)
+	want := []string{"(1, 10)", "(2, 20)"}
+	if !equalStrings(got, want) {
+		t.Fatalf("unbound probe = %v, want %v", got, want)
+	}
+}
+
+// TestJoinTableMatchesLookup cross-checks a JoinTable probe against the
+// relation's own indexed lookup over a range: same facts, same order.
+func TestJoinTableMatchesLookup(t *testing.T) {
+	r := NewHashRelation("e", 2)
+	if err := r.MakeIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		r.Insert(GroundFact(term.Int(i%17), term.Int(i)))
+	}
+	from, to := Mark(20), Mark(150)
+
+	jt := NewJoinTable([]int{0}, int(to-from), 17)
+	it := r.ScanRange(from, to)
+	for {
+		f, ok := it.Next()
+		if !ok {
+			break
+		}
+		jt.Add(f)
+	}
+	for k := int64(0); k < 17; k++ {
+		pat := []term.Term{term.Int(k), term.NewVar("X")}
+		var p JoinProbe
+		jt.Probe(pat, nil, &p)
+		var probed []string
+		for {
+			f, ok := p.Next()
+			if !ok {
+				break
+			}
+			probed = append(probed, f.String())
+		}
+		var looked []string
+		li := r.LookupRange(pat, nil, from, to)
+		for {
+			f, ok := li.Next()
+			if !ok {
+				break
+			}
+			looked = append(looked, f.String())
+		}
+		if !equalStrings(probed, looked) {
+			t.Fatalf("key %d: probe = %v, lookup = %v", k, probed, looked)
+		}
+	}
+}
+
+// TestJoinTablePreSizing: hints must not change behavior (they only size
+// the containers), including degenerate hints.
+func TestJoinTablePreSizing(t *testing.T) {
+	for _, hints := range [][2]int{{-5, -5}, {0, 0}, {4, 100}, {100, 4}} {
+		jt := NewJoinTable([]int{1}, hints[0], hints[1])
+		for i := int64(0); i < 6; i++ {
+			jt.Add(GroundFact(term.Int(i), term.Int(i%2)))
+		}
+		var p JoinProbe
+		jt.Probe([]term.Term{term.NewVar("X"), term.Int(0)}, nil, &p)
+		got := drainProbe(&p)
+		want := []string{"(0, 0)", "(2, 0)", "(4, 0)"}
+		if !equalStrings(got, want) {
+			t.Fatalf("hints %v: probe = %v, want %v", hints, got, want)
+		}
+	}
+}
+

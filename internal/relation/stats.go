@@ -14,16 +14,19 @@ import (
 // scan only when Stats is asked for — cheap enough to leave always on.
 //
 // Deletes do not decrement the sketches (a value may occur in several
-// facts), so distinct counts are estimates of values *ever inserted*; for
-// the planner's purpose — ranking join orders — that bias is harmless, and
-// Clear resets the sketches along with the facts.
+// facts), so the raw sketch estimates count values *ever inserted*. Under
+// heavy churn that inflates them without bound relative to the live facts;
+// Stats therefore clamps every Distinct estimate to the live row count —
+// the number of distinct values in a relation can never exceed its rows —
+// and Clear resets the sketches along with the facts.
 
 // Stats summarizes a relation for cost-based planning.
 type Stats struct {
 	// Rows is the live fact count.
 	Rows int
 	// Distinct estimates the number of distinct values per argument
-	// position (values ever inserted; never decremented by deletes).
+	// position, clamped to Rows (the sketches count values ever inserted
+	// and are never decremented by deletes; see Stats).
 	Distinct []int
 }
 
@@ -49,13 +52,17 @@ func (s *distinctSketch) add(h uint64) {
 	}
 }
 
-func (s *distinctSketch) estimate() int {
+// estimate returns the linear-counting estimate, and saturated reports that
+// every bit is set — past that point the formula is undefined and any fixed
+// cap would price a 10M-row relation and a 20k-row relation identically, so
+// Stats substitutes the live row count (an upper bound the planner already
+// trusts) for saturated sketches.
+func (s *distinctSketch) estimate() (est int, saturated bool) {
 	z := sketchBits - s.set
 	if z == 0 {
-		// Saturated: report the cap; the planner only needs "many".
-		return sketchBits * 8
+		return 0, true
 	}
-	return int(math.Round(sketchBits * math.Log(float64(sketchBits)/float64(z))))
+	return int(math.Round(sketchBits * math.Log(float64(sketchBits)/float64(z)))), false
 }
 
 func (s *distinctSketch) reset() { *s = distinctSketch{} }
@@ -79,9 +86,22 @@ func (r *HashRelation) Stats() Stats {
 	}
 	st := Stats{Rows: r.live, Distinct: make([]int, r.arity)}
 	for i := range st.Distinct {
-		if r.colSketch != nil {
-			st.Distinct[i] = r.colSketch[i].estimate()
+		if r.colSketch == nil {
+			continue
 		}
+		d, saturated := r.colSketch[i].estimate()
+		if saturated {
+			// Past saturation the sketch carries no information beyond
+			// "many"; the live row count is the tightest upper bound left.
+			d = r.live
+		}
+		if d > r.live {
+			// Sketches count values ever inserted; delete churn can push
+			// the estimate past the live rows. Clamp — distinct values
+			// cannot outnumber facts.
+			d = r.live
+		}
+		st.Distinct[i] = d
 	}
 	return st
 }

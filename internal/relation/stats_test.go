@@ -1,0 +1,89 @@
+package relation
+
+import (
+	"testing"
+
+	"coral/internal/term"
+)
+
+// TestStatsChurnClampsDistinct pins the delete-churn bound: the distinct
+// sketches count values ever inserted and are never decremented, so heavy
+// insert/delete cycling inflates the raw estimates far past the live fact
+// count. Stats must clamp Distinct to Rows — a relation cannot hold more
+// distinct values than facts.
+func TestStatsChurnClampsDistinct(t *testing.T) {
+	r := NewHashRelation("p", 2)
+	// Churn: 40 cycles × 50 fresh values through a relation that keeps only
+	// the last cycle's facts live.
+	for cycle := 0; cycle < 40; cycle++ {
+		base := int64(cycle * 50)
+		for i := int64(0); i < 50; i++ {
+			r.Insert(GroundFact(term.Int(base+i), term.Int(base+i)))
+		}
+		if cycle < 39 {
+			for i := int64(0); i < 50; i++ {
+				r.Delete([]term.Term{term.Int(base + i), term.Int(base + i)}, nil)
+			}
+		}
+	}
+	st := r.Stats()
+	if st.Rows != 50 {
+		t.Fatalf("Rows = %d, want 50", st.Rows)
+	}
+	for i, d := range st.Distinct {
+		if d > st.Rows {
+			t.Fatalf("Distinct[%d] = %d exceeds Rows = %d (churn not clamped)", i, d, st.Rows)
+		}
+		if d <= 0 {
+			t.Fatalf("Distinct[%d] = %d, want a positive estimate", i, d)
+		}
+	}
+}
+
+// TestStatsSaturationFallsBackToRows pins the saturation fix: once every
+// sketch bit is set, the linear-counting formula is undefined and the old
+// code reported a fixed cap (sketchBits*8 = 16384), pricing a 10M-row
+// relation and a 20k-row one identically. A saturated sketch must report
+// the live row count instead.
+func TestStatsSaturationFallsBackToRows(t *testing.T) {
+	r := NewHashRelation("p", 1)
+	// Insert well past the bitmap size so the sketch saturates with high
+	// probability; 64k distinct hashes over 2048 bits leave no zero bit.
+	const n = 65536
+	for i := int64(0); i < n; i++ {
+		r.Insert(GroundFact(term.Int(i)))
+	}
+	if _, saturated := r.colSketch[0].estimate(); !saturated {
+		t.Fatalf("sketch not saturated after %d distinct inserts", n)
+	}
+	st := r.Stats()
+	if st.Distinct[0] != st.Rows {
+		t.Fatalf("saturated Distinct[0] = %d, want live rows %d", st.Distinct[0], st.Rows)
+	}
+	if st.Distinct[0] == sketchBits*8 {
+		t.Fatalf("saturated estimate still reports the fixed cap %d", sketchBits*8)
+	}
+}
+
+// TestStatsUnsaturatedEstimateTracksDistinct sanity-checks the linear
+// counting estimate inside its accurate range (a guard that the clamp and
+// saturation changes did not disturb the normal path).
+func TestStatsUnsaturatedEstimateTracksDistinct(t *testing.T) {
+	r := NewHashRelation("p", 2)
+	const n = 500
+	for i := int64(0); i < n; i++ {
+		// First column: n distinct values; second column: 10 distinct.
+		r.Insert(GroundFact(term.Int(i), term.Int(i%10)))
+	}
+	st := r.Stats()
+	if st.Rows != n {
+		t.Fatalf("Rows = %d, want %d", st.Rows, n)
+	}
+	lo, hi := n*9/10, n*11/10
+	if st.Distinct[0] < lo || st.Distinct[0] > hi {
+		t.Fatalf("Distinct[0] = %d, want within [%d, %d]", st.Distinct[0], lo, hi)
+	}
+	if st.Distinct[1] < 5 || st.Distinct[1] > 20 {
+		t.Fatalf("Distinct[1] = %d, want near 10", st.Distinct[1])
+	}
+}

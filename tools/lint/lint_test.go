@@ -1,7 +1,6 @@
 package main
 
 import (
-	"sort"
 	"strings"
 	"testing"
 )
@@ -24,22 +23,28 @@ func lintOut(t *testing.T, dirs ...string) (int, []string) {
 	return code, lines
 }
 
-// TestBudgetpollSeededViolation: the fixture's one unpolled scan loop is
-// flagged; the polled, annotated, single-shot and closure shapes are not.
+// TestBudgetpollSeededViolation: the fixture's two unpolled scan loops —
+// a raw iterator drain and a pipeline composed without a poll hook — are
+// flagged; the polled, annotated, single-shot, closure and hooked-pipeline
+// shapes are not.
 func TestBudgetpollSeededViolation(t *testing.T) {
 	code, lines := lintOut(t, "testdata/src/budgetpoll")
 	if code != 1 {
 		t.Fatalf("exit = %d, want 1 (findings)", code)
 	}
-	if len(lines) != 1 {
-		t.Fatalf("want exactly the seeded violation, got:\n%s", strings.Join(lines, "\n"))
+	if len(lines) != 2 {
+		t.Fatalf("want exactly the two seeded violations, got:\n%s", strings.Join(lines, "\n"))
 	}
-	f := lines[0]
-	if !strings.Contains(f, "[budgetpoll]") || !strings.Contains(f, "budget poll") {
-		t.Errorf("finding lacks analyzer tag or message: %s", f)
+	for _, f := range lines {
+		if !strings.Contains(f, "[budgetpoll]") || !strings.Contains(f, "budget poll") {
+			t.Errorf("finding lacks analyzer tag or message: %s", f)
+		}
 	}
-	if !strings.Contains(f, "bad.go:19:") {
-		t.Errorf("finding not at the seeded loop (bad.go:19): %s", f)
+	if !strings.Contains(lines[0], "bad.go:20:") {
+		t.Errorf("first finding not at the raw unpolled loop (bad.go:20): %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "bad.go:105:") {
+		t.Errorf("second finding not at the unhooked pipeline drain (bad.go:105): %s", lines[1])
 	}
 }
 
@@ -67,14 +72,21 @@ func TestErrwrapFixture(t *testing.T) {
 }
 
 // TestFindingsSorted: a multi-directory run comes back ordered by
-// (file, line, column, analyzer).
+// (file, line, column, analyzer) — numerically by position, not by the
+// directory order given on the command line.
 func TestFindingsSorted(t *testing.T) {
 	code, lines := lintOut(t, "testdata/src/paniccheck", "testdata/src/errwrap", "testdata/src/budgetpoll")
-	if code != 1 || len(lines) != 3 {
+	if code != 1 || len(lines) != 4 {
 		t.Fatalf("exit %d, findings:\n%s", code, strings.Join(lines, "\n"))
 	}
-	if !sort.StringsAreSorted(lines) {
-		t.Errorf("findings not sorted:\n%s", strings.Join(lines, "\n"))
+	want := []string{
+		"budgetpoll/bad.go:20:", "budgetpoll/bad.go:105:",
+		"errwrap/bad.go:11:", "paniccheck/bad.go:11:",
+	}
+	for i, w := range want {
+		if !strings.Contains(lines[i], w) {
+			t.Errorf("finding %d: want %s, got %s", i, w, lines[i])
+		}
 	}
 }
 
