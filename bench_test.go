@@ -747,3 +747,60 @@ end_module.
 		}
 	}
 }
+
+// BenchmarkE22Bytecode measures compiling rule bodies to
+// adornment-specialized register bytecode (DESIGN.md §5.15) against the
+// nested-loops interpreter, toggled per arm via System.Bytecode on
+// otherwise identical systems — answers are byte-identical by
+// construction (the differential suite in internal/engine pins it).
+//
+// reach is the E05 reachability closure: two-literal rules the streaming
+// hash-join layer already handles, so the bytecode margin there is small
+// and honest. spath is E05 shortest path under an aggregate selection.
+// arith is the workload the machine exists for — a three-literal
+// recursion with an arithmetic assignment and a bound comparison per
+// candidate, where the interpreter walks terms, allocates environment
+// bindings and re-classifies the expression for every tuple while the
+// machine runs flat opcodes over unboxed integers.
+func BenchmarkE22Bytecode(b *testing.B) {
+	reachFacts := workload.WeightedGraph(48, 192, 10, 48)
+	spathFacts := workload.WeightedGraph(24, 96, 10, 24)
+	arithFacts := workload.WeightedGraph(32, 640, 10, 22)
+	arith := `
+module m.
+export cost(fff).
+@rewrite none.
+cost(X, Y, C) :- edge(X, Y, W), C = W.
+cost(X, Y, C) :- cost(X, Z, C1), edge(Z, Y, W), C = C1 + W, C < 16.
+end_module.
+`
+	workloads := []struct {
+		name, src, pred string
+		args            []term.Term
+	}{
+		{"reach", reachFacts + workload.ReachModule(""), "reach",
+			[]term.Term{term.NewVar("X"), term.NewVar("Y")}},
+		{"spath", spathFacts + workload.ShortestPathModule("@ordered_search."), "s_p",
+			[]term.Term{term.Int(0), term.NewVar("Y"), term.NewVar("P"), term.NewVar("C")}},
+		{"arith", arithFacts + arith, "cost",
+			[]term.Term{term.NewVar("X"), term.NewVar("Y"), term.NewVar("C")}},
+	}
+	for _, w := range workloads {
+		for _, mode := range []struct {
+			name string
+			bc   bool
+		}{
+			{"interp", false},
+			{"bytecode", true},
+		} {
+			b.Run(w.name+"/"+mode.name, func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					sys := benchSystem(b, w.src)
+					sys.Bytecode = mode.bc
+					benchCall(b, sys, w.pred, w.args...)
+				}
+			})
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files with current output")
+
+// TestRunDisasmGolden pins the full -disasm rendering of a program that
+// exercises the compiled fragment end to end — magic-rewritten recursion
+// with pattern substitution, first-occurrence stores vs. compares,
+// constant-table references, arithmetic assignment and comparison
+// builtins — plus one rule outside the fragment, whose fallback reason
+// must print instead of bytecode. The disassembly is the documented
+// debugging surface (coralc -disasm, REPL :disasm), so its layout is
+// golden-filed; regenerate deliberately with `go test -run Golden -update`.
+func TestRunDisasmGolden(t *testing.T) {
+	src, err := os.ReadFile("testdata/disasm.crl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if code := runDisasm("testdata/disasm.crl", string(src), &b); code != 0 {
+		t.Fatalf("runDisasm exit code %d\n%s", code, b.String())
+	}
+	if *updateGolden {
+		if err := os.WriteFile("testdata/disasm.golden", []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile("testdata/disasm.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.String() != string(want) {
+		t.Errorf("disassembly drifted from testdata/disasm.golden (re-run with -update if deliberate)\ngot:\n%s\nwant:\n%s",
+			b.String(), want)
+	}
+	for _, must := range []string{
+		"arg.store", "arg.cmp", "pat0 <- r", `builtin "=" assign`,
+		`builtin "<" compare`, "interpreted: irregular arithmetic form",
+	} {
+		if !strings.Contains(b.String(), must) {
+			t.Errorf("disassembly lost the %q rendering", must)
+		}
+	}
+}
+
+// TestRunDisasmParseError pins the exit code contract shared with -vet
+// and -analyze: unparsable input reports on w and exits 2.
+func TestRunDisasmParseError(t *testing.T) {
+	var b strings.Builder
+	if code := runDisasm("bad.crl", "module m. reach(X :- .", &b); code != 2 {
+		t.Fatalf("exit code %d for a parse error, want 2; output %q", code, b.String())
+	}
+	if !strings.Contains(b.String(), "bad.crl: ") {
+		t.Errorf("parse error not attributed to the file: %q", b.String())
+	}
+}

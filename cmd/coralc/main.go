@@ -12,6 +12,11 @@
 // diagnostics (file:line:col: severity [check-id]: message), exiting
 // non-zero when any diagnostic is an error; -Werror also fails on
 // warnings. Multiple files may be vetted in one run.
+//
+// With -disasm, coralc prints the adornment-specialized register bytecode
+// each rewritten rule body compiles to (DESIGN.md §5.15) — the programs
+// the evaluator actually runs — with fallback reasons for rules outside
+// the compiled fragment.
 package main
 
 import (
@@ -30,13 +35,14 @@ func main() {
 	vet := flag.Bool("vet", false, "run static analysis instead of printing rewritten programs")
 	werror := flag.Bool("Werror", false, "with -vet, treat warnings as errors")
 	analyze := flag.Bool("analyze", false, "print the whole-program flow analysis (bindings, groundness, types) instead of rewritten programs")
+	disasm := flag.Bool("disasm", false, "print the register bytecode compiled from each rewritten rule body instead of rewritten programs")
 	timeout := flag.Duration("timeout", 0, "abort the whole run after this long (0 = unlimited)")
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: coralc [-vet [-Werror] | -analyze] <program.crl> ...")
+		fmt.Fprintln(os.Stderr, "usage: coralc [-vet [-Werror] | -analyze | -disasm] <program.crl> ...")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() == 0 || (!*vet && !*analyze && flag.NArg() != 1) {
+	if flag.NArg() == 0 || (!*vet && !*analyze && !*disasm && flag.NArg() != 1) {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -49,7 +55,7 @@ func main() {
 			os.Exit(1)
 		})
 	}
-	if *vet || *analyze {
+	if *vet || *analyze || *disasm {
 		code := 0
 		for _, path := range flag.Args() {
 			src, err := os.ReadFile(path)
@@ -57,10 +63,13 @@ func main() {
 				fatal(err)
 			}
 			c := 0
-			if *vet {
+			switch {
+			case *vet:
 				c = runVet(path, string(src), *werror, os.Stdout)
-			} else {
+			case *analyze:
 				c = runAnalyze(path, string(src), os.Stdout)
+			default:
+				c = runDisasm(path, string(src), os.Stdout)
 			}
 			if c > code {
 				code = c

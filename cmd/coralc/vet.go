@@ -7,6 +7,7 @@ import (
 	"coral/internal/analysis"
 	"coral/internal/analysis/card"
 	"coral/internal/analysis/flow"
+	"coral/internal/engine"
 	"coral/internal/parser"
 )
 
@@ -30,6 +31,22 @@ func runVet(name, src string, werror bool, w io.Writer) int {
 	if werror && len(diags) > 0 {
 		return 1
 	}
+	return 0
+}
+
+// runDisasm prints the register bytecode every rule body of one program
+// source compiles to, per module and exported query form — the adorned,
+// rewritten rules the evaluator would actually run, in the specialized
+// form described in DESIGN.md §5.15. Rules outside the compiled fragment
+// print the reason they stay on the interpreter. It returns the exit code
+// (2 on a parse or rewrite error).
+func runDisasm(name, src string, w io.Writer) int {
+	out, err := engine.DisasmSource(src)
+	if err != nil {
+		fmt.Fprintf(w, "%s: %v\n", name, err)
+		return 2
+	}
+	fmt.Fprint(w, out)
 	return 0
 }
 

@@ -99,6 +99,16 @@ func (s *System) SetFlowOptimization(on bool) { s.eng.FlowOptimization = on }
 // differ.
 func (s *System) SetStaticSeeding(on bool) { s.eng.StaticSeeding = on }
 
+// SetBytecode toggles register-bytecode execution of rule bodies (on by
+// default): eligible rule versions are compiled once per (rule, adornment)
+// to flat opcode streams — constant tests, register stores and compares,
+// functor descents, unboxed arithmetic — and the join loop runs those
+// instead of interpreting rule structures per candidate tuple. Rules
+// outside the compiled fragment, traced evaluations, and Ordered Search
+// always use the interpreter. On and off produce identical answers, byte
+// for byte, in identical order.
+func (s *System) SetBytecode(on bool) { s.eng.Bytecode = on }
+
 // Budget bounds one evaluation: wall-clock deadline, derived-fact count,
 // and fixpoint iterations. The zero value means unlimited. See SetBudget.
 type Budget = engine.Budget

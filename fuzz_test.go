@@ -2,17 +2,22 @@ package coral
 
 import (
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 )
 
 // FuzzEval consults arbitrary program text on a System running under a
-// tight Budget. The contract under fuzz: evaluation either completes or
-// aborts with a typed error — it never panics and never hangs, whatever
-// the program does (unbounded recursion, negation, aggregate selections,
-// arithmetic on garbage). The budget is what turns "never hangs" into a
-// testable property: an infinite fixpoint must trip MaxFacts,
-// MaxIterations or the deadline.
+// tight Budget, once with the register bytecode machine on and once with
+// it off. The contract under fuzz: evaluation either completes or aborts
+// with a typed error — it never panics and never hangs, whatever the
+// program does (unbounded recursion, negation, aggregate selections,
+// arithmetic on garbage) — and when both settings complete cleanly their
+// answers must agree byte for byte, in order: the machine mirrors the
+// interpreter exactly, including error behavior. The budget is what turns
+// "never hangs" into a testable property: an infinite fixpoint must trip
+// MaxFacts, MaxIterations or the deadline.
 func FuzzEval(f *testing.F) {
 	seeds := []string{
 		// Unbounded arithmetic recursion: must trip the budget.
@@ -29,33 +34,68 @@ func FuzzEval(f *testing.F) {
 		"s(a, 1). s(a, 2). s(b, 3).\nmodule a.\nexport t(ff).\nt(X, sum(Y)) :- s(X, Y).\nend_module.\n?- t(X, S).",
 		// Runtime type error paths.
 		"v(a, x).\nmodule m.\nexport b(ff).\nb(X, Y) :- v(X, V), Y < V + 1.\nend_module.\n?- b(X, Y).",
+		// Bytecode fragment boundaries: repeated variables (store vs.
+		// compare), functor descent, and a structural "=" the compiler
+		// must hand back to the interpreter.
+		"e(f(a), f(a)). e(f(a), g(b)).\nmodule s.\nexport q(f).\nq(X) :- e(W, W), W = f(X).\nend_module.\n?- q(X).",
+		// Negation with a partially built pattern argument.
+		"n(a). n(b). e(a, b).\nmodule ng.\nexport r(f).\nr(X) :- n(X), not e(X, X).\nend_module.\n?- r(X).",
+		// Integer overflow promotion inside the unboxed fast path.
+		"big(4611686018427387904).\nmodule o.\nexport d(f).\nd(X) :- big(B), X = B * 3.\nend_module.\n?- d(X).",
+		// Division by zero thrown from compiled arithmetic.
+		"z(0).\nmodule dz.\nexport w(f).\nw(X) :- z(Z), X = 1 / Z.\nend_module.\n?- w(X).",
 	}
 	for _, s := range seeds {
 		f.Add(s)
 	}
 	f.Fuzz(func(t *testing.T, src string) {
-		sys := New()
-		sys.SetBudget(Budget{
-			Timeout:       200 * time.Millisecond,
-			MaxFacts:      5000,
-			MaxIterations: 500,
-		})
-		start := time.Now()
-		_, err := sys.Consult(src)
-		if el := time.Since(start); el > 5*time.Second {
-			t.Fatalf("consult ran %v under a 200ms budget", el)
-		}
-		if err != nil {
-			var ab *AbortError
-			if errors.As(err, &ab) && ab.Tripped == "" {
-				t.Fatalf("abort without a tripped reason: %v", err)
+		var rendered [2]string
+		var failed [2]bool
+		for i, bc := range []bool{true, false} {
+			sys := New()
+			sys.SetBytecode(bc)
+			sys.SetBudget(Budget{
+				Timeout:       200 * time.Millisecond,
+				MaxFacts:      5000,
+				MaxIterations: 500,
+			})
+			start := time.Now()
+			results, err := sys.Consult(src)
+			if el := time.Since(start); el > 5*time.Second {
+				t.Fatalf("bytecode=%v: consult ran %v under a 200ms budget", bc, el)
 			}
-			return
+			if err != nil {
+				var ab *AbortError
+				if errors.As(err, &ab) && ab.Tripped == "" {
+					t.Fatalf("bytecode=%v: abort without a tripped reason: %v", bc, err)
+				}
+				// Budget trips depend on wall clock; error parity between
+				// the settings is only checked for clean runs.
+				failed[i] = true
+				continue
+			}
+			rendered[i] = renderAnswerSets(results)
+			// A clean consult leaves a usable system: follow-up query on a
+			// trivial base relation must not be poisoned by prior evaluation.
+			if _, err := sys.Consult("zfuzz(ok).\n?- zfuzz(X)."); err != nil {
+				t.Fatalf("bytecode=%v: follow-up consult failed: %v", bc, err)
+			}
 		}
-		// A clean consult leaves a usable system: follow-up query on a
-		// trivial base relation must not be poisoned by prior evaluation.
-		if _, err := sys.Consult("zfuzz(ok).\n?- zfuzz(X)."); err != nil {
-			t.Fatalf("follow-up consult failed: %v", err)
+		if !failed[0] && !failed[1] && rendered[0] != rendered[1] {
+			t.Fatalf("bytecode changed the answers\non:\n%s\noff:\n%s", rendered[0], rendered[1])
 		}
 	})
+}
+
+// renderAnswerSets flattens every query's answers — column names, tuples,
+// and their order — into one string for the on/off cross-check.
+func renderAnswerSets(results []*Answers) string {
+	var b strings.Builder
+	for _, ans := range results {
+		fmt.Fprintf(&b, "?- %s | %v\n", ans.Query, ans.Vars)
+		for _, tup := range ans.Tuples {
+			fmt.Fprintf(&b, "%v\n", tup)
+		}
+	}
+	return b.String()
 }

@@ -335,7 +335,13 @@ func (me *matEval) evalSymDelta(c *Compiled, last, now map[ast.PredKey]relation.
 		tab := me.ev.loadJoinTable(v.hrIn, v.iFrom, v.iTo, v.innerKey)
 		scan := &scanOp{it: v.hrOut.ScanRange(v.oFrom, v.oTo), poll: me.ev.pollBudget}
 		join := newHashJoinOp(scan, tab, v.outerKey, me.ev.pollBudget)
-		proj := &projectOp{in: join, cols: v.headCols}
+		width := len(v.outer.Args) + len(v.inner.Args)
+		var proj tupleIter = &projectOp{in: join, cols: v.headCols}
+		if me.ev.bytecode && !me.ev.bc.busy {
+			// Same pipeline, bytecode projection stage: head columns read
+			// through the register machine's dispatch loop.
+			proj = newBCProjectColumns(join, me.ev, width, v.headCols)
+		}
 		me.ev.HashProbes++
 		for {
 			t, ok := proj.Next()

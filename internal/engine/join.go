@@ -120,11 +120,23 @@ type evaluator struct {
 	// loops on a miss.
 	tables   map[*CItem]*builtTable
 	tablesRO bool
+	// bytecode routes eligible rule versions through the register machine
+	// (bytecode.go); bcProgs caches compiled programs per rule version
+	// (nil entries mark ineligible rules), bcRO marks worker evaluators
+	// sharing the writer's cache read-only, and bc is the pooled machine
+	// state. Tracing keeps the interpreter (justifications capture live
+	// environments), as does Ordered Search (callers leave bytecode off —
+	// magic-fact attribution reads curRule/curEnv mid-emit).
+	bytecode bool
+	bcProgs  map[*Compiled]*bcProg
+	bcRO     bool
+	bc       bcMachine
 	// stats
 	Derivations int // successful head instantiations
 	Attempts    int // tuples considered across all loops
 	HashBuilds  int // join build tables constructed
 	HashProbes  int // scans served from a build table
+	BCRuns      int // rule applications run on the bytecode machine
 }
 
 // emitFunc receives each derived head fact; returning false stops the rule
@@ -145,8 +157,27 @@ func (ev *evaluator) pollBudget() {
 }
 
 // evalRule evaluates one rule version, calling emit for every derivation.
+// Eligible versions run on the register bytecode machine; the machine's
+// run-time prologue can still decline (non-hash sources, non-ground scan
+// ranges), in which case — having done nothing observable — evaluation
+// falls through to the interpreter.
 func (ev *evaluator) evalRule(c *Compiled, rr ruleRanges, emit emitFunc) error {
 	var err error
+	if ev.bytecode && ev.trace == nil && !ev.bc.busy {
+		if p := ev.bcFor(c); p != nil {
+			handled := false
+			ev.bc.busy = true
+			func() {
+				defer recoverEval(&err)
+				handled = ev.runBC(p, rr, emit)
+			}()
+			ev.bc.busy = false
+			if handled || err != nil {
+				ev.BCRuns++
+				return err
+			}
+		}
+	}
 	env, tr, frames, pooled := ev.acquire(c)
 	func() {
 		defer recoverEval(&err)

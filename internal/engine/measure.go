@@ -30,6 +30,11 @@ type RunStats struct {
 	// found a profitable mark.
 	HashJoinBuilds int
 	HashJoinProbes int
+	// BytecodeRuns counts rule applications executed by the register
+	// bytecode machine (bytecode.go); 0 when Bytecode is off, every rule
+	// is outside the compiled fragment, or every application's runtime
+	// prologue declined.
+	BytecodeRuns int
 }
 
 // MeasureCall evaluates pred(args) to completion and reports statistics.
@@ -56,6 +61,7 @@ func (sys *System) MeasureCall(pred ast.PredKey, args []term.Term) (RunStats, er
 		stats.ParallelRounds = scan.me.ParRounds
 		stats.HashJoinBuilds = scan.me.ev.HashBuilds
 		stats.HashJoinProbes = scan.me.ev.HashProbes
+		stats.BytecodeRuns = scan.me.ev.BCRuns
 		for _, rel := range scan.me.st.local {
 			stats.FactsStored += rel.Len()
 		}

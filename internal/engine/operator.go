@@ -85,6 +85,91 @@ func (p *projectOp) Next() ([]term.Term, bool) {
 	return p.out, true
 }
 
+// bcProjectOp is the bytecode-backed projection: each output column is a
+// build program run by the register machine's dispatch loop (bytecode.go),
+// with the input tuple loaded into the register file. For plain column
+// lists the programs are single opBReg reads — the same work projectOp
+// does — but the stage accepts arbitrary build programs (constants,
+// constructed functors), which is how composed pipelines share the rule
+// engine's execution code. The evaluator must not be mid-bytecode-rule
+// (its machine state is borrowed between activations).
+type bcProjectOp struct {
+	in   tupleIter
+	ev   *evaluator
+	p    *bcProg
+	cols [][]bcInstr
+	out  []term.Term
+}
+
+// newBCProjectColumns builds the projection stage for a plain column list
+// over width-wide input tuples.
+func newBCProjectColumns(in tupleIter, ev *evaluator, width int, cols []int) *bcProjectOp {
+	progs := make([][]bcInstr, len(cols))
+	for i, c := range cols {
+		progs[i] = []bcInstr{{op: opBReg, a: int32(c)}}
+	}
+	return &bcProjectOp{in: in, ev: ev, p: &bcProg{nregs: width},
+		cols: progs, out: make([]term.Term, len(cols))}
+}
+
+func (b *bcProjectOp) Next() ([]term.Term, bool) {
+	t, ok := b.in.Next()
+	if !ok {
+		return nil, false
+	}
+	b.ev.bcLoadTuple(b.p, t)
+	for i, code := range b.cols {
+		b.out[i] = b.ev.bcBuild(b.p, code)
+	}
+	return b.out, true
+}
+
+// bcFilterOp is the bytecode-backed filter: a compiled builtin (comparison
+// or ground "=" test) evaluated by the register machine against each input
+// tuple, columns addressed as registers. Built via compileFilterBC.
+type bcFilterOp struct {
+	in tupleIter
+	ev *evaluator
+	p  *bcProg
+	bi *bcBuiltin
+}
+
+func (f *bcFilterOp) Next() ([]term.Term, bool) {
+	// lint:allow scanloop — pulls from an upstream operator whose source
+	// polls the budget per tuple (see the package contract above).
+	for {
+		t, ok := f.in.Next()
+		if !ok {
+			return nil, false
+		}
+		f.ev.bcLoadTuple(f.p, t)
+		if f.ev.bcBuiltinEval(f.p, f.bi) {
+			return t, true
+		}
+	}
+}
+
+// compileFilterBC compiles op(left, right) — with *term.Var indexes naming
+// tuple columns — into a filter stage over width-wide tuples. ok is false
+// when the form is outside the compiled builtin fragment.
+func compileFilterBC(in tupleIter, ev *evaluator, width int, op string, left, right term.Term) (*bcFilterOp, bool) {
+	b := &bcCompiler{
+		p:     &bcProg{nregs: width},
+		xr:    make(map[term.Term]int32),
+		fnIdx: make(map[bcFn]int32),
+	}
+	bound := make([]bool, width)
+	for i := range bound {
+		bound[i] = true
+	}
+	var item bcItem
+	ci := &CItem{Kind: ItemBuiltin, Op: op, Args: []term.Term{left, right}}
+	if reason := b.compileBuiltin(&item, ci, bound); reason != "" {
+		return nil, false
+	}
+	return &bcFilterOp{in: in, ev: ev, p: b.p, bi: item.bi}, true
+}
+
 // hashJoinOp is the classic build/probe join with the build side already
 // loaded into a JoinTable: for each left (probe-side) tuple it emits one
 // concatenated tuple — left ++ build-fact args — per table entry whose key
@@ -175,14 +260,14 @@ type symJoinOp struct {
 	ltab, rtab        *relation.JoinTable
 	poll              func()
 
-	side      int // side to pull next: 0 left, 1 right
-	leftDone  bool
-	rightDone bool
-	pending   []term.Term // tuple just inserted, its probe still draining
-	fromLeft  bool
-	probe     relation.JoinProbe
-	keys      []term.Term
-	out       []term.Term
+	side       int // side to pull next: 0 left, 1 right
+	leftDone   bool
+	rightDone  bool
+	pending    []term.Term // tuple just inserted, its probe still draining
+	fromLeft   bool
+	probe      relation.JoinProbe
+	keys       []term.Term
+	out        []term.Term
 	Considered int
 }
 

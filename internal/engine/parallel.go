@@ -170,6 +170,13 @@ func (me *matEval) bsnParallel(st *Stratum, workers int) bool {
 				me.fail(err)
 				return false
 			}
+			if me.ev.bytecode {
+				// Compile on the writer too: workers share the program cache
+				// read-only, so a worker-side miss would mean nested loops
+				// for that task while others run bytecode — same answers,
+				// but compiling here keeps the paths uniform.
+				me.ev.bcFor(pc)
+			}
 			for _, t := range me.splitVersion(pc, rr, workers) {
 				t.head = head
 				t.headSnap = headSnap[c.HeadPred]
@@ -219,6 +226,9 @@ func (me *matEval) bsnParallel(st *Stratum, workers int) bool {
 				// into the shared map from a worker.
 				ev.tables = me.ev.tables
 				ev.tablesRO = true
+				ev.bytecode = me.ev.bytecode
+				ev.bcProgs = me.ev.bcProgs
+				ev.bcRO = true
 				if t.filter {
 					// The head relation is frozen during the worker phase
 					// (single-writer merge happens after the barrier), so the
@@ -253,6 +263,7 @@ func (me *matEval) bsnParallel(st *Stratum, workers int) bool {
 		me.ev.Derivations += evs[i].Derivations
 		me.ev.Attempts += evs[i].Attempts
 		me.ev.HashProbes += evs[i].HashProbes
+		me.ev.BCRuns += evs[i].BCRuns
 	}
 	// A failed round merges nothing: the head relations still hold exactly
 	// their round-start prefixes, so the abort leaves no torn round and the

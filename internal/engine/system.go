@@ -48,6 +48,13 @@ type System struct {
 	// magic literals (the carriers of inferred call bindings). When false
 	// programs are built exactly as before the analysis existed.
 	FlowOptimization bool
+	// Bytecode compiles eligible rule bodies to adornment-specialized
+	// register bytecode (bytecode.go), on by default: the join loop runs
+	// flat opcode streams over a register file instead of interpreting
+	// CItem structures per candidate tuple, with unboxed integer
+	// arithmetic. Traced and Ordered Search evaluations always use the
+	// interpreter. On and off produce identical answers, byte for byte.
+	Bytecode bool
 	// StaticSeeding feeds the join planner compile-time cardinality
 	// estimates (analysis/card) as a prior, on by default: body sources
 	// whose live statistics are absent (module calls, computed relations)
@@ -71,13 +78,14 @@ type System struct {
 // NewSystem creates an empty system.
 func NewSystem() *System {
 	return &System{
-		base:           make(map[ast.PredKey]relation.Relation),
-		exports:        make(map[ast.PredKey]*ModuleDef),
-		modules:        make(map[string]*ModuleDef),
+		base:             make(map[ast.PredKey]relation.Relation),
+		exports:          make(map[ast.PredKey]*ModuleDef),
+		modules:          make(map[string]*ModuleDef),
 		AutoDefineBase:   true,
 		JoinPlanning:     true,
 		HashJoins:        true,
 		FlowOptimization: true,
+		Bytecode:         true,
 		StaticSeeding:    true,
 	}
 }
@@ -314,6 +322,7 @@ func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (i
 	me.parallelism = def.sys.fixpointWorkers()
 	me.planning = def.sys.JoinPlanning
 	me.hashing = def.sys.HashJoins
+	me.ev.bytecode = def.sys.Bytecode && me.ctx == nil
 	me.seed = def.sys.seederFor(prog)
 	me.setGuard(def.sys.newGuard())
 	me.addSeed(args, env)
@@ -578,7 +587,7 @@ func (sys *System) Query(body []ast.Literal) (vars []string, facts []Fact, err e
 	}
 	st := newStore(sys.external, nil)
 	guard := sys.newGuard()
-	ev := &evaluator{st: st, IntelligentBacktracking: true}
+	ev := &evaluator{st: st, IntelligentBacktracking: true, bytecode: sys.Bytecode}
 	if guard.active() {
 		ev.guard = &guard
 	}

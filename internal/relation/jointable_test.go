@@ -140,4 +140,3 @@ func TestJoinTablePreSizing(t *testing.T) {
 		}
 	}
 }
-

@@ -23,6 +23,8 @@ const HelpText = `Commands (all end with a period):
   :vet "file".              run static analysis over a program file without loading it
   :analyze "file".          print the static analyses of a program file (flow: bindings,
                             groundness, types; cardinality: row bounds, termination verdicts)
+  :disasm "file".           print the register bytecode each rewritten rule body of a
+                            program file compiles to (with interpreter-fallback reasons)
   :budget timeout=2s facts=100000 iters=1000.
                             bound every evaluation; ":budget off." clears,
                             bare ":budget." shows the current limits
@@ -72,6 +74,9 @@ func (s *Session) Execute(text string) (output string, done bool) {
 	}
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(body), ":analyze"); ok {
 		return s.analyze(rest), false
+	}
+	if rest, ok := strings.CutPrefix(strings.TrimSpace(body), ":disasm"); ok {
+		return s.disasm(rest), false
 	}
 	if rest, ok := strings.CutPrefix(strings.TrimSpace(body), ":budget"); ok {
 		return s.budget(rest), false
@@ -185,6 +190,22 @@ func (s *Session) analyze(arg string) string {
 		return "usage: :analyze \"file.crl\".\n"
 	}
 	out, err := s.Sys.AnalyzeFile(arg)
+	if err != nil {
+		return "error: " + err.Error() + "\n"
+	}
+	return out
+}
+
+// disasm prints the register bytecode each rewritten rule body of a
+// program file compiles to — the adornment-specialized programs the
+// evaluator runs when bytecode is on — without loading the file. Rules
+// outside the compiled fragment print their interpreter-fallback reason.
+func (s *Session) disasm(arg string) string {
+	arg = strings.Trim(strings.TrimSpace(arg), `"'`)
+	if arg == "" {
+		return "usage: :disasm \"file.crl\".\n"
+	}
+	out, err := s.Sys.DisasmFile(arg)
 	if err != nil {
 		return "error: " + err.Error() + "\n"
 	}

@@ -309,3 +309,36 @@ end_module.
 		t.Fatalf("missing file: %q", out)
 	}
 }
+
+func TestDisasmCommand(t *testing.T) {
+	s := session(t)
+	path := filepath.Join(t.TempDir(), "paths.crl")
+	src := `module paths.
+export path(bf).
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+end_module.
+`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, done := s.Execute(fmt.Sprintf(":disasm %q.", path))
+	if done {
+		t.Fatal(":disasm ended the session")
+	}
+	if !strings.Contains(out, "query form path(bf)") ||
+		!strings.Contains(out, "arg.store") ||
+		!strings.Contains(out, "m_path_bf") {
+		t.Fatalf("disasm output: %q", out)
+	}
+
+	out, _ = s.Execute(":disasm.")
+	if !strings.Contains(out, "usage") {
+		t.Fatalf("bare :disasm: %q", out)
+	}
+
+	out, _ = s.Execute(fmt.Sprintf(":disasm %q.", filepath.Join(t.TempDir(), "missing.crl")))
+	if !strings.Contains(out, "error") {
+		t.Fatalf("missing file: %q", out)
+	}
+}

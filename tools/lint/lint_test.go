@@ -71,6 +71,35 @@ func TestErrwrapFixture(t *testing.T) {
 	}
 }
 
+// TestOpcheckFixture: the seeded dispatch gap (opD uncovered), the disasm
+// switch whose default must not count as covering opC and opD, and the
+// marker that drifted off its switch are all flagged; the fully covered
+// switches, the second opcode type, and the unmarked partial switch in
+// good.go are not.
+func TestOpcheckFixture(t *testing.T) {
+	code, lines := lintOut(t, "testdata/src/opcheck")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1 (findings)", code)
+	}
+	if len(lines) != 3 {
+		t.Fatalf("want exactly the three seeded violations, got:\n%s", strings.Join(lines, "\n"))
+	}
+	for _, f := range lines {
+		if !strings.Contains(f, "[opcheck]") {
+			t.Errorf("finding lacks the analyzer tag: %s", f)
+		}
+	}
+	if !strings.Contains(lines[0], "bad.go:18:") || !strings.Contains(lines[0], "missing opD") {
+		t.Errorf("first finding not the dispatch gap at bad.go:18: %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "bad.go:31:") || !strings.Contains(lines[1], "missing opC, opD") {
+		t.Errorf("second finding not the disasm gaps at bad.go:31: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], "bad.go:44:") || !strings.Contains(lines[2], "not attached to a switch") {
+		t.Errorf("third finding not the drifted marker at bad.go:44: %s", lines[2])
+	}
+}
+
 // TestFindingsSorted: a multi-directory run comes back ordered by
 // (file, line, column, analyzer) — numerically by position, not by the
 // directory order given on the command line.

@@ -11,6 +11,8 @@
 //	errwrap      fmt.Errorf flattening an error value without %w
 //	budgetpoll   engine iterator-scan loop lacking an amortized
 //	             budgetGuard poll
+//	opcheck      annotated bytecode-opcode switch (opcheck:dispatch,
+//	             opcheck:disasm) not covering every opcode
 //
 // The tool is stdlib-only (go/parser + go/ast; the framework package is a
 // local shim); test files are skipped. Findings print as
@@ -33,7 +35,7 @@ import (
 )
 
 // analyzers is the multichecker's fixed suite.
-var analyzers = []*analysis.Analyzer{panicAnalyzer, errwrapAnalyzer, budgetpollAnalyzer}
+var analyzers = []*analysis.Analyzer{panicAnalyzer, errwrapAnalyzer, budgetpollAnalyzer, opcheckAnalyzer}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))

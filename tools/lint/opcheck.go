@@ -1,0 +1,187 @@
+package main
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"coral/tools/lint/analysis"
+)
+
+// opcheckAnalyzer enforces opcode-switch exhaustiveness for the engine's
+// register bytecode (internal/engine/bytecode.go). The opcode enumeration
+// is an iota const block; Go's switch gives no exhaustiveness checking, so
+// a newly added opcode that misses the executor's dispatch switch would
+// silently fall through (the dispatch deliberately has no default — an
+// unhandled opcode must not "fail the match" and quietly drop answers),
+// and one that misses the disassembler would print as an opaque number in
+// coralc -disasm output.
+//
+// The contract is annotation-driven so the analyzer needs no type
+// information: a switch marked "// opcheck:dispatch" must name every
+// constant of its opcode type in its cases and must not declare a default
+// (which would mask non-exhaustiveness forever); a switch marked
+// "// opcheck:disasm" must also name every constant, and its default —
+// the last-resort numeric rendering — does not count as coverage. The
+// opcode type of a marked switch is inferred from the first case
+// identifier that belongs to a const block whose first spec carries an
+// explicit type (the iota idiom `opFoo bcOp = iota`); all constants
+// declared with that type, across the package, are the set to cover.
+var opcheckAnalyzer = &analysis.Analyzer{
+	Name: "opcheck",
+	Doc: `require annotated opcode switches to cover every opcode
+
+A switch marked "// opcheck:dispatch" or "// opcheck:disasm" (comment on
+or immediately above the switch) must have a case naming every constant
+of its opcode type — the type given explicitly on the first spec of the
+constants' iota block. Dispatch switches must not have a default case;
+disasm switches may, but it does not count as covering anything.`,
+	Run: runOpcheck,
+}
+
+// opcheckMarker is one opcheck annotation comment: its kind and the lines
+// a switch it governs may start on (the comment's own line, or the line
+// below for the conventional comment-immediately-above placement).
+type opcheckMarker struct {
+	kind string
+	pos  token.Pos
+	line int
+	used bool
+}
+
+func runOpcheck(pass *analysis.Pass) (interface{}, error) {
+	// Opcode sets are package-wide: the const block and the switches it
+	// governs may live in different files (compiler vs. machine).
+	opsByType := map[string][]string{} // type name -> declared constant names
+	typeOf := map[string]string{}      // constant name -> type name
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST || len(gd.Specs) == 0 {
+				continue
+			}
+			first, ok := gd.Specs[0].(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			tid, ok := first.Type.(*ast.Ident)
+			if !ok {
+				continue // untyped block: not an opcode enumeration
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if name.Name == "_" {
+						continue
+					}
+					opsByType[tid.Name] = append(opsByType[tid.Name], name.Name)
+					typeOf[name.Name] = tid.Name
+				}
+			}
+		}
+	}
+
+	for _, file := range pass.Files {
+		markers := opcheckMarkers(pass.Fset, file)
+		if len(markers) == 0 {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok {
+				return true
+			}
+			line := pass.Fset.Position(sw.Switch).Line
+			var mk *opcheckMarker
+			for i := range markers {
+				if !markers[i].used && (markers[i].line == line || markers[i].line == line-1) {
+					mk = &markers[i]
+					break
+				}
+			}
+			if mk == nil {
+				return true
+			}
+			mk.used = true
+			covered := map[string]bool{}
+			opType := ""
+			hasDefault := false
+			for _, stmt := range sw.Body.List {
+				cc, ok := stmt.(*ast.CaseClause)
+				if !ok {
+					continue
+				}
+				if cc.List == nil {
+					hasDefault = true
+				}
+				for _, e := range cc.List {
+					id, ok := e.(*ast.Ident)
+					if !ok {
+						continue
+					}
+					covered[id.Name] = true
+					if opType == "" {
+						opType = typeOf[id.Name]
+					}
+				}
+			}
+			if opType == "" {
+				pass.Reportf(sw.Switch, "opcheck:%s switch has no case naming a typed opcode constant, so there is no opcode set to check", mk.kind)
+				return true
+			}
+			if mk.kind == "dispatch" && hasDefault {
+				pass.Reportf(sw.Switch, "opcheck:dispatch switch has a default case — it would mask an unhandled opcode forever; handle every opcode explicitly")
+			}
+			var missing []string
+			for _, name := range opsByType[opType] {
+				if !covered[name] {
+					missing = append(missing, name)
+				}
+			}
+			if len(missing) > 0 {
+				sort.Strings(missing)
+				pass.Reportf(sw.Switch, "opcheck:%s switch does not cover every %s opcode: missing %s",
+					mk.kind, opType, strings.Join(missing, ", "))
+			}
+			return true
+		})
+		// A marker that matched no switch is a refactoring accident: the
+		// annotation drifted away from the statement it guards, silently
+		// disabling the check.
+		for _, mk := range markers {
+			if !mk.used {
+				pass.Reportf(mk.pos, "opcheck:%s marker is not attached to a switch statement", mk.kind)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// opcheckMarkers collects the opcheck annotation comments of one file,
+// ordered by line.
+func opcheckMarkers(fset *token.FileSet, file *ast.File) []opcheckMarker {
+	var markers []opcheckMarker
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			var kind string
+			switch {
+			case strings.Contains(c.Text, "opcheck:dispatch"):
+				kind = "dispatch"
+			case strings.Contains(c.Text, "opcheck:disasm"):
+				kind = "disasm"
+			default:
+				continue
+			}
+			markers = append(markers, opcheckMarker{
+				kind: kind,
+				pos:  c.Pos(),
+				line: fset.Position(c.End()).Line,
+			})
+		}
+	}
+	return markers
+}

@@ -1,0 +1,51 @@
+// Package opcheck seeds opcode-coverage violations for the opcheck
+// analyzer's self-test: a dispatch switch missing an opcode, a disasm
+// switch whose default must not count as coverage, and a drifted marker.
+package opcheck
+
+type fakeOp uint8
+
+const (
+	opA fakeOp = iota // first spec carries the type: this is an opcode block
+	opB
+	opC
+	opD
+)
+
+// exec covers opA through opC but not opD: seeded dispatch violation.
+func exec(op fakeOp) int {
+	// opcheck:dispatch
+	switch op {
+	case opA:
+		return 1
+	case opB, opC:
+		return 2
+	}
+	return 0
+}
+
+// render names opA and opB only; the default must not count as covering
+// opC and opD: seeded disasm violation.
+func render(op fakeOp) string {
+	// opcheck:disasm
+	switch op {
+	case opA:
+		return "a"
+	case opB:
+		return "b"
+	default:
+		return "?"
+	}
+}
+
+// drifted is a marker two lines above its switch — no longer attached to
+// it: seeded marker-drift violation (the switch itself goes unchecked).
+func drifted(op fakeOp) int {
+	// opcheck:dispatch
+
+	switch op {
+	case opA:
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,49 @@
+package opcheck
+
+// otherOp is a second opcode type: coverage is computed per type, so this
+// block's constants are not demanded of fakeOp switches and vice versa.
+type otherOp uint8
+
+const (
+	okA otherOp = iota
+	okB
+)
+
+// okExec covers its whole opcode set through a grouped case: clean.
+func okExec(op otherOp) int {
+	// opcheck:dispatch
+	switch op {
+	case okA, okB:
+		return 1
+	}
+	return 0
+}
+
+// okRender covers everything and also has a default: clean for disasm.
+func okRender(op otherOp) string {
+	// opcheck:disasm
+	switch op {
+	case okA:
+		return "a"
+	case okB:
+		return "b"
+	default:
+		return "?"
+	}
+}
+
+// plain is unmarked: partial switches without an annotation are fine.
+func plain(op otherOp) int {
+	switch op {
+	case okA:
+		return 1
+	}
+	return 0
+}
+
+// untyped iota blocks are not opcode enumerations; naming one in a case
+// of an unmarked switch changes nothing.
+const (
+	stateIdle = iota
+	stateRun
+)

@@ -8,6 +8,7 @@ import (
 	"coral/internal/analysis/card"
 	"coral/internal/analysis/flow"
 	"coral/internal/ast"
+	"coral/internal/engine"
 	"coral/internal/relation"
 )
 
@@ -87,6 +88,24 @@ func (s *System) AnalyzeFile(path string) (string, error) {
 		return "", err
 	}
 	return s.Analyze(string(src))
+}
+
+// Disasm renders the register bytecode every rule body of a program text
+// compiles to, per module and exported query form — the rewritten rules
+// the evaluator actually runs, in the adornment-specialized form of
+// DESIGN.md §5.15. Rules outside the compiled fragment are listed with
+// the reason they stay on the nested-loops interpreter.
+func (s *System) Disasm(src string) (string, error) {
+	return engine.DisasmSource(src)
+}
+
+// DisasmFile runs Disasm over a program file.
+func (s *System) DisasmFile(path string) (string, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return "", err
+	}
+	return s.Disasm(string(src))
 }
 
 // knownPred is the Known oracle for Vet: anything resolvable in the
