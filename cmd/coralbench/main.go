@@ -5,21 +5,46 @@
 //
 //	go run ./cmd/coralbench            # all experiments, full sizes
 //	go run ./cmd/coralbench -quick E01 E05
+//
+// The -serve mode runs experiment E23 instead: it starts an in-process
+// coral server on a loopback listener, drives N concurrent clients through
+// real HTTP with the standard serving workload, verifies every response
+// against the single-client answer set, and prints qps and latency
+// percentiles. Exits non-zero if any request failed or answered wrongly.
+//
+//	go run ./cmd/coralbench -serve -clients 8 -serve-dur 20s
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
+	"coral"
 	"coral/internal/experiments"
+	"coral/internal/serve"
 )
 
 func main() {
 	quick := flag.Bool("quick", false, "run reduced problem sizes")
 	list := flag.Bool("list", false, "list experiments and exit")
+	serveMode := flag.Bool("serve", false, "run the serving benchmark (E23) against an in-process server")
+	clients := flag.Int("clients", 8, "concurrent clients in -serve mode")
+	serveDur := flag.Duration("serve-dur", 5*time.Second, "load duration in -serve mode")
+	snapshot := flag.Bool("snapshot", false, "use one snapshot session per client in -serve mode")
 	flag.Parse()
+
+	if *serveMode {
+		if err := runServeBench(*clients, *serveDur, *snapshot); err != nil {
+			fmt.Fprintf(os.Stderr, "coralbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	scale := experiments.Scale{Quick: *quick}
 	all := map[string]func(experiments.Scale) experiments.Table{
@@ -54,4 +79,62 @@ func main() {
 		}
 		fmt.Println(run(scale).Print())
 	}
+}
+
+// runServeBench is experiment E23: load the standard serving workload into
+// a fresh system, compute the reference answers single-threaded, serve over
+// a loopback listener, and hammer it with concurrent verified clients.
+func runServeBench(clients int, dur time.Duration, snapshot bool) error {
+	sys := coral.New()
+	if _, err := sys.Consult(serve.E23Program()); err != nil {
+		return err
+	}
+	// Reference answers from the single-caller path: every concurrent
+	// response must match these, rendered identically.
+	expect := make(map[string][][]string)
+	for _, q := range serve.E23Queries() {
+		ans, err := sys.Query(q)
+		if err != nil {
+			return fmt.Errorf("reference %q: %w", q, err)
+		}
+		rows := make([][]string, len(ans.Tuples))
+		for i, t := range ans.Tuples {
+			row := make([]string, len(t))
+			for j, arg := range t {
+				row[j] = arg.String()
+			}
+			rows[i] = row
+		}
+		expect[q] = rows
+	}
+
+	srv := serve.New(sys, serve.Options{DefaultBudget: coral.Budget{Timeout: 10 * time.Second}})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+
+	lg := &serve.LoadGen{
+		BaseURL:  "http://" + ln.Addr().String(),
+		Clients:  clients,
+		Duration: dur,
+		Expect:   expect,
+		Snapshot: snapshot,
+	}
+	report, err := lg.Run()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("E23 serving benchmark: %d clients, %s, snapshot=%v\n%s\n",
+		clients, dur, snapshot, report)
+	if report.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed or answered wrongly", report.Errors, report.Requests)
+	}
+	if report.QPS <= 0 {
+		return fmt.Errorf("zero throughput")
+	}
+	return nil
 }

@@ -228,6 +228,9 @@ type Answers struct {
 	Vars []string
 	// Tuples are the answers, one binding list per answer.
 	Tuples []Tuple
+	// Stats reports what the evaluation did (filled by Session.Query;
+	// zero for queries evaluated directly on the System).
+	Stats RunStats
 }
 
 // Query parses and evaluates a conjunctive query against base relations

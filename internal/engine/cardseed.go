@@ -67,7 +67,7 @@ func (ss *staticSeeder) compute() {
 		}
 	}
 	ss.res = card.EstimateRules(ss.prog.RewrittenRules, card.Options{
-		BaseRows:    ss.sys.staticOracle(0),
+		BaseRows:    ss.sys.staticOracle(0, nil),
 		NegFree:     !ss.prog.OrderedSearch,
 		AggSelected: selected,
 	})
@@ -89,7 +89,7 @@ func (ss *staticSeeder) stats(pred ast.PredKey) (relation.Stats, bool) {
 			return statsFromEstimate(rows, ss.res.Est.Dom[pred])
 		}
 	}
-	return ss.sys.exportStaticStats(pred, 0)
+	return ss.sys.exportStaticStats(pred, 0, nil)
 }
 
 // iterBound returns the static fixpoint round bound of the program
@@ -108,17 +108,18 @@ func (ss *staticSeeder) iterBound() float64 {
 // staticOracle resolves base-relation statistics for the analysis: live
 // counts for in-memory base relations, static estimates for module exports
 // (an inter-module call is a join source too, and the planner otherwise
-// prices it at unknownRows). depth bounds the export-estimate recursion.
-func (sys *System) staticOracle(depth int) card.BaseOracle {
+// prices it at unknownRows). depth bounds the export-estimate recursion;
+// visited carries the modules already on the estimation stack (cycle break).
+func (sys *System) staticOracle(depth int, visited map[*ModuleDef]bool) card.BaseOracle {
 	return func(key ast.PredKey) (int, []int, bool) {
-		if r, ok := sys.base[key]; ok {
+		if r, ok := sys.Relation(key); ok {
 			if hr, isHash := r.(*relation.HashRelation); isHash {
 				st := hr.Stats()
 				return st.Rows, st.Distinct, true
 			}
 			return 0, nil, false // computed/persistent: no static statistics
 		}
-		if st, ok := sys.exportStaticStats(key, depth); ok {
+		if st, ok := sys.exportStaticStats(key, depth, visited); ok {
 			return st.Rows, st.Distinct, true
 		}
 		return 0, nil, false
@@ -129,30 +130,46 @@ func (sys *System) staticOracle(depth int) card.BaseOracle {
 // running the analysis over the exporting module's source rules (original
 // predicate names, so the export key resolves directly). The result is
 // cached on the ModuleDef — estimates of a callee are the same whichever
-// caller asks. inStaticEst breaks estimate cycles between modules.
-func (sys *System) exportStaticStats(key ast.PredKey, depth int) (relation.Stats, bool) {
-	def, ok := sys.exports[key]
-	if !ok || depth > 3 || def.inStaticEst {
+// caller asks — under def.mu, with the analysis itself run outside the lock
+// (two racing callers may both estimate; the first store wins). The visited
+// set, threaded through the oracle, breaks estimate cycles between modules
+// without shared mutable marker state.
+func (sys *System) exportStaticStats(key ast.PredKey, depth int, visited map[*ModuleDef]bool) (relation.Stats, bool) {
+	def, ok := sys.Export(key)
+	if !ok || depth > 3 || visited[def] {
 		return relation.Stats{}, false
 	}
-	if def.staticEst == nil {
-		def.inStaticEst = true
+	def.mu.Lock()
+	est := def.staticEst
+	def.mu.Unlock()
+	if est == nil {
+		if visited == nil {
+			visited = make(map[*ModuleDef]bool)
+		}
+		visited[def] = true
 		selected := make(map[string]bool, len(def.Src.Ann.AggSels))
 		for _, s := range def.Src.Ann.AggSels {
 			selected[s.Pred] = true
 		}
-		def.staticEst = card.EstimateRules(def.Src.Rules, card.Options{
-			BaseRows:    sys.staticOracle(depth + 1),
+		est = card.EstimateRules(def.Src.Rules, card.Options{
+			BaseRows:    sys.staticOracle(depth+1, visited),
 			NegFree:     !def.Src.Ann.OrderedSearch,
 			AggSelected: selected,
 		})
-		def.inStaticEst = false
+		delete(visited, def)
+		def.mu.Lock()
+		if def.staticEst == nil {
+			def.staticEst = est
+		} else {
+			est = def.staticEst
+		}
+		def.mu.Unlock()
 	}
-	rows, ok := def.staticEst.Est.Rows[key]
+	rows, ok := est.Est.Rows[key]
 	if !ok {
 		return relation.Stats{}, false
 	}
-	return statsFromEstimate(rows, def.staticEst.Est.Dom[key])
+	return statsFromEstimate(rows, est.Est.Dom[key])
 }
 
 // statsFromEstimate converts a finite card estimate to planner statistics.

@@ -137,7 +137,7 @@ end_module.
 	if err != nil {
 		t.Fatalf("load: %v", err)
 	}
-	st, ok := sys.exportStaticStats(ast.PredKey{Name: "ok", Arity: 1}, 0)
+	st, ok := sys.exportStaticStats(ast.PredKey{Name: "ok", Arity: 1}, 0, nil)
 	if !ok {
 		t.Fatal("no static estimate for the export")
 	}

@@ -55,6 +55,12 @@ type matEval struct {
 	// (cardseed.go); nil when System.StaticSeeding is off.
 	seed *staticSeeder
 
+	// sharedRO marks an evaluation running concurrently with others over
+	// the same System (callCfg.sharedRO): it must not mutate shared
+	// structures, so plan-driven index creation is confined to the
+	// evaluation's own derived relations (ensurePlanIndexes).
+	sharedRO bool
+
 	// guard enforces the call's context and Budget (budget.go). Embedded
 	// by value so an unbudgeted call allocates nothing extra; setGuard
 	// refreshes it per call (save-module evaluations get a fresh deadline
@@ -86,6 +92,25 @@ func newMatEval(prog *Program, external func(ast.PredKey) (Source, error)) *matE
 
 // Err returns the evaluation error, if any.
 func (me *matEval) Err() error { return me.err }
+
+// counters reports the evaluation's engine counters as RunStats (Answers is
+// the scan's business and stays zero). Saved evaluations accumulate across
+// calls; callers wanting one call's contribution subtract a before-snapshot.
+func (me *matEval) counters() RunStats {
+	st := RunStats{
+		Derivations:    me.ev.Derivations,
+		Attempts:       me.ev.Attempts,
+		Iterations:     me.Iterations,
+		ParallelRounds: me.ParRounds,
+		HashJoinBuilds: me.ev.HashBuilds,
+		HashJoinProbes: me.ev.HashProbes,
+		BytecodeRuns:   me.ev.BCRuns,
+	}
+	for _, rel := range me.st.local {
+		st.FactsStored += rel.Len()
+	}
+	return st
+}
 
 // setGuard installs the per-call budget guard and points the evaluator's
 // amortized poll at it (nil when no bound is in force, so the join loop

@@ -54,6 +54,11 @@ func hashRelOf(src Source) *relation.HashRelation {
 	switch s := src.(type) {
 	case *relation.HashRelation:
 		return s
+	case *relation.Prefix:
+		// Build tables over a snapshot view load the underlying relation
+		// bounded by scanBounds, whose upper mark is the view's Snapshot —
+		// the captured cap — so the table never sees past the snapshot.
+		return s.Rel()
 	case relSource:
 		hr, _ := s.r.(*relation.HashRelation)
 		return hr

@@ -37,11 +37,41 @@ type RunStats struct {
 	BytecodeRuns int
 }
 
+// add accumulates the counters of another run (per-query statistics sum the
+// module-call evaluations a query triggered).
+func (s RunStats) add(o RunStats) RunStats {
+	s.Answers += o.Answers
+	s.Derivations += o.Derivations
+	s.Attempts += o.Attempts
+	s.Iterations += o.Iterations
+	s.ParallelRounds += o.ParallelRounds
+	s.FactsStored += o.FactsStored
+	s.HashJoinBuilds += o.HashJoinBuilds
+	s.HashJoinProbes += o.HashJoinProbes
+	s.BytecodeRuns += o.BytecodeRuns
+	return s
+}
+
+// sub removes a before-snapshot from accumulated counters (the delta one
+// save-module call contributed).
+func (s RunStats) sub(o RunStats) RunStats {
+	s.Answers -= o.Answers
+	s.Derivations -= o.Derivations
+	s.Attempts -= o.Attempts
+	s.Iterations -= o.Iterations
+	s.ParallelRounds -= o.ParallelRounds
+	s.FactsStored -= o.FactsStored
+	s.HashJoinBuilds -= o.HashJoinBuilds
+	s.HashJoinProbes -= o.HashJoinProbes
+	s.BytecodeRuns -= o.BytecodeRuns
+	return s
+}
+
 // MeasureCall evaluates pred(args) to completion and reports statistics.
 // Materialized modules report full engine counters; pipelined modules
 // report answer counts only (they store nothing, which is the point).
 func (sys *System) MeasureCall(pred ast.PredKey, args []term.Term) (RunStats, error) {
-	def, ok := sys.exports[pred]
+	def, ok := sys.Export(pred)
 	if !ok {
 		return RunStats{}, errUnknownExport(pred)
 	}
@@ -55,16 +85,9 @@ func (sys *System) MeasureCall(pred ast.PredKey, args []term.Term) (RunStats, er
 	// stats are exactly what AbortError reports, and callers measuring a
 	// budgeted run want them either way.
 	if scan, isMat := it.(*answerScan); isMat {
-		stats.Derivations = scan.me.ev.Derivations
-		stats.Attempts = scan.me.ev.Attempts
-		stats.Iterations = scan.me.Iterations
-		stats.ParallelRounds = scan.me.ParRounds
-		stats.HashJoinBuilds = scan.me.ev.HashBuilds
-		stats.HashJoinProbes = scan.me.ev.HashProbes
-		stats.BytecodeRuns = scan.me.ev.BCRuns
-		for _, rel := range scan.me.st.local {
-			stats.FactsStored += rel.Len()
-		}
+		answers := stats.Answers
+		stats = scan.me.counters()
+		stats.Answers = answers
 	}
 	return stats, err
 }
@@ -72,7 +95,7 @@ func (sys *System) MeasureCall(pred ast.PredKey, args []term.Term) (RunStats, er
 // MeasureFirstAnswer times the latency to the first answer of a call —
 // the lazy-evaluation and pipelining experiments' metric (paper §5.4.3).
 func (sys *System) MeasureFirstAnswer(pred ast.PredKey, args []term.Term) (time.Duration, error) {
-	def, ok := sys.exports[pred]
+	def, ok := sys.Export(pred)
 	if !ok {
 		return 0, errUnknownExport(pred)
 	}

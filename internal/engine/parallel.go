@@ -100,6 +100,9 @@ func (me *matEval) checkParallelSafe(st *Stratum) bool {
 			}
 			switch s := src.(type) {
 			case *relation.HashRelation:
+			case *relation.Prefix:
+				// Mark-bounded lookups on the underlying relation; as
+				// race-free for workers as the relation itself.
 			case relSource:
 				switch s.r.(type) {
 				case *relation.HashRelation, *relation.ListRelation:

@@ -62,6 +62,7 @@ func buildPipeProgram(m *ast.Module) (*pipeProgram, error) {
 type pipeEval struct {
 	pp  *pipeProgram
 	sys *System
+	cfg callCfg
 	tr  *term.Trail
 	// guard enforces the call's context and Budget; tick amortizes the
 	// polls to one per budgetCheckEvery solver steps. Pipelining has no
@@ -93,7 +94,7 @@ func (ev *pipeEval) noteSolution() {
 
 // call sets up a pipelined evaluation of pred(args) and returns its answer
 // iterator.
-func (pp *pipeProgram) call(sys *System, pred ast.PredKey, args []term.Term, env *term.Env) (relation.Iterator, error) {
+func (pp *pipeProgram) call(sys *System, cfg callCfg, pred ast.PredKey, args []term.Term, env *term.Env) (relation.Iterator, error) {
 	if _, ok := pp.rules[pred]; !ok {
 		return nil, fmt.Errorf("engine: module %s does not define %s", pp.modName, pred)
 	}
@@ -101,8 +102,8 @@ func (pp *pipeProgram) call(sys *System, pred ast.PredKey, args []term.Term, env
 	// the caller's environment.
 	callArgs, nvars := term.ResolveArgs(args, env)
 	callEnv := term.NewEnv(nvars)
-	ev := &pipeEval{pp: pp, sys: sys, tr: &term.Trail{}}
-	ev.guard = sys.newGuard()
+	ev := &pipeEval{pp: pp, sys: sys, cfg: cfg, tr: &term.Trail{}}
+	ev.guard = cfg.guard()
 	return &pipeScan{
 		ev:       ev,
 		root:     ev.newGoal(pred, callArgs, callEnv),
@@ -302,10 +303,15 @@ func (u *updateIter) next() bool {
 		throwf("engine: %s expects a predicate term, got %s", u.kind, t)
 	}
 	key := ast.PredKey{Name: f.Sym, Arity: len(f.Args)}
-	if _, isModule := u.ev.sys.exports[key]; isModule {
+	if u.ev.cfg.sharedRO {
+		// A concurrent read-only evaluation (a server session) must not
+		// mutate shared base relations: other sessions' reads would race.
+		throwf("engine: %s is not available in a read-only evaluation", u.kind)
+	}
+	if _, isModule := u.ev.sys.Export(key); isModule {
 		throwf("engine: %s cannot modify %s: it is defined by a module", u.kind, key)
 	}
-	rel, ok := u.ev.sys.base[key]
+	rel, ok := u.ev.sys.Relation(key)
 	if !ok {
 		hr, err := u.ev.sys.BaseRelation(key.Name, key.Arity)
 		if err != nil {
@@ -344,7 +350,7 @@ type factIter struct {
 
 func (f *factIter) next() bool {
 	if f.iter == nil {
-		src, err := f.ev.sys.external(f.pred)
+		src, err := f.ev.cfg.external(f.pred)
 		if err != nil {
 			throwf("%v", err)
 		}

@@ -149,6 +149,12 @@ func (me *matEval) statsFor(pred ast.PredKey) (relation.Stats, bool) {
 	switch s := src.(type) {
 	case *relation.HashRelation:
 		return s.Stats(), true
+	case *relation.Prefix:
+		// A snapshot view prices joins from the live statistics of its
+		// underlying relation (reads are clamped to the captured mark, but
+		// the live counts are the better-maintained estimate and appends
+		// during serving are fenced anyway).
+		return s.Rel().Stats(), true
 	case relSource:
 		if hr, ok := s.r.(*relation.HashRelation); ok {
 			return hr.Stats(), true
@@ -536,6 +542,14 @@ func (me *matEval) ensurePlanIndexes(c *Compiled) {
 		src, err := me.st.source(it.Pred)
 		if err != nil {
 			continue
+		}
+		if me.sharedRO {
+			// A concurrent read-only evaluation owns only its derived
+			// relations; creating an index on a shared base relation would
+			// race with other sessions' reads of the same relation.
+			if _, owned := me.st.local[it.Pred]; !owned {
+				continue
+			}
 		}
 		if hr := hashRelOf(src); hr != nil {
 			_ = hr.MakeIndex(it.BoundPos...)

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"sync"
 
 	"coral/internal/ast"
 	"coral/internal/relation"
@@ -11,10 +12,23 @@ import (
 )
 
 // System is the engine-level registry of base relations and modules. It is
-// the single-user database process of paper §2: base relations (in-memory,
-// computed, or persistent) plus declarative modules whose exported
-// predicates are visible to all other modules and to queries.
+// the data-server process of paper §2: base relations (in-memory, computed,
+// or persistent) plus declarative modules whose exported predicates are
+// visible to all other modules and to queries.
+//
+// # Concurrency (DESIGN.md §5.16)
+//
+// The registry maps are guarded by mu, so concurrent evaluations may
+// resolve (and auto-define) predicates safely. Everything else follows the
+// split the server relies on: the configuration fields below are set before
+// serving begins and read-only afterwards; relation reads obey the
+// single-writer contract (§5.9), with mutual exclusion supplied by the
+// caller (the coral server's epoch guard); per-evaluation state (stores,
+// evaluators, plans, bytecode) is private to one call. Concurrent read-only
+// evaluations are safe through View; interleaving a writer (fact loads,
+// module installs, deletes) with evaluations is not — fence it.
 type System struct {
+	mu      sync.RWMutex
 	base    map[ast.PredKey]relation.Relation
 	exports map[ast.PredKey]*ModuleDef
 	modules map[string]*ModuleDef
@@ -96,6 +110,8 @@ func NewSystem() *System {
 // cannot accept interactive inserts.
 func (sys *System) BaseRelation(name string, arity int) (*relation.HashRelation, error) {
 	key := ast.PredKey{Name: name, Arity: arity}
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
 	if r, ok := sys.base[key]; ok {
 		if hr, isHash := r.(*relation.HashRelation); isHash {
 			return hr, nil
@@ -111,6 +127,8 @@ func (sys *System) BaseRelation(name string, arity int) (*relation.HashRelation,
 // list) as a base relation.
 func (sys *System) RegisterRelation(r relation.Relation) error {
 	key := ast.PredKey{Name: r.Name(), Arity: r.Arity()}
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
 	if _, dup := sys.base[key]; dup {
 		return fmt.Errorf("engine: relation %s already defined", key)
 	}
@@ -123,8 +141,20 @@ func (sys *System) RegisterRelation(r relation.Relation) error {
 
 // Relation returns the base relation for key, if any.
 func (sys *System) Relation(key ast.PredKey) (relation.Relation, bool) {
+	sys.mu.RLock()
 	r, ok := sys.base[key]
+	sys.mu.RUnlock()
 	return r, ok
+}
+
+// Bases calls fn for every registered base relation under the registry
+// lock (the server's snapshot capture; fn must not call back into sys).
+func (sys *System) Bases(fn func(ast.PredKey, relation.Relation)) {
+	sys.mu.RLock()
+	defer sys.mu.RUnlock()
+	for key, r := range sys.base {
+		fn(key, r)
+	}
 }
 
 // ModuleDef is an installed module: the source plus compiled programs per
@@ -133,22 +163,35 @@ type ModuleDef struct {
 	Src *ast.Module
 	sys *System
 
+	// mu guards the lazily grown caches below (progs, staticEst): module
+	// calls from concurrent read-only evaluations (View) compile
+	// existential variants and compute static estimates on demand.
+	mu    sync.Mutex
 	progs map[string]*Program // by adornment
-	saved map[string]*matEval // save-module state, by adornment
-	pipe  *pipeProgram        // pipelined modules
+
+	// savedMu serializes save-module calls: the saved matEval is shared
+	// accumulated state (paper §5.4.2 — one evaluation serves every
+	// caller), so concurrent calls take turns, and a shared read-only
+	// caller drains its answers before releasing the lock.
+	savedMu sync.Mutex
+	saved   map[string]*matEval // save-module state, by adornment
+
+	pipe *pipeProgram // pipelined modules
 
 	// staticEst caches the module's compile-time cardinality estimate over
 	// its source rules — the price tag callers' planners put on this
-	// module's exports (cardseed.go). inStaticEst breaks inter-module
-	// estimate cycles.
-	staticEst   *cardResult
-	inStaticEst bool
+	// module's exports (cardseed.go). Guarded by mu; estimate cycles
+	// between modules are broken by the visited set threaded through
+	// exportStaticStats.
+	staticEst *cardResult
 }
 
 // AddModule validates and installs a module, preparing a program for each
 // declared query form (the paper's optimizer runs per module and query
 // form, §2).
 func (sys *System) AddModule(m *ast.Module) error {
+	sys.mu.Lock()
+	defer sys.mu.Unlock()
 	if _, dup := sys.modules[m.Name]; dup {
 		return fmt.Errorf("engine: module %s already defined", m.Name)
 	}
@@ -198,18 +241,31 @@ func (sys *System) AddModule(m *ast.Module) error {
 
 // Module returns an installed module by name.
 func (sys *System) Module(name string) (*ModuleDef, bool) {
+	sys.mu.RLock()
 	d, ok := sys.modules[name]
+	sys.mu.RUnlock()
 	return d, ok
 }
 
 // Export returns the module exporting the given predicate, if any.
 func (sys *System) Export(key ast.PredKey) (*ModuleDef, bool) {
+	sys.mu.RLock()
 	d, ok := sys.exports[key]
+	sys.mu.RUnlock()
 	return d, ok
 }
 
-// Programs exposes the compiled programs (rewritten-program dumps, tests).
-func (def *ModuleDef) Programs() map[string]*Program { return def.progs }
+// Programs exposes a copy of the compiled-program cache
+// (rewritten-program dumps, tests).
+func (def *ModuleDef) Programs() map[string]*Program {
+	def.mu.Lock()
+	defer def.mu.Unlock()
+	out := make(map[string]*Program, len(def.progs))
+	for k, p := range def.progs {
+		out[k] = p
+	}
+	return out
+}
 
 func formKey(pred, form string) string { return pred + "/" + form }
 
@@ -225,13 +281,19 @@ func (sys *System) fixpointWorkers() int {
 // relations, then other modules' exports (an inter-module call per lookup,
 // paper §5.6), then auto-defined empty base relations.
 func (sys *System) external(key ast.PredKey) (Source, error) {
-	if r, ok := sys.base[key]; ok {
+	sys.mu.RLock()
+	r, isBase := sys.base[key]
+	def, isExport := sys.exports[key]
+	sys.mu.RUnlock()
+	if isBase {
 		return relSource{r}, nil
 	}
-	if def, ok := sys.exports[key]; ok {
+	if isExport {
 		return &moduleCallSource{def: def, pred: key}, nil
 	}
 	if sys.AutoDefineBase {
+		// BaseRelation retakes the lock in write mode; two concurrent
+		// auto-defines of the same predicate converge on one relation.
 		r, err := sys.BaseRelation(key.Name, key.Arity)
 		if err != nil {
 			return nil, err
@@ -285,16 +347,53 @@ func (s *moduleCallSource) LookupRange(pattern []term.Term, env *term.Env, from,
 
 func (s *moduleCallSource) Snapshot() relation.Mark { return 0 }
 
+// callCfg carries the per-caller evaluation context of a module call: how
+// to resolve sources outside the evaluation, how to build the budget guard,
+// and whether the evaluation runs concurrently with others over the same
+// System. The system's own calls use defaultCfg (live sources, the system's
+// context and budget); a View substitutes snapshot-capped sources and its
+// own connection-scoped guard.
+type callCfg struct {
+	// external resolves body predicates outside the evaluation.
+	external func(ast.PredKey) (Source, error)
+	// guard builds the per-call budget guard.
+	guard func() budgetGuard
+	// sharedRO marks a concurrent read-only evaluation: it must not mutate
+	// anything shared (no index creation on shared relations, no
+	// assert/retract), and save-module answers are drained under the
+	// module's lock instead of streamed.
+	sharedRO bool
+	// onEval observes each private materialized evaluation the call sets
+	// up; the caller reads its counters once the scan is drained
+	// (per-query statistics).
+	onEval func(*matEval)
+	// onSaved receives the counter delta a save-module call contributed
+	// (saved evaluations accumulate across calls, so raw counters would
+	// double-count).
+	onSaved func(RunStats)
+}
+
+// defaultCfg is the single-caller configuration: live sources, the
+// system-level context and budget.
+func (sys *System) defaultCfg() callCfg {
+	return callCfg{external: sys.external, guard: sys.newGuard}
+}
+
 // Call evaluates a query against an exported predicate. The argument
 // pattern (under env) supplies the bindings; the best matching declared
 // query form is chosen. Answers stream through the returned iterator;
 // callers unify each fact against their pattern.
-func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (it relation.Iterator, err error) {
+func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (relation.Iterator, error) {
+	return def.callWith(def.sys.defaultCfg(), pred, args, env)
+}
+
+// callWith is Call under an explicit caller configuration (see callCfg).
+func (def *ModuleDef) callWith(cfg callCfg, pred ast.PredKey, args []term.Term, env *term.Env) (it relation.Iterator, err error) {
 	// Budget aborts travel the panic channel (Throw); recover here so a
 	// trip during seeding or an eager run surfaces as the call's error.
 	defer recoverEval(&err)
 	if def.pipe != nil {
-		return def.pipe.call(def.sys, pred, args, env)
+		return def.pipe.call(def.sys, cfg, pred, args, env)
 	}
 	form, err := def.selectForm(pred, args, env)
 	if err != nil {
@@ -304,28 +403,75 @@ func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (i
 	if err != nil {
 		return nil, err
 	}
-	var me *matEval
 	if prog.SaveModule {
-		me = def.saved[formKey(pred.Name, form)]
-		if me == nil || me.err != nil {
-			// No saved state yet — or the previous call aborted, leaving
-			// relations that may be missing derivations (or, mid-round,
-			// partial ones): the state is invalid and a fresh evaluation
-			// replaces it, so a follow-up call sees no torn state.
-			me = newMatEval(prog, def.sys.external)
-			def.saved[formKey(pred.Name, form)] = me
-		}
-	} else {
-		me = newMatEval(prog, def.sys.external)
+		return def.callSaved(cfg, prog, pred, form, args, env)
 	}
-	// Re-applied on every call so saved evaluations follow later changes.
+	me := newMatEval(prog, cfg.external)
+	def.configureEval(me, cfg, prog)
+	if cfg.onEval != nil {
+		cfg.onEval(me)
+	}
+	me.addSeed(args, env)
+	scan := def.newAnswerScan(me, prog, pred, args, env)
+	if prog.Eager {
+		me.run()
+		if me.err != nil {
+			return nil, me.err
+		}
+	}
+	return scan, nil
+}
+
+// callSaved is the save-module arm of callWith: the saved matEval is shared
+// accumulated state, so calls serialize on savedMu. Save-module computes
+// eagerly — suspending a shared evaluation between calls would interleave
+// two consumers — and a shared read-only caller additionally drains its
+// matching answers before releasing the lock, so concurrent sessions never
+// share a live scan.
+func (def *ModuleDef) callSaved(cfg callCfg, prog *Program, pred ast.PredKey, form string, args []term.Term, env *term.Env) (relation.Iterator, error) {
+	def.savedMu.Lock()
+	defer def.savedMu.Unlock()
+	me := def.saved[formKey(pred.Name, form)]
+	if me == nil || me.err != nil {
+		// No saved state yet — or the previous call aborted, leaving
+		// relations that may be missing derivations (or, mid-round,
+		// partial ones): the state is invalid and a fresh evaluation
+		// replaces it, so a follow-up call sees no torn state.
+		me = newMatEval(prog, def.sys.external)
+		def.saved[formKey(pred.Name, form)] = me
+	}
+	def.configureEval(me, cfg, prog)
+	before := me.counters()
+	me.addSeed(args, env)
+	scan := def.newAnswerScan(me, prog, pred, args, env)
+	me.run()
+	if cfg.onSaved != nil {
+		cfg.onSaved(me.counters().sub(before))
+	}
+	if me.err != nil {
+		return nil, me.err
+	}
+	if cfg.sharedRO {
+		return drainScan(scan)
+	}
+	return scan, nil
+}
+
+// configureEval re-applies the system toggles and the caller's guard to an
+// evaluation — on every call, so saved evaluations follow later changes.
+func (def *ModuleDef) configureEval(me *matEval, cfg callCfg, prog *Program) {
 	me.parallelism = def.sys.fixpointWorkers()
 	me.planning = def.sys.JoinPlanning
 	me.hashing = def.sys.HashJoins
 	me.ev.bytecode = def.sys.Bytecode && me.ctx == nil
 	me.seed = def.sys.seederFor(prog)
-	me.setGuard(def.sys.newGuard())
-	me.addSeed(args, env)
+	me.sharedRO = cfg.sharedRO
+	me.setGuard(cfg.guard())
+}
+
+// newAnswerScan builds the answer iterator for one call, projecting the
+// pattern when the program was existentially rewritten.
+func (def *ModuleDef) newAnswerScan(me *matEval, prog *Program, pred ast.PredKey, args []term.Term, env *term.Env) *answerScan {
 	pat, nvars := term.ResolveArgs(args, env)
 	if prog.KeepPositions != nil {
 		// Existentially rewritten program: answers carry only the kept
@@ -336,17 +482,26 @@ func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (i
 		}
 		pat = proj
 	}
-	scan := &answerScan{me: me, pattern: pat, patVars: nvars,
+	return &answerScan{me: me, pattern: pat, patVars: nvars,
 		keep: prog.KeepPositions, fullArity: pred.Arity}
-	if prog.Eager || prog.SaveModule {
-		// Save-module also computes eagerly: suspending a shared
-		// evaluation between calls would interleave two consumers.
-		me.run()
-		if me.err != nil {
-			return nil, me.err
+}
+
+// drainScan materializes a completed evaluation's matching answers into a
+// private iterator (a shared read-only caller must not hold a live scan
+// over shared state once the module lock is released). The evaluation has
+// already run to completion, so Next only filters stored facts; a typed
+// abort from the scan is re-thrown to the caller's recovery point.
+func drainScan(scan *answerScan) (relation.Iterator, error) {
+	var facts []Fact
+	// lint:allow scanloop — replays an already-computed answer relation
+	// under the module lock; growth was budget-checked at insert.
+	for {
+		f, ok := scan.Next()
+		if !ok {
+			return relation.SliceIterator(facts), nil
 		}
+		facts = append(facts, f)
 	}
-	return scan, nil
 }
 
 // progForCall returns the compiled program for a call: the plain program
@@ -355,7 +510,9 @@ func (def *ModuleDef) Call(pred ast.PredKey, args []term.Term, env *term.Env) (i
 // with existential query rewriting applied (paper §4.1, on by default,
 // disabled by @no_existential). Variants are compiled once and cached.
 func (def *ModuleDef) progForCall(pred ast.PredKey, form string, args []term.Term, env *term.Env) (*Program, error) {
+	def.mu.Lock()
 	base := def.progs[formKey(pred.Name, form)]
+	def.mu.Unlock()
 	if def.Src.Ann.NoExistential || def.Src.Ann.SaveModule || def.Src.Ann.Rewriting == "none" || def.Src.Ann.Rewriting == "factoring" {
 		return base, nil
 	}
@@ -379,15 +536,26 @@ func (def *ModuleDef) progForCall(pred ast.PredKey, form string, args []term.Ter
 		return base, nil
 	}
 	key := formKey(pred.Name, form) + "/" + maskString(mask)
+	def.mu.Lock()
 	if p, ok := def.progs[key]; ok {
+		def.mu.Unlock()
 		return p, nil
 	}
+	def.mu.Unlock()
+	// Compile outside the lock (two racing callers may both build; the
+	// first store wins and the duplicate is dropped).
 	p, err := buildProgram(def.Src, pred, form, mask, def.sys.FlowOptimization)
 	if err != nil {
 		// Projection is an optimization; fall back to the base program.
 		return base, nil
 	}
-	def.progs[key] = p
+	def.mu.Lock()
+	if q, ok := def.progs[key]; ok {
+		p = q
+	} else {
+		def.progs[key] = p
+	}
+	def.mu.Unlock()
 	return p, nil
 }
 
@@ -549,34 +717,7 @@ func (s *answerScan) Next() (Fact, bool) {
 func (sys *System) Query(body []ast.Literal) (vars []string, facts []Fact, err error) {
 	defer recoverEval(&err)
 	// Collect the distinct named variables as the answer tuple.
-	seen := make(map[*term.Var]bool)
-	var answerVars []*term.Var
-	var walk func(t term.Term)
-	walk = func(t term.Term) {
-		switch x := t.(type) {
-		case *term.Var:
-			if !seen[x] {
-				seen[x] = true
-				if x.Name != "" {
-					answerVars = append(answerVars, x)
-				}
-			}
-		case *term.Functor:
-			for _, a := range x.Args {
-				walk(a)
-			}
-		}
-	}
-	for i := range body {
-		for _, a := range body[i].Args {
-			walk(a)
-		}
-	}
-	headArgs := make([]term.Term, len(answerVars))
-	for i, v := range answerVars {
-		headArgs[i] = v
-		vars = append(vars, v.Name)
-	}
+	vars, headArgs := queryAnswerVars(body)
 	rule := &ast.Rule{
 		Head: ast.Literal{Pred: "$query", Args: headArgs},
 		Body: body,

@@ -1,0 +1,142 @@
+package relation
+
+import (
+	"fmt"
+	"testing"
+
+	"coral/internal/term"
+)
+
+func groundFact(args ...string) Fact {
+	ts := make([]term.Term, len(args))
+	for i, a := range args {
+		ts[i] = term.Atom(a)
+	}
+	return Fact{Args: ts}
+}
+
+func drainNames(t *testing.T, it Iterator) []string {
+	t.Helper()
+	var out []string
+	for {
+		f, ok := it.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, f.String())
+	}
+}
+
+// TestPrefixViewIsolation: facts appended after capture are invisible to a
+// Prefix through every read path — Scan, ScanRange, Lookup, Len — while the
+// live relation sees them.
+func TestPrefixViewIsolation(t *testing.T) {
+	r := NewHashRelation("edge", 2)
+	if err := r.MakeIndex(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		r.Insert(groundFact("a", fmt.Sprintf("b%d", i)))
+	}
+	p := r.PrefixView()
+	for i := 5; i < 10; i++ {
+		r.Insert(groundFact("a", fmt.Sprintf("b%d", i)))
+	}
+
+	if got, want := p.Len(), 5; got != want {
+		t.Errorf("Prefix.Len = %d, want %d", got, want)
+	}
+	if got, want := r.Len(), 10; got != want {
+		t.Errorf("live Len = %d, want %d", got, want)
+	}
+	if got := drainNames(t, p.Scan()); len(got) != 5 {
+		t.Errorf("Prefix.Scan returned %d facts, want 5: %v", len(got), got)
+	}
+	pat := []term.Term{term.Atom("a"), term.NewVar("X")}
+	env := term.NewEnv(1)
+	if got := len(Drain(p.Lookup(pat, env))); got != 5 {
+		t.Errorf("Prefix.Lookup returned %d facts, want 5", got)
+	}
+	if got := len(Drain(r.Lookup(pat, env))); got != 10 {
+		t.Errorf("live Lookup returned %d facts, want 10", got)
+	}
+	// Range reads clamp at the captured mark.
+	if got := len(Drain(p.ScanRange(0, 100))); got != 5 {
+		t.Errorf("Prefix.ScanRange(0,100) returned %d facts, want 5", got)
+	}
+	if got := len(Drain(p.LookupRange(pat, env, 0, 100))); got != 5 {
+		t.Errorf("Prefix.LookupRange(0,100) returned %d facts, want 5", got)
+	}
+	if p.Snapshot() != 5 {
+		t.Errorf("Prefix.Snapshot = %d, want 5", p.Snapshot())
+	}
+	if !p.Valid() {
+		t.Error("Prefix invalidated by appends; appends must not invalidate")
+	}
+}
+
+// TestPrefixValidity: destructive mutations (delete, truncate, clear)
+// invalidate a captured Prefix; appends never do.
+func TestPrefixValidity(t *testing.T) {
+	r := NewHashRelation("p", 1)
+	r.Insert(groundFact("a"))
+	r.Insert(groundFact("b"))
+
+	p := r.PrefixView()
+	r.Insert(groundFact("c"))
+	if !p.Valid() {
+		t.Fatal("append invalidated the prefix")
+	}
+
+	r.Delete([]term.Term{term.Atom("a")}, nil)
+	if p.Valid() {
+		t.Fatal("delete below the mark left the prefix valid")
+	}
+
+	p2 := r.PrefixView()
+	r.TruncateTo(1)
+	if p2.Valid() {
+		t.Fatal("truncation left the prefix valid")
+	}
+
+	p3 := r.PrefixView()
+	r.Clear()
+	if p3.Valid() {
+		t.Fatal("clear left the prefix valid")
+	}
+}
+
+// TestPrefixAtClamps: PrefixAt clamps a future mark to the current extent.
+func TestPrefixAtClamps(t *testing.T) {
+	r := NewHashRelation("p", 1)
+	r.Insert(groundFact("a"))
+	p := r.PrefixAt(99)
+	if p.Snapshot() != 1 {
+		t.Fatalf("PrefixAt(99).Snapshot = %d, want 1", p.Snapshot())
+	}
+	if p.Name() != "p" || p.Arity() != 1 || p.Rel() != r {
+		t.Fatal("Prefix metadata does not mirror the relation")
+	}
+}
+
+// TestLiveWithin: tombstones inside the range are not counted, and bounds
+// are clamped.
+func TestLiveWithin(t *testing.T) {
+	r := NewHashRelation("p", 1)
+	for _, a := range []string{"a", "b", "c", "d"} {
+		r.Insert(groundFact(a))
+	}
+	r.Delete([]term.Term{term.Atom("b")}, nil)
+	if got := r.LiveWithin(0, 4); got != 3 {
+		t.Errorf("LiveWithin(0,4) = %d, want 3", got)
+	}
+	if got := r.LiveWithin(1, 3); got != 1 {
+		t.Errorf("LiveWithin(1,3) = %d, want 1 (only c; b is dead)", got)
+	}
+	if got := r.LiveWithin(0, 100); got != 3 {
+		t.Errorf("LiveWithin(0,100) = %d, want 3 (clamped)", got)
+	}
+	if got := r.LiveWithin(-5, 2); got != 1 {
+		t.Errorf("LiveWithin(-5,2) = %d, want 1 (clamped)", got)
+	}
+}

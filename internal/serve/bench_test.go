@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"coral"
+)
+
+// BenchmarkE23Serve is the experiment E23 smoke: one in-process server
+// under the standard serving workload, eight concurrent verified clients
+// for a short burst per iteration. The full run with percentile tables is
+// `go run ./cmd/coralbench -serve` (EXPERIMENTS.md E23); the benchmark
+// keeps the serving path honest in `go test -bench`.
+func BenchmarkE23Serve(b *testing.B) {
+	sys := coral.New()
+	if _, err := sys.Consult(E23Program()); err != nil {
+		b.Fatal(err)
+	}
+	expect := make(map[string][][]string)
+	for _, q := range E23Queries() {
+		ans, err := sys.Query(q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := make([][]string, len(ans.Tuples))
+		for i, t := range ans.Tuples {
+			row := make([]string, len(t))
+			for j, arg := range t {
+				row[j] = arg.String()
+			}
+			rows[i] = row
+		}
+		expect[q] = rows
+	}
+	ts := httptest.NewServer(New(sys, Options{
+		DefaultBudget: coral.Budget{Timeout: 10 * time.Second},
+	}).Handler())
+	defer ts.Close()
+	http.DefaultClient.CloseIdleConnections()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lg := &LoadGen{
+			BaseURL:  ts.URL,
+			Clients:  8,
+			Duration: 200 * time.Millisecond,
+			Expect:   expect,
+		}
+		report, err := lg.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if report.Errors > 0 {
+			b.Fatalf("%d of %d requests failed or answered wrongly", report.Errors, report.Requests)
+		}
+		if report.QPS <= 0 {
+			b.Fatal("zero throughput")
+		}
+		b.ReportMetric(report.QPS, "qps")
+		b.ReportMetric(float64(report.P50.Microseconds()), "p50-us")
+		b.ReportMetric(float64(report.P99.Microseconds()), "p99-us")
+	}
+}

@@ -1,0 +1,102 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"coral"
+)
+
+// FuzzServeRequest throws arbitrary bodies at every structured endpoint
+// of a live server. The contract under fuzz: the server never panics and
+// never hangs (a tight default budget turns runaway recursion into a
+// typed abort), and every response is well-formed — either a success body
+// or an ErrorResponse with a known kind and a non-empty message. Each
+// iteration gets a fresh server so a fuzzed /load cannot poison later
+// ones.
+func FuzzServeRequest(f *testing.F) {
+	endpoints := []string{"/query", "/load", "/session"}
+	seeds := []struct {
+		ep   byte
+		body string
+	}{
+		{0, `{"query": "path(a, X)"}`},
+		{0, `{"query": "edge(X, Y), path(Y, Z)"}`},
+		{0, `{"query": ""}`},
+		{0, `{"query": "path(a,"}`},
+		{0, `{"query": "no_such_pred(X)"}`},
+		{0, `{"query": "path(a, X)", "session": "s999"}`},
+		{0, `{"query": "path(a, X)", "extra": 1}`},
+		{0, `{"query`},
+		{0, ``},
+		{0, `[1, 2, 3]`},
+		{0, "\x00\xff garbage"},
+		// Unbounded recursion through /load's inline query: must abort,
+		// not hang.
+		{1, `{"program": "module inf.\nexport num(f).\nnum(0).\nnum(X) :- num(Y), X = Y + 1.\nend_module.\n?- num(X)."}`},
+		{1, `{"program": "edge(d, e)."}`},
+		{1, `{"program": "module paths.\nexport p(f).\np(a).\nend_module."}`},
+		{1, `{"program": "edge(x, y). ???"}`},
+		{1, `{"program": ""}`},
+		{2, `{"snapshot": true, "timeout_ms": 1}`},
+		{2, `{"snapshot": false, "max_facts": -3}`},
+		{2, `{"snapshot": "yes"}`},
+	}
+	for _, s := range seeds {
+		f.Add(s.ep, s.body)
+	}
+	f.Fuzz(func(t *testing.T, ep byte, body string) {
+		sys := coral.New()
+		if _, err := sys.Consult(testProgram); err != nil {
+			t.Fatal(err)
+		}
+		srv := New(sys, Options{
+			DefaultBudget: coral.Budget{
+				Timeout:       200 * time.Millisecond,
+				MaxFacts:      5000,
+				MaxIterations: 500,
+			},
+			MaxBodyBytes: 1 << 16,
+		})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+
+		url := ts.URL + endpoints[int(ep)%len(endpoints)]
+		resp, err := http.Post(url, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", url, err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read response: %v", err)
+		}
+		switch resp.StatusCode {
+		case http.StatusOK:
+			if !json.Valid(raw) {
+				t.Fatalf("200 with invalid JSON body: %q", raw)
+			}
+		case http.StatusBadRequest, http.StatusNotFound, http.StatusRequestTimeout,
+			http.StatusConflict, http.StatusUnprocessableEntity, http.StatusRequestEntityTooLarge:
+			var e ErrorResponse
+			if err := json.Unmarshal(raw, &e); err != nil {
+				t.Fatalf("HTTP %d with non-JSON error body %q: %v", resp.StatusCode, raw, err)
+			}
+			if e.Error == "" || e.Kind == "" {
+				t.Fatalf("HTTP %d with empty error/kind: %q", resp.StatusCode, raw)
+			}
+			switch e.Kind {
+			case "bad_request", "parse", "eval", "abort", "unknown_session", "snapshot_invalidated":
+			default:
+				t.Fatalf("unknown error kind %q", e.Kind)
+			}
+		default:
+			t.Fatalf("unexpected status %d: %q", resp.StatusCode, raw)
+		}
+	})
+}

@@ -1,0 +1,251 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"coral/internal/workload"
+)
+
+// Load generation: N concurrent clients driving real HTTP requests against
+// a running server, with latency percentiles — the serving benchmark of
+// experiment E23. The generator optionally verifies every response against
+// an expected answer set, so a load run doubles as a correctness check
+// (every concurrent client must see byte-identical answers).
+
+// LoadGen drives a mixed query workload of concurrent clients.
+type LoadGen struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:7690".
+	BaseURL string
+	// Clients is the number of concurrent clients (default 8).
+	Clients int
+	// Duration bounds the run (default 5s).
+	Duration time.Duration
+	// Queries is the per-request query mix; client i starts at offset i
+	// and round-robins (default: the E23 workload queries).
+	Queries []string
+	// Expect, when non-nil, maps a query to its expected rendered tuples
+	// (order-independent); a mismatching response counts as an error.
+	Expect map[string][][]string
+	// Snapshot opens one snapshot session per client and evaluates every
+	// query in it (exercises the versioned-read path under load).
+	Snapshot bool
+}
+
+// LoadReport summarizes one load run.
+type LoadReport struct {
+	Requests int
+	Errors   int
+	Elapsed  time.Duration
+	QPS      float64
+	P50      time.Duration
+	P95      time.Duration
+	P99      time.Duration
+}
+
+// String renders the report as the E23 table row.
+func (r *LoadReport) String() string {
+	return fmt.Sprintf("requests=%d errors=%d elapsed=%.1fs qps=%.0f p50=%s p95=%s p99=%s",
+		r.Requests, r.Errors, r.Elapsed.Seconds(), r.QPS, r.P50, r.P95, r.P99)
+}
+
+// Run executes the load and reports. It returns an error only for setup
+// failures (an unreachable server); per-request failures are counted in the
+// report.
+func (lg *LoadGen) Run() (*LoadReport, error) {
+	clients := lg.Clients
+	if clients <= 0 {
+		clients = 8
+	}
+	duration := lg.Duration
+	if duration <= 0 {
+		duration = 5 * time.Second
+	}
+	queries := lg.Queries
+	if len(queries) == 0 {
+		queries = E23Queries()
+	}
+
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	if _, err := getJSON(httpc, lg.BaseURL+"/healthz"); err != nil {
+		return nil, fmt.Errorf("serve: server not reachable: %w", err)
+	}
+
+	type clientResult struct {
+		latencies []time.Duration
+		errors    int
+	}
+	results := make([]clientResult, clients)
+	deadline := time.Now().Add(duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			res := &results[c]
+			session := ""
+			if lg.Snapshot {
+				id, err := openSession(httpc, lg.BaseURL, true)
+				if err != nil {
+					res.errors++
+					return
+				}
+				session = id
+				defer closeSession(httpc, lg.BaseURL, id)
+			}
+			for i := c; time.Now().Before(deadline); i++ {
+				q := queries[i%len(queries)]
+				t0 := time.Now()
+				resp, err := postQuery(httpc, lg.BaseURL, q, session)
+				lat := time.Since(t0)
+				if err != nil {
+					res.errors++
+					continue
+				}
+				if want, checked := lg.Expect[q]; checked && !sameTuples(resp.Tuples, want) {
+					res.errors++
+					continue
+				}
+				res.latencies = append(res.latencies, lat)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []time.Duration
+	report := &LoadReport{Elapsed: elapsed}
+	for _, res := range results {
+		all = append(all, res.latencies...)
+		report.Errors += res.errors
+	}
+	report.Requests = len(all) + report.Errors
+	if elapsed > 0 {
+		report.QPS = float64(len(all)) / elapsed.Seconds()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	report.P50 = percentile(all, 0.50)
+	report.P95 = percentile(all, 0.95)
+	report.P99 = percentile(all, 0.99)
+	return report, nil
+}
+
+func percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// sameTuples compares rendered answer sets ignoring order (the engine does
+// not promise enumeration order across plans).
+func sameTuples(got, want [][]string) bool {
+	if len(got) != len(want) {
+		return false
+	}
+	return canonTuples(got) == canonTuples(want)
+}
+
+func canonTuples(rows [][]string) string {
+	keys := make([]string, len(rows))
+	for i, row := range rows {
+		var b bytes.Buffer
+		for _, col := range row {
+			b.WriteString(col)
+			b.WriteByte('\x00')
+		}
+		keys[i] = b.String()
+	}
+	sort.Strings(keys)
+	var b bytes.Buffer
+	for _, k := range keys {
+		b.WriteString(k)
+		b.WriteByte('\x01')
+	}
+	return b.String()
+}
+
+func postQuery(c *http.Client, base, q, session string) (*QueryResponse, error) {
+	body, _ := json.Marshal(QueryRequest{Query: q, Session: session})
+	resp, err := c.Post(base+"/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return nil, fmt.Errorf("query %q: HTTP %d: %s", q, resp.StatusCode, e.Error)
+	}
+	var out QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+func openSession(c *http.Client, base string, snapshot bool) (string, error) {
+	body, _ := json.Marshal(SessionRequest{Snapshot: snapshot})
+	resp, err := c.Post(base+"/session", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("session open: HTTP %d", resp.StatusCode)
+	}
+	var out SessionResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return "", err
+	}
+	return out.Session, nil
+}
+
+func closeSession(c *http.Client, base, id string) {
+	req, _ := http.NewRequest(http.MethodDelete, base+"/session/"+id, nil)
+	resp, err := c.Do(req)
+	if err == nil {
+		resp.Body.Close()
+	}
+}
+
+func getJSON(c *http.Client, url string) (map[string]any, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// E23Program is the standard serving workload: a random graph under the
+// transitive-closure module (the shape most experiments share, sized so a
+// query is non-trivial but sub-millisecond — a serving benchmark measures
+// dispatch and concurrency, not one giant fixpoint).
+func E23Program() string {
+	return workload.RandomGraph(40, 160, 23) + workload.TCModule("")
+}
+
+// E23Queries is the mixed read workload: bound and free recursive queries
+// plus a base-relation join.
+func E23Queries() []string {
+	return []string{
+		"tc(0, X)",
+		"tc(7, X)",
+		"tc(13, X)",
+		"edge(X, Y), edge(Y, X)",
+		"tc(21, X)",
+		"edge(0, X)",
+	}
+}
