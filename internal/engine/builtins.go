@@ -72,6 +72,10 @@ func IsArithExpr(t term.Term, env *term.Env) bool {
 
 // EvalArith evaluates an arithmetic expression to a numeric constant. It
 // throws an evaluation error on type mismatch or unbound variables.
+//
+// lint:allow ctxprop — bounded, non-looping single-term reduction: the
+// recursion depth is the expression's syntactic depth, so there is nothing
+// a context could usefully cancel.
 func EvalArith(t term.Term, env *term.Env) term.Term {
 	t, env = term.Deref(t, env)
 	switch x := t.(type) {

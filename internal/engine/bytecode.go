@@ -698,7 +698,10 @@ func (ev *evaluator) runBC(p *bcProg, rr ruleRanges, emit emitFunc) (handled boo
 			if hr.NonGroundWithin(from, to) {
 				return false
 			}
-			fr.src, fr.hr = src, hr
+			// lint:allow roviol — fr is this round's scratch scan frame; the
+		// unwrapped relation is only read (bounded scans, index lookups)
+		// and the frame never outlives the call.
+		fr.src, fr.hr = src, hr
 		case ItemNegRel:
 			src, err := ev.st.source(it.src.Pred)
 			if err != nil {

@@ -4,6 +4,22 @@
 // of subgoals, the save-module facility, lazy answer return, head
 // aggregation and set-grouping, aggregate selections, builtins, and the
 // inter-module get-next-tuple call interface.
+//
+// # Concurrency annotations
+//
+// The package's lock, snapshot and context disciplines (DESIGN.md §5.16,
+// §5.17) are machine-checked by the repository lint suite (tools/lint).
+// Struct fields that share a struct with a sync.Mutex/RWMutex declare
+// their discipline in a comment: "guarded_by(mu)" means the named mutex
+// must be held around every access (enforced by lockcheck, completeness
+// by guardannot), and "unguarded: <rationale>" records why no lock is
+// needed (set before publication, atomic, externally fenced). Values of
+// type *relation.Prefix are read-only snapshot views; the roviol analyzer
+// forbids unwrapping them into anything a mutating relation method or a
+// writable store can reach. Exported evaluation entry points must carry a
+// context.Context or Budget (ctxprop). Sites whose safety rests on an
+// invariant the analyzers cannot see carry a
+// "lint:allow <analyzer> — <reason>" line.
 package engine
 
 import (

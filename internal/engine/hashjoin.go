@@ -66,6 +66,22 @@ func hashRelOf(src Source) *relation.HashRelation {
 	return nil
 }
 
+// hashRelOfWritable is hashRelOf restricted to relations this evaluation
+// may mutate: it has no *relation.Prefix case, so index creation and any
+// other write can never reach the relation underneath a snapshot view, no
+// matter what dynamic gates surround the call site. Prefix-backed sources
+// serve reads only (build tables, scans) through hashRelOf.
+func hashRelOfWritable(src Source) *relation.HashRelation {
+	switch s := src.(type) {
+	case *relation.HashRelation:
+		return s
+	case relSource:
+		hr, _ := s.r.(*relation.HashRelation)
+		return hr
+	}
+	return nil
+}
+
 // scanBounds returns the ordinal range the semi-naive discipline assigns to
 // relation item it under rr — the same switch lookupFor's ranged paths
 // apply, keyed on the written occurrence (OrigPos).
@@ -286,6 +302,9 @@ func (me *matEval) evalSymDelta(c *Compiled, last, now map[ast.PredKey]relation.
 		if errO != nil || errI != nil {
 			return false, nil // let the generic path surface the error
 		}
+		// lint:allow roviol — v is a local per-version descriptor; both
+		// relations are only scanned and probed (build tables cap at the
+		// snapshot mark), never mutated, and v does not escape the round.
 		v.hrOut, v.hrIn = hashRelOf(srcO), hashRelOf(srcI)
 		if v.hrOut == nil || v.hrIn == nil {
 			return false, nil

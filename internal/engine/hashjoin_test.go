@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"coral/internal/ast"
+	"coral/internal/relation"
 	"coral/internal/term"
 	"coral/internal/workload"
 )
@@ -278,4 +279,37 @@ end_module.
 		}
 		assertNoGoroutineLeak(t, base)
 	}
+}
+
+// TestWritableUnwrapRefusesPrefix: hashRelOfWritable is the accessor index
+// creation (ensurePlanIndexes) goes through, and it must never unwrap a
+// snapshot view down to the writable relation underneath — a MakeIndex
+// through a Prefix would mutate state every pinned session reads.
+// Regression for the plan-index path that previously unwrapped via
+// hashRelOf and relied solely on the sharedRO ownership gate.
+func TestWritableUnwrapRefusesPrefix(t *testing.T) {
+	hr := relationForUnwrapTest(t)
+	if got := hashRelOf(hr.PrefixView()); got != hr {
+		t.Fatalf("hashRelOf must still unwrap a Prefix for read paths, got %v", got)
+	}
+	if got := hashRelOfWritable(hr.PrefixView()); got != nil {
+		t.Fatalf("hashRelOfWritable unwrapped a snapshot Prefix to %v; writes could tear pinned sessions", got)
+	}
+	if got := hashRelOfWritable(hr); got != hr {
+		t.Fatal("hashRelOfWritable must pass a plain HashRelation through")
+	}
+	if got := hashRelOfWritable(relSource{r: hr}); got != hr {
+		t.Fatal("hashRelOfWritable must pass a relSource-wrapped HashRelation through")
+	}
+}
+
+// relationForUnwrapTest builds a small relation with a couple of facts so
+// Prefix views over it are non-trivial.
+func relationForUnwrapTest(t *testing.T) *relation.HashRelation {
+	t.Helper()
+	hr := relation.NewHashRelation("e", 2)
+	for i := 0; i < 3; i++ {
+		hr.Insert(relation.NewFact([]term.Term{term.Int(i), term.Int(i + 1)}, nil))
+	}
+	return hr
 }

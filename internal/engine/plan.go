@@ -551,7 +551,11 @@ func (me *matEval) ensurePlanIndexes(c *Compiled) {
 				continue
 			}
 		}
-		if hr := hashRelOf(src); hr != nil {
+		// hashRelOfWritable, not hashRelOf: a snapshot view's Prefix
+		// sources must never be unwrapped for a write, and the restricted
+		// accessor makes that structural rather than a property of the
+		// sharedRO gate above.
+		if hr := hashRelOfWritable(src); hr != nil {
 			_ = hr.MakeIndex(it.BoundPos...)
 		}
 	}

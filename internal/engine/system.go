@@ -29,22 +29,26 @@ import (
 // module installs, deletes) with evaluations is not — fence it.
 type System struct {
 	mu      sync.RWMutex
-	base    map[ast.PredKey]relation.Relation
-	exports map[ast.PredKey]*ModuleDef
-	modules map[string]*ModuleDef
+	base    map[ast.PredKey]relation.Relation // guarded_by(mu)
+	exports map[ast.PredKey]*ModuleDef        // guarded_by(mu)
+	modules map[string]*ModuleDef             // guarded_by(mu)
 	// AutoDefineBase controls whether referencing an unknown predicate
 	// creates an empty base relation (convenient interactively) or errors.
+	// unguarded: configuration, set before the system serves concurrent
+	// callers (the epoch fence in serve keeps writers out of evaluations).
 	AutoDefineBase bool
 	// Parallelism bounds the worker pool of each BSN fixpoint round
 	// (parallel.go). 0 uses runtime.GOMAXPROCS(0); 1 forces sequential
 	// rounds. Strata whose evaluation is inherently sequential — Ordered
 	// Search, tracing, aggregate selections, module-call or computed body
 	// sources — ignore the setting and run sequentially either way.
+	// unguarded: configuration, set before concurrent use.
 	Parallelism int
 	// JoinPlanning enables the cost-based join planner (plan.go), on by
 	// default. When false every rule body is evaluated in its written
 	// order, preserving the pre-planner behavior byte for byte. Ordered
 	// Search and traced evaluations always use the written order.
+	// unguarded: configuration, set before concurrent use.
 	JoinPlanning bool
 	// HashJoins enables hash-join access paths (hashjoin.go), on by
 	// default: the planner serves repeated probes of a body literal from a
@@ -54,6 +58,7 @@ type System struct {
 	// tables over each other's ranges. The classic build/probe form
 	// additionally requires JoinPlanning (the planner places the marks).
 	// On and off produce identical answer sets, byte for byte.
+	// unguarded: configuration, set before concurrent use.
 	HashJoins bool
 	// FlowOptimization enables the optimizations fed by the whole-program
 	// flow analysis (analysis/flow), on by default: pruning rules
@@ -61,6 +66,7 @@ type System struct {
 	// reachable context is all-free, and seeding the join planner from
 	// magic literals (the carriers of inferred call bindings). When false
 	// programs are built exactly as before the analysis existed.
+	// unguarded: configuration, set before concurrent use.
 	FlowOptimization bool
 	// Bytecode compiles eligible rule bodies to adornment-specialized
 	// register bytecode (bytecode.go), on by default: the join loop runs
@@ -68,6 +74,7 @@ type System struct {
 	// CItem structures per candidate tuple, with unboxed integer
 	// arithmetic. Traced and Ordered Search evaluations always use the
 	// interpreter. On and off produce identical answers, byte for byte.
+	// unguarded: configuration, set before concurrent use.
 	Bytecode bool
 	// StaticSeeding feeds the join planner compile-time cardinality
 	// estimates (analysis/card) as a prior, on by default: body sources
@@ -77,15 +84,19 @@ type System struct {
 	// iteration-budget aborts carry the statically proven round bound as a
 	// hint. Live statistics take over as relations fill (plan drift
 	// invalidation). On and off produce identical answer sets.
+	// unguarded: configuration, set before concurrent use.
 	StaticSeeding bool
 	// Ctx, when non-nil, is polled during evaluation; cancellation aborts
 	// the running call with an *AbortError. The single-user interactive
 	// system makes a stored context the natural shape: the REPL arms it
 	// per input line (Ctrl-C interrupts the query, not the process).
+	// unguarded: single-writer interactive state; server sessions carry
+	// their context on the View instead of mutating this field.
 	Ctx context.Context
 	// Budget bounds each evaluated call (see Budget); the zero value is
 	// unlimited. The deadline is anchored when a call starts, so a
 	// save-module evaluation gets a fresh deadline per call.
+	// unguarded: set during configuration, read-only once serving.
 	Budget Budget
 }
 
@@ -160,27 +171,27 @@ func (sys *System) Bases(fn func(ast.PredKey, relation.Relation)) {
 // ModuleDef is an installed module: the source plus compiled programs per
 // query form, and the save-module state (paper §5.4.2).
 type ModuleDef struct {
-	Src *ast.Module
-	sys *System
+	Src *ast.Module // unguarded: immutable after install
+	sys *System    // unguarded: immutable after install
 
 	// mu guards the lazily grown caches below (progs, staticEst): module
 	// calls from concurrent read-only evaluations (View) compile
 	// existential variants and compute static estimates on demand.
 	mu    sync.Mutex
-	progs map[string]*Program // by adornment
+	progs map[string]*Program // guarded_by(mu); by adornment
 
 	// savedMu serializes save-module calls: the saved matEval is shared
 	// accumulated state (paper §5.4.2 — one evaluation serves every
 	// caller), so concurrent calls take turns, and a shared read-only
 	// caller drains its answers before releasing the lock.
 	savedMu sync.Mutex
-	saved   map[string]*matEval // save-module state, by adornment
+	saved   map[string]*matEval // guarded_by(savedMu); save-module state, by adornment
 
-	pipe *pipeProgram // pipelined modules
+	pipe *pipeProgram // unguarded: immutable after install; pipelined modules
 
 	// staticEst caches the module's compile-time cardinality estimate over
 	// its source rules — the price tag callers' planners put on this
-	// module's exports (cardseed.go). Guarded by mu; estimate cycles
+	// module's exports (cardseed.go). guarded_by(mu); estimate cycles
 	// between modules are broken by the visited set threaded through
 	// exportStaticStats.
 	staticEst *cardResult

@@ -160,7 +160,9 @@ func (def *ModuleDef) ExplainCall(pred ast.PredKey, args []term.Term) (string, e
 	if err != nil {
 		return "", err
 	}
+	def.mu.Lock()
 	prog := def.progs[formKey(pred.Name, form)]
+	def.mu.Unlock()
 	me := newMatEval(prog, def.sys.external)
 	me.ev.trace = newTraceLog()
 	me.addSeed(args, nil)

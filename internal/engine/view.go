@@ -29,10 +29,10 @@ import (
 // Relations registered after capture (including auto-defined ones) read as
 // empty: they did not exist at capture.
 type BaseSnapshot struct {
-	sys *System
+	sys *System // unguarded: immutable after capture
 
 	mu       sync.Mutex
-	prefixes map[ast.PredKey]*relation.Prefix
+	prefixes map[ast.PredKey]*relation.Prefix // guarded_by(mu)
 }
 
 // SnapshotBases captures the current extent of every hash base relation.
@@ -187,8 +187,8 @@ func (s *viewCallSource) Snapshot() relation.Mark { return 0 }
 // does not silently depend on that.
 type statsAcc struct {
 	mu    sync.Mutex
-	evals []*matEval
-	saved RunStats
+	evals []*matEval // guarded_by(mu)
+	saved RunStats   // guarded_by(mu)
 }
 
 func (a *statsAcc) collect(me *matEval) {

@@ -5,10 +5,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"coral/internal/ast"
 	"coral/internal/parser"
 	"coral/internal/relation"
 	"coral/internal/term"
@@ -276,5 +278,61 @@ end_module.
 	var ab *AbortError
 	if !errors.As(err, &ab) || ab.Tripped != AbortDeadline {
 		t.Fatalf("view deadline did not trip: %v", err)
+	}
+}
+
+// TestExplainConcurrentWithViews: ExplainCall reads the module's program
+// cache while concurrent views lazily compile existential variants into it
+// (the reach(0, _) query form writes reach/bf/ox into def.progs).
+// Regression for an unlocked def.progs read in ExplainCall. The write
+// window is one-time, so -race only trips on an unlucky interleaving; the
+// deterministic guard is lockcheck, which rejects the unlocked read
+// statically — this test pins the runtime behavior both paths rely on.
+func TestExplainConcurrentWithViews(t *testing.T) {
+	sys := buildSystem(t, `
+edge(0, 1). edge(1, 2). edge(2, 3).
+module r.
+export reach(bf).
+reach(X, Y) :- edge(X, Y).
+reach(X, Y) :- edge(X, Z), reach(Z, Y).
+end_module.
+`)
+	def, ok := sys.Module("r")
+	if !ok {
+		t.Fatal("module r not installed")
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				if g%2 == 0 {
+					// Existence query: compiles (then reuses) the masked
+					// reach/bf/ox variant — a write into def.progs.
+					if _, _, err := askViewErr(sys.NewView(nil), "reach(0, _)"); err != nil {
+						errs <- err
+						return
+					}
+					continue
+				}
+				out, err := def.ExplainCall(ast.PredKey{Name: "reach", Arity: 2},
+					[]term.Term{term.Int(0), term.Int(3)})
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !strings.Contains(out, "by rule:") {
+					errs <- fmt.Errorf("explanation missing derivation:\n%s", out)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
 	}
 }

@@ -8,6 +8,16 @@
 //
 // Everything is consumed through the get-next-tuple iterator interface the
 // paper builds the whole system around (§2, §5.6).
+//
+// # Concurrency annotations
+//
+// Relations follow the single-writer/multi-reader contract of DESIGN.md
+// §5.9; Prefix (versioned.go) is the read-only snapshot view built on it.
+// The repository lint suite (tools/lint) machine-checks the discipline:
+// mutex-adjacent struct fields carry "guarded_by(<mu>)" or an
+// "unguarded: <rationale>" comment (lockcheck, guardannot), and outside
+// this package a Prefix may never be unwrapped into a mutating call or a
+// writable store (roviol) — Rel() exists for bounded read paths only.
 package relation
 
 import (

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -20,6 +21,10 @@ import (
 
 // LoadGen drives a mixed query workload of concurrent clients.
 type LoadGen struct {
+	// Ctx, when non-nil, cancels the run early: every client stops issuing
+	// requests once it is done, and Run returns the partial report. Nil
+	// runs to the Duration deadline.
+	Ctx context.Context
 	// BaseURL is the server root, e.g. "http://127.0.0.1:7690".
 	BaseURL string
 	// Clients is the number of concurrent clients (default 8).
@@ -71,6 +76,13 @@ func (lg *LoadGen) Run() (*LoadReport, error) {
 		queries = E23Queries()
 	}
 
+	ctx := lg.Ctx
+	if ctx == nil {
+		// lint:allow ctxprop — the nil-Ctx default for standalone bench
+		// runs; callers that need cancellation set LoadGen.Ctx.
+		ctx = context.Background()
+	}
+
 	httpc := &http.Client{Timeout: 30 * time.Second}
 	if _, err := getJSON(httpc, lg.BaseURL+"/healthz"); err != nil {
 		return nil, fmt.Errorf("serve: server not reachable: %w", err)
@@ -100,6 +112,9 @@ func (lg *LoadGen) Run() (*LoadReport, error) {
 				defer closeSession(httpc, lg.BaseURL, id)
 			}
 			for i := c; time.Now().Before(deadline); i++ {
+				if ctx.Err() != nil {
+					return
+				}
 				q := queries[i%len(queries)]
 				t0 := time.Now()
 				resp, err := postQuery(httpc, lg.BaseURL, q, session)

@@ -45,21 +45,21 @@ type Options struct {
 // Server serves queries from many concurrent clients against one shared
 // coral.System.
 type Server struct {
-	sys  *coral.System
-	opts Options
+	sys  *coral.System // unguarded: set before serving, read-only after
+	opts Options       // unguarded: set before serving, read-only after
 
 	// epoch is the reader/writer fence: every query evaluates under RLock,
 	// every load mutates under Lock (draining in-flight readers first).
 	epoch sync.RWMutex
 
 	sessMu   sync.Mutex
-	sessions map[string]*coral.Session
-	nextSess atomic.Int64
+	sessions map[string]*coral.Session // guarded_by(sessMu)
+	nextSess atomic.Int64              // unguarded: atomic
 
-	queries atomic.Int64
-	loads   atomic.Int64
-	errs    atomic.Int64
-	started time.Time
+	queries atomic.Int64 // unguarded: atomic
+	loads   atomic.Int64 // unguarded: atomic
+	errs    atomic.Int64 // unguarded: atomic
+	started time.Time    // unguarded: set once in New, read-only after
 }
 
 // New creates a server around an already-configured system.

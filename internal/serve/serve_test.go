@@ -435,3 +435,39 @@ func TestQueryTimeoutOption(t *testing.T) {
 		t.Fatalf("query timeout: HTTP %d kind %q, want 408 abort", code, e.Kind)
 	}
 }
+
+// TestLoadGenContextCancel: a canceled LoadGen.Ctx stops the run well
+// before its Duration deadline and still returns a coherent report.
+// Regression for LoadGen ignoring cancellation entirely (its clients used
+// to run to the wall-clock deadline no matter what the caller wanted).
+func TestLoadGenContextCancel(t *testing.T) {
+	_, ts := newTestServer(t, testProgram, Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	lg := &LoadGen{
+		Ctx:      ctx,
+		BaseURL:  ts.URL,
+		Clients:  2,
+		Duration: 30 * time.Second,
+		Queries:  []string{"path(a, X)"},
+	}
+	done := make(chan struct{})
+	var report *LoadReport
+	var runErr error
+	go func() {
+		report, runErr = lg.Run()
+		close(done)
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("LoadGen.Run did not stop after cancellation (Duration is 30s)")
+	}
+	if runErr != nil {
+		t.Fatalf("canceled run errored: %v", runErr)
+	}
+	if report.Requests == 0 {
+		t.Fatal("canceled run issued no requests before the cancel")
+	}
+}

@@ -9,9 +9,13 @@
 //
 // Differences from the real framework, all deliberate:
 //
-//   - Pass.Pkg is the package name, not a *types.Package: the driver
-//     parses with go/parser only and never type-checks, so analyzers are
-//     purely syntactic (exactly as the pre-framework linter was).
+//   - Pass.Pkg is the package name (kept for the analyzers' cheap package
+//     gates); the type-checked package and its go/types information live
+//     in TypesPkg/TypesInfo. The driver type-checks with the stdlib
+//     go/types + go/importer only, tolerating type errors (TypeErrors
+//     collects them), so syntactic analyzers keep working on fixtures
+//     that do not fully resolve while type-aware analyzers get real
+//     cross-file method resolution.
 //   - No Requires/ResultOf plumbing — none of the analyzers here feed
 //     another.
 //   - No SuggestedFixes, facts, or analyzer flags.
@@ -21,6 +25,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 )
 
 // An Analyzer describes one self-contained analysis: a name used in
@@ -55,8 +60,28 @@ type Pass struct {
 	Files []*ast.File
 
 	// Pkg is the package's name (shim divergence: the real framework
-	// supplies the type-checked *types.Package).
+	// supplies only the type-checked *types.Package, here TypesPkg).
 	Pkg string
+
+	// PkgPath is the package's import path as the driver resolved it
+	// (module-relative for repository packages, directory path for
+	// fixtures outside the module build).
+	PkgPath string
+
+	// TypesPkg is the type-checked package. It is always non-nil, but may
+	// be incomplete when the package has type errors (see TypeErrors).
+	TypesPkg *types.Package
+
+	// TypesInfo holds the type-checker's per-expression results (Types,
+	// Defs, Uses, Selections, Implicits) for Files. Type-aware analyzers
+	// must tolerate missing entries: the driver continues past type
+	// errors so purely syntactic analyzers still run on partial packages.
+	TypesInfo *types.Info
+
+	// TypeErrors collects the type-checker's complaints for this package.
+	// Analyzers that need sound type information can use it to soften
+	// their conclusions on packages that did not fully resolve.
+	TypeErrors []error
 
 	// Report delivers one diagnostic to the driver.
 	Report func(Diagnostic)

@@ -1,0 +1,241 @@
+package main
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"coral/tools/lint/analysis"
+)
+
+// ctxpropAnalyzer enforces the context/budget threading discipline on the
+// evaluation packages (engine, serve; DESIGN.md §5.17). Three rules:
+//
+//  1. No context.Background()/context.TODO() calls: an evaluation path
+//     that manufactures its own root context has detached itself from
+//     request cancellation and deadline propagation. (The cmd mains that
+//     legitimately create the process root are outside these packages.)
+//
+//  2. No dropped ctx parameters: a function that accepts a
+//     context.Context must actually consult it — an unused (or blank)
+//     ctx parameter advertises cancelability the function does not have.
+//
+//  3. Exported evaluation entry points (Query*/Eval*/Serve*/Run*/Call*/
+//     Load*/Consult*) must carry a cancellation channel: a
+//     context.Context, Budget or *http.Request parameter, or a receiver
+//     whose struct (directly, or through one struct-typed field — the
+//     ModuleDef→System shape) stores a Ctx/Budget. Entry points that are
+//     provably bounded without one carry
+//     "lint:allow ctxprop — <reason>".
+var ctxpropAnalyzer = &analysis.Analyzer{
+	Name: "ctxprop",
+	Doc: `require context/budget threading on engine and serve entry points
+
+In packages engine and serve: no context.Background/TODO (hot paths must
+inherit the caller's context), no context.Context parameters that the
+function never reads, and every exported evaluation entry point must
+accept or carry a context/budget. Annotate bounded exceptions with
+"lint:allow ctxprop — <reason>".`,
+	Run: runCtxprop,
+}
+
+// ctxpropPkgs are the packages under the context discipline.
+var ctxpropPkgs = map[string]bool{"engine": true, "serve": true}
+
+// entryPrefixes mark exported evaluation entry points by name.
+var entryPrefixes = []string{"Query", "Eval", "Serve", "Run", "Call", "Load", "Consult"}
+
+func runCtxprop(pass *analysis.Pass) (interface{}, error) {
+	if !ctxpropPkgs[pass.Pkg] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		allowed := allowedLines(pass.Fset, file, "lint:allow ctxprop")
+		checkRootContexts(pass, file, allowed)
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkDroppedCtx(pass, fn, allowed)
+			checkEntryPoint(pass, fn, allowed)
+		}
+	}
+	return nil, nil
+}
+
+// checkRootContexts flags context.Background()/context.TODO() calls,
+// resolved through the type checker so an unrelated local named "context"
+// is not confused with the package.
+func checkRootContexts(pass *analysis.Pass, file *ast.File, allowed map[int]bool) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+			return true
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		pkgName, ok := pass.TypesInfo.Uses[pkgID].(*types.PkgName)
+		if !ok || pkgName.Imported().Path() != "context" {
+			return true
+		}
+		if !allowed[pass.Fset.Position(call.Pos()).Line] {
+			pass.Reportf(call.Pos(), "context.%s() on an evaluation path: inherit the caller's context so cancellation and deadlines propagate (or annotate with \"lint:allow ctxprop — <reason>\")", sel.Sel.Name)
+		}
+		return true
+	})
+}
+
+// checkDroppedCtx flags context.Context parameters the function never
+// reads.
+func checkDroppedCtx(pass *analysis.Pass, fn *ast.FuncDecl, allowed map[int]bool) {
+	if fn.Type.Params == nil {
+		return
+	}
+	for _, field := range fn.Type.Params.List {
+		if !isContextTypeExpr(pass, field.Type) {
+			continue
+		}
+		for _, name := range field.Names {
+			if allowed[pass.Fset.Position(name.Pos()).Line] {
+				continue
+			}
+			if name.Name == "_" {
+				pass.Reportf(name.Pos(), "blank context.Context parameter: the function advertises cancelability it does not implement (name and consult it, or annotate with \"lint:allow ctxprop — <reason>\")")
+				continue
+			}
+			obj := pass.TypesInfo.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if !usesObject(pass, fn.Body, obj) {
+				pass.Reportf(name.Pos(), "ctx parameter %s is never used: forward it or consult it — a dropped context breaks cancellation through this call (or annotate with \"lint:allow ctxprop — <reason>\")", name.Name)
+			}
+		}
+	}
+}
+
+// usesObject reports whether any identifier in body resolves to obj.
+func usesObject(pass *analysis.Pass, body *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// checkEntryPoint flags exported evaluation entry points that carry no
+// cancellation channel at all.
+func checkEntryPoint(pass *analysis.Pass, fn *ast.FuncDecl, allowed map[int]bool) {
+	name := fn.Name.Name
+	if !ast.IsExported(name) || !hasEntryPrefix(name) {
+		return
+	}
+	if allowed[pass.Fset.Position(fn.Name.Pos()).Line] {
+		return
+	}
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			if tv, ok := pass.TypesInfo.Types[field.Type]; ok && carriesCancellation(tv.Type) {
+				return
+			}
+		}
+	}
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		if tv, ok := pass.TypesInfo.Types[fn.Recv.List[0].Type]; ok && structCarriesCtx(tv.Type, 2) {
+			return
+		}
+	}
+	pass.Reportf(fn.Name.Pos(), "exported evaluation entry point %s carries no context or budget: accept a context.Context/Budget, store one on the receiver, or annotate with \"lint:allow ctxprop — <reason>\"", name)
+}
+
+func hasEntryPrefix(name string) bool {
+	for _, p := range entryPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// carriesCancellation reports whether a parameter type is itself a
+// cancellation channel: context.Context, a Budget, or *http.Request
+// (whose Context() carries the per-request cancellation).
+func carriesCancellation(t types.Type) bool {
+	return isContextType(t) || isBudgetType(t) || isHTTPRequest(t)
+}
+
+// structCarriesCtx reports whether a receiver type stores a cancellation
+// channel: a struct field of context/Budget type, searched through one
+// level of struct-typed fields (depth) so ModuleDef's sys *System finds
+// System.Ctx.
+func structCarriesCtx(t types.Type, depth int) bool {
+	if depth == 0 {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return false
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		ft := st.Field(i).Type()
+		if carriesCancellation(ft) {
+			return true
+		}
+		if structCarriesCtx(ft, depth-1) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContextTypeExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Type != nil && isContextType(tv.Type)
+}
+
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+func isBudgetType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Budget" && obj.Pkg() != nil
+}
+
+func isHTTPRequest(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := p.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
+}

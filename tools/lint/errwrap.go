@@ -3,23 +3,26 @@ package main
 import (
 	"go/ast"
 	"go/token"
+	"go/types"
 	"strings"
 
 	"coral/tools/lint/analysis"
 )
 
 // errwrapAnalyzer enforces errorf-wrap: an error value passed to
-// fmt.Errorf must be wrapped with %w, not flattened with %v/%s, so
-// callers can errors.Is/As through the engine and relation layers.
-// Detected syntactically: any argument whose identifier is (or ends in)
-// "err" with a format string lacking %w.
+// fmt.Errorf must be wrapped with %w, not flattened with %v/%s or
+// pre-stringified with .Error(), so callers can errors.Is/As through the
+// engine and relation layers. errors.New(err.Error()) — rebuilding an
+// error from another error's text — is the same flattening and is flagged
+// too. Error-ness is judged through the type checker when type information
+// resolved, and by the repository's "err" naming convention otherwise.
 var errwrapAnalyzer = &analysis.Analyzer{
 	Name: "errwrap",
 	Doc: `require %w when fmt.Errorf consumes an error value
 
-Flattening an error with %v/%s severs the errors.Is/As chain callers rely
-on to detect budget aborts and typed engine failures. Judged by name: an
-argument identifier that is, or ends in, "err".`,
+Flattening an error with %v/%s, passing err.Error() to a format verb, or
+rebuilding it with errors.New(err.Error()) severs the errors.Is/As chain
+callers rely on to detect budget aborts and typed engine failures.`,
 	Run: runErrwrap,
 }
 
@@ -33,10 +36,34 @@ func runErrwrap(pass *analysis.Pass) (interface{}, error) {
 			if isFmtErrorf(call) {
 				checkErrorfWrap(pass, call)
 			}
+			if isErrorsNew(call) {
+				checkErrorsNewFlatten(pass, call)
+			}
 			return true
 		})
 	}
 	return nil, nil
+}
+
+func isErrorsNew(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "New" {
+		return false
+	}
+	pkg, ok := sel.X.(*ast.Ident)
+	return ok && pkg.Name == "errors"
+}
+
+// checkErrorsNewFlatten flags errors.New(err.Error()): a brand-new error
+// built from another error's text, which drops the original's type and
+// wrap chain entirely.
+func checkErrorsNewFlatten(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	if name, ok := flattenedErrorCall(pass, call.Args[0]); ok {
+		pass.Reportf(call.Args[0].Pos(), "errors.New(%s.Error()) rebuilds the error from its text: use fmt.Errorf with %%w (or return %s directly) so errors.Is/As still see the original", name, name)
+	}
 }
 
 func isFmtErrorf(call *ast.CallExpr) bool {
@@ -64,7 +91,47 @@ func checkErrorfWrap(pass *analysis.Pass, call *ast.CallExpr) {
 			pass.Reportf(arg.Pos(), "error value %s passed to fmt.Errorf without %%w: wrapping keeps errors.Is/As working through this layer", name)
 			return
 		}
+		if name, ok := flattenedErrorCall(pass, arg); ok {
+			pass.Reportf(arg.Pos(), "%s.Error() passed to fmt.Errorf: pass %s itself with %%w so errors.Is/As still see the original", name, name)
+			return
+		}
 	}
+}
+
+// flattenedErrorCall matches "<recv>.Error()" where the receiver is an
+// error: the stringification that severs the wrap chain. The receiver's
+// error-ness comes from the type checker when its type resolved, and from
+// the "err" naming convention otherwise (fixtures may only partially
+// type-check).
+func flattenedErrorCall(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Error" {
+		return "", false
+	}
+	if tv, ok := pass.TypesInfo.Types[sel.X]; ok && tv.Type != nil {
+		return types.ExprString(sel.X), isErrorType(tv.Type)
+	}
+	if name := rightmostIdent(sel.X); name != "" && strings.HasSuffix(strings.ToLower(name), "err") {
+		return name, true
+	}
+	return "", false
+}
+
+// isErrorType reports whether t is the built-in error interface (or
+// implements it, for concrete typed errors like *AbortError).
+func isErrorType(t types.Type) bool {
+	errType, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	if types.Identical(t.Underlying(), errType) {
+		return true
+	}
+	return types.Implements(t, errType)
 }
 
 // rightmostIdent returns the identifier an argument expression names:

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"go/ast"
+	"strings"
+
+	"coral/tools/lint/analysis"
+)
+
+// guardannotAnalyzer enforces annotation completeness for the concurrency
+// contract (DESIGN.md §5.17): in the engine, relation and serve packages,
+// every field of a struct that also contains a sync.Mutex/RWMutex must
+// declare its relationship to the locks — either "guarded_by(mu)" (the
+// mutex excludes concurrent access, checked by lockcheck) or an
+// "unguarded: <rationale>" comment saying why no lock is needed (set
+// before publication, atomic, fenced externally, ...). The mutex fields
+// themselves are exempt. Without this sweep a newly added field defaults
+// to silently unspecified, which is exactly how lock disciplines rot.
+var guardannotAnalyzer = &analysis.Analyzer{
+	Name: "guardannot",
+	Doc: `require guarded_by or an unguarded rationale on mutex-adjacent fields
+
+In packages engine, relation and serve, any struct containing a
+sync.Mutex/RWMutex must annotate every other field with "guarded_by(mu)"
+or "// unguarded: <rationale>" so the lock discipline is machine-checkable
+and complete.`,
+	Run: runGuardannot,
+}
+
+// guardannotPkgs are the packages whose lock disciplines the concurrency
+// contract covers (the serving stack of DESIGN.md §5.16).
+var guardannotPkgs = map[string]bool{"engine": true, "relation": true, "serve": true}
+
+func runGuardannot(pass *analysis.Pass) (interface{}, error) {
+	if !guardannotPkgs[pass.Pkg] {
+		return nil, nil
+	}
+	_, specs := collectGuards(pass)
+	for _, gs := range specs {
+		if len(gs.mutexes) == 0 {
+			continue
+		}
+		for _, f := range gs.fields {
+			comment := fieldComment(f)
+			annotated := guardedByName(comment) != "" || hasUnguarded(comment)
+			for _, name := range f.Names {
+				if gs.mutexes[name.Name] || annotated {
+					continue
+				}
+				pass.Reportf(name.Pos(), "%s.%s sits next to a mutex but declares no discipline: annotate \"guarded_by(<mu>)\" or \"// unguarded: <rationale>\"",
+					gs.name, name.Name)
+			}
+			// Embedded (anonymous) fields have no Names; an embedded
+			// non-mutex field in a locked struct needs the same decision.
+			if len(f.Names) == 0 && !annotated {
+				if isMutexTypeExpr(pass, f.Type) {
+					continue
+				}
+				pass.Reportf(f.Pos(), "embedded field of %s sits next to a mutex but declares no discipline: annotate \"guarded_by(<mu>)\" or \"// unguarded: <rationale>\"",
+					gs.name)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// hasUnguarded reports an "unguarded:" rationale in a field comment. The
+// marker must be followed by actual words — a bare "unguarded:" records a
+// decision without a reason, which defeats the annotation's purpose.
+func hasUnguarded(comment string) bool {
+	_, rest, ok := strings.Cut(comment, "unguarded:")
+	return ok && strings.TrimSpace(rest) != ""
+}
+
+// isMutexTypeExpr resolves a field type expression and reports whether it
+// denotes sync.Mutex/RWMutex (the embedded-mutex idiom).
+func isMutexTypeExpr(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok {
+		return false
+	}
+	return isMutexType(tv.Type)
+}

@@ -1,0 +1,282 @@
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package loading for the type-aware analyzers. The driver stays
+// stdlib-only: repository packages ("coral/...") are located through
+// go.mod and type-checked from source by the loader itself, everything
+// else (the standard library) goes through go/importer's source importer.
+// Type errors never abort a run — they are collected on the Pass so the
+// syntactic analyzers keep working on deliberately partial fixtures while
+// the type-aware ones see as much resolved information as the package
+// allows.
+
+// loadedPkg is one parsed and type-checked package directory.
+type loadedPkg struct {
+	dir        string
+	pkgName    string
+	pkgPath    string
+	files      []*ast.File
+	typesPkg   *types.Package
+	info       *types.Info
+	typeErrors []error
+}
+
+// loader parses and type-checks package directories, sharing one token
+// file set and one import graph across every package of a run.
+type loader struct {
+	fset   *token.FileSet
+	root   string // module root directory (holds go.mod)
+	module string // module path from go.mod
+	std    types.ImporterFrom
+	// pkgs memoizes module-internal imports by import path. Entries are
+	// inserted before checking to break import cycles (a cycle is a type
+	// error, not a driver crash).
+	pkgs map[string]*types.Package
+}
+
+// newLoader locates the module root enclosing dir and prepares the import
+// machinery. Cgo is disabled for the whole run so the source importer
+// resolves cgo-using stdlib packages (net, via net/http) through their
+// pure-Go fallbacks instead of invoking a C toolchain.
+func newLoader(dir string) (*loader, error) {
+	build.Default.CgoEnabled = false
+	root, module, err := findModule(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &loader{
+		fset:   token.NewFileSet(),
+		root:   root,
+		module: module,
+		pkgs:   make(map[string]*types.Package),
+	}
+	if src, ok := importer.ForCompiler(l.fset, "source", nil).(types.ImporterFrom); ok {
+		l.std = src
+	}
+	return l, nil
+}
+
+// findModule walks upward from dir to the enclosing go.mod and returns the
+// module root directory and module path.
+func findModule(dir string) (root, module string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("%s: no module line in go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// Import implements types.Importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.root, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-internal paths load
+// from source relative to the module root, everything else delegates to
+// the stdlib source importer.
+func (l *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.module || strings.HasPrefix(path, l.module+"/") {
+		return l.importModulePkg(path)
+	}
+	if l.std == nil {
+		return nil, fmt.Errorf("no stdlib importer available for %q", path)
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}
+
+// importModulePkg type-checks a module-internal package from source,
+// memoized by import path.
+func (l *loader) importModulePkg(path string) (*types.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	l.pkgs[path] = nil // in-flight marker: a re-entrant import is a cycle
+	dir := l.root
+	if path != l.module {
+		dir = filepath.Join(l.root, filepath.FromSlash(strings.TrimPrefix(path, l.module+"/")))
+	}
+	files, _, err := l.parseDir(dir)
+	if err != nil {
+		delete(l.pkgs, path)
+		return nil, err
+	}
+	conf := types.Config{
+		Importer: l,
+		Error:    func(error) {}, // tolerate: a dependency's type errors are its own report
+	}
+	pkg, err := conf.Check(path, l.fset, files, nil)
+	if pkg == nil {
+		delete(l.pkgs, path)
+		return nil, err
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of one package directory with
+// comments retained, in stable name order.
+func (l *loader) parseDir(dir string) ([]*ast.File, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	pkg := ""
+	for _, name := range names {
+		file, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, "", err
+		}
+		files = append(files, file)
+		pkg = file.Name.Name
+	}
+	return files, pkg, nil
+}
+
+// load parses and type-checks one target package directory. Parse errors
+// are fatal (the caller reports a load error); type errors are collected
+// and the partial information kept, so fixtures that reference nothing
+// outside themselves and real packages behave identically.
+func (l *loader) load(dir string) (*loadedPkg, error) {
+	files, pkgName, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkgPath := l.importPathOf(dir)
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrors []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrors = append(typeErrors, err) },
+	}
+	pkg, _ := conf.Check(pkgPath, l.fset, files, info)
+	if pkg == nil {
+		pkg = types.NewPackage(pkgPath, pkgName)
+	}
+	return &loadedPkg{
+		dir:        dir,
+		pkgName:    pkgName,
+		pkgPath:    pkgPath,
+		files:      files,
+		typesPkg:   pkg,
+		info:       info,
+		typeErrors: typeErrors,
+	}, nil
+}
+
+// importPathOf maps a directory to its import path under the module, or —
+// for directories outside the module tree (never the case in practice) —
+// to a slash-cleaned form of the directory itself.
+func (l *loader) importPathOf(dir string) string {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return filepath.ToSlash(dir)
+	}
+	rel, err := filepath.Rel(l.root, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(abs)
+	}
+	if rel == "." {
+		return l.module
+	}
+	return l.module + "/" + filepath.ToSlash(rel)
+}
+
+// expandDirs resolves the command line's package arguments: a plain
+// directory names itself; a Go-style wildcard ("./internal/...") names
+// every directory below it that holds at least one non-test Go file,
+// skipping testdata trees and hidden directories.
+func expandDirs(args []string) ([]string, error) {
+	var dirs []string
+	for _, arg := range args {
+		base, wild := strings.CutSuffix(arg, "/...")
+		if !wild {
+			dirs = append(dirs, arg)
+			continue
+		}
+		if base == "" {
+			base = "."
+		}
+		err := filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if name == "testdata" || (strings.HasPrefix(name, ".") && path != base) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(path) {
+				dirs = append(dirs, path)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("expanding %s: %w", arg, err)
+		}
+	}
+	return dirs, nil
+}
+
+// hasGoFiles reports whether dir directly contains a non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,84 +1,132 @@
 // Command lint is a multichecker enforcing repository-specific invariants
 // the stock go vet cannot express, over the packages named on the command
-// line:
+// line (plain directories or ./dir/... wildcards):
 //
-//	go run ./tools/lint ./internal/engine ./internal/relation
+//	go run ./tools/lint ./internal/... ./cmd/...
 //
 // The analyzers — each a tools/lint/analysis.Analyzer in the style of
 // golang.org/x/tools/go/analysis, declared in its own file:
 //
 //	paniccheck   panic outside the engine's Throw/throwf helpers
-//	errwrap      fmt.Errorf flattening an error value without %w
+//	             (engine and relation packages)
+//	errwrap      fmt.Errorf flattening an error value without %w, and
+//	             errors.New/fmt.Errorf consuming err.Error()
 //	budgetpoll   engine iterator-scan loop lacking an amortized
 //	             budgetGuard poll
 //	opcheck      annotated bytecode-opcode switch (opcheck:dispatch,
 //	             opcheck:disasm) not covering every opcode
+//	lockcheck    read/write of a "guarded_by(mu)" field without the
+//	             named mutex held in the accessing function
+//	roviol       a *relation.Prefix (or a relation unwrapped from one)
+//	             reaching a mutating method or a writable store
+//	ctxprop      context discipline in engine and serve: no
+//	             context.Background/TODO on evaluation paths, no dropped
+//	             ctx parameters, entry points must carry a ctx or budget
+//	guardannot   every mutex-adjacent struct field in engine, relation
+//	             and serve carries guarded_by(...) or an "unguarded:"
+//	             rationale
 //
-// The tool is stdlib-only (go/parser + go/ast; the framework package is a
-// local shim); test files are skipped. Findings print as
+// The tool is stdlib-only: packages are parsed with go/parser and
+// type-checked with go/types (repository imports resolved from source via
+// go.mod, the standard library via go/importer's source mode), so the
+// concurrency-contract analyzers see real cross-file method resolution.
+// Type errors are tolerated — syntactic analyzers still run on partial
+// packages — and test files are skipped. Findings print as
 // file:line:col: message [analyzer], sorted by (file, line, column,
-// analyzer). Any finding exits 1; a load error exits 2.
+// analyzer); -json switches to a structured findings array (and, under
+// GITHUB_ACTIONS, mirrors findings as ::error workflow commands on stderr
+// so CI failures render as annotated lines). Any finding exits 1; a load
+// error exits 2.
 package main
 
 import (
+	"encoding/json"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"io"
 	"os"
-	"path/filepath"
 	"sort"
-	"strings"
 
 	"coral/tools/lint/analysis"
 )
 
 // analyzers is the multichecker's fixed suite.
-var analyzers = []*analysis.Analyzer{panicAnalyzer, errwrapAnalyzer, budgetpollAnalyzer, opcheckAnalyzer}
+var analyzers = []*analysis.Analyzer{
+	panicAnalyzer, errwrapAnalyzer, budgetpollAnalyzer, opcheckAnalyzer,
+	lockcheckAnalyzer, roviolAnalyzer, ctxpropAnalyzer, guardannotAnalyzer,
+}
 
 func main() {
-	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+	args := os.Args[1:]
+	jsonOut := false
+	if len(args) > 0 && args[0] == "-json" {
+		jsonOut = true
+		args = args[1:]
+	}
+	os.Exit(run(args, jsonOut, os.Stdout, os.Stderr))
 }
 
 // A finding is one diagnostic resolved to a file position, carrying the
 // analyzer name for output and for the (file, line, col, analyzer) sort.
+// The struct doubles as the -json wire shape.
 type finding struct {
-	pos      token.Position
-	analyzer string
-	message  string
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }
 
 func (f finding) String() string {
-	return fmt.Sprintf("%s: %s [%s]", f.pos, f.message, f.analyzer)
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", f.File, f.Line, f.Col, f.Message, f.Analyzer)
 }
 
-// run drives every analyzer over every named package directory, printing
-// sorted findings to out. Exit status: 0 clean, 1 findings, 2 usage or
-// load error.
-func run(dirs []string, out, errw io.Writer) int {
+// run drives every analyzer over every named package directory (wildcards
+// expanded), printing sorted findings to out. Exit status: 0 clean, 1
+// findings, 2 usage or load error.
+func run(args []string, jsonOut bool, out, errw io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(errw, "usage: lint [-json] <package-dir|./dir/...> ...")
+		return 2
+	}
+	dirs, err := expandDirs(args)
+	if err != nil {
+		fmt.Fprintln(errw, "lint:", err)
+		return 2
+	}
 	if len(dirs) == 0 {
-		fmt.Fprintln(errw, "usage: lint <package-dir> ...")
+		fmt.Fprintln(errw, "lint: no packages matched")
+		return 2
+	}
+	ld, err := newLoader(dirs[0])
+	if err != nil {
+		fmt.Fprintln(errw, "lint:", err)
 		return 2
 	}
 	var findings []finding
 	for _, dir := range dirs {
-		fset, files, pkg, err := loadDir(dir)
+		pkg, err := ld.load(dir)
 		if err != nil {
 			fmt.Fprintln(errw, "lint:", err)
 			return 2
 		}
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
-				Analyzer: a,
-				Fset:     fset,
-				Files:    files,
-				Pkg:      pkg,
+				Analyzer:   a,
+				Fset:       ld.fset,
+				Files:      pkg.files,
+				Pkg:        pkg.pkgName,
+				PkgPath:    pkg.pkgPath,
+				TypesPkg:   pkg.typesPkg,
+				TypesInfo:  pkg.info,
+				TypeErrors: pkg.typeErrors,
 				Report: func(d analysis.Diagnostic) {
+					pos := ld.fset.Position(d.Pos)
 					findings = append(findings, finding{
-						pos:      fset.Position(d.Pos),
-						analyzer: d.Category,
-						message:  d.Message,
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Analyzer: d.Category,
+						Message:  d.Message,
 					})
 				},
 			}
@@ -90,48 +138,37 @@ func run(dirs []string, out, errw io.Writer) int {
 	}
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
-		if a.pos.Filename != b.pos.Filename {
-			return a.pos.Filename < b.pos.Filename
+		if a.File != b.File {
+			return a.File < b.File
 		}
-		if a.pos.Line != b.pos.Line {
-			return a.pos.Line < b.pos.Line
+		if a.Line != b.Line {
+			return a.Line < b.Line
 		}
-		if a.pos.Column != b.pos.Column {
-			return a.pos.Column < b.pos.Column
+		if a.Col != b.Col {
+			return a.Col < b.Col
 		}
-		return a.analyzer < b.analyzer
+		return a.Analyzer < b.Analyzer
 	})
-	for _, f := range findings {
-		fmt.Fprintln(out, f)
+	if jsonOut {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{}
+		}
+		_ = enc.Encode(findings)
+		if os.Getenv("GITHUB_ACTIONS") != "" {
+			for _, f := range findings {
+				fmt.Fprintf(errw, "::error file=%s,line=%d,col=%d,title=lint %s::%s\n",
+					f.File, f.Line, f.Col, f.Analyzer, f.Message)
+			}
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(out, f)
+		}
 	}
 	if len(findings) > 0 {
 		return 1
 	}
 	return 0
-}
-
-// loadDir parses the non-test Go files of one package directory with
-// comments retained, returning the file set, syntax trees, and package
-// name.
-func loadDir(dir string) (*token.FileSet, []*ast.File, string, error) {
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		return nil, nil, "", err
-	}
-	fset := token.NewFileSet()
-	var files []*ast.File
-	pkg := ""
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
-			continue
-		}
-		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
-		if err != nil {
-			return nil, nil, "", err
-		}
-		files = append(files, file)
-		pkg = file.Name.Name
-	}
-	return fset, files, pkg, nil
 }

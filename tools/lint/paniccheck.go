@@ -30,6 +30,14 @@ bad query. Annotate true invariants with "lint:allow panic — <reason>".`,
 var throwHelpers = map[string]bool{"Throw": true, "throwf": true}
 
 func runPaniccheck(pass *analysis.Pass) (interface{}, error) {
+	// The throw/recover channel is evaluation-path policy: it belongs to
+	// the engine and the relation layer it drives. Other packages
+	// (storage invariants, experiment harnesses, cmd mains) legitimately
+	// panic on can-never-happen states, so the check does not follow the
+	// multichecker onto them.
+	if pass.Pkg != "engine" && pass.Pkg != "relation" {
+		return nil, nil
+	}
 	for _, file := range pass.Files {
 		allowed := allowedLines(pass.Fset, file, "lint:allow panic")
 		for _, decl := range file.Decls {

@@ -1,0 +1,41 @@
+// Package engine is a lint fixture for the ctxprop analyzer: a
+// manufactured root context, an entry point without a cancellation
+// channel, a dropped ctx parameter and a blank ctx parameter are flagged;
+// the forwarding, receiver-carried and annotated shapes are not.
+package engine
+
+import "context"
+
+func detachedHelper() {
+	ctx := context.Background() // flagged: detaches from the caller
+	_ = ctx
+}
+
+func QueryNoChannel(q string) error { // flagged: no ctx/budget anywhere
+	_ = q
+	return nil
+}
+
+func RunDropped(ctx context.Context, n int) int { // ctx flagged: never read
+	return n + 1
+}
+
+func ServeBlank(_ context.Context) {} // flagged: blank ctx parameter
+
+func QueryForwarding(ctx context.Context, q string) error {
+	_ = q
+	return ctx.Err()
+}
+
+type session struct {
+	ctx context.Context
+}
+
+func (s *session) RunLoop() error { // receiver carries the context: fine
+	return s.ctx.Err()
+}
+
+// lint:allow ctxprop — fixture: provably bounded, nothing to cancel
+func EvalBounded(n int) int {
+	return n * 2
+}

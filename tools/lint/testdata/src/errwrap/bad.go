@@ -22,3 +22,19 @@ func notAnError(n int) error {
 func noVerbNeeded() error {
 	return errors.New("plain")
 }
+
+func rebuilt(err error) error {
+	return errors.New(err.Error()) // flagged: drops type and wrap chain
+}
+
+func stringified(err error) error {
+	return fmt.Errorf("load failed: %s", err.Error()) // flagged: pre-flattened
+}
+
+func notErrorMethod(s interface{ Error() int }) error {
+	return fmt.Errorf("code %d", s.Error()) // Error() on a non-error: fine
+}
+
+func freshMessage() error {
+	return errors.New("a brand new condition") // no source error: fine
+}

@@ -1,0 +1,26 @@
+// Package engine is a lint fixture for the guardannot analyzer: a
+// mutex-adjacent field with no discipline annotation and a rationale-free
+// "unguarded:" are flagged; fully annotated and lock-free structs are not.
+package engine
+
+import "sync"
+
+type annotated struct {
+	mu   sync.Mutex
+	rows map[string]int // guarded_by(mu)
+	hits int            // unguarded: monotonic counter, fixture rationale
+}
+
+// missing seeds the two violations: cache declares nothing, and bare
+// carries an "unguarded:" marker with no rationale after it — a decision
+// recorded without a reason, which the analyzer rejects too.
+type missing struct {
+	mu    sync.RWMutex
+	cache map[string]int
+	bare  int // unguarded:
+}
+
+type lockless struct {
+	a int
+	b int
+}

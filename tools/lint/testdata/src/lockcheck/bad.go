@@ -1,0 +1,45 @@
+// Package engine is a lint fixture for the lockcheck analyzer: an
+// unlocked access to a guarded_by field and a guarded_by annotation naming
+// a non-mutex are flagged; the locked, freshly constructed and annotated
+// shapes are not.
+package engine
+
+import "sync"
+
+type cache struct {
+	mu sync.Mutex
+	m  map[string]int // guarded_by(mu)
+	n  int            // unguarded: written once before publication
+}
+
+func unlockedRead(c *cache) int {
+	return c.m["k"] // flagged: c.mu not locked in this function
+}
+
+func lockedRead(c *cache) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.m["k"]
+}
+
+func lockedWriteRLockAlias(c *cache) {
+	c.mu.Lock()
+	c.m["k"] = 1
+	c.mu.Unlock()
+}
+
+func freshConstruction() *cache {
+	c := &cache{m: map[string]int{}}
+	c.m["k"] = 1 // unpublished: no concurrent reader can exist yet
+	return c
+}
+
+func annotatedAccess(c *cache) int {
+	// lint:allow lockcheck — fixture: single-threaded helper by contract
+	return c.m["k"]
+}
+
+type typo struct {
+	mu sync.Mutex
+	x  int // guarded_by(lock) — flagged: typo names no mutex field
+}

@@ -1,0 +1,43 @@
+// Package engine is a lint fixture for the roviol analyzer: mutating
+// methods reached through a relation.Prefix unwrap — directly, through a
+// tainted local, and through a local helper — plus a stored writable
+// alias are flagged; read-only uses and the annotated shape are not.
+package engine
+
+import "coral/internal/relation"
+
+// unwrap mimics the engine's hashRelOf helper: it launders the writable
+// relation out of a snapshot view, so its callers inherit the taint.
+func unwrap(p *relation.Prefix) *relation.HashRelation {
+	return p.Rel()
+}
+
+func mutateDirect(p *relation.Prefix) {
+	p.Rel().Clear() // flagged: mutator on the unwrapped snapshot
+}
+
+func mutateViaHelper(p *relation.Prefix) {
+	hr := unwrap(p)
+	hr.TruncateTo(0) // flagged: taint survives the helper call
+}
+
+type holder struct {
+	hr *relation.HashRelation
+}
+
+func storeAlias(h *holder, p *relation.Prefix) {
+	h.hr = p.Rel() // flagged: writable alias outlives the read-only view
+}
+
+func readOnlyUse(p *relation.Prefix) int {
+	return p.Rel().Len() // reads through the unwrap are the point
+}
+
+func handView(p *relation.Prefix) *relation.Prefix {
+	return p // passing the Prefix itself around stays read-only
+}
+
+func annotatedMutation(p *relation.Prefix) {
+	// lint:allow roviol — fixture: exercises the suppression path
+	p.Rel().Clear()
+}
